@@ -1,0 +1,175 @@
+//! Micro-benchmarks of the substrates: cache access throughput, directory
+//! updates, Chiplet Coherence Table launch processing, and trace
+//! generation. These bound the simulator's own speed and demonstrate the
+//! CP-side cost of CPElide's algorithm (paper §IV-B estimates 6 µs per
+//! launch on a 1.5 GHz CP; `table_prepare_launch` shows the same work takes
+//! microseconds on a host core too).
+
+use chiplet_gpu::dispatch::StaticPartitionScheduler;
+use chiplet_gpu::kernel::{AccessPattern, KernelId, KernelSpec, TouchKind};
+use chiplet_gpu::table::ArrayTable;
+use chiplet_gpu::trace::TraceGenerator;
+use chiplet_mem::addr::{ChipletId, LineAddr};
+use chiplet_mem::cache::{CacheGeometry, SetAssocCache, WritePolicy};
+use chiplet_mem::directory::CoarseDirectory;
+use cpelide::api::KernelLaunchInfo;
+use cpelide::table::ChipletCoherenceTable;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_cache(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cache");
+    g.measurement_time(Duration::from_secs(2)).sample_size(20);
+    let geom = CacheGeometry::new(8 << 20, 64, 32).unwrap();
+
+    g.throughput(Throughput::Elements(10_000));
+    g.bench_function("l2_read_hit_stream", |b| {
+        let mut cache = SetAssocCache::new(geom, WritePolicy::WriteBack);
+        for i in 0..10_000u64 {
+            cache.read(LineAddr::new(i));
+        }
+        b.iter(|| {
+            for i in 0..10_000u64 {
+                black_box(cache.read(LineAddr::new(i)));
+            }
+        });
+    });
+    g.bench_function("l2_write_miss_stream", |b| {
+        let mut cache = SetAssocCache::new(geom, WritePolicy::WriteBack);
+        let mut base = 0u64;
+        b.iter(|| {
+            for i in 0..10_000u64 {
+                black_box(cache.write(LineAddr::new(base + i)));
+            }
+            base += 10_000;
+        });
+    });
+    g.bench_function("l2_flush_dirty_8mib", |b| {
+        b.iter_with_setup(
+            || {
+                let mut cache = SetAssocCache::new(geom, WritePolicy::WriteBack);
+                for i in 0..131_072u64 {
+                    cache.write(LineAddr::new(i));
+                }
+                cache
+            },
+            |mut cache| black_box(cache.flush_dirty()),
+        );
+    });
+    g.finish();
+}
+
+fn bench_directory(c: &mut Criterion) {
+    let mut g = c.benchmark_group("directory");
+    g.measurement_time(Duration::from_secs(2)).sample_size(20);
+    g.throughput(Throughput::Elements(10_000));
+    g.bench_function("record_sharer_churn", |b| {
+        let mut dir = CoarseDirectory::new(16 * 1024, 8, 4);
+        let mut base = 0u64;
+        b.iter(|| {
+            for i in 0..10_000u64 {
+                black_box(dir.record_sharer(
+                    LineAddr::new(base + i * 4),
+                    ChipletId::new((i % 4) as u8),
+                ));
+            }
+            base += 40_000;
+        });
+    });
+    g.finish();
+}
+
+fn bench_table(c: &mut Criterion) {
+    let mut g = c.benchmark_group("coherence_table");
+    g.measurement_time(Duration::from_secs(2)).sample_size(50);
+
+    // The paper's common case: 4 structures, partitioned over 4 chiplets.
+    let info = |k: u64| {
+        let mut b = KernelLaunchInfo::builder(k, ChipletId::all(4));
+        for s in 0..4u64 {
+            let base = s * 100_000;
+            b = b.structure(
+                base,
+                base + 32_768,
+                chiplet_mem::array::AccessMode::ReadWrite,
+                (0..4).map(|c| Some(base + c * 8192..base + (c + 1) * 8192)),
+            );
+        }
+        b.build()
+    };
+    g.bench_function("prepare_launch_elided_path", |b| {
+        let mut table = ChipletCoherenceTable::new(4);
+        let mut k = 0u64;
+        b.iter(|| {
+            let actions = table.prepare_launch(&info(k));
+            k += 1;
+            black_box(actions)
+        });
+    });
+    g.bench_function("prepare_launch_sync_path", |b| {
+        // Alternating producers/consumers: every launch generates ops.
+        let mut table = ChipletCoherenceTable::new(4);
+        let mut k = 0u64;
+        b.iter(|| {
+            let writer = (k % 4) as usize;
+            let mut ranges: Vec<Option<std::ops::Range<u64>>> = vec![None; 4];
+            ranges[writer] = Some(0..32_768);
+            let i = KernelLaunchInfo::builder(k, [ChipletId::new(writer as u8)])
+                .structure(0, 32_768, chiplet_mem::array::AccessMode::ReadWrite, ranges)
+                .build();
+            k += 1;
+            black_box(table.prepare_launch(&i))
+        });
+    });
+    g.finish();
+}
+
+fn bench_trace(c: &mut Criterion) {
+    let mut g = c.benchmark_group("trace_generation");
+    g.measurement_time(Duration::from_secs(2)).sample_size(20);
+    let mut arrays = ArrayTable::new();
+    let a = arrays.alloc("a", 4 << 20);
+    let partitioned = KernelSpec::builder("p")
+        .wg_count(2048)
+        .array(a, TouchKind::LoadStore, AccessPattern::Partitioned)
+        .build();
+    let irregular = KernelSpec::builder("i")
+        .wg_count(2048)
+        .array(
+            a,
+            TouchKind::Load,
+            AccessPattern::Irregular { fraction: 1.0, locality: 0.7 },
+        )
+        .build();
+    let chiplets: Vec<ChipletId> = ChipletId::all(4).collect();
+    let plan = StaticPartitionScheduler::new().plan(&partitioned, &chiplets);
+    let gen = TraceGenerator::new(7);
+
+    g.bench_function("partitioned_64k_lines", |b| {
+        b.iter(|| {
+            black_box(gen.chiplet_trace(
+                &partitioned,
+                KernelId::new(0),
+                &arrays,
+                &plan,
+                ChipletId::new(1),
+            ))
+        });
+    });
+    g.bench_function("irregular_16k_lines", |b| {
+        b.iter(|| {
+            black_box(gen.chiplet_trace(
+                &irregular,
+                KernelId::new(0),
+                &arrays,
+                &plan,
+                ChipletId::new(1),
+            ))
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_cache, bench_directory, bench_table, bench_trace);
+criterion_main!(benches);

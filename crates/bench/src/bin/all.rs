@@ -1,0 +1,182 @@
+//! Regenerates every paper artifact in one run and writes the reports to
+//! `results/` (fig2.txt, fig8.txt, fig9.txt, fig10.txt, tables.txt,
+//! studies.txt) plus a summary to stdout.
+//!
+//! Usage: `cargo run --release -p cpelide-bench --bin all`
+
+use chiplet_sim::experiments as ex;
+use chiplet_sim::metrics::geomean;
+use chiplet_sim::SimConfig;
+use cpelide_bench::{kv, render_fig8, rule};
+use std::fmt::Write as _;
+use std::fs;
+
+fn main() {
+    fs::create_dir_all("results").expect("create results dir");
+    let suite = chiplet_workloads::suite();
+    let mut summary = String::new();
+
+    // ---------------- Figure 2 ----------------
+    let mut out = String::new();
+    let (rows, avg) = ex::fig2(&suite, 4);
+    writeln!(out, "Figure 2 - perf loss vs equivalent monolithic GPU (4 chiplets)").unwrap();
+    for r in &rows {
+        writeln!(out, "{:<16} {:>8.1}%", r.workload, 100.0 * r.loss).unwrap();
+    }
+    writeln!(out, "{}\naverage {:>16.1}%  (paper: 54%)", rule(26), 100.0 * avg).unwrap();
+    fs::write("results/fig2.txt", &out).unwrap();
+    writeln!(summary, "fig2   avg monolithic loss: {:.1}% (paper 54%)", 100.0 * avg).unwrap();
+
+    // ---------------- Figure 8 (2/4/6/7 chiplets) ----------------
+    let mut out = String::new();
+    for n in [2usize, 4, 6, 7] {
+        let (rows, s) = ex::fig8(&suite, n);
+        out.push_str(&render_fig8(&rows, n));
+        out.push_str(&kv("geomean CPElide vs Baseline", ex::pct(s.cpelide_vs_baseline - 1.0)));
+        out.push_str(&kv(
+            "geomean CPElide vs Baseline (mod/high reuse)",
+            ex::pct(s.cpelide_vs_baseline_reuse - 1.0),
+        ));
+        out.push_str(&kv("geomean HMG vs Baseline", ex::pct(s.hmg_vs_baseline - 1.0)));
+        out.push_str(&kv("geomean CPElide vs HMG", ex::pct(s.cpelide_vs_hmg - 1.0)));
+        out.push('\n');
+        if n == 4 {
+            writeln!(
+                summary,
+                "fig8   4-chiplet CPElide: {} vs Baseline ({} mod/high), {} vs HMG \
+                 (paper: +13%, +17%, +19%)",
+                ex::pct(s.cpelide_vs_baseline - 1.0),
+                ex::pct(s.cpelide_vs_baseline_reuse - 1.0),
+                ex::pct(s.cpelide_vs_hmg - 1.0)
+            )
+            .unwrap();
+        } else {
+            writeln!(
+                summary,
+                "fig8   {n}-chiplet CPElide: {} vs Baseline, {} vs HMG",
+                ex::pct(s.cpelide_vs_baseline - 1.0),
+                ex::pct(s.cpelide_vs_hmg - 1.0)
+            )
+            .unwrap();
+        }
+    }
+    fs::write("results/fig8.txt", &out).unwrap();
+
+    // ---------------- Figures 9 and 10 (shared triples) ----------------
+    let triples = ex::protocol_triples(&suite, 4);
+    let mut out9 = String::new();
+    let mut out10 = String::new();
+    for t in &triples {
+        let be = t.baseline.energy.total();
+        writeln!(
+            out9,
+            "{:<16} C {:.3} | H {:.3}  (L1I/L1D/LDS/L2/L3/NOC/DRAM C: \
+             {:.2}/{:.2}/{:.2}/{:.2}/{:.2}/{:.2}/{:.2})",
+            t.workload,
+            t.cpelide.energy.total() / be,
+            t.hmg.energy.total() / be,
+            t.cpelide.energy.l1i / be,
+            t.cpelide.energy.l1d / be,
+            t.cpelide.energy.lds / be,
+            t.cpelide.energy.l2 / be,
+            t.cpelide.energy.l3 / be,
+            t.cpelide.energy.noc / be,
+            t.cpelide.energy.dram / be,
+        )
+        .unwrap();
+        let bt = t.baseline.traffic.total() as f64;
+        writeln!(
+            out10,
+            "{:<16} C {:.3} | H {:.3}  (C split L1L2/L2L3/remote: {:.2}/{:.2}/{:.2}; \
+             H split: {:.2}/{:.2}/{:.2})",
+            t.workload,
+            t.cpelide.traffic.total() as f64 / bt,
+            t.hmg.traffic.total() as f64 / bt,
+            t.cpelide.traffic.l1_l2 as f64 / bt,
+            t.cpelide.traffic.l2_l3 as f64 / bt,
+            t.cpelide.traffic.remote as f64 / bt,
+            t.hmg.traffic.l1_l2 as f64 / bt,
+            t.hmg.traffic.l2_l3 as f64 / bt,
+            t.hmg.traffic.remote as f64 / bt,
+        )
+        .unwrap();
+    }
+    let (e_cpe, e_hmg) = ex::fig9_summary(&triples);
+    let (t_cpe, t_hmg) = ex::fig10_summary(&triples);
+    writeln!(
+        out9,
+        "\ngeomean energy: CPElide {} vs Baseline, HMG {} vs Baseline, CPElide {} vs HMG\n\
+         (paper: CPElide -14% vs Baseline, -11% vs HMG)",
+        ex::pct(e_cpe - 1.0),
+        ex::pct(e_hmg - 1.0),
+        ex::pct(e_cpe / e_hmg - 1.0)
+    )
+    .unwrap();
+    let l2l3 = geomean(
+        triples
+            .iter()
+            .filter(|t| t.hmg.traffic.l2_l3 > 0 && t.cpelide.traffic.l2_l3 > 0)
+            .map(|t| t.cpelide.traffic.l2_l3 as f64 / t.hmg.traffic.l2_l3 as f64),
+    );
+    writeln!(
+        out10,
+        "\ngeomean traffic: CPElide {} vs Baseline, HMG {} vs Baseline, CPElide {} vs HMG, \
+         CPElide L2-L3 {} vs HMG\n(paper: -14% vs Baseline, -17% vs HMG, -37% L2-L3 vs HMG)",
+        ex::pct(t_cpe - 1.0),
+        ex::pct(t_hmg - 1.0),
+        ex::pct(t_cpe / t_hmg - 1.0),
+        ex::pct(l2l3 - 1.0)
+    )
+    .unwrap();
+    fs::write("results/fig9.txt", &out9).unwrap();
+    fs::write("results/fig10.txt", &out10).unwrap();
+    writeln!(
+        summary,
+        "fig9   energy: CPElide {} vs Baseline, {} vs HMG (paper: -14%, -11%)",
+        ex::pct(e_cpe - 1.0),
+        ex::pct(e_cpe / e_hmg - 1.0)
+    )
+    .unwrap();
+    writeln!(
+        summary,
+        "fig10  traffic: CPElide {} vs Baseline, {} vs HMG, L2-L3 {} vs HMG \
+         (paper: -14%, -17%, -37%)",
+        ex::pct(t_cpe - 1.0),
+        ex::pct(t_cpe / t_hmg - 1.0),
+        ex::pct(l2l3 - 1.0)
+    )
+    .unwrap();
+
+    // ---------------- Tables and studies ----------------
+    let mut out = String::new();
+    out.push_str(&SimConfig::table1_text(4));
+    out.push('\n');
+    for (name, max, ev) in ex::table_occupancy(&suite) {
+        writeln!(out, "occupancy {:<16} max {:>2} entries, {} evictions", name, max, ev).unwrap();
+    }
+    fs::write("results/tables.txt", &out).unwrap();
+    let max_occ = ex::table_occupancy(&suite).iter().map(|(_, m, _)| *m).max().unwrap();
+    writeln!(summary, "tabIII max table occupancy: {max_occ} (paper: 11, capacity 64)").unwrap();
+
+    let mut out = String::new();
+    for (mimicked, overhead) in ex::scaling_study(&suite) {
+        writeln!(out, "mimicked {mimicked:>2}-chiplet: {} slowdown", ex::pct(overhead)).unwrap();
+        writeln!(summary, "svi    mimicked {mimicked}-chiplet overhead: {} (paper ~{}%)",
+            ex::pct(overhead), if mimicked == 8 { 1 } else { 2 }).unwrap();
+    }
+    let (ms_rows, ms) = ex::multistream_study();
+    for r in &ms_rows {
+        writeln!(out, "multistream {:<16} CPElide {:.2} HMG {:.2}", r.workload, r.cpelide, r.hmg)
+            .unwrap();
+    }
+    writeln!(out, "multistream geomean CPElide vs HMG: {}", ex::pct(ms - 1.0)).unwrap();
+    writeln!(summary, "svi    multi-stream CPElide vs HMG: {} (paper ~+12%)", ex::pct(ms - 1.0))
+        .unwrap();
+    let wb = ex::hmg_writeback_ablation(&suite);
+    writeln!(out, "HMG write-back ablation: {} slowdown vs write-through", ex::pct(wb)).unwrap();
+    writeln!(summary, "sivC   HMG-WB ablation: {} (paper ~+13%)", ex::pct(wb)).unwrap();
+    fs::write("results/studies.txt", &out).unwrap();
+
+    println!("{summary}");
+    println!("full reports written to results/");
+}

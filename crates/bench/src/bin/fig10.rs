@@ -1,0 +1,55 @@
+//! Regenerates Figure 10: 4-chiplet interconnect traffic (flits) for
+//! Baseline (B), CPElide (C) and HMG (H), split into L1-L2, L2-L3 and
+//! remote, normalized to Baseline. Paper: CPElide −14 % vs Baseline and
+//! −17 % vs HMG overall, −37 % L2-L3 vs HMG, and HMG carries ~23 % more
+//! remote traffic than CPElide.
+//!
+//! Usage: `cargo run --release -p cpelide-bench --bin fig10 [chiplets]`
+
+use chiplet_noc::traffic::FlitCounter;
+use chiplet_sim::experiments::{fig10_summary, pct, protocol_triples};
+use chiplet_sim::metrics::geomean;
+use cpelide_bench::rule;
+
+fn row(label: &str, t: FlitCounter, base_total: f64) -> String {
+    format!(
+        "  {label}: L1-L2 {:.3} | L2-L3 {:.3} | remote {:.3} || total {:.3}",
+        t.l1_l2 as f64 / base_total,
+        t.l2_l3 as f64 / base_total,
+        t.remote as f64 / base_total,
+        t.total() as f64 / base_total,
+    )
+}
+
+fn main() {
+    let chiplets: usize = std::env::args()
+        .nth(1)
+        .map(|a| a.parse().expect("chiplet count"))
+        .unwrap_or(4);
+    let suite = chiplet_workloads::suite();
+    let triples = protocol_triples(&suite, chiplets);
+
+    println!("Figure 10 — interconnect traffic in flits, normalized to Baseline ({chiplets} chiplets)");
+    println!("{}", rule(72));
+    for t in &triples {
+        let base = t.baseline.traffic.total() as f64;
+        println!("{}", t.workload);
+        println!("{}", row("B", t.baseline.traffic, base));
+        println!("{}", row("C", t.cpelide.traffic, base));
+        println!("{}", row("H", t.hmg.traffic, base));
+    }
+    println!("{}", rule(72));
+    let (cpe, hmg) = fig10_summary(&triples);
+    println!("geomean CPElide traffic vs Baseline: {}", pct(cpe - 1.0));
+    println!("geomean HMG     traffic vs Baseline: {}", pct(hmg - 1.0));
+    println!("geomean CPElide traffic vs HMG:      {}", pct(cpe / hmg - 1.0));
+    let l2l3 = geomean(triples.iter().filter(|t| t.hmg.traffic.l2_l3 > 0 && t.cpelide.traffic.l2_l3 > 0).map(|t| {
+        t.cpelide.traffic.l2_l3 as f64 / t.hmg.traffic.l2_l3 as f64
+    }));
+    println!("geomean CPElide L2-L3 traffic vs HMG: {}", pct(l2l3 - 1.0));
+    let remote = geomean(triples.iter().filter(|t| t.cpelide.traffic.remote > 0 && t.hmg.traffic.remote > 0).map(|t| {
+        t.hmg.traffic.remote as f64 / t.cpelide.traffic.remote as f64
+    }));
+    println!("geomean HMG remote traffic vs CPElide: {}", pct(remote - 1.0));
+    println!("\npaper: CPElide -14% vs Baseline, -17% vs HMG; -37% L2-L3 vs HMG; HMG +23% remote vs CPElide");
+}

@@ -1,0 +1,45 @@
+//! Regenerates Figure 8: CPElide and HMG performance normalized to
+//! Baseline for 2-, 4-, 6- and 7-chiplet GPUs across all 24 workloads.
+//!
+//! Usage: `cargo run --release -p cpelide-bench --bin fig8 [chiplets...]`
+
+use chiplet_sim::experiments::{fig8, pct};
+use cpelide_bench::{kv, render_fig8};
+
+fn main() {
+    let args: Vec<usize> = std::env::args()
+        .skip(1)
+        .map(|a| a.parse().expect("chiplet counts are integers"))
+        .collect();
+    let chiplet_counts = if args.is_empty() { vec![2, 4, 6, 7] } else { args };
+    let suite = chiplet_workloads::suite();
+
+    for &n in &chiplet_counts {
+        let (rows, summary) = fig8(&suite, n);
+        println!("{}", render_fig8(&rows, n));
+        print!(
+            "{}",
+            kv(
+                "geomean CPElide vs Baseline",
+                pct(summary.cpelide_vs_baseline - 1.0)
+            )
+        );
+        print!(
+            "{}",
+            kv(
+                "geomean CPElide vs Baseline (mod/high reuse)",
+                pct(summary.cpelide_vs_baseline_reuse - 1.0)
+            )
+        );
+        print!(
+            "{}",
+            kv("geomean HMG vs Baseline", pct(summary.hmg_vs_baseline - 1.0))
+        );
+        print!(
+            "{}",
+            kv("geomean CPElide vs HMG", pct(summary.cpelide_vs_hmg - 1.0))
+        );
+        println!();
+    }
+    println!("paper (4 chiplets): CPElide +13% vs Baseline (+17% mod/high), +19% vs HMG");
+}

@@ -1,0 +1,48 @@
+//! Regenerates Figure 9: 4-chiplet memory-subsystem energy for Baseline
+//! (B), CPElide (C) and HMG (H), by component, normalized to Baseline.
+//! Paper: CPElide −14 % vs Baseline and −11 % vs HMG on average.
+//!
+//! Usage: `cargo run --release -p cpelide-bench --bin fig9 [chiplets]`
+
+use chiplet_energy::EnergyBreakdown;
+use chiplet_sim::experiments::{fig9_summary, pct, protocol_triples};
+use cpelide_bench::rule;
+
+fn row(label: &str, e: &EnergyBreakdown, base_total: f64) -> String {
+    format!(
+        "  {label}: L1I {:.3} | L1D {:.3} | LDS {:.3} | L2 {:.3} | L3 {:.3} | NOC {:.3} | DRAM {:.3} || total {:.3}",
+        e.l1i / base_total,
+        e.l1d / base_total,
+        e.lds / base_total,
+        e.l2 / base_total,
+        e.l3 / base_total,
+        e.noc / base_total,
+        e.dram / base_total,
+        e.total() / base_total,
+    )
+}
+
+fn main() {
+    let chiplets: usize = std::env::args()
+        .nth(1)
+        .map(|a| a.parse().expect("chiplet count"))
+        .unwrap_or(4);
+    let suite = chiplet_workloads::suite();
+    let triples = protocol_triples(&suite, chiplets);
+
+    println!("Figure 9 — memory-subsystem energy by component, normalized to Baseline ({chiplets} chiplets)");
+    println!("{}", rule(100));
+    for t in &triples {
+        let base_total = t.baseline.energy.total();
+        println!("{}", t.workload);
+        println!("{}", row("B", &t.baseline.energy, base_total));
+        println!("{}", row("C", &t.cpelide.energy, base_total));
+        println!("{}", row("H", &t.hmg.energy, base_total));
+    }
+    println!("{}", rule(100));
+    let (cpe, hmg) = fig9_summary(&triples);
+    println!("geomean CPElide energy vs Baseline: {}", pct(cpe - 1.0));
+    println!("geomean HMG     energy vs Baseline: {}", pct(hmg - 1.0));
+    println!("geomean CPElide energy vs HMG:      {}", pct(cpe / hmg - 1.0));
+    println!("\npaper: CPElide -14% vs Baseline, -11% vs HMG");
+}

@@ -1,0 +1,16 @@
+//! Regenerates the §IV-C HMG write-policy ablation: the write-back L2
+//! variant of HMG versus the write-through variant used in the evaluation.
+//! Paper: write-back is ≈13 % worse (geomean) because it reduces HMG's
+//! precise-tracking benefits.
+//!
+//! Usage: `cargo run --release -p cpelide-bench --bin hmg_ablation`
+
+use chiplet_sim::experiments::{hmg_writeback_ablation, pct};
+
+fn main() {
+    let suite = chiplet_workloads::suite();
+    let overhead = hmg_writeback_ablation(&suite);
+    println!("SIV-C ablation - HMG write-back vs write-through L2s (4 chiplets)");
+    println!("write-back variant geomean slowdown vs write-through: {}", pct(overhead));
+    println!("\npaper: ~13% worse geomean");
+}

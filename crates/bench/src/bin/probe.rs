@@ -1,0 +1,76 @@
+//! Diagnostic deep-dive for one workload: every protocol's cycles, L2 hit
+//! rate, traffic split, sync costs and energy at a given chiplet count.
+//!
+//! Usage: `cargo run --release -p cpelide-bench --bin probe -- <workload> [chiplets]`
+
+use chiplet_coherence::ProtocolKind;
+use chiplet_sim::experiments::run_one;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let name = args.next().unwrap_or_else(|| "square".to_owned());
+    let chiplets: usize = args.next().map(|a| a.parse().unwrap()).unwrap_or(4);
+    let w = chiplet_workloads::by_name(&name)
+        .or_else(|| {
+            chiplet_workloads::multi_stream_suite()
+                .into_iter()
+                .find(|w| w.name() == name)
+        })
+        .unwrap_or_else(|| panic!("unknown workload {name}"));
+
+    println!(
+        "{} (input {}, {} kernels, {:.1} MiB footprint, {} chiplets)",
+        w.name(),
+        w.input(),
+        w.kernel_count(),
+        w.footprint_bytes() as f64 / (1 << 20) as f64,
+        chiplets
+    );
+    println!(
+        "{:<11} {:>12} {:>12} {:>12} {:>7} {:>8} {:>10} {:>10} {:>10} {:>9} {:>8}",
+        "protocol",
+        "cycles",
+        "exec",
+        "sync",
+        "L2hit%",
+        "L3hit%",
+        "L1-L2",
+        "L2-L3",
+        "remote",
+        "dram",
+        "uJ"
+    );
+    for p in [
+        ProtocolKind::Baseline,
+        ProtocolKind::CpElide,
+        ProtocolKind::Hmg,
+        ProtocolKind::HmgWriteBack,
+        ProtocolKind::Monolithic,
+    ] {
+        let m = run_one(&w, p, chiplets);
+        println!(
+            "{:<11} {:>12.0} {:>12.0} {:>12.0} {:>7.1} {:>8.1} {:>10} {:>10} {:>10} {:>9} {:>8.1}",
+            p.label(),
+            m.cycles,
+            m.exec_cycles,
+            m.sync_cycles,
+            100.0 * m.l2_hit_rate(),
+            100.0 * m.l3.hit_rate(),
+            m.traffic.l1_l2,
+            m.traffic.l2_l3,
+            m.traffic.remote,
+            m.dram_accesses,
+            m.energy.total() / 1e6,
+        );
+        if let Some(t) = m.table {
+            println!(
+                "            table: {} acq / {} rel issued, {} acq / {} rel elided, max {} entries",
+                t.acquires_issued,
+                t.releases_issued,
+                t.acquires_elided,
+                t.releases_elided,
+                t.max_live_entries
+            );
+        }
+    }
+}

@@ -1,0 +1,17 @@
+//! Regenerates the §VI scalability study: mimicking 8- and 16-chiplet
+//! systems by serializing 2 and 4 sets of boundary acquires/releases on
+//! the 4-chiplet CPElide configuration. Paper: ≈1 % and ≈2 % average
+//! slowdown (a conservative overestimate).
+//!
+//! Usage: `cargo run --release -p cpelide-bench --bin scaling`
+
+use chiplet_sim::experiments::{pct, scaling_study};
+
+fn main() {
+    let suite = chiplet_workloads::suite();
+    println!("SVI scaling study - mimicked larger systems on 4-chiplet CPElide");
+    for (mimicked, overhead) in scaling_study(&suite) {
+        println!("mimicked {mimicked:>2}-chiplet system: {} average slowdown", pct(overhead));
+    }
+    println!("\npaper: ~1% (8 chiplets) and ~2% (16 chiplets)");
+}

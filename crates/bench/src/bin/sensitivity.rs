@@ -1,0 +1,30 @@
+//! Design-choice ablations (DESIGN.md §5): Chiplet Coherence Table
+//! capacity, CP crossbar latency, and inter-chiplet link bandwidth sweeps.
+//!
+//! Usage: `cargo run --release -p cpelide-bench --bin sensitivity [workload]`
+
+use chiplet_sim::experiments::{crossbar_latency_sweep, link_bandwidth_sweep, table_capacity_sweep};
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "lud".to_owned());
+    let w = chiplet_workloads::by_name(&name).unwrap_or_else(|| panic!("unknown workload {name}"));
+    println!("sensitivity sweeps on {name} (4 chiplets)\n");
+
+    println!("Chiplet Coherence Table capacity (paper sizing: 64 entries):");
+    println!("{:<10} {:>10} {:>10}", "entries", "speedup", "sync ops");
+    for p in table_capacity_sweep(&w, &[2, 4, 8, 16, 32, 64]) {
+        println!("{:<10} {:>9.3}x {:>10}", p.value as usize, p.cpelide_speedup, p.sync_ops);
+    }
+
+    println!("\nCP crossbar round-trip latency (paper: 230 cycles):");
+    println!("{:<10} {:>10} {:>10}", "cycles", "speedup", "sync ops");
+    for p in crossbar_latency_sweep(&w, &[115.0, 230.0, 460.0, 920.0, 1840.0]) {
+        println!("{:<10} {:>9.3}x {:>10}", p.value as u64, p.cpelide_speedup, p.sync_ops);
+    }
+
+    println!("\ninter-chiplet link bandwidth (Table I: 768 GB/s):");
+    println!("{:<10} {:>10} {:>10}", "GB/s", "speedup", "sync ops");
+    for p in link_bandwidth_sweep(&w, &[192.0, 384.0, 768.0, 1536.0]) {
+        println!("{:<10} {:>9.3}x {:>10}", p.value as u64, p.cpelide_speedup, p.sync_ops);
+    }
+}

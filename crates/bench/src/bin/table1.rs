@@ -1,0 +1,14 @@
+//! Regenerates Table I: the simulated baseline GPU parameters.
+//!
+//! Usage: `cargo run --release -p cpelide-bench --bin table1 [chiplets]`
+
+use chiplet_sim::SimConfig;
+
+fn main() {
+    let chiplets: usize = std::env::args()
+        .nth(1)
+        .map(|a| a.parse().expect("chiplet count"))
+        .unwrap_or(4);
+    println!("Table I — simulated baseline GPU parameters");
+    println!("{}", SimConfig::table1_text(chiplets));
+}

@@ -1,0 +1,28 @@
+//! Regenerates Table II: the evaluated benchmarks, their inputs, reuse
+//! grouping, and model characteristics (kernels, footprint, streams).
+//!
+//! Usage: `cargo run --release -p cpelide-bench --bin table2`
+
+use chiplet_workloads::ReuseClass;
+
+fn main() {
+    println!("Table II — evaluated benchmarks");
+    println!(
+        "{:<16} {:<34} {:>8} {:>12} {:>8}",
+        "application", "input", "kernels", "footprint", "arrays"
+    );
+    println!("{}", "-".repeat(84));
+    for class in [ReuseClass::ModerateHigh, ReuseClass::Low] {
+        println!("[{class} inter-kernel reuse]");
+        for w in chiplet_workloads::suite().iter().filter(|w| w.class() == class) {
+            println!(
+                "{:<16} {:<34} {:>8} {:>9.1} MB {:>8}",
+                w.name(),
+                w.input(),
+                w.kernel_count(),
+                w.footprint_bytes() as f64 / (1 << 20) as f64,
+                w.arrays().len()
+            );
+        }
+    }
+}

@@ -1,0 +1,83 @@
+//! Shared reporting helpers for the figure-regeneration binaries and
+//! Criterion benches.
+//!
+//! Each paper artifact has a dedicated binary (`cargo run --release -p
+//! cpelide-bench --bin fig8`, etc.); `--bin all` regenerates everything.
+
+use chiplet_sim::experiments::Fig8Row;
+use chiplet_workloads::ReuseClass;
+
+/// Renders a horizontal rule sized for the report tables.
+pub fn rule(width: usize) -> String {
+    "-".repeat(width)
+}
+
+/// Formats a normalized value (1.0 = Baseline) to two decimals.
+pub fn norm(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+/// Renders the Figure 8 rows as a fixed-width table grouped by reuse class.
+pub fn render_fig8(rows: &[Fig8Row], chiplets: usize) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "Figure 8 — normalized performance vs Baseline ({chiplets} chiplets)\n"
+    ));
+    out.push_str(&format!("{:<16} {:>9} {:>9}\n", "workload", "CPElide", "HMG"));
+    out.push_str(&rule(36));
+    out.push('\n');
+    for class in [ReuseClass::ModerateHigh, ReuseClass::Low] {
+        out.push_str(&format!("[{class} inter-kernel reuse]\n"));
+        for r in rows.iter().filter(|r| r.class == class) {
+            out.push_str(&format!(
+                "{:<16} {:>9} {:>9}\n",
+                r.workload,
+                norm(r.cpelide),
+                norm(r.hmg)
+            ));
+        }
+    }
+    out
+}
+
+/// Simple aligned two-column list.
+pub fn kv(label: &str, value: impl std::fmt::Display) -> String {
+    format!("{label:<44} {value}\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_fig8_groups_by_class() {
+        let rows = vec![
+            Fig8Row {
+                workload: "square".into(),
+                class: ReuseClass::ModerateHigh,
+                cpelide: 1.3,
+                hmg: 0.9,
+            },
+            Fig8Row {
+                workload: "btree".into(),
+                class: ReuseClass::Low,
+                cpelide: 1.0,
+                hmg: 0.85,
+            },
+        ];
+        let s = render_fig8(&rows, 4);
+        assert!(s.contains("square"));
+        assert!(s.contains("btree"));
+        assert!(s.contains("1.30"));
+        let hi = s.find("moderate-high").unwrap();
+        let lo = s.find("low inter-kernel").unwrap();
+        assert!(hi < lo);
+    }
+
+    #[test]
+    fn helpers_format() {
+        assert_eq!(norm(1.234), "1.23");
+        assert_eq!(rule(3), "---");
+        assert!(kv("a", 1).starts_with('a'));
+    }
+}

@@ -1,0 +1,29 @@
+//! The protocol zoo: every coherence/synchronization configuration the
+//! paper evaluates, behind one memory-system model.
+//!
+//! * **Baseline** — the chiplet-extended VIPER protocol: per-chiplet
+//!   write-back L2s that cache any address, remote requests forwarded to the
+//!   home node's L3 bank, remote stores written through, and conservative
+//!   whole-GPU implicit synchronization (flush + invalidate every chiplet's
+//!   L2) at every kernel boundary.
+//! * **CPElide** — identical datapath to Baseline, but kernel-boundary L2
+//!   synchronization is driven by the global CP's Chiplet Coherence Table
+//!   (the [`cpelide`] crate): per-chiplet, on demand, usually elided.
+//! * **HMG** — the state-of-the-art hierarchical protocol re-implemented
+//!   from the paper's description: write-through L2s, remote reads cached,
+//!   a per-chiplet coarse directory (12 K entries × 4 lines) whose capacity
+//!   evictions invalidate sharers, and *no* bulk L2 synchronization at
+//!   kernel boundaries. A write-back ablation variant is included.
+//! * **Monolithic** — the infeasible-to-build single-die GPU used by
+//!   Figure 2: one aggregated L2, no inter-chiplet link, no L2-level
+//!   implicit synchronization.
+//!
+//! The L1s behave identically in every configuration (write-through,
+//! invalidated at each kernel boundary) and are modeled upstream in the
+//! simulator.
+
+pub mod config;
+pub mod system;
+
+pub use config::{MemConfig, ProtocolKind};
+pub use system::{AcquireCost, CostClass, MemorySystem, ReleaseCost};

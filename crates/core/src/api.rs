@@ -1,0 +1,293 @@
+//! The software-side labeling API: what `hipSetAccessMode` and
+//! `hipSetAccessModeRange` (paper Listings 1 and 2) convey to the global CP.
+//!
+//! For every kernel launch the CP receives a [`KernelLaunchInfo`]: the set
+//! of chiplets the kernel's WGs are dispatched to, and for each data
+//! structure the kernel touches, its access mode and the per-chiplet line
+//! ranges. Ranges can come from the programmer (Listing 2), a compiler, or
+//! — as in this reproduction's simulator — be derived automatically from
+//! the kernel's declarative access patterns via
+//! [`KernelLaunchInfo::from_spec`].
+
+use chiplet_mem::addr::ChipletId;
+use chiplet_mem::array::AccessMode;
+use chiplet_gpu::dispatch::DispatchPlan;
+use chiplet_gpu::kernel::{KernelId, KernelSpec};
+use chiplet_gpu::table::ArrayTable;
+use chiplet_gpu::trace::hint_lines;
+use std::ops::Range;
+
+/// One data structure's labels for one kernel launch: access mode plus the
+/// line range each chiplet may touch (`None` = chiplet does not touch it).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StructureAccess {
+    /// First line of the data structure (its identity, like a base address).
+    pub base_line: u64,
+    /// One past the structure's last line.
+    pub end_line: u64,
+    /// The `R` / `R/W` label.
+    pub mode: AccessMode,
+    /// Per-chiplet touched line ranges, indexed by chiplet id; length is the
+    /// system's chiplet count.
+    pub ranges: Vec<Option<Range<u64>>>,
+}
+
+impl StructureAccess {
+    /// The structure's full line span.
+    pub fn span(&self) -> Range<u64> {
+        self.base_line..self.end_line
+    }
+
+    /// The range chiplet `c` touches, if any.
+    pub fn range_for(&self, c: ChipletId) -> Option<&Range<u64>> {
+        self.ranges.get(c.index()).and_then(|r| r.as_ref())
+    }
+
+    /// True if any chiplet other than `c` touches a range overlapping `r`.
+    pub fn any_other_overlaps(&self, c: ChipletId, r: &Range<u64>) -> bool {
+        self.ranges.iter().enumerate().any(|(i, other)| {
+            i != c.index()
+                && other
+                    .as_ref()
+                    .is_some_and(|o| ranges_overlap(o, r))
+        })
+    }
+}
+
+/// True if two half-open ranges intersect.
+pub fn ranges_overlap(a: &Range<u64>, b: &Range<u64>) -> bool {
+    a.start < b.end && b.start < a.end
+}
+
+/// Union span of two ranges (smallest range covering both).
+pub fn range_union(a: &Range<u64>, b: &Range<u64>) -> Range<u64> {
+    a.start.min(b.start)..a.end.max(b.end)
+}
+
+/// Everything the global CP learns at one kernel launch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KernelLaunchInfo {
+    /// Dynamic kernel id (monotonic over the run).
+    pub kernel: u64,
+    /// Chiplets the kernel's WGs are dispatched to.
+    pub chiplets: Vec<ChipletId>,
+    /// Labeled data structures.
+    pub structures: Vec<StructureAccess>,
+    /// Total chiplets in the system.
+    pub num_chiplets: usize,
+}
+
+impl KernelLaunchInfo {
+    /// Starts building launch info by hand (the `hipSetAccessModeRange`
+    /// path; see the crate-level example).
+    pub fn builder(kernel: u64, chiplets: impl IntoIterator<Item = ChipletId>) -> LaunchInfoBuilder {
+        LaunchInfoBuilder {
+            kernel,
+            chiplets: chiplets.into_iter().collect(),
+            structures: Vec::new(),
+            num_chiplets: None,
+        }
+    }
+
+    /// Derives launch info from a kernel spec and its dispatch plan — the
+    /// "compiler knows the pattern" path. Per-chiplet ranges come from each
+    /// array's access-pattern hint; irregular patterns conservatively label
+    /// the whole structure on every scheduled chiplet.
+    pub fn from_spec(
+        spec: &KernelSpec,
+        id: KernelId,
+        arrays: &ArrayTable,
+        plan: &DispatchPlan,
+        num_chiplets: usize,
+    ) -> Self {
+        let chiplets: Vec<ChipletId> = plan.chiplets().collect();
+        let structures = spec
+            .arrays()
+            .iter()
+            .map(|acc| {
+                let decl = arrays.get(acc.array);
+                let span = decl.line_range();
+                let mut ranges = vec![None; num_chiplets];
+                for (slot, c) in chiplets.iter().enumerate() {
+                    ranges[c.index()] =
+                        Some(hint_lines(&acc.pattern, decl, slot, chiplets.len()));
+                }
+                StructureAccess {
+                    base_line: span.start,
+                    end_line: span.end,
+                    mode: acc.mode,
+                    ranges,
+                }
+            })
+            .collect();
+        KernelLaunchInfo {
+            kernel: id.get(),
+            chiplets,
+            structures,
+            num_chiplets,
+        }
+    }
+}
+
+/// Builder for [`KernelLaunchInfo`].
+#[derive(Debug, Clone)]
+pub struct LaunchInfoBuilder {
+    kernel: u64,
+    chiplets: Vec<ChipletId>,
+    structures: Vec<StructureAccess>,
+    num_chiplets: Option<usize>,
+}
+
+impl LaunchInfoBuilder {
+    /// Adds a structure: its line span, mode, and per-chiplet ranges (the
+    /// iterator's length defines the system's chiplet count and must be the
+    /// same for every structure).
+    pub fn structure(
+        mut self,
+        base_line: u64,
+        end_line: u64,
+        mode: AccessMode,
+        ranges: impl IntoIterator<Item = Option<Range<u64>>>,
+    ) -> Self {
+        let ranges: Vec<_> = ranges.into_iter().collect();
+        assert!(base_line < end_line, "structure span must be non-empty");
+        if let Some(n) = self.num_chiplets {
+            assert_eq!(ranges.len(), n, "inconsistent chiplet counts across structures");
+        } else {
+            self.num_chiplets = Some(ranges.len());
+        }
+        for r in ranges.iter().flatten() {
+            assert!(
+                r.start >= base_line && r.end <= end_line && r.start < r.end,
+                "chiplet range {r:?} must lie inside the structure span"
+            );
+        }
+        self.structures.push(StructureAccess {
+            base_line,
+            end_line,
+            mode,
+            ranges,
+        });
+        self
+    }
+
+    /// Finishes the launch info.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no structures were added.
+    pub fn build(self) -> KernelLaunchInfo {
+        let num_chiplets = self
+            .num_chiplets
+            .expect("launch info must label at least one structure");
+        KernelLaunchInfo {
+            kernel: self.kernel,
+            chiplets: self.chiplets,
+            structures: self.structures,
+            num_chiplets,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chiplet_gpu::dispatch::StaticPartitionScheduler;
+    use chiplet_gpu::kernel::{AccessPattern, TouchKind};
+
+    #[test]
+    fn builder_assembles_info() {
+        let info = KernelLaunchInfo::builder(5, ChipletId::all(2))
+            .structure(0, 100, AccessMode::ReadWrite, [Some(0..50), Some(50..100)])
+            .structure(200, 300, AccessMode::ReadOnly, [Some(200..300), None])
+            .build();
+        assert_eq!(info.kernel, 5);
+        assert_eq!(info.num_chiplets, 2);
+        assert_eq!(info.structures.len(), 2);
+        assert_eq!(
+            info.structures[0].range_for(ChipletId::new(1)),
+            Some(&(50..100))
+        );
+        assert_eq!(info.structures[1].range_for(ChipletId::new(1)), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "inside the structure span")]
+    fn out_of_span_range_rejected() {
+        let _ = KernelLaunchInfo::builder(0, ChipletId::all(1)).structure(
+            10,
+            20,
+            AccessMode::ReadOnly,
+            [Some(0..15)],
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "inconsistent chiplet counts")]
+    fn mismatched_chiplet_counts_rejected() {
+        let _ = KernelLaunchInfo::builder(0, ChipletId::all(2))
+            .structure(0, 10, AccessMode::ReadOnly, [Some(0..10), None])
+            .structure(20, 30, AccessMode::ReadOnly, [Some(20..30)]);
+    }
+
+    #[test]
+    fn overlap_and_union_helpers() {
+        assert!(ranges_overlap(&(0..10), &(9..20)));
+        assert!(!ranges_overlap(&(0..10), &(10..20)));
+        assert_eq!(range_union(&(0..10), &(5..20)), 0..20);
+        assert_eq!(range_union(&(30..40), &(0..10)), 0..40);
+    }
+
+    #[test]
+    fn any_other_overlaps_ignores_self() {
+        let s = StructureAccess {
+            base_line: 0,
+            end_line: 100,
+            mode: AccessMode::ReadWrite,
+            ranges: vec![Some(0..50), Some(50..100)],
+        };
+        // Chiplet 0's own range doesn't count as "other".
+        assert!(!s.any_other_overlaps(ChipletId::new(0), &(0..50)));
+        assert!(s.any_other_overlaps(ChipletId::new(0), &(0..60)));
+    }
+
+    #[test]
+    fn from_spec_derives_partitioned_hints() {
+        let mut t = ArrayTable::new();
+        let a = t.alloc("a", 64 * 100);
+        let k = KernelSpec::builder("k")
+            .wg_count(100)
+            .array(a, TouchKind::LoadStore, AccessPattern::Partitioned)
+            .build();
+        let chiplets: Vec<_> = ChipletId::all(4).collect();
+        let plan = StaticPartitionScheduler::new().plan(&k, &chiplets);
+        let info = KernelLaunchInfo::from_spec(&k, KernelId::new(0), &t, &plan, 4);
+        assert_eq!(info.structures.len(), 1);
+        let s = &info.structures[0];
+        assert_eq!(s.end_line - s.base_line, 100);
+        let r0 = s.range_for(ChipletId::new(0)).unwrap();
+        let r1 = s.range_for(ChipletId::new(1)).unwrap();
+        assert_eq!(r0.end, r1.start, "partitions are contiguous");
+        assert_eq!(s.mode, AccessMode::ReadWrite);
+    }
+
+    #[test]
+    fn from_spec_irregular_labels_whole_structure() {
+        let mut t = ArrayTable::new();
+        let a = t.alloc("a", 64 * 100);
+        let k = KernelSpec::builder("k")
+            .wg_count(100)
+            .array(
+                a,
+                TouchKind::Load,
+                AccessPattern::Irregular { fraction: 0.1, locality: 0.5 },
+            )
+            .build();
+        let chiplets: Vec<_> = ChipletId::all(2).collect();
+        let plan = StaticPartitionScheduler::new().plan(&k, &chiplets);
+        let info = KernelLaunchInfo::from_spec(&k, KernelId::new(0), &t, &plan, 2);
+        let s = &info.structures[0];
+        assert_eq!(s.range_for(ChipletId::new(0)), Some(&s.span()));
+        assert_eq!(s.range_for(ChipletId::new(1)), Some(&s.span()));
+    }
+}

@@ -1,0 +1,169 @@
+//! Coarsening of data-structure labels (paper §III-B).
+//!
+//! The Chiplet Coherence Table budgets [`crate::MAX_STRUCTURES_PER_KERNEL`]
+//! structures per kernel. If a kernel labels more, CPElide merges entries:
+//! first structures that are *contiguous in memory*, then the structures
+//! *closest to one another*, always keeping the more conservative access
+//! mode and the union of per-chiplet ranges. Merging may cover unaccessed
+//! gap bytes — harmless for correctness (the gap is simply synchronized
+//! along with its neighbours), at worst costing extra acquires/releases.
+
+use crate::api::{range_union, StructureAccess};
+use chiplet_mem::addr::LINES_PER_PAGE;
+
+/// Merges two structure labels into one conservative label.
+fn merge(a: &StructureAccess, b: &StructureAccess) -> StructureAccess {
+    debug_assert_eq!(a.ranges.len(), b.ranges.len());
+    let ranges = a
+        .ranges
+        .iter()
+        .zip(&b.ranges)
+        .map(|(x, y)| match (x, y) {
+            (Some(x), Some(y)) => Some(range_union(x, y)),
+            (Some(x), None) => Some(x.clone()),
+            (None, Some(y)) => Some(y.clone()),
+            (None, None) => None,
+        })
+        .collect();
+    StructureAccess {
+        base_line: a.base_line.min(b.base_line),
+        end_line: a.end_line.max(b.end_line),
+        mode: a.mode.merge(b.mode),
+        ranges,
+    }
+}
+
+/// Gap in lines between two structure spans (0 if adjacent or overlapping).
+fn gap(a: &StructureAccess, b: &StructureAccess) -> u64 {
+    if a.end_line <= b.base_line {
+        b.base_line - a.end_line
+    } else if b.end_line <= a.base_line {
+        a.base_line - b.end_line
+    } else {
+        0
+    }
+}
+
+/// Coarsens `structures` down to at most `budget` labels.
+///
+/// Pass 1 merges pairs within one page of each other (page-aligned
+/// back-to-back allocations are "contiguous in memory"); pass 2 repeatedly
+/// merges the closest remaining pair. The result preserves every labeled
+/// line and every chiplet's coverage.
+///
+/// # Panics
+///
+/// Panics if `budget` is zero.
+pub fn coarsen_structures(structures: &[StructureAccess], budget: usize) -> Vec<StructureAccess> {
+    assert!(budget > 0, "budget must be positive");
+    let mut out: Vec<StructureAccess> = structures.to_vec();
+    out.sort_by_key(|s| s.base_line);
+
+    // Pass 1: contiguous merges (gap within one page).
+    let mut i = 0;
+    while out.len() > budget && i + 1 < out.len() {
+        if gap(&out[i], &out[i + 1]) <= LINES_PER_PAGE {
+            let merged = merge(&out[i], &out[i + 1]);
+            out[i] = merged;
+            out.remove(i + 1);
+        } else {
+            i += 1;
+        }
+    }
+
+    // Pass 2: closest-pair merges until within budget.
+    while out.len() > budget {
+        let mut best = (0usize, u64::MAX);
+        for j in 0..out.len() - 1 {
+            let g = gap(&out[j], &out[j + 1]);
+            if g < best.1 {
+                best = (j, g);
+            }
+        }
+        let merged = merge(&out[best.0], &out[best.0 + 1]);
+        out[best.0] = merged;
+        out.remove(best.0 + 1);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chiplet_mem::array::AccessMode;
+
+    fn s(base: u64, end: u64, mode: AccessMode) -> StructureAccess {
+        StructureAccess {
+            base_line: base,
+            end_line: end,
+            mode,
+            ranges: vec![Some(base..end), None],
+        }
+    }
+
+    #[test]
+    fn within_budget_is_untouched() {
+        let v = vec![s(0, 10, AccessMode::ReadOnly), s(1000, 1010, AccessMode::ReadWrite)];
+        let out = coarsen_structures(&v, 8);
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn contiguous_structures_merge_first() {
+        // 0..10 and 10..20 are adjacent; 100000.. is far away.
+        let v = vec![
+            s(0, 10, AccessMode::ReadOnly),
+            s(10, 20, AccessMode::ReadWrite),
+            s(100_000, 100_010, AccessMode::ReadOnly),
+        ];
+        let out = coarsen_structures(&v, 2);
+        assert_eq!(out.len(), 2);
+        let merged = out.iter().find(|x| x.base_line == 0).unwrap();
+        assert_eq!(merged.end_line, 20);
+        assert_eq!(merged.mode, AccessMode::ReadWrite, "conservative mode");
+        assert_eq!(merged.ranges[0], Some(0..20), "ranges unioned");
+    }
+
+    #[test]
+    fn closest_pairs_merge_when_nothing_contiguous() {
+        let v = vec![
+            s(0, 10, AccessMode::ReadOnly),
+            s(1_000, 1_010, AccessMode::ReadOnly),
+            s(1_200, 1_210, AccessMode::ReadOnly), // closest to previous
+            s(50_000, 50_010, AccessMode::ReadOnly),
+        ];
+        let out = coarsen_structures(&v, 3);
+        assert_eq!(out.len(), 3);
+        assert!(
+            out.iter().any(|x| x.base_line == 1_000 && x.end_line == 1_210),
+            "the 1000/1200 pair should merge: {out:?}"
+        );
+    }
+
+    #[test]
+    fn coverage_is_preserved() {
+        let v: Vec<_> = (0..12u64)
+            .map(|i| s(i * 500, i * 500 + 100, AccessMode::ReadWrite))
+            .collect();
+        let out = coarsen_structures(&v, 8);
+        assert!(out.len() <= 8);
+        for orig in &v {
+            assert!(
+                out.iter().any(|m| m.base_line <= orig.base_line
+                    && m.end_line >= orig.end_line),
+                "structure {orig:?} lost"
+            );
+        }
+    }
+
+    #[test]
+    fn merges_to_single_entry_if_needed() {
+        let v: Vec<_> = (0..20u64)
+            .map(|i| s(i * 10_000, i * 10_000 + 10, AccessMode::ReadOnly))
+            .collect();
+        let out = coarsen_structures(&v, 1);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].base_line, 0);
+        assert_eq!(out[0].end_line, 19 * 10_000 + 10);
+    }
+}

@@ -1,0 +1,432 @@
+//! The HIP-style labeling runtime from paper Listings 1 and 2.
+//!
+//! The paper extends AMD's open-source ROCm/HIP stack with two calls:
+//!
+//! ```c
+//! hipSetAccessMode(square, C_d, 'R/W');               // Listing 1
+//! hipSetAccessModeRange(square, C_d, 'R/W', ranges);  // Listing 2
+//! hipLaunchKernelGGL(square, ..., C_d, A_d, N);
+//! ```
+//!
+//! This module reproduces that surface: a [`HipRuntime`] collects per-kernel
+//! access-mode (and optional range) annotations, and
+//! [`HipRuntime::launch_kernel_ggl`] packages them into the
+//! [`KernelLaunchInfo`] packet the global CP consumes. Range-less
+//! annotations default to whole-structure ranges on every scheduled chiplet
+//! — exactly the conservative fallback the paper describes for accesses the
+//! software cannot narrow statically.
+//!
+//! # Example (Listing 1)
+//!
+//! ```
+//! use cpelide::hip::{HipRuntime, RangeChiplet};
+//! use cpelide::cp::GlobalCp;
+//! use chiplet_mem::addr::{Addr, ChipletId};
+//! use chiplet_mem::array::AccessMode;
+//!
+//! let mut hip = HipRuntime::new(2);
+//! let a_d = hip.malloc("A_d", 64 * 1024);
+//! let c_d = hip.malloc("C_d", 64 * 1024);
+//! hip.set_access_mode("square", a_d, AccessMode::ReadOnly);
+//! hip.set_access_mode("square", c_d, AccessMode::ReadWrite);
+//!
+//! let mut cp = GlobalCp::new(2);
+//! let info = hip.launch_kernel_ggl("square", ChipletId::all(2));
+//! let decision = cp.launch_kernel(&info);
+//! assert!(decision.is_elided());
+//! ```
+
+use crate::api::{KernelLaunchInfo, StructureAccess};
+use chiplet_mem::addr::{Addr, ChipletId};
+use chiplet_mem::array::AccessMode;
+use chiplet_mem::LINE_BYTES;
+use std::collections::HashMap;
+use std::ops::Range;
+
+/// One `(start, end, logical chiplet)` tuple from Listing 2's
+/// `rangeChiplet` typedef. The *logical* chiplet id is a position within
+/// the set of chiplets the kernel will be scheduled on — the programmer
+/// knows how many chiplets the kernel uses, not which physical ones.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RangeChiplet {
+    /// First byte of the range.
+    pub start: Addr,
+    /// One past the last byte.
+    pub end: Addr,
+    /// Logical chiplet index (slot within the dispatch).
+    pub logical_chiplet: usize,
+}
+
+impl RangeChiplet {
+    /// Creates a tuple, like Listing 2's `make_tuple`.
+    pub fn new(start: Addr, end: Addr, logical_chiplet: usize) -> Self {
+        RangeChiplet {
+            start,
+            end,
+            logical_chiplet,
+        }
+    }
+}
+
+/// A device allocation handle returned by [`HipRuntime::malloc`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DevicePtr {
+    base: Addr,
+    bytes: u64,
+}
+
+impl DevicePtr {
+    /// Base device address.
+    pub fn base(self) -> Addr {
+        self.base
+    }
+
+    /// Allocation size in bytes.
+    pub fn bytes(self) -> u64 {
+        self.bytes
+    }
+
+    fn line_span(self) -> Range<u64> {
+        let first = self.base.line().get();
+        first..first + self.bytes.div_ceil(LINE_BYTES)
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Annotation {
+    ptr: DevicePtr,
+    mode: AccessMode,
+    ranges: Option<Vec<RangeChiplet>>,
+}
+
+/// The extended-HIP runtime holding per-kernel annotations.
+#[derive(Debug, Clone)]
+pub struct HipRuntime {
+    num_chiplets: usize,
+    next_base: u64,
+    annotations: HashMap<String, Vec<Annotation>>,
+    launches: u64,
+}
+
+impl HipRuntime {
+    /// Creates a runtime for an `n`-chiplet GPU.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_chiplets` is 0 or exceeds 16.
+    pub fn new(num_chiplets: usize) -> Self {
+        assert!((1..=16).contains(&num_chiplets), "1..=16 chiplets supported");
+        HipRuntime {
+            num_chiplets,
+            next_base: 0x1000_0000,
+            annotations: HashMap::new(),
+            launches: 0,
+        }
+    }
+
+    /// `hipMalloc`: allocates a page-aligned device array.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes` is zero.
+    pub fn malloc(&mut self, _name: &str, bytes: u64) -> DevicePtr {
+        assert!(bytes > 0, "allocation must be non-empty");
+        let base = self.next_base.div_ceil(4096) * 4096;
+        self.next_base = base + bytes;
+        DevicePtr {
+            base: Addr::new(base),
+            bytes,
+        }
+    }
+
+    /// `hipSetAccessMode` (Listing 1): labels `ptr`'s access mode for the
+    /// next launch of `kernel`. The range defaults to the whole structure
+    /// on every scheduled chiplet (the conservative fallback).
+    pub fn set_access_mode(&mut self, kernel: &str, ptr: DevicePtr, mode: AccessMode) {
+        self.annotations
+            .entry(kernel.to_owned())
+            .or_default()
+            .push(Annotation {
+                ptr,
+                mode,
+                ranges: None,
+            });
+    }
+
+    /// `hipSetAccessModeRange` (Listing 2): labels mode plus per-logical-
+    /// chiplet byte ranges.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a range lies outside the allocation or its logical chiplet
+    /// index is out of bounds for this system.
+    pub fn set_access_mode_range(
+        &mut self,
+        kernel: &str,
+        ptr: DevicePtr,
+        mode: AccessMode,
+        ranges: Vec<RangeChiplet>,
+    ) {
+        for r in &ranges {
+            assert!(
+                r.start.get() >= ptr.base.get()
+                    && r.end.get() <= ptr.base.get() + ptr.bytes
+                    && r.start.get() < r.end.get(),
+                "range {:?} outside allocation {:?}",
+                r,
+                ptr
+            );
+            assert!(
+                r.logical_chiplet < self.num_chiplets,
+                "logical chiplet {} out of range",
+                r.logical_chiplet
+            );
+        }
+        self.annotations
+            .entry(kernel.to_owned())
+            .or_default()
+            .push(Annotation {
+                ptr,
+                mode,
+                ranges: Some(ranges),
+            });
+    }
+
+    /// Labels a *dis-contiguous* set of sub-ranges of one allocation
+    /// (paper §III-C: "CPElide supports both contiguous and dis-contiguous
+    /// address ranges ... CPElide creates a chiplet vector per range").
+    /// Each sub-range becomes its own tracked structure — one table row
+    /// (chiplet vector) per range, exactly as the paper describes, at the
+    /// cost of extra table entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics like [`set_access_mode_range`](Self::set_access_mode_range),
+    /// and if two sub-range groups overlap (they would alias rows).
+    pub fn set_access_mode_ranges_discontiguous(
+        &mut self,
+        kernel: &str,
+        ptr: DevicePtr,
+        mode: AccessMode,
+        range_groups: Vec<Vec<RangeChiplet>>,
+    ) {
+        let mut spans: Vec<(u64, u64)> = Vec::new();
+        for group in range_groups {
+            assert!(!group.is_empty(), "sub-range group must be non-empty");
+            let lo = group.iter().map(|r| r.start.get()).min().expect("non-empty");
+            let hi = group.iter().map(|r| r.end.get()).max().expect("non-empty");
+            for &(a, b) in &spans {
+                assert!(hi <= a || lo >= b, "dis-contiguous sub-ranges must not overlap");
+            }
+            spans.push((lo, hi));
+            // Each group is registered as its own structure: a narrowed
+            // "allocation" covering just that sub-range's span.
+            let sub_ptr = DevicePtr {
+                base: Addr::new(lo / 64 * 64),
+                bytes: hi - lo / 64 * 64,
+            };
+            self.set_access_mode_range(kernel, sub_ptr, mode, group);
+        }
+        let _ = ptr; // identity retained by the caller; rows are per range
+    }
+
+    /// `hipLaunchKernelGGL`: consumes `kernel`'s annotations and produces
+    /// the launch packet for the global CP. `chiplets` is the physical set
+    /// the stream is bound to (all chiplets for unbound streams); logical
+    /// chiplet `i` maps to the `i`-th entry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the kernel has no annotations (the paper requires every
+    /// data structure to be labeled) or a logical chiplet index exceeds the
+    /// scheduled set.
+    pub fn launch_kernel_ggl(
+        &mut self,
+        kernel: &str,
+        chiplets: impl IntoIterator<Item = ChipletId>,
+    ) -> KernelLaunchInfo {
+        let chiplets: Vec<ChipletId> = chiplets.into_iter().collect();
+        let annotations = self
+            .annotations
+            .remove(kernel)
+            .unwrap_or_else(|| panic!("kernel {kernel} has no labeled data structures"));
+        let id = self.launches;
+        self.launches += 1;
+
+        let structures = annotations
+            .into_iter()
+            .map(|a| {
+                let span = a.ptr.line_span();
+                let mut per_chiplet: Vec<Option<Range<u64>>> = vec![None; self.num_chiplets];
+                match a.ranges {
+                    None => {
+                        for c in &chiplets {
+                            per_chiplet[c.index()] = Some(span.clone());
+                        }
+                    }
+                    Some(ranges) => {
+                        for r in ranges {
+                            let c = *chiplets.get(r.logical_chiplet).unwrap_or_else(|| {
+                                panic!(
+                                    "logical chiplet {} exceeds the {}-chiplet dispatch",
+                                    r.logical_chiplet,
+                                    chiplets.len()
+                                )
+                            });
+                            let lines = r.start.line().get()..r.end.offset(LINE_BYTES - 1).line().get();
+                            let clamped = lines.start.max(span.start)..lines.end.min(span.end);
+                            per_chiplet[c.index()] = Some(match per_chiplet[c.index()].take() {
+                                Some(old) => old.start.min(clamped.start)..old.end.max(clamped.end),
+                                None => clamped,
+                            });
+                        }
+                    }
+                }
+                StructureAccess {
+                    base_line: span.start,
+                    end_line: span.end,
+                    mode: a.mode,
+                    ranges: per_chiplet,
+                }
+            })
+            .collect();
+
+        KernelLaunchInfo {
+            kernel: id,
+            chiplets,
+            structures,
+            num_chiplets: self.num_chiplets,
+        }
+    }
+
+    /// Launches performed so far.
+    pub fn launches(&self) -> u64 {
+        self.launches
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn listing1_defaults_to_whole_structure() {
+        let mut hip = HipRuntime::new(2);
+        let a = hip.malloc("A_d", 128 * 64);
+        hip.set_access_mode("k", a, AccessMode::ReadOnly);
+        let info = hip.launch_kernel_ggl("k", ChipletId::all(2));
+        assert_eq!(info.structures.len(), 1);
+        let s = &info.structures[0];
+        assert_eq!(s.range_for(ChipletId::new(0)), Some(&s.span()));
+        assert_eq!(s.range_for(ChipletId::new(1)), Some(&s.span()));
+        assert_eq!(s.mode, AccessMode::ReadOnly);
+    }
+
+    #[test]
+    fn listing2_ranges_map_logical_to_physical() {
+        let mut hip = HipRuntime::new(4);
+        let c = hip.malloc("C_d", 4096 * 4);
+        let mid = c.base().offset(4096 * 2);
+        hip.set_access_mode_range(
+            "square",
+            c,
+            AccessMode::ReadWrite,
+            vec![
+                RangeChiplet::new(c.base(), mid, 0),
+                RangeChiplet::new(mid, c.base().offset(4096 * 4), 1),
+            ],
+        );
+        // Stream bound to physical chiplets 2 and 3: logical 0 -> 2.
+        let info = hip.launch_kernel_ggl("square", [ChipletId::new(2), ChipletId::new(3)]);
+        let s = &info.structures[0];
+        assert!(s.range_for(ChipletId::new(2)).is_some());
+        assert!(s.range_for(ChipletId::new(3)).is_some());
+        assert_eq!(s.range_for(ChipletId::new(0)), None);
+        let r2 = s.range_for(ChipletId::new(2)).unwrap();
+        let r3 = s.range_for(ChipletId::new(3)).unwrap();
+        assert_eq!(r2.end, r3.start, "halves are contiguous");
+    }
+
+    #[test]
+    fn annotations_are_consumed_by_launch() {
+        let mut hip = HipRuntime::new(2);
+        let a = hip.malloc("A_d", 64);
+        hip.set_access_mode("k", a, AccessMode::ReadOnly);
+        let _ = hip.launch_kernel_ggl("k", ChipletId::all(2));
+        assert_eq!(hip.launches(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "no labeled data structures")]
+    fn unlabeled_kernel_rejected() {
+        let mut hip = HipRuntime::new(2);
+        let _ = hip.launch_kernel_ggl("mystery", ChipletId::all(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside allocation")]
+    fn out_of_bounds_range_rejected() {
+        let mut hip = HipRuntime::new(2);
+        let a = hip.malloc("A_d", 4096);
+        hip.set_access_mode_range(
+            "k",
+            a,
+            AccessMode::ReadOnly,
+            vec![RangeChiplet::new(a.base(), a.base().offset(8192), 0)],
+        );
+    }
+
+    #[test]
+    fn discontiguous_ranges_become_separate_rows() {
+        let mut hip = HipRuntime::new(2);
+        let a = hip.malloc("A_d", 16 * 4096);
+        let sub = |page: u64, chiplet: usize| {
+            RangeChiplet::new(
+                a.base().offset(page * 4096),
+                a.base().offset((page + 1) * 4096),
+                chiplet,
+            )
+        };
+        // Two dis-contiguous regions (pages 0-1 and pages 8-9), each split
+        // across the two chiplets.
+        hip.set_access_mode_ranges_discontiguous(
+            "scatter",
+            a,
+            AccessMode::ReadWrite,
+            vec![vec![sub(0, 0), sub(1, 1)], vec![sub(8, 0), sub(9, 1)]],
+        );
+        let info = hip.launch_kernel_ggl("scatter", ChipletId::all(2));
+        assert_eq!(info.structures.len(), 2, "one chiplet vector per range");
+        assert!(info.structures[0].end_line <= info.structures[1].base_line
+            || info.structures[1].end_line <= info.structures[0].base_line);
+        // Both rows carry both chiplets' sub-ranges.
+        for s in &info.structures {
+            assert!(s.range_for(ChipletId::new(0)).is_some());
+            assert!(s.range_for(ChipletId::new(1)).is_some());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "must not overlap")]
+    fn overlapping_discontiguous_groups_rejected() {
+        let mut hip = HipRuntime::new(2);
+        let a = hip.malloc("A_d", 4 * 4096);
+        let r = |p: u64| RangeChiplet::new(a.base().offset(p * 4096), a.base().offset((p + 2) * 4096), 0);
+        hip.set_access_mode_ranges_discontiguous(
+            "k",
+            a,
+            AccessMode::ReadOnly,
+            vec![vec![r(0)], vec![r(1)]],
+        );
+    }
+
+    #[test]
+    fn mallocs_are_page_aligned_and_disjoint() {
+        let mut hip = HipRuntime::new(2);
+        let a = hip.malloc("a", 100);
+        let b = hip.malloc("b", 100);
+        assert_eq!(a.base().get() % 4096, 0);
+        assert_eq!(b.base().get() % 4096, 0);
+        assert!(b.base().get() >= a.base().get() + 100);
+    }
+}

@@ -1,0 +1,238 @@
+//! The Chiplet Coherence Table's per-chiplet data-structure states and the
+//! Figure 6 state machine.
+//!
+//! Each table entry holds a 2-bit state per chiplet describing what a data
+//! structure's lines *may* be in that chiplet's L2 — a conservative,
+//! coarse-grained estimate updated **at kernel launches**, not as memory
+//! traffic flows (the table never needs transient states).
+
+use std::fmt;
+
+/// The four states of a data structure on one chiplet (paper §III-B).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum EntryState {
+    /// `00` — the structure is guaranteed absent from the chiplet's L2.
+    #[default]
+    NotPresent,
+    /// `01` — clean copies may be present and are up to date.
+    Valid,
+    /// `10` — the chiplet may hold the only up-to-date (dirty) copies.
+    Dirty,
+    /// `11` — copies may be present but are *not* up to date (another
+    /// chiplet wrote the structure since this chiplet last accessed it);
+    /// the chiplet must be invalidated before it may access the structure.
+    Stale,
+}
+
+impl EntryState {
+    /// The 2-bit encoding used in the chiplet vector.
+    pub const fn encode(self) -> u8 {
+        match self {
+            EntryState::NotPresent => 0b00,
+            EntryState::Valid => 0b01,
+            EntryState::Dirty => 0b10,
+            EntryState::Stale => 0b11,
+        }
+    }
+
+    /// Decodes a 2-bit value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits > 0b11`.
+    pub const fn decode(bits: u8) -> EntryState {
+        match bits {
+            0b00 => EntryState::NotPresent,
+            0b01 => EntryState::Valid,
+            0b10 => EntryState::Dirty,
+            0b11 => EntryState::Stale,
+            _ => panic!("entry state is two bits"),
+        }
+    }
+
+    /// True if a release (flush) is required before another chiplet may
+    /// observe this structure's latest values.
+    pub const fn needs_release(self) -> bool {
+        matches!(self, EntryState::Dirty)
+    }
+
+    /// True if an acquire (invalidate) is required before this chiplet may
+    /// access the structure again.
+    pub const fn needs_acquire(self) -> bool {
+        matches!(self, EntryState::Stale)
+    }
+
+    /// Applies one Figure 6 event and returns the successor state.
+    ///
+    /// Events describe what a newly launched kernel (or a whole-cache
+    /// operation triggered by another structure) does, from the perspective
+    /// of the chiplet this state belongs to.
+    #[must_use]
+    pub fn on_event(self, event: StateEvent) -> EntryState {
+        use EntryState::*;
+        use StateEvent::*;
+        match (self, event) {
+            // Not Present: local accesses install the structure.
+            (NotPresent, LocalRead) => Valid,
+            (NotPresent, LocalWrite) => Dirty,
+            (NotPresent, RemoteRead | RemoteWrite | CacheFlushed | CacheInvalidated) => NotPresent,
+
+            // Valid: stays valid on local/remote reads and on flushes of
+            // other structures (the ALR/ARR/Flush self-loop).
+            (Valid, LocalRead | RemoteRead | CacheFlushed) => Valid,
+            (Valid, LocalWrite) => Dirty,
+            // Another chiplet is about to write: our clean copy goes stale.
+            (Valid, RemoteWrite) => Stale,
+            (Valid, CacheInvalidated) => NotPresent,
+
+            // Dirty: stays dirty on local accesses (elided release — the
+            // paper's "Stay in Dirty"). A whole-cache flush writes the data
+            // back but retains clean copies, hence Valid.
+            (Dirty, LocalRead | LocalWrite) => Dirty,
+            (Dirty, CacheFlushed) => Valid,
+            // Remote accesses to a Dirty structure require a release first;
+            // the table caller issues the flush, then applies CacheFlushed
+            // followed by the remote event. Applying the remote event
+            // directly encodes the post-flush outcome for convenience.
+            (Dirty, RemoteRead) => Valid,
+            (Dirty, RemoteWrite) => Stale,
+            (Dirty, CacheInvalidated) => NotPresent,
+
+            // Stale: only an invalidation clears it; everything else leaves
+            // the chiplet holding out-of-date lines.
+            (Stale, CacheInvalidated) => NotPresent,
+            (Stale, RemoteRead | RemoteWrite | CacheFlushed) => Stale,
+            // Local accesses while Stale are protocol errors unless an
+            // acquire was generated first; the table enforces that, so the
+            // transition below is only reachable after invalidation.
+            (Stale, LocalRead | LocalWrite) => {
+                panic!("local access to a Stale structure without an acquire")
+            }
+        }
+    }
+}
+
+impl fmt::Display for EntryState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EntryState::NotPresent => f.write_str("NotPresent"),
+            EntryState::Valid => f.write_str("Valid"),
+            EntryState::Dirty => f.write_str("Dirty"),
+            EntryState::Stale => f.write_str("Stale"),
+        }
+    }
+}
+
+/// Events driving the Figure 6 state machine, from the perspective of one
+/// chiplet's entry for one data structure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StateEvent {
+    /// A kernel on *this* chiplet reads the structure.
+    LocalRead,
+    /// A kernel on *this* chiplet writes the structure.
+    LocalWrite,
+    /// A kernel on *another* chiplet reads an overlapping range.
+    RemoteRead,
+    /// A kernel on *another* chiplet writes an overlapping range.
+    RemoteWrite,
+    /// This chiplet's whole L2 was flushed (a release, possibly triggered
+    /// by a different structure).
+    CacheFlushed,
+    /// This chiplet's whole L2 was invalidated (an acquire).
+    CacheInvalidated,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use EntryState::*;
+    use StateEvent::*;
+
+    #[test]
+    fn encoding_round_trips() {
+        for s in [NotPresent, Valid, Dirty, Stale] {
+            assert_eq!(EntryState::decode(s.encode()), s);
+        }
+        assert_eq!(NotPresent.encode(), 0b00);
+        assert_eq!(Valid.encode(), 0b01);
+        assert_eq!(Dirty.encode(), 0b10);
+        assert_eq!(Stale.encode(), 0b11);
+    }
+
+    #[test]
+    fn not_present_transitions() {
+        assert_eq!(NotPresent.on_event(LocalRead), Valid);
+        assert_eq!(NotPresent.on_event(LocalWrite), Dirty);
+        assert_eq!(NotPresent.on_event(RemoteRead), NotPresent);
+        assert_eq!(NotPresent.on_event(RemoteWrite), NotPresent);
+        assert_eq!(NotPresent.on_event(CacheFlushed), NotPresent);
+        assert_eq!(NotPresent.on_event(CacheInvalidated), NotPresent);
+    }
+
+    #[test]
+    fn valid_self_loop_on_reads_and_flush() {
+        assert_eq!(Valid.on_event(LocalRead), Valid);
+        assert_eq!(Valid.on_event(RemoteRead), Valid);
+        assert_eq!(Valid.on_event(CacheFlushed), Valid);
+    }
+
+    #[test]
+    fn valid_to_stale_on_remote_write() {
+        assert_eq!(Valid.on_event(RemoteWrite), Stale);
+    }
+
+    #[test]
+    fn valid_to_dirty_on_local_write() {
+        assert_eq!(Valid.on_event(LocalWrite), Dirty);
+    }
+
+    #[test]
+    fn dirty_stays_dirty_locally() {
+        assert_eq!(Dirty.on_event(LocalRead), Dirty);
+        assert_eq!(Dirty.on_event(LocalWrite), Dirty);
+    }
+
+    #[test]
+    fn dirty_flush_retains_clean_copy() {
+        assert_eq!(Dirty.on_event(CacheFlushed), Valid);
+    }
+
+    #[test]
+    fn dirty_remote_write_ends_stale() {
+        assert_eq!(Dirty.on_event(RemoteWrite), Stale);
+    }
+
+    #[test]
+    fn dirty_remote_read_ends_valid() {
+        assert_eq!(Dirty.on_event(RemoteRead), Valid);
+    }
+
+    #[test]
+    fn stale_cleared_only_by_invalidate() {
+        assert_eq!(Stale.on_event(CacheInvalidated), NotPresent);
+        assert_eq!(Stale.on_event(RemoteRead), Stale);
+        assert_eq!(Stale.on_event(RemoteWrite), Stale);
+        assert_eq!(Stale.on_event(CacheFlushed), Stale);
+    }
+
+    #[test]
+    #[should_panic(expected = "without an acquire")]
+    fn local_access_to_stale_is_a_protocol_error() {
+        let _ = Stale.on_event(LocalRead);
+    }
+
+    #[test]
+    fn needs_flags() {
+        assert!(Dirty.needs_release());
+        assert!(!Valid.needs_release());
+        assert!(Stale.needs_acquire());
+        assert!(!Dirty.needs_acquire());
+    }
+
+    #[test]
+    fn display_nonempty() {
+        for s in [NotPresent, Valid, Dirty, Stale] {
+            assert!(!format!("{s}").is_empty());
+        }
+    }
+}

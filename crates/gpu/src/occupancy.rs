@@ -1,0 +1,192 @@
+//! CU occupancy: how many wavefronts a compute unit can keep in flight,
+//! given Table I's per-CU budgets (4 SIMD units × 10 wavefront slots,
+//! 256 KB vector registers, 12.5 KB scalar registers, 64 KB LDS).
+//!
+//! Occupancy bounds memory-level parallelism: a kernel that exhausts
+//! registers or LDS runs fewer concurrent wavefronts and hides less miss
+//! latency. This is the §VI "Kernel Fusion" trade-off in mechanism form —
+//! fused kernels raise per-wavefront register/LDS demand and lose
+//! occupancy, which is why fusion "may not scale".
+
+/// Per-CU hardware budgets (Table I defaults).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CuResources {
+    /// SIMD units per CU.
+    pub simd_units: u32,
+    /// Maximum wavefront slots per SIMD unit.
+    pub max_wf_per_simd: u32,
+    /// Vector register file bytes per CU.
+    pub vgpr_bytes: u64,
+    /// Scalar register file bytes per CU.
+    pub sgpr_bytes: u64,
+    /// LDS bytes per CU.
+    pub lds_bytes: u64,
+}
+
+impl Default for CuResources {
+    /// Table I: 4 SIMD/CU, 10 WF/SIMD, 256 KB vector + 12.5 KB scalar
+    /// registers per CU, 64 KB LDS per CU.
+    fn default() -> Self {
+        CuResources {
+            simd_units: 4,
+            max_wf_per_simd: 10,
+            vgpr_bytes: 256 * 1024,
+            sgpr_bytes: 12_800,
+            lds_bytes: 64 * 1024,
+        }
+    }
+}
+
+impl CuResources {
+    /// Maximum wavefronts a CU can host irrespective of kernel demands.
+    pub fn max_wavefronts(&self) -> u32 {
+        self.simd_units * self.max_wf_per_simd
+    }
+}
+
+/// One kernel's per-wavefront / per-workgroup resource demands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KernelResources {
+    /// Vector register bytes per wavefront (64 lanes × 4 B × VGPRs).
+    pub vgpr_bytes_per_wf: u64,
+    /// Scalar register bytes per wavefront.
+    pub sgpr_bytes_per_wf: u64,
+    /// LDS bytes per workgroup.
+    pub lds_bytes_per_wg: u64,
+    /// Wavefronts per workgroup.
+    pub wf_per_wg: u32,
+}
+
+impl Default for KernelResources {
+    /// A light kernel: 32 VGPRs (8 KB/WF), 64 B scalars, no LDS, 4 WFs/WG —
+    /// full occupancy on the Table I CU.
+    fn default() -> Self {
+        KernelResources {
+            vgpr_bytes_per_wf: 8 * 1024,
+            sgpr_bytes_per_wf: 64,
+            lds_bytes_per_wg: 0,
+            wf_per_wg: 4,
+        }
+    }
+}
+
+/// Wavefronts per CU the kernel can sustain: the minimum over the slot,
+/// vector-register, scalar-register and LDS constraints (rounded down to a
+/// whole number of workgroups, as hardware allocates WG-granularity).
+///
+/// # Example
+///
+/// ```
+/// use chiplet_gpu::occupancy::{occupancy_wavefronts, CuResources, KernelResources};
+///
+/// let cu = CuResources::default();
+/// assert_eq!(occupancy_wavefronts(&cu, &KernelResources::default()), 32);
+/// // A register-hungry kernel (64 KB of VGPRs per wavefront) fits 4 WFs.
+/// let fat = KernelResources { vgpr_bytes_per_wf: 64 * 1024, ..Default::default() };
+/// assert_eq!(occupancy_wavefronts(&cu, &fat), 4);
+/// ```
+pub fn occupancy_wavefronts(cu: &CuResources, k: &KernelResources) -> u32 {
+    let by_slots = cu.max_wavefronts();
+    let by_vgpr = if k.vgpr_bytes_per_wf == 0 {
+        by_slots
+    } else {
+        (cu.vgpr_bytes / k.vgpr_bytes_per_wf) as u32
+    };
+    let by_sgpr = if k.sgpr_bytes_per_wf == 0 {
+        by_slots
+    } else {
+        (cu.sgpr_bytes / k.sgpr_bytes_per_wf) as u32
+    };
+    let by_lds_wgs = if k.lds_bytes_per_wg == 0 {
+        u32::MAX
+    } else {
+        (cu.lds_bytes / k.lds_bytes_per_wg) as u32
+    };
+    let wf_cap = by_slots.min(by_vgpr).min(by_sgpr);
+    // Hardware schedules whole workgroups.
+    let wg_cap = (wf_cap / k.wf_per_wg.max(1)).min(by_lds_wgs);
+    wg_cap * k.wf_per_wg.max(1)
+}
+
+/// Occupancy as a fraction of the CU's wavefront slots, in `(0, 1]`.
+/// Zero-fitting kernels (demands exceeding the CU) clamp to one workgroup's
+/// worth, as hardware still runs them one WG at a time.
+pub fn occupancy_fraction(cu: &CuResources, k: &KernelResources) -> f64 {
+    let wfs = occupancy_wavefronts(cu, k).max(k.wf_per_wg.max(1));
+    f64::from(wfs.min(cu.max_wavefronts())) / f64::from(cu.max_wavefronts())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_kernel_reaches_full_occupancy() {
+        let cu = CuResources::default();
+        assert_eq!(cu.max_wavefronts(), 40);
+        // 256KB / 8KB = 32 WFs (vgpr-bound below the 40-slot cap).
+        assert_eq!(occupancy_wavefronts(&cu, &KernelResources::default()), 32);
+        assert!(occupancy_fraction(&cu, &KernelResources::default()) >= 0.8);
+    }
+
+    #[test]
+    fn lds_bounds_workgroups() {
+        let cu = CuResources::default();
+        // 32 KB LDS per WG: only 2 WGs fit -> 8 wavefronts.
+        let k = KernelResources {
+            lds_bytes_per_wg: 32 * 1024,
+            ..Default::default()
+        };
+        assert_eq!(occupancy_wavefronts(&cu, &k), 8);
+    }
+
+    #[test]
+    fn scalar_registers_can_bound_too() {
+        let cu = CuResources::default();
+        let k = KernelResources {
+            sgpr_bytes_per_wf: 3200, // 12.5 KB / 3.2 KB = 4 WFs
+            ..Default::default()
+        };
+        assert_eq!(occupancy_wavefronts(&cu, &k), 4);
+    }
+
+    #[test]
+    fn zero_demands_hit_the_slot_cap() {
+        let cu = CuResources::default();
+        let k = KernelResources {
+            vgpr_bytes_per_wf: 0,
+            sgpr_bytes_per_wf: 0,
+            lds_bytes_per_wg: 0,
+            wf_per_wg: 4,
+        };
+        assert_eq!(occupancy_wavefronts(&cu, &k), 40);
+        assert!((occupancy_fraction(&cu, &k) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn oversized_kernel_clamps_to_one_workgroup() {
+        let cu = CuResources::default();
+        let k = KernelResources {
+            vgpr_bytes_per_wf: 512 * 1024, // exceeds the whole file
+            ..Default::default()
+        };
+        assert_eq!(occupancy_wavefronts(&cu, &k), 0);
+        assert!(occupancy_fraction(&cu, &k) > 0.0, "still runs, serially");
+    }
+
+    #[test]
+    fn fusion_tradeoff_is_visible() {
+        // Fusing three stages triples register and LDS demand: occupancy
+        // drops, which is the paper's SVI caveat.
+        let cu = CuResources::default();
+        let unfused = KernelResources::default();
+        let fused = KernelResources {
+            vgpr_bytes_per_wf: 3 * unfused.vgpr_bytes_per_wf,
+            lds_bytes_per_wg: 24 * 1024,
+            ..unfused
+        };
+        assert!(
+            occupancy_fraction(&cu, &fused) < occupancy_fraction(&cu, &unfused) / 2.0
+        );
+    }
+}

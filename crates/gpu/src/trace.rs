@@ -1,0 +1,400 @@
+//! Per-chiplet memory access trace generation.
+//!
+//! Given a kernel spec, its dispatch plan, and the application's array
+//! table, this module produces the sequence of cache-line accesses one
+//! chiplet's CUs issue: the input the memory-subsystem simulation consumes.
+//! Streams are deterministic — irregular patterns derive their PRNG seed
+//! from (generator seed, kernel id, chiplet, array), so every protocol
+//! configuration replays the identical trace.
+
+use crate::dispatch::DispatchPlan;
+use crate::kernel::{AccessPattern, KernelId, KernelSpec, TouchKind};
+use crate::table::ArrayTable;
+use chiplet_mem::addr::{ChipletId, LineAddr};
+use chiplet_mem::array::{ArrayDecl, ArrayId};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::ops::Range;
+
+/// One cache-line access issued by a chiplet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessEvent {
+    /// The array the access belongs to.
+    pub array: ArrayId,
+    /// The line touched.
+    pub line: LineAddr,
+    /// True for a store, false for a load.
+    pub write: bool,
+}
+
+/// Splits `total` (a half-open line-index range) into `width` contiguous
+/// slices and returns slice `slot`. Earlier slots absorb the remainder.
+pub fn partition_lines(total: Range<u64>, slot: usize, width: usize) -> Range<u64> {
+    assert!(slot < width, "slot {slot} out of range for width {width}");
+    let len = total.end - total.start;
+    let (w, s) = (width as u64, slot as u64);
+    let base = len / w;
+    let extra = len % w;
+    let start = total.start + s * base + s.min(extra);
+    let size = base + u64::from(s < extra);
+    start..start + size
+}
+
+/// The conservative contiguous line range a chiplet in `slot` of `width`
+/// may touch under `pattern` — the address-range *hint* the software layer
+/// passes to the CP via `hipSetAccessModeRange` (paper Listing 2).
+///
+/// Irregular patterns return the whole array (software cannot statically
+/// narrow them, so the label must conservatively cover every possible
+/// access; paper §III-C "Indirect & Irregular Accesses") — except
+/// owner-local gathers (`locality == 1.0`), whose accesses provably stay
+/// inside the chiplet's own partition, so the compiler can emit the
+/// partition range.
+pub fn hint_lines(
+    pattern: &AccessPattern,
+    decl: &ArrayDecl,
+    slot: usize,
+    width: usize,
+) -> Range<u64> {
+    let all = decl.line_range();
+    match *pattern {
+        AccessPattern::Partitioned => partition_lines(all, slot, width),
+        AccessPattern::PartitionedHalo { halo_lines } => {
+            let p = partition_lines(all.clone(), slot, width);
+            p.start.saturating_sub(halo_lines).max(all.start)
+                ..(p.end + halo_lines).min(all.end)
+        }
+        AccessPattern::Irregular { locality, .. } if locality >= 1.0 => {
+            partition_lines(all, slot, width)
+        }
+        AccessPattern::Shared | AccessPattern::Irregular { .. } => all,
+        AccessPattern::Slice { start, end } => {
+            let len = all.end - all.start;
+            let sub = all.start + (len as f64 * start) as u64
+                ..all.start + (len as f64 * end).ceil() as u64;
+            partition_lines(sub, slot, width)
+        }
+    }
+}
+
+/// Deterministic trace generator.
+#[derive(Debug, Clone, Copy)]
+pub struct TraceGenerator {
+    seed: u64,
+}
+
+impl TraceGenerator {
+    /// Creates a generator; all irregular-pattern randomness derives from
+    /// `seed`.
+    pub fn new(seed: u64) -> Self {
+        TraceGenerator { seed }
+    }
+
+    fn rng_for(&self, kernel: KernelId, chiplet: ChipletId, array: ArrayId) -> SmallRng {
+        // SplitMix64-style avalanche over the identifying tuple.
+        let mut z = self
+            .seed
+            .wrapping_add(kernel.get().wrapping_mul(0x9E37_79B9_7F4A_7C15))
+            .wrapping_add((chiplet.index() as u64) << 32)
+            .wrapping_add(u64::from(array.get()).wrapping_mul(0xBF58_476D_1CE4_E5B9));
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        SmallRng::seed_from_u64(z ^ (z >> 31))
+    }
+
+    /// The lines one chiplet touches in one array (single sweep, in issue
+    /// order).
+    pub fn lines_for(
+        &self,
+        pattern: &AccessPattern,
+        decl: &ArrayDecl,
+        kernel: KernelId,
+        chiplet: ChipletId,
+        slot: usize,
+        width: usize,
+    ) -> Vec<LineAddr> {
+        let all = decl.line_range();
+        match *pattern {
+            AccessPattern::Partitioned
+            | AccessPattern::Shared
+            | AccessPattern::PartitionedHalo { .. }
+            | AccessPattern::Slice { .. } => hint_lines(pattern, decl, slot, width)
+                .map(LineAddr::new)
+                .collect(),
+            AccessPattern::Irregular { fraction, locality } => {
+                let total = all.end - all.start;
+                let own = partition_lines(all.clone(), slot, width);
+                // Strong scaling: `fraction` of the array is visited by the
+                // *kernel as a whole*; each chiplet performs its 1/width
+                // share of those visits (paper SIV-E).
+                let count = ((total as f64) * fraction / width as f64).round() as u64;
+                let mut rng = self.rng_for(kernel, chiplet, decl.id());
+                (0..count)
+                    .map(|_| {
+                        let r: f64 = rng.gen();
+                        if r < locality && own.end > own.start {
+                            LineAddr::new(rng.gen_range(own.clone()))
+                        } else {
+                            LineAddr::new(rng.gen_range(all.clone()))
+                        }
+                    })
+                    .collect()
+            }
+        }
+    }
+
+    /// The full interleaved access trace a chiplet issues for `kernel`.
+    ///
+    /// Arrays are interleaved line-by-line (mirroring `a[i], b[i], c[i]`
+    /// loop bodies); each array's line list is repeated `sweeps` times;
+    /// `LoadStore` touches emit a load then a store per line.
+    ///
+    /// Returns an empty trace if the chiplet is not in the plan.
+    pub fn chiplet_trace(
+        &self,
+        kernel: &KernelSpec,
+        id: KernelId,
+        arrays: &ArrayTable,
+        plan: &DispatchPlan,
+        chiplet: ChipletId,
+    ) -> Vec<AccessEvent> {
+        let Some(slot) = plan.slot_of(chiplet) else {
+            return Vec::new();
+        };
+        let width = plan.width();
+
+        struct PerArray {
+            array: ArrayId,
+            touch: TouchKind,
+            lines: Vec<LineAddr>,
+            sweeps: u32,
+        }
+
+        let lists: Vec<PerArray> = kernel
+            .arrays()
+            .iter()
+            .map(|acc| {
+                let decl = arrays.get(acc.array);
+                PerArray {
+                    array: acc.array,
+                    touch: acc.touch,
+                    lines: self.lines_for(&acc.pattern, decl, id, chiplet, slot, width),
+                    sweeps: acc.sweeps,
+                }
+            })
+            .collect();
+
+        let total: usize = lists
+            .iter()
+            .map(|l| l.lines.len() * l.sweeps as usize)
+            .sum();
+        let mut events = Vec::with_capacity(total * 2);
+        let max_len = lists
+            .iter()
+            .map(|l| l.lines.len() * l.sweeps as usize)
+            .max()
+            .unwrap_or(0);
+
+        for i in 0..max_len {
+            for l in &lists {
+                let n = l.lines.len();
+                if n == 0 || i >= n * l.sweeps as usize {
+                    continue;
+                }
+                let line = l.lines[i % n];
+                match l.touch {
+                    TouchKind::Load => events.push(AccessEvent {
+                        array: l.array,
+                        line,
+                        write: false,
+                    }),
+                    TouchKind::Store => events.push(AccessEvent {
+                        array: l.array,
+                        line,
+                        write: true,
+                    }),
+                    TouchKind::LoadStore => {
+                        events.push(AccessEvent {
+                            array: l.array,
+                            line,
+                            write: false,
+                        });
+                        events.push(AccessEvent {
+                            array: l.array,
+                            line,
+                            write: true,
+                        });
+                    }
+                }
+            }
+        }
+        events
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dispatch::StaticPartitionScheduler;
+    use crate::kernel::KernelSpec;
+
+    fn setup(bytes: u64) -> (ArrayTable, ArrayId) {
+        let mut t = ArrayTable::new();
+        let id = t.alloc("a", bytes);
+        (t, id)
+    }
+
+    #[test]
+    fn partition_covers_exactly_once() {
+        let total = 0..100u64;
+        let mut covered = Vec::new();
+        for slot in 0..3 {
+            covered.extend(partition_lines(total.clone(), slot, 3));
+        }
+        covered.sort_unstable();
+        assert_eq!(covered, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn partition_handles_remainders() {
+        assert_eq!(partition_lines(0..10, 0, 4), 0..3);
+        assert_eq!(partition_lines(0..10, 1, 4), 3..6);
+        assert_eq!(partition_lines(0..10, 2, 4), 6..8);
+        assert_eq!(partition_lines(0..10, 3, 4), 8..10);
+    }
+
+    #[test]
+    fn halo_extends_but_clamps() {
+        let (t, id) = setup(64 * 100);
+        let d = t.get(id);
+        let h = AccessPattern::PartitionedHalo { halo_lines: 5 };
+        let first = hint_lines(&h, d, 0, 4);
+        let mid = hint_lines(&h, d, 1, 4);
+        let all = d.line_range();
+        assert_eq!(first.start, all.start, "no halo before array start");
+        assert_eq!(first.end - first.start, 30);
+        assert_eq!(mid.end - mid.start, 35);
+    }
+
+    #[test]
+    fn shared_and_irregular_hint_whole_array() {
+        let (t, id) = setup(64 * 100);
+        let d = t.get(id);
+        assert_eq!(hint_lines(&AccessPattern::Shared, d, 2, 4), d.line_range());
+        assert_eq!(
+            hint_lines(
+                &AccessPattern::Irregular { fraction: 0.1, locality: 0.9 },
+                d,
+                0,
+                4
+            ),
+            d.line_range()
+        );
+    }
+
+    #[test]
+    fn slice_narrows_before_partitioning() {
+        let (t, id) = setup(64 * 100);
+        let d = t.get(id);
+        let s = AccessPattern::Slice { start: 0.5, end: 1.0 };
+        let r0 = hint_lines(&s, d, 0, 2);
+        let r1 = hint_lines(&s, d, 1, 2);
+        let base = d.line_range().start;
+        assert_eq!(r0, base + 50..base + 75);
+        assert_eq!(r1, base + 75..base + 100);
+    }
+
+    #[test]
+    fn irregular_is_deterministic_and_sized() {
+        let (t, id) = setup(64 * 1000);
+        let d = t.get(id);
+        let g = TraceGenerator::new(42);
+        let p = AccessPattern::Irregular { fraction: 0.25, locality: 1.0 };
+        let l1 = g.lines_for(&p, d, KernelId::new(3), ChipletId::new(1), 1, 4, );
+        let l2 = g.lines_for(&p, d, KernelId::new(3), ChipletId::new(1), 1, 4, );
+        assert_eq!(l1, l2, "same seed tuple must replay");
+        // 1000 lines x 0.25 kernel-wide, split over 4 chiplets.
+        assert_eq!(l1.len(), 63);
+        let own = partition_lines(d.line_range(), 1, 4);
+        assert!(l1.iter().all(|l| own.contains(&l.get())), "locality=1 stays local");
+    }
+
+    #[test]
+    fn irregular_locality_zero_spreads() {
+        let (t, id) = setup(64 * 4000);
+        let d = t.get(id);
+        let g = TraceGenerator::new(7);
+        let p = AccessPattern::Irregular { fraction: 1.0, locality: 0.0 };
+        let lines = g.lines_for(&p, d, KernelId::new(0), ChipletId::new(0), 0, 4);
+        let own = partition_lines(d.line_range(), 0, 4);
+        let local = lines.iter().filter(|l| own.contains(&l.get())).count();
+        let frac = local as f64 / lines.len() as f64;
+        assert!((frac - 0.25).abs() < 0.05, "expected ~1/4 local, got {frac}");
+    }
+
+    #[test]
+    fn trace_interleaves_arrays_and_respects_touch() {
+        let mut t = ArrayTable::new();
+        let a = t.alloc("a", 64 * 8);
+        let b = t.alloc("b", 64 * 8);
+        let k = KernelSpec::builder("k")
+            .wg_count(8)
+            .array(a, TouchKind::Load, AccessPattern::Partitioned)
+            .array(b, TouchKind::Store, AccessPattern::Partitioned)
+            .build();
+        let plan = StaticPartitionScheduler::new().plan(&k, &ChipletId::all(2).collect::<Vec<_>>());
+        let g = TraceGenerator::new(0);
+        let trace = g.chiplet_trace(&k, KernelId::new(0), &t, &plan, ChipletId::new(0));
+        // 4 lines per array per chiplet, interleaved a,b,a,b...
+        assert_eq!(trace.len(), 8);
+        assert_eq!(trace[0].array, a);
+        assert!(!trace[0].write);
+        assert_eq!(trace[1].array, b);
+        assert!(trace[1].write);
+    }
+
+    #[test]
+    fn loadstore_emits_read_then_write() {
+        let mut t = ArrayTable::new();
+        let a = t.alloc("a", 64 * 4);
+        let k = KernelSpec::builder("k")
+            .wg_count(4)
+            .array(a, TouchKind::LoadStore, AccessPattern::Partitioned)
+            .build();
+        let plan = StaticPartitionScheduler::new().plan(&k, &[ChipletId::new(0)]);
+        let g = TraceGenerator::new(0);
+        let trace = g.chiplet_trace(&k, KernelId::new(0), &t, &plan, ChipletId::new(0));
+        assert_eq!(trace.len(), 8);
+        assert!(!trace[0].write && trace[1].write);
+        assert_eq!(trace[0].line, trace[1].line);
+    }
+
+    #[test]
+    fn sweeps_repeat_lines() {
+        let mut t = ArrayTable::new();
+        let a = t.alloc("a", 64 * 4);
+        let k = KernelSpec::builder("k")
+            .wg_count(4)
+            .array_swept(a, TouchKind::Load, AccessPattern::Partitioned, 3)
+            .build();
+        let plan = StaticPartitionScheduler::new().plan(&k, &[ChipletId::new(0)]);
+        let g = TraceGenerator::new(0);
+        let trace = g.chiplet_trace(&k, KernelId::new(0), &t, &plan, ChipletId::new(0));
+        assert_eq!(trace.len(), 12);
+    }
+
+    #[test]
+    fn unscheduled_chiplet_gets_empty_trace() {
+        let mut t = ArrayTable::new();
+        let a = t.alloc("a", 64 * 4);
+        let k = KernelSpec::builder("k")
+            .wg_count(4)
+            .array(a, TouchKind::Load, AccessPattern::Partitioned)
+            .build();
+        let plan = StaticPartitionScheduler::new().plan(&k, &[ChipletId::new(0)]);
+        let g = TraceGenerator::new(0);
+        assert!(g
+            .chiplet_trace(&k, KernelId::new(0), &t, &plan, ChipletId::new(3))
+            .is_empty());
+    }
+}

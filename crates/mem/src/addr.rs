@@ -1,0 +1,252 @@
+//! Address vocabulary: byte addresses, cache-line addresses, page addresses,
+//! and chiplet identifiers.
+//!
+//! The simulated GPU uses 64 B cache lines and 4 KiB pages, matching the
+//! paper's gem5 configuration (Table I). All types are plain newtypes so that
+//! a line address can never be confused with a byte address (C-NEWTYPE).
+
+use std::fmt;
+
+/// Bytes per cache line (gem5 uses 64 B lines; see Table I and footnote 4).
+pub const LINE_BYTES: u64 = 64;
+
+/// Bytes per virtual-memory page. The paper page-aligns all allocations to
+/// avoid unintentional false sharing, and first-touch placement operates at
+/// this granularity.
+pub const PAGE_BYTES: u64 = 4096;
+
+/// Cache lines per page.
+pub const LINES_PER_PAGE: u64 = PAGE_BYTES / LINE_BYTES;
+
+/// A byte-granularity virtual address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Addr(u64);
+
+impl Addr {
+    /// Creates a byte address.
+    ///
+    /// ```
+    /// use chiplet_mem::addr::Addr;
+    /// let a = Addr::new(0x1040);
+    /// assert_eq!(a.get(), 0x1040);
+    /// ```
+    #[inline]
+    pub const fn new(addr: u64) -> Self {
+        Addr(addr)
+    }
+
+    /// The raw byte address.
+    #[inline]
+    pub const fn get(self) -> u64 {
+        self.0
+    }
+
+    /// The cache line containing this byte.
+    #[inline]
+    pub const fn line(self) -> LineAddr {
+        LineAddr(self.0 / LINE_BYTES)
+    }
+
+    /// The page containing this byte.
+    #[inline]
+    pub const fn page(self) -> PageAddr {
+        PageAddr(self.0 / PAGE_BYTES)
+    }
+
+    /// Byte address advanced by `bytes`.
+    #[inline]
+    pub const fn offset(self, bytes: u64) -> Addr {
+        Addr(self.0 + bytes)
+    }
+}
+
+impl fmt::Display for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#x}", self.0)
+    }
+}
+
+impl From<u64> for Addr {
+    fn from(v: u64) -> Self {
+        Addr(v)
+    }
+}
+
+/// A cache-line-granularity address (byte address divided by [`LINE_BYTES`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct LineAddr(u64);
+
+impl LineAddr {
+    /// Creates a line address from a line *index* (not a byte address).
+    #[inline]
+    pub const fn new(index: u64) -> Self {
+        LineAddr(index)
+    }
+
+    /// The raw line index.
+    #[inline]
+    pub const fn get(self) -> u64 {
+        self.0
+    }
+
+    /// First byte of this line.
+    #[inline]
+    pub const fn base(self) -> Addr {
+        Addr(self.0 * LINE_BYTES)
+    }
+
+    /// The page containing this line.
+    #[inline]
+    pub const fn page(self) -> PageAddr {
+        PageAddr(self.0 / LINES_PER_PAGE)
+    }
+
+    /// The line `n` lines after this one.
+    #[inline]
+    pub const fn step(self, n: u64) -> LineAddr {
+        LineAddr(self.0 + n)
+    }
+}
+
+impl fmt::Display for LineAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "L{:#x}", self.0)
+    }
+}
+
+/// A page-granularity address (byte address divided by [`PAGE_BYTES`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct PageAddr(u64);
+
+impl PageAddr {
+    /// Creates a page address from a page index.
+    #[inline]
+    pub const fn new(index: u64) -> Self {
+        PageAddr(index)
+    }
+
+    /// The raw page index.
+    #[inline]
+    pub const fn get(self) -> u64 {
+        self.0
+    }
+
+    /// First byte of this page.
+    #[inline]
+    pub const fn base(self) -> Addr {
+        Addr(self.0 * PAGE_BYTES)
+    }
+}
+
+impl fmt::Display for PageAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "P{:#x}", self.0)
+    }
+}
+
+/// Identifies one GPU chiplet (0-based). The paper evaluates 2, 4, 6 and 7
+/// chiplet MCM-GPUs; the scaling study mimics 8 and 16.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct ChipletId(u8);
+
+impl ChipletId {
+    /// Creates a chiplet identifier.
+    ///
+    /// ```
+    /// use chiplet_mem::addr::ChipletId;
+    /// assert_eq!(ChipletId::new(3).index(), 3);
+    /// ```
+    #[inline]
+    pub const fn new(id: u8) -> Self {
+        ChipletId(id)
+    }
+
+    /// The 0-based index.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Iterates over all chiplets in an `n`-chiplet system.
+    pub fn all(n: usize) -> impl Iterator<Item = ChipletId> {
+        (0..n as u8).map(ChipletId)
+    }
+}
+
+impl fmt::Display for ChipletId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "chiplet{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn byte_to_line_rounds_down() {
+        assert_eq!(Addr::new(0).line(), LineAddr::new(0));
+        assert_eq!(Addr::new(63).line(), LineAddr::new(0));
+        assert_eq!(Addr::new(64).line(), LineAddr::new(1));
+        assert_eq!(Addr::new(130).line(), LineAddr::new(2));
+    }
+
+    #[test]
+    fn byte_to_page_rounds_down() {
+        assert_eq!(Addr::new(4095).page(), PageAddr::new(0));
+        assert_eq!(Addr::new(4096).page(), PageAddr::new(1));
+    }
+
+    #[test]
+    fn line_to_page_consistent_with_byte_to_page() {
+        for b in [0u64, 63, 64, 4095, 4096, 4160, 1 << 20] {
+            let a = Addr::new(b);
+            assert_eq!(a.line().page(), a.page(), "byte {b}");
+        }
+    }
+
+    #[test]
+    fn line_base_round_trips() {
+        let l = LineAddr::new(77);
+        assert_eq!(l.base().line(), l);
+        assert_eq!(l.base().get(), 77 * LINE_BYTES);
+    }
+
+    #[test]
+    fn page_base_round_trips() {
+        let p = PageAddr::new(9);
+        assert_eq!(p.base().page(), p);
+    }
+
+    #[test]
+    fn line_step_advances() {
+        assert_eq!(LineAddr::new(4).step(3), LineAddr::new(7));
+    }
+
+    #[test]
+    fn chiplet_all_enumerates() {
+        let ids: Vec<_> = ChipletId::all(4).collect();
+        assert_eq!(ids.len(), 4);
+        assert_eq!(ids[0], ChipletId::new(0));
+        assert_eq!(ids[3], ChipletId::new(3));
+    }
+
+    #[test]
+    fn addr_offset() {
+        assert_eq!(Addr::new(10).offset(54), Addr::new(64));
+    }
+
+    #[test]
+    fn display_formats_are_nonempty() {
+        assert!(!format!("{}", Addr::new(0)).is_empty());
+        assert!(!format!("{}", LineAddr::new(0)).is_empty());
+        assert!(!format!("{}", PageAddr::new(0)).is_empty());
+        assert_eq!(format!("{}", ChipletId::new(2)), "chiplet2");
+    }
+
+    #[test]
+    fn lines_per_page_consistent() {
+        assert_eq!(LINES_PER_PAGE, 64);
+        assert_eq!(LINES_PER_PAGE * LINE_BYTES, PAGE_BYTES);
+    }
+}

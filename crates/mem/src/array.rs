@@ -1,0 +1,287 @@
+//! Data-structure (array) declarations and access modes.
+//!
+//! CPElide tracks coherence state at *data structure* granularity: a data
+//! structure is a global-memory array identified by its base address. Kernels
+//! label each array they touch as read-only (`R`) or read/write (`R/W`) via
+//! the proposed `hipSetAccessMode` API (paper Listing 1). This module holds
+//! the shared vocabulary for those declarations.
+
+use crate::addr::{Addr, LineAddr, LINE_BYTES, PAGE_BYTES};
+use std::fmt;
+use std::ops::Range;
+
+/// Index of an array within one application's allocation table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct ArrayId(u32);
+
+impl ArrayId {
+    /// Creates an array identifier.
+    #[inline]
+    pub const fn new(id: u32) -> Self {
+        ArrayId(id)
+    }
+
+    /// The raw index.
+    #[inline]
+    pub const fn get(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for ArrayId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "array{}", self.0)
+    }
+}
+
+/// How a kernel accesses a data structure (paper Listing 1).
+///
+/// Monolithic GPUs only need `R` vs `R/W`; chiplet GPUs additionally need to
+/// know *where* (which chiplet) accesses land, which the scheduler provides.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessMode {
+    /// Read-only in this kernel.
+    ReadOnly,
+    /// Read and/or written in this kernel.
+    ReadWrite,
+}
+
+impl AccessMode {
+    /// Returns the more conservative of two modes (used when coarsening
+    /// table entries: `R` merged with `R/W` must become `R/W`).
+    ///
+    /// ```
+    /// use chiplet_mem::array::AccessMode;
+    /// assert_eq!(
+    ///     AccessMode::ReadOnly.merge(AccessMode::ReadWrite),
+    ///     AccessMode::ReadWrite
+    /// );
+    /// ```
+    #[must_use]
+    pub fn merge(self, other: AccessMode) -> AccessMode {
+        if self == AccessMode::ReadWrite || other == AccessMode::ReadWrite {
+            AccessMode::ReadWrite
+        } else {
+            AccessMode::ReadOnly
+        }
+    }
+
+    /// True if the mode permits writes.
+    pub fn writes(self) -> bool {
+        matches!(self, AccessMode::ReadWrite)
+    }
+}
+
+impl fmt::Display for AccessMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AccessMode::ReadOnly => f.write_str("R"),
+            AccessMode::ReadWrite => f.write_str("R/W"),
+        }
+    }
+}
+
+/// A page-aligned global-memory array allocation.
+///
+/// The paper page-aligns all allocations to avoid unintentional false
+/// sharing; [`ArrayDecl::new_after`] preserves that invariant when laying out
+/// an application's arrays one after another.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ArrayDecl {
+    id: ArrayId,
+    name: String,
+    base: Addr,
+    bytes: u64,
+}
+
+impl ArrayDecl {
+    /// Declares an array at an explicit page-aligned base address.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base` is not page-aligned or `bytes` is zero.
+    pub fn new(id: ArrayId, name: impl Into<String>, base: Addr, bytes: u64) -> Self {
+        assert!(
+            base.get() % PAGE_BYTES == 0,
+            "array base {base} must be page-aligned"
+        );
+        assert!(bytes > 0, "array must not be empty");
+        ArrayDecl {
+            id,
+            name: name.into(),
+            base,
+            bytes,
+        }
+    }
+
+    /// Declares an array on the first page boundary at or after `prev_end`.
+    pub fn new_after(id: ArrayId, name: impl Into<String>, prev_end: Addr, bytes: u64) -> Self {
+        let aligned = prev_end.get().div_ceil(PAGE_BYTES) * PAGE_BYTES;
+        Self::new(id, name, Addr::new(aligned), bytes)
+    }
+
+    /// The array's identifier.
+    pub fn id(&self) -> ArrayId {
+        self.id
+    }
+
+    /// The array's debug name (e.g. `"A_d"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Base byte address (page aligned).
+    pub fn base(&self) -> Addr {
+        self.base
+    }
+
+    /// Size in bytes.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// One past the last byte.
+    pub fn end(&self) -> Addr {
+        self.base.offset(self.bytes)
+    }
+
+    /// Number of cache lines the array spans.
+    pub fn lines(&self) -> u64 {
+        self.bytes.div_ceil(LINE_BYTES)
+    }
+
+    /// The half-open range of line indices the array occupies.
+    pub fn line_range(&self) -> Range<u64> {
+        let first = self.base.line().get();
+        first..first + self.lines()
+    }
+
+    /// The line at element-range position `frac ∈ [0, 1]` through the array.
+    pub fn line_at_fraction(&self, frac: f64) -> LineAddr {
+        let lines = self.lines();
+        let off = ((lines as f64) * frac.clamp(0.0, 1.0)) as u64;
+        LineAddr::new(self.base.line().get() + off.min(lines.saturating_sub(1)))
+    }
+
+    /// True if `line` falls inside this array.
+    pub fn contains_line(&self, line: LineAddr) -> bool {
+        self.line_range().contains(&line.get())
+    }
+
+    /// True if this array is contiguous in memory with `other` (their page
+    /// spans touch), the condition CPElide's coarsening looks for first.
+    pub fn is_contiguous_with(&self, other: &ArrayDecl) -> bool {
+        let self_pages = self.base.page().get()..=self.end().offset(PAGE_BYTES - 1).page().get();
+        let other_start = other.base.page().get();
+        let other_end = other.end().offset(PAGE_BYTES - 1).page().get();
+        // Touching or overlapping page spans.
+        *self_pages.start() <= other_end + 1 && other_start <= self_pages.end() + 1
+    }
+
+    /// Distance in bytes between the two arrays' spans (0 if overlapping or
+    /// adjacent). Used by coarsening to merge the *closest* structures.
+    pub fn gap_to(&self, other: &ArrayDecl) -> u64 {
+        if self.end().get() <= other.base.get() {
+            other.base.get() - self.end().get()
+        } else if other.end().get() <= self.base.get() {
+            self.base.get() - other.end().get()
+        } else {
+            0
+        }
+    }
+}
+
+impl fmt::Display for ArrayDecl {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} [{}..{}, {} B]",
+            self.name,
+            self.base,
+            self.end(),
+            self.bytes
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn arr(id: u32, base: u64, bytes: u64) -> ArrayDecl {
+        ArrayDecl::new(ArrayId::new(id), format!("a{id}"), Addr::new(base), bytes)
+    }
+
+    #[test]
+    fn mode_merge_is_conservative() {
+        use AccessMode::*;
+        assert_eq!(ReadOnly.merge(ReadOnly), ReadOnly);
+        assert_eq!(ReadOnly.merge(ReadWrite), ReadWrite);
+        assert_eq!(ReadWrite.merge(ReadOnly), ReadWrite);
+        assert_eq!(ReadWrite.merge(ReadWrite), ReadWrite);
+    }
+
+    #[test]
+    #[should_panic(expected = "page-aligned")]
+    fn unaligned_base_rejected() {
+        let _ = arr(0, 100, 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_array_rejected() {
+        let _ = arr(0, 0, 0);
+    }
+
+    #[test]
+    fn new_after_page_aligns() {
+        let a = arr(0, 0, 1000);
+        let b = ArrayDecl::new_after(ArrayId::new(1), "b", a.end(), 64);
+        assert_eq!(b.base().get(), PAGE_BYTES);
+    }
+
+    #[test]
+    fn line_count_rounds_up() {
+        assert_eq!(arr(0, 0, 1).lines(), 1);
+        assert_eq!(arr(0, 0, 64).lines(), 1);
+        assert_eq!(arr(0, 0, 65).lines(), 2);
+    }
+
+    #[test]
+    fn contains_line_bounds() {
+        let a = arr(0, 4096, 128); // lines 64 and 65
+        assert!(!a.contains_line(LineAddr::new(63)));
+        assert!(a.contains_line(LineAddr::new(64)));
+        assert!(a.contains_line(LineAddr::new(65)));
+        assert!(!a.contains_line(LineAddr::new(66)));
+    }
+
+    #[test]
+    fn contiguity_detects_adjacent_pages() {
+        let a = arr(0, 0, 4096);
+        let b = arr(1, 4096, 4096);
+        let c = arr(2, 1 << 20, 4096);
+        assert!(a.is_contiguous_with(&b));
+        assert!(b.is_contiguous_with(&a));
+        assert!(!a.is_contiguous_with(&c));
+    }
+
+    #[test]
+    fn gap_is_symmetric_and_zero_for_adjacent() {
+        let a = arr(0, 0, 4096);
+        let b = arr(1, 8192, 4096);
+        assert_eq!(a.gap_to(&b), 4096);
+        assert_eq!(b.gap_to(&a), 4096);
+        let c = arr(2, 4096, 4096);
+        assert_eq!(a.gap_to(&c), 0);
+    }
+
+    #[test]
+    fn line_at_fraction_clamps() {
+        let a = arr(0, 0, 64 * 10);
+        assert_eq!(a.line_at_fraction(0.0), LineAddr::new(0));
+        assert_eq!(a.line_at_fraction(1.0), LineAddr::new(9));
+        assert_eq!(a.line_at_fraction(2.0), LineAddr::new(9));
+        assert_eq!(a.line_at_fraction(0.5), LineAddr::new(5));
+    }
+}

@@ -1,0 +1,622 @@
+//! Functional set-associative cache with LRU replacement.
+//!
+//! This models the GPU L2 (per chiplet) and L3 (shared LLC) caches at cache
+//! line granularity. It is *functional*: it tracks which lines are present
+//! and dirty so that hit/miss/writeback event counts are exact, while timing
+//! is accounted for separately by the simulator's latency model.
+//!
+//! Three operations matter for implicit synchronization:
+//!
+//! * [`SetAssocCache::flush_dirty`] — a *release*: write back every dirty
+//!   line. Following the paper's baseline protocol, a full-line writeback
+//!   leaves a **clean copy** in the cache ("the cache retains a clean copy of
+//!   the line and transitions to a shared state").
+//! * [`SetAssocCache::invalidate_all`] — an *acquire*: drop every line.
+//! * [`SetAssocCache::invalidate_line`] / [`SetAssocCache::flush_line`] —
+//!   targeted variants used by the HMG directory on sharer invalidations.
+
+use crate::addr::LineAddr;
+use std::error::Error;
+use std::fmt;
+
+/// Write policy for a cache level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WritePolicy {
+    /// Write-back with write-allocate (the paper's baseline L2, Table I).
+    WriteBack,
+    /// Write-through with write-allocate: stores update the cache but are
+    /// immediately propagated downstream and the line is never dirty
+    /// (HMG's L2 variant used in the paper's evaluation).
+    WriteThrough,
+}
+
+/// Error returned when a [`CacheGeometry`] is internally inconsistent.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GeometryError {
+    message: String,
+}
+
+impl fmt::Display for GeometryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid cache geometry: {}", self.message)
+    }
+}
+
+impl Error for GeometryError {}
+
+/// Size/shape of a set-associative cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CacheGeometry {
+    capacity_bytes: u64,
+    line_bytes: u64,
+    ways: u32,
+    sets: u64,
+}
+
+impl CacheGeometry {
+    /// Derives the set count from capacity, line size and associativity.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GeometryError`] if any parameter is zero or the capacity is
+    /// not an exact multiple of `line_bytes * ways`.
+    pub fn new(capacity_bytes: u64, line_bytes: u64, ways: u32) -> Result<Self, GeometryError> {
+        if capacity_bytes == 0 || line_bytes == 0 || ways == 0 {
+            return Err(GeometryError {
+                message: "capacity, line size and ways must be non-zero".to_owned(),
+            });
+        }
+        let row = line_bytes * u64::from(ways);
+        if capacity_bytes % row != 0 {
+            return Err(GeometryError {
+                message: format!(
+                    "capacity {capacity_bytes} is not a multiple of line_bytes*ways = {row}"
+                ),
+            });
+        }
+        Ok(CacheGeometry {
+            capacity_bytes,
+            line_bytes,
+            ways,
+            sets: capacity_bytes / row,
+        })
+    }
+
+    /// Total capacity in bytes.
+    pub fn capacity_bytes(self) -> u64 {
+        self.capacity_bytes
+    }
+
+    /// Line size in bytes.
+    pub fn line_bytes(self) -> u64 {
+        self.line_bytes
+    }
+
+    /// Associativity.
+    pub fn ways(self) -> u32 {
+        self.ways
+    }
+
+    /// Number of sets.
+    pub fn sets(self) -> u64 {
+        self.sets
+    }
+
+    /// Total line slots (`sets * ways`).
+    pub fn total_lines(self) -> u64 {
+        self.sets * u64::from(self.ways)
+    }
+}
+
+/// Monotonically growing event counters for one cache.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Read accesses observed.
+    pub reads: u64,
+    /// Write accesses observed.
+    pub writes: u64,
+    /// Read accesses that hit.
+    pub read_hits: u64,
+    /// Write accesses that hit.
+    pub write_hits: u64,
+    /// Lines filled (allocated) on misses.
+    pub fills: u64,
+    /// Valid lines evicted to make room for fills.
+    pub evictions: u64,
+    /// Dirty lines written back due to capacity evictions.
+    pub capacity_writebacks: u64,
+    /// Dirty lines written back by explicit flush operations (releases).
+    pub flush_writebacks: u64,
+    /// Lines dropped by explicit invalidations (acquires).
+    pub invalidated: u64,
+}
+
+impl CacheStats {
+    /// Total accesses.
+    pub fn accesses(&self) -> u64 {
+        self.reads + self.writes
+    }
+
+    /// Total hits.
+    pub fn hits(&self) -> u64 {
+        self.read_hits + self.write_hits
+    }
+
+    /// Total misses.
+    pub fn misses(&self) -> u64 {
+        self.accesses() - self.hits()
+    }
+
+    /// Hit rate in `[0, 1]`; zero if no accesses were made.
+    pub fn hit_rate(&self) -> f64 {
+        if self.accesses() == 0 {
+            0.0
+        } else {
+            self.hits() as f64 / self.accesses() as f64
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Way {
+    /// Full line index; the set is implied by position.
+    tag: u64,
+    valid: bool,
+    dirty: bool,
+    /// Larger is more recently used.
+    lru: u64,
+}
+
+const EMPTY_WAY: Way = Way {
+    tag: 0,
+    valid: false,
+    dirty: false,
+    lru: 0,
+};
+
+/// Result of a single read or write access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessOutcome {
+    /// Whether the line was already present.
+    pub hit: bool,
+    /// Dirty line evicted by the fill, which must be written back downstream.
+    pub writeback: Option<LineAddr>,
+    /// Clean valid line evicted by the fill (dropped silently).
+    pub clean_eviction: Option<LineAddr>,
+}
+
+/// Result of [`SetAssocCache::flush_dirty`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FlushOutcome {
+    /// Number of dirty lines written back. The lines remain valid (clean).
+    pub lines_written_back: u64,
+}
+
+/// Result of [`SetAssocCache::invalidate_all`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct InvalidateOutcome {
+    /// Valid lines dropped.
+    pub lines_invalidated: u64,
+    /// Of those, lines that were dirty (lost unless flushed first — callers
+    /// implementing a correct protocol flush before invalidating).
+    pub dirty_dropped: u64,
+}
+
+/// A functional set-associative cache with LRU replacement.
+///
+/// # Example
+///
+/// ```
+/// use chiplet_mem::cache::{CacheGeometry, SetAssocCache, WritePolicy};
+/// use chiplet_mem::addr::LineAddr;
+///
+/// let geom = CacheGeometry::new(4096, 64, 2)?; // 32 sets x 2 ways
+/// let mut c = SetAssocCache::new(geom, WritePolicy::WriteBack);
+/// assert!(!c.read(LineAddr::new(7)).hit); // cold miss fills
+/// assert!(c.read(LineAddr::new(7)).hit);  // now hits
+/// # Ok::<(), chiplet_mem::cache::GeometryError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct SetAssocCache {
+    geom: CacheGeometry,
+    policy: WritePolicy,
+    ways: Vec<Way>,
+    tick: u64,
+    valid_count: u64,
+    dirty_count: u64,
+    stats: CacheStats,
+}
+
+impl SetAssocCache {
+    /// Creates an empty cache.
+    pub fn new(geom: CacheGeometry, policy: WritePolicy) -> Self {
+        SetAssocCache {
+            geom,
+            policy,
+            ways: vec![EMPTY_WAY; geom.total_lines() as usize],
+            tick: 0,
+            valid_count: 0,
+            dirty_count: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// The cache's geometry.
+    pub fn geometry(&self) -> CacheGeometry {
+        self.geom
+    }
+
+    /// The cache's write policy.
+    pub fn policy(&self) -> WritePolicy {
+        self.policy
+    }
+
+    /// Number of valid lines currently resident.
+    pub fn valid_lines(&self) -> u64 {
+        self.valid_count
+    }
+
+    /// Number of dirty lines currently resident.
+    pub fn dirty_lines(&self) -> u64 {
+        self.dirty_count
+    }
+
+    /// Event counters.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Resets the event counters (contents are preserved).
+    pub fn reset_stats(&mut self) {
+        self.stats = CacheStats::default();
+    }
+
+    fn set_slice(&self, line: LineAddr) -> std::ops::Range<usize> {
+        let set = (line.get() % self.geom.sets) as usize;
+        let w = self.geom.ways as usize;
+        set * w..(set + 1) * w
+    }
+
+    /// True if the line is resident (does not update LRU or stats).
+    pub fn probe(&self, line: LineAddr) -> bool {
+        self.ways[self.set_slice(line)]
+            .iter()
+            .any(|w| w.valid && w.tag == line.get())
+    }
+
+    /// True if the line is resident and dirty.
+    pub fn probe_dirty(&self, line: LineAddr) -> bool {
+        self.ways[self.set_slice(line)]
+            .iter()
+            .any(|w| w.valid && w.dirty && w.tag == line.get())
+    }
+
+    fn touch(&mut self, line: LineAddr, write: bool) -> AccessOutcome {
+        self.tick += 1;
+        let tick = self.tick;
+        let range = self.set_slice(line);
+        let make_dirty = write && self.policy == WritePolicy::WriteBack;
+
+        // Hit path.
+        if let Some(w) = self.ways[range.clone()]
+            .iter_mut()
+            .find(|w| w.valid && w.tag == line.get())
+        {
+            w.lru = tick;
+            if make_dirty && !w.dirty {
+                w.dirty = true;
+                self.dirty_count += 1;
+            }
+            return AccessOutcome {
+                hit: true,
+                writeback: None,
+                clean_eviction: None,
+            };
+        }
+
+        // Miss: allocate (both policies write-allocate, per Table I).
+        let set = &mut self.ways[range];
+        let victim = set
+            .iter_mut()
+            .min_by_key(|w| if w.valid { w.lru + 1 } else { 0 })
+            .expect("cache sets are never empty");
+
+        let mut writeback = None;
+        let mut clean_eviction = None;
+        if victim.valid {
+            let evicted = LineAddr::new(victim.tag);
+            if victim.dirty {
+                writeback = Some(evicted);
+                self.dirty_count -= 1;
+                self.stats.capacity_writebacks += 1;
+            } else {
+                clean_eviction = Some(evicted);
+            }
+            self.stats.evictions += 1;
+            self.valid_count -= 1;
+        }
+        victim.tag = line.get();
+        victim.valid = true;
+        victim.dirty = make_dirty;
+        victim.lru = tick;
+        self.valid_count += 1;
+        if make_dirty {
+            self.dirty_count += 1;
+        }
+        self.stats.fills += 1;
+
+        AccessOutcome {
+            hit: false,
+            writeback,
+            clean_eviction,
+        }
+    }
+
+    /// Performs a read access.
+    pub fn read(&mut self, line: LineAddr) -> AccessOutcome {
+        self.stats.reads += 1;
+        let out = self.touch(line, false);
+        if out.hit {
+            self.stats.read_hits += 1;
+        }
+        out
+    }
+
+    /// Performs a write access. Under [`WritePolicy::WriteBack`] the line
+    /// becomes dirty; under [`WritePolicy::WriteThrough`] it is allocated
+    /// clean (the store is propagated downstream by the caller).
+    pub fn write(&mut self, line: LineAddr) -> AccessOutcome {
+        self.stats.writes += 1;
+        let out = self.touch(line, true);
+        if out.hit {
+            self.stats.write_hits += 1;
+        }
+        out
+    }
+
+    /// Writes back every dirty line (an implicit *release*). Lines remain
+    /// valid but clean, matching the baseline protocol's behaviour of
+    /// retaining a clean copy after a full-line writeback.
+    pub fn flush_dirty(&mut self) -> FlushOutcome {
+        let mut flushed = 0;
+        for w in &mut self.ways {
+            if w.valid && w.dirty {
+                w.dirty = false;
+                flushed += 1;
+            }
+        }
+        self.dirty_count = 0;
+        self.stats.flush_writebacks += flushed;
+        FlushOutcome {
+            lines_written_back: flushed,
+        }
+    }
+
+    /// Drops every line (an implicit *acquire*).
+    pub fn invalidate_all(&mut self) -> InvalidateOutcome {
+        let mut invalidated = 0;
+        let mut dirty = 0;
+        for w in &mut self.ways {
+            if w.valid {
+                invalidated += 1;
+                if w.dirty {
+                    dirty += 1;
+                }
+                w.valid = false;
+                w.dirty = false;
+            }
+        }
+        self.valid_count = 0;
+        self.dirty_count = 0;
+        self.stats.invalidated += invalidated;
+        InvalidateOutcome {
+            lines_invalidated: invalidated,
+            dirty_dropped: dirty,
+        }
+    }
+
+    /// Writes back every dirty line like [`flush_dirty`](Self::flush_dirty),
+    /// additionally returning the flushed line addresses so the caller can
+    /// route each writeback to its home node.
+    pub fn flush_dirty_lines(&mut self) -> Vec<LineAddr> {
+        let mut lines = Vec::with_capacity(self.dirty_count as usize);
+        for w in &mut self.ways {
+            if w.valid && w.dirty {
+                w.dirty = false;
+                lines.push(LineAddr::new(w.tag));
+            }
+        }
+        self.dirty_count = 0;
+        self.stats.flush_writebacks += lines.len() as u64;
+        lines
+    }
+
+    /// Drops one line if present. Returns `Some(was_dirty)` if it was
+    /// resident. Used by the HMG directory when a sharer must be invalidated.
+    pub fn invalidate_line(&mut self, line: LineAddr) -> Option<bool> {
+        let range = self.set_slice(line);
+        let w = self.ways[range]
+            .iter_mut()
+            .find(|w| w.valid && w.tag == line.get())?;
+        let was_dirty = w.dirty;
+        w.valid = false;
+        w.dirty = false;
+        self.valid_count -= 1;
+        if was_dirty {
+            self.dirty_count -= 1;
+        }
+        self.stats.invalidated += 1;
+        Some(was_dirty)
+    }
+
+    /// Writes back one line if present and dirty; the line stays valid.
+    /// Returns true if a writeback occurred.
+    pub fn flush_line(&mut self, line: LineAddr) -> bool {
+        let range = self.set_slice(line);
+        if let Some(w) = self.ways[range]
+            .iter_mut()
+            .find(|w| w.valid && w.dirty && w.tag == line.get())
+        {
+            w.dirty = false;
+            self.dirty_count -= 1;
+            self.stats.flush_writebacks += 1;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small(policy: WritePolicy) -> SetAssocCache {
+        // 2 sets x 2 ways, 64 B lines.
+        SetAssocCache::new(CacheGeometry::new(256, 64, 2).unwrap(), policy)
+    }
+
+    #[test]
+    fn geometry_validates() {
+        assert!(CacheGeometry::new(0, 64, 2).is_err());
+        assert!(CacheGeometry::new(256, 0, 2).is_err());
+        assert!(CacheGeometry::new(256, 64, 0).is_err());
+        assert!(CacheGeometry::new(100, 64, 2).is_err());
+        let g = CacheGeometry::new(8 << 20, 64, 32).unwrap();
+        assert_eq!(g.sets(), 4096);
+        assert_eq!(g.total_lines(), 131072);
+    }
+
+    #[test]
+    fn cold_miss_then_hit() {
+        let mut c = small(WritePolicy::WriteBack);
+        assert!(!c.read(LineAddr::new(0)).hit);
+        assert!(c.read(LineAddr::new(0)).hit);
+        assert_eq!(c.stats().reads, 2);
+        assert_eq!(c.stats().read_hits, 1);
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut c = small(WritePolicy::WriteBack);
+        // Set 0 holds even lines (2 sets).
+        c.read(LineAddr::new(0));
+        c.read(LineAddr::new(2));
+        c.read(LineAddr::new(0)); // 0 is now MRU
+        let out = c.read(LineAddr::new(4)); // evicts 2
+        assert_eq!(out.clean_eviction, Some(LineAddr::new(2)));
+        assert!(c.probe(LineAddr::new(0)));
+        assert!(!c.probe(LineAddr::new(2)));
+    }
+
+    #[test]
+    fn writeback_policy_marks_dirty_and_evicts_with_writeback() {
+        let mut c = small(WritePolicy::WriteBack);
+        c.write(LineAddr::new(0));
+        assert!(c.probe_dirty(LineAddr::new(0)));
+        c.write(LineAddr::new(2));
+        let out = c.write(LineAddr::new(4)); // evicts dirty 0
+        assert_eq!(out.writeback, Some(LineAddr::new(0)));
+        assert_eq!(c.stats().capacity_writebacks, 1);
+    }
+
+    #[test]
+    fn writethrough_never_dirty() {
+        let mut c = small(WritePolicy::WriteThrough);
+        c.write(LineAddr::new(0));
+        c.write(LineAddr::new(2));
+        assert_eq!(c.dirty_lines(), 0);
+        let out = c.write(LineAddr::new(4));
+        assert_eq!(out.writeback, None);
+        assert!(out.clean_eviction.is_some());
+    }
+
+    #[test]
+    fn flush_writes_back_but_retains_clean_copies() {
+        let mut c = small(WritePolicy::WriteBack);
+        c.write(LineAddr::new(0));
+        c.write(LineAddr::new(1));
+        c.read(LineAddr::new(2));
+        let out = c.flush_dirty();
+        assert_eq!(out.lines_written_back, 2);
+        assert_eq!(c.dirty_lines(), 0);
+        assert_eq!(c.valid_lines(), 3, "flush keeps clean copies");
+        assert!(c.probe(LineAddr::new(0)));
+    }
+
+    #[test]
+    fn flush_dirty_lines_reports_addresses() {
+        let mut c = small(WritePolicy::WriteBack);
+        c.write(LineAddr::new(0));
+        c.write(LineAddr::new(3));
+        c.read(LineAddr::new(1));
+        let mut lines = c.flush_dirty_lines();
+        lines.sort();
+        assert_eq!(lines, vec![LineAddr::new(0), LineAddr::new(3)]);
+        assert_eq!(c.dirty_lines(), 0);
+        assert_eq!(c.valid_lines(), 3);
+        assert!(c.flush_dirty_lines().is_empty());
+    }
+
+    #[test]
+    fn invalidate_all_empties_cache() {
+        let mut c = small(WritePolicy::WriteBack);
+        c.write(LineAddr::new(0));
+        c.read(LineAddr::new(1));
+        let out = c.invalidate_all();
+        assert_eq!(out.lines_invalidated, 2);
+        assert_eq!(out.dirty_dropped, 1);
+        assert_eq!(c.valid_lines(), 0);
+        assert!(!c.probe(LineAddr::new(0)));
+    }
+
+    #[test]
+    fn invalidate_line_reports_dirtiness() {
+        let mut c = small(WritePolicy::WriteBack);
+        c.write(LineAddr::new(0));
+        c.read(LineAddr::new(1));
+        assert_eq!(c.invalidate_line(LineAddr::new(0)), Some(true));
+        assert_eq!(c.invalidate_line(LineAddr::new(1)), Some(false));
+        assert_eq!(c.invalidate_line(LineAddr::new(9)), None);
+    }
+
+    #[test]
+    fn flush_line_clears_single_dirty_bit() {
+        let mut c = small(WritePolicy::WriteBack);
+        c.write(LineAddr::new(0));
+        assert!(c.flush_line(LineAddr::new(0)));
+        assert!(!c.flush_line(LineAddr::new(0)));
+        assert!(c.probe(LineAddr::new(0)));
+        assert_eq!(c.dirty_lines(), 0);
+    }
+
+    #[test]
+    fn write_hit_on_clean_line_dirties_once() {
+        let mut c = small(WritePolicy::WriteBack);
+        c.read(LineAddr::new(0));
+        assert_eq!(c.dirty_lines(), 0);
+        c.write(LineAddr::new(0));
+        c.write(LineAddr::new(0));
+        assert_eq!(c.dirty_lines(), 1);
+    }
+
+    #[test]
+    fn stats_hit_rate() {
+        let mut c = small(WritePolicy::WriteBack);
+        c.read(LineAddr::new(0));
+        c.read(LineAddr::new(0));
+        c.read(LineAddr::new(0));
+        c.read(LineAddr::new(0));
+        assert!((c.stats().hit_rate() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn valid_count_never_exceeds_capacity() {
+        let mut c = small(WritePolicy::WriteBack);
+        for i in 0..100 {
+            c.write(LineAddr::new(i));
+            assert!(c.valid_lines() <= c.geometry().total_lines());
+            assert!(c.dirty_lines() <= c.valid_lines());
+        }
+    }
+}

@@ -1,0 +1,80 @@
+//! High-bandwidth memory (HBM) access accounting.
+//!
+//! The MCM-GPU's HBM is physically partitioned across chiplets (paper §II-A,
+//! Table I: 16 GB HBM, 4-high stacks). The simulator does not model DRAM
+//! timing in detail — misses below the L3 are charged a fixed latency — but
+//! per-partition access counts are needed for Figure 9's DRAM energy
+//! component and for locality diagnostics.
+
+use crate::addr::ChipletId;
+
+/// Per-partition HBM access counters.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Hbm {
+    reads: Vec<u64>,
+    writes: Vec<u64>,
+}
+
+impl Hbm {
+    /// Creates counters for an `n`-chiplet system (one partition each).
+    pub fn new(chiplets: usize) -> Self {
+        Hbm {
+            reads: vec![0; chiplets],
+            writes: vec![0; chiplets],
+        }
+    }
+
+    /// Records a 64 B read serviced by `home`'s partition.
+    pub fn record_read(&mut self, home: ChipletId) {
+        self.reads[home.index()] += 1;
+    }
+
+    /// Records a 64 B write serviced by `home`'s partition.
+    pub fn record_write(&mut self, home: ChipletId) {
+        self.writes[home.index()] += 1;
+    }
+
+    /// Reads serviced by `home`'s partition.
+    pub fn reads(&self, home: ChipletId) -> u64 {
+        self.reads[home.index()]
+    }
+
+    /// Writes serviced by `home`'s partition.
+    pub fn writes(&self, home: ChipletId) -> u64 {
+        self.writes[home.index()]
+    }
+
+    /// Total accesses across all partitions.
+    pub fn total_accesses(&self) -> u64 {
+        self.reads.iter().sum::<u64>() + self.writes.iter().sum::<u64>()
+    }
+
+    /// Total reads across all partitions.
+    pub fn total_reads(&self) -> u64 {
+        self.reads.iter().sum()
+    }
+
+    /// Total writes across all partitions.
+    pub fn total_writes(&self) -> u64 {
+        self.writes.iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_per_partition() {
+        let mut h = Hbm::new(4);
+        h.record_read(ChipletId::new(0));
+        h.record_read(ChipletId::new(0));
+        h.record_write(ChipletId::new(3));
+        assert_eq!(h.reads(ChipletId::new(0)), 2);
+        assert_eq!(h.writes(ChipletId::new(3)), 1);
+        assert_eq!(h.reads(ChipletId::new(3)), 0);
+        assert_eq!(h.total_accesses(), 3);
+        assert_eq!(h.total_reads(), 2);
+        assert_eq!(h.total_writes(), 1);
+    }
+}

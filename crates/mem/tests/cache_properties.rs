@@ -1,0 +1,144 @@
+//! Property-based tests for the cache and directory substrates.
+
+use chiplet_mem::addr::{ChipletId, LineAddr};
+use chiplet_mem::cache::{CacheGeometry, SetAssocCache, WritePolicy};
+use chiplet_mem::directory::CoarseDirectory;
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Read(u64),
+    Write(u64),
+    FlushAll,
+    InvalidateAll,
+    InvalidateLine(u64),
+    FlushLine(u64),
+}
+
+fn op_strategy(max_line: u64) -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => (0..max_line).prop_map(Op::Read),
+        4 => (0..max_line).prop_map(Op::Write),
+        1 => Just(Op::FlushAll),
+        1 => Just(Op::InvalidateAll),
+        1 => (0..max_line).prop_map(Op::InvalidateLine),
+        1 => (0..max_line).prop_map(Op::FlushLine),
+    ]
+}
+
+fn apply(c: &mut SetAssocCache, op: &Op) {
+    match *op {
+        Op::Read(l) => {
+            c.read(LineAddr::new(l));
+        }
+        Op::Write(l) => {
+            c.write(LineAddr::new(l));
+        }
+        Op::FlushAll => {
+            c.flush_dirty();
+        }
+        Op::InvalidateAll => {
+            c.invalidate_all();
+        }
+        Op::InvalidateLine(l) => {
+            c.invalidate_line(LineAddr::new(l));
+        }
+        Op::FlushLine(l) => {
+            c.flush_line(LineAddr::new(l));
+        }
+    }
+}
+
+proptest! {
+    /// Valid and dirty line counts stay within capacity, and dirty <= valid.
+    #[test]
+    fn counts_stay_consistent(ops in prop::collection::vec(op_strategy(256), 1..400)) {
+        let geom = CacheGeometry::new(4096, 64, 4).unwrap(); // 64 lines
+        let mut c = SetAssocCache::new(geom, WritePolicy::WriteBack);
+        for op in &ops {
+            apply(&mut c, op);
+            prop_assert!(c.valid_lines() <= geom.total_lines());
+            prop_assert!(c.dirty_lines() <= c.valid_lines());
+        }
+    }
+
+    /// After flush_dirty there are zero dirty lines; after invalidate_all
+    /// there are zero valid lines.
+    #[test]
+    fn bulk_ops_reach_clean_states(ops in prop::collection::vec(op_strategy(128), 1..200)) {
+        let geom = CacheGeometry::new(4096, 64, 4).unwrap();
+        let mut c = SetAssocCache::new(geom, WritePolicy::WriteBack);
+        for op in &ops {
+            apply(&mut c, op);
+        }
+        c.flush_dirty();
+        prop_assert_eq!(c.dirty_lines(), 0);
+        c.invalidate_all();
+        prop_assert_eq!(c.valid_lines(), 0);
+        prop_assert_eq!(c.dirty_lines(), 0);
+    }
+
+    /// A write-through cache never holds a dirty line.
+    #[test]
+    fn write_through_is_never_dirty(ops in prop::collection::vec(op_strategy(128), 1..200)) {
+        let geom = CacheGeometry::new(4096, 64, 4).unwrap();
+        let mut c = SetAssocCache::new(geom, WritePolicy::WriteThrough);
+        for op in &ops {
+            apply(&mut c, op);
+            prop_assert_eq!(c.dirty_lines(), 0);
+        }
+    }
+
+    /// An access immediately after a miss hits (tiny temporal locality works).
+    #[test]
+    fn re_access_hits(line in 0u64..10_000) {
+        let geom = CacheGeometry::new(8192, 64, 8).unwrap();
+        let mut c = SetAssocCache::new(geom, WritePolicy::WriteBack);
+        c.read(LineAddr::new(line));
+        prop_assert!(c.read(LineAddr::new(line)).hit);
+    }
+
+    /// Accesses confined to one set never evict more than ways-1 other lines
+    /// and probe() agrees with read().hit.
+    #[test]
+    fn probe_agrees_with_access(lines in prop::collection::vec(0u64..64, 1..100)) {
+        let geom = CacheGeometry::new(4096, 64, 4).unwrap();
+        let mut c = SetAssocCache::new(geom, WritePolicy::WriteBack);
+        for &l in &lines {
+            let present = c.probe(LineAddr::new(l));
+            let hit = c.read(LineAddr::new(l)).hit;
+            prop_assert_eq!(present, hit);
+        }
+    }
+
+    /// Directory live entries never exceed capacity, and every eviction
+    /// reports a non-empty sharer set.
+    #[test]
+    fn directory_capacity_bounded(
+        accesses in prop::collection::vec((0u64..100_000, 0u8..4), 1..500)
+    ) {
+        let mut d = CoarseDirectory::new(64, 8, 4);
+        for &(line, chiplet) in &accesses {
+            let up = d.record_sharer(LineAddr::new(line), ChipletId::new(chiplet));
+            prop_assert!(d.live_entries() <= 64);
+            if let Some(ev) = up.evicted {
+                prop_assert!(!ev.sharers.is_empty());
+                prop_assert_eq!(ev.lines, 4);
+            }
+        }
+    }
+
+    /// Directory sharers reflect exactly the recorded, unremoved chiplets
+    /// while no eviction has occurred.
+    #[test]
+    fn directory_tracks_sharers(chiplets in prop::collection::vec(0u8..4, 1..8)) {
+        let mut d = CoarseDirectory::new(1024, 8, 4);
+        for &c in &chiplets {
+            d.record_sharer(LineAddr::new(0), ChipletId::new(c));
+        }
+        let s = d.sharers_of(LineAddr::new(0));
+        for c in 0u8..4 {
+            prop_assert_eq!(s.contains(ChipletId::new(c)), chiplets.contains(&c));
+        }
+    }
+}

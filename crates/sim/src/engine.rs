@@ -1,0 +1,381 @@
+//! The execution engine: drives each workload's kernel launch sequence
+//! through the CP (synchronization phase) and the memory system (execution
+//! phase), producing [`RunMetrics`].
+//!
+//! Timing model (DESIGN.md §3): per kernel and per chiplet the engine sums
+//! Table I service latencies over the chiplet's access trace, divides by
+//! the workload's memory-level parallelism, and takes the maximum of that
+//! and the compute time (GPUs overlap compute with memory). Kernel time is
+//! the maximum over participating chiplets; concurrent streams' kernels
+//! (disjoint chiplet bindings) overlap. Synchronization costs — tag walks,
+//! bandwidth-limited dirty-line drains, CP round trips — are serialized
+//! with execution, exactly the overhead CPElide exists to elide.
+
+use crate::config::SimConfig;
+use crate::metrics::RunMetrics;
+use chiplet_coherence::{MemorySystem, ProtocolKind};
+use chiplet_energy::EnergyCounts;
+use chiplet_gpu::dispatch::{DispatchPlan, StaticPartitionScheduler};
+use chiplet_gpu::kernel::KernelId;
+use chiplet_gpu::stream::{KernelPacket, SoftwareQueue};
+use chiplet_gpu::trace::TraceGenerator;
+use chiplet_mem::addr::ChipletId;
+use chiplet_workloads::Workload;
+use cpelide::api::KernelLaunchInfo;
+use cpelide::cp::GlobalCp;
+
+/// Fixed per-launch overhead every configuration pays (packet processing,
+/// WG dispatch, L1 invalidation) in microseconds — the paper's 2 µs CP
+/// latency.
+const LAUNCH_OVERHEAD_US: f64 = 2.0;
+
+/// The simulator.
+#[derive(Debug, Clone)]
+pub struct Simulator {
+    config: SimConfig,
+}
+
+impl Simulator {
+    /// Creates a simulator for one configuration.
+    pub fn new(config: SimConfig) -> Self {
+        Simulator { config }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
+    /// Runs `workload` to completion and reports metrics.
+    pub fn run(&self, workload: &Workload) -> RunMetrics {
+        let cfg = &self.config;
+        let n = cfg.num_chiplets;
+        let mut mem = MemorySystem::new(cfg.protocol, cfg.mem);
+        let mut cp = (cfg.protocol == ProtocolKind::CpElide)
+            .then(|| GlobalCp::with_table_capacity(n, cfg.table_capacity));
+        let tracegen = TraceGenerator::new(cfg.seed);
+        let scheduler = StaticPartitionScheduler::new();
+        let all_chiplets: Vec<ChipletId> = ChipletId::all(n).collect();
+
+        let mut queue = SoftwareQueue::new();
+        for l in workload.launches() {
+            queue.enqueue(l.stream, l.spec.clone(), l.binding.clone());
+        }
+
+        let mut exec_cycles = 0.0f64;
+        let mut sync_cycles = 0.0f64;
+        let mut counts = EnergyCounts::default();
+        let mut kernels_run = 0u64;
+        let mut sync_ops = 0u64;
+        let mut flushed_lines = 0u64;
+        let mut first_kernel = true;
+
+        while !queue.is_empty() {
+            let round = queue.next_round();
+            let plans: Vec<(KernelPacket, DispatchPlan)> = round
+                .into_iter()
+                .map(|p| {
+                    let chiplets = self.effective_binding(&p, &all_chiplets);
+                    let plan = scheduler.plan(&p.spec, &chiplets);
+                    (p, plan)
+                })
+                .collect();
+
+            // ---- Synchronization phase (kernel boundary) ----
+            let mut round_sync = 0.0f64;
+            match cfg.protocol {
+                ProtocolKind::Baseline if !first_kernel => {
+                    // Conservative whole-GPU implicit acquire+release.
+                    let costs = mem.bulk_sync_all();
+                    sync_ops += costs.len() as u64;
+                    let mut op_max = 0.0f64;
+                    for a in &costs {
+                        flushed_lines += a.flush.total_lines();
+                        let cyc = cfg.sync.acquire_cycles(
+                            a.flush.local_lines,
+                            a.flush.remote_lines,
+                            a.invalidated_lines,
+                            &cfg.link,
+                        );
+                        op_max = op_max.max(cyc);
+                    }
+                    round_sync += op_max;
+                }
+                ProtocolKind::CpElide => {
+                    let cp = cp.as_mut().expect("CPElide runs carry a global CP");
+                    for (packet, plan) in &plans {
+                        let info = KernelLaunchInfo::from_spec(
+                            &packet.spec,
+                            KernelId::new(packet.id.get()),
+                            workload.arrays(),
+                            plan,
+                            n,
+                        );
+                        let decision = cp.launch_kernel(&info);
+                        if first_kernel {
+                            // The 2+6 µs CP processing is exposed only for
+                            // the very first kernel (paper §IV-B).
+                            round_sync += cfg.us_to_cycles(decision.cp_latency_us);
+                        }
+                        if cfg.driver_managed {
+                            // §VI ablation: the driver must synchronously
+                            // fetch the CP's WG placement before deciding —
+                            // an exposed host round trip on every launch.
+                            round_sync += cfg.us_to_cycles(cfg.driver_round_trip_us());
+                        }
+                        let mut op_max = 0.0f64;
+                        for &c in &decision.acquires {
+                            let a = mem.acquire(c);
+                            flushed_lines += a.flush.total_lines();
+                            sync_ops += 1;
+                            op_max = op_max.max(cfg.sync.acquire_cycles(
+                                a.flush.local_lines,
+                                a.flush.remote_lines,
+                                a.invalidated_lines,
+                                &cfg.link,
+                            ));
+                        }
+                        for &c in &decision.releases {
+                            let r = mem.release(c);
+                            flushed_lines += r.total_lines();
+                            sync_ops += 1;
+                            op_max = op_max.max(cfg.sync.release_cycles(
+                                r.local_lines,
+                                r.remote_lines,
+                                &cfg.link,
+                            ));
+                        }
+                        round_sync += op_max;
+                    }
+                }
+                // HMG keeps L2s coherent continuously; monolithic GPUs'
+                // shared L2 is the ordering point: neither performs bulk
+                // L2 synchronization at kernel boundaries.
+                _ => {}
+            }
+            round_sync *= f64::from(cfg.sync_replication);
+
+            // ---- Execution phase ----
+            let mut round_exec = 0.0f64;
+            for (packet, plan) in &plans {
+                let spec = &packet.spec;
+                let mut packet_time = 0.0f64;
+                for chiplet in plan.chiplets() {
+                    let trace = tracegen.chiplet_trace(
+                        spec,
+                        KernelId::new(packet.id.get()),
+                        workload.arrays(),
+                        plan,
+                        chiplet,
+                    );
+                    let mut lat = 0.0f64;
+                    let mut l1_acc = 0.0f64;
+                    let events = trace.len() as u64;
+                    let dir_remote_invals_before = mem.dir_remote_invalidations();
+                    for ev in &trace {
+                        counts.l1d_accesses += 1;
+                        if ev.write {
+                            lat += cfg.latency.cost(mem.write(chiplet, ev.line));
+                        } else {
+                            l1_acc += spec.l1_hit_rate();
+                            if l1_acc >= 1.0 {
+                                l1_acc -= 1.0;
+                                lat += cfg.latency.l1_hit;
+                            } else {
+                                lat += cfg.latency.cost(mem.read(chiplet, ev.line));
+                            }
+                        }
+                    }
+                    counts.l1i_accesses += events;
+                    counts.lds_accesses += (events as f64 * spec.lds_per_line()) as u64;
+                    // Directory evictions caused by this chiplet's accesses
+                    // stall them while remote sharers are invalidated
+                    // (HMG only).
+                    lat += (mem.dir_remote_invalidations() - dir_remote_invals_before) as f64
+                        * cfg.latency.dir_eviction_penalty;
+                    let compute = events as f64 * spec.compute_per_line() / cfg.compute_scale;
+                    let mem_time = lat / (spec.mlp() * cfg.compute_scale);
+                    packet_time = packet_time.max(compute.max(mem_time));
+                }
+                round_exec = round_exec.max(packet_time);
+            }
+
+            exec_cycles += round_exec + cfg.us_to_cycles(LAUNCH_OVERHEAD_US);
+            sync_cycles += round_sync;
+            kernels_run += plans.len() as u64;
+            first_kernel = false;
+        }
+
+        // End-of-program drain: dirty data must reach memory. CPElide
+        // "elides all flushes and invalidations except the final ones".
+        let mut final_max = 0.0f64;
+        for c in ChipletId::all(n) {
+            let r = mem.release(c);
+            if r.total_lines() > 0 {
+                sync_ops += 1;
+                flushed_lines += r.total_lines();
+                final_max = final_max.max(cfg.sync.release_cycles(
+                    r.local_lines,
+                    r.remote_lines,
+                    &cfg.link,
+                ));
+            }
+        }
+        sync_cycles += final_max;
+
+        // ---- Assemble metrics ----
+        let l2 = mem.l2_stats_total();
+        let l3 = mem.l3_stats();
+        counts.l2_accesses = l2.accesses() + l2.flush_writebacks;
+        counts.l3_accesses = l3.accesses();
+        counts.dram_accesses = mem.hbm().total_accesses();
+        counts.add_traffic(mem.traffic());
+        let energy = cfg.energy.evaluate(&counts);
+
+        RunMetrics {
+            workload: workload.name().to_owned(),
+            protocol: cfg.protocol,
+            chiplets: n,
+            equivalent_chiplets: (n as f64 * cfg.compute_scale).round() as usize,
+            cycles: exec_cycles + sync_cycles,
+            exec_cycles,
+            sync_cycles,
+            kernels: kernels_run,
+            traffic: mem.traffic(),
+            energy_counts: counts,
+            energy,
+            l2,
+            l3,
+            dram_accesses: mem.hbm().total_accesses(),
+            table: cp.map(|cp| cp.table_stats()),
+            sync_ops,
+            flushed_lines,
+        }
+    }
+
+    /// Clamps a packet's stream binding to the simulated system, falling
+    /// back to all chiplets when the binding is absent or entirely out of
+    /// range (e.g. a 4-chiplet multi-stream workload run on 2 chiplets).
+    fn effective_binding(
+        &self,
+        packet: &KernelPacket,
+        all_chiplets: &[ChipletId],
+    ) -> Vec<ChipletId> {
+        match &packet.binding {
+            None => all_chiplets.to_vec(),
+            Some(b) => {
+                let clamped: Vec<ChipletId> = b
+                    .iter()
+                    .copied()
+                    .filter(|c| c.index() < self.config.num_chiplets)
+                    .collect();
+                if clamped.is_empty() {
+                    all_chiplets.to_vec()
+                } else {
+                    clamped
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SimConfig;
+
+    fn run(name: &str, protocol: ProtocolKind, chiplets: usize) -> RunMetrics {
+        let w = chiplet_workloads::by_name(name).expect("workload exists");
+        Simulator::new(SimConfig::table1(chiplets, protocol)).run(&w)
+    }
+
+    #[test]
+    fn square_cpelide_beats_baseline() {
+        let base = run("square", ProtocolKind::Baseline, 4);
+        let cpe = run("square", ProtocolKind::CpElide, 4);
+        assert!(
+            cpe.cycles < base.cycles,
+            "CPElide {} !< Baseline {}",
+            cpe.cycles,
+            base.cycles
+        );
+        assert!(cpe.l2_hit_rate() > base.l2_hit_rate());
+    }
+
+    #[test]
+    fn square_cpelide_elides_all_but_final_sync() {
+        let cpe = run("square", ProtocolKind::CpElide, 4);
+        let table = cpe.table.expect("CPElide exposes table stats");
+        assert_eq!(table.acquires_issued, 0, "no cross-chiplet dependence");
+        assert_eq!(table.releases_issued, 0);
+        assert!(table.releases_elided > 0);
+        // Final drain only.
+        assert_eq!(cpe.sync_ops, 4);
+    }
+
+    #[test]
+    fn baseline_syncs_every_boundary() {
+        let base = run("square", ProtocolKind::Baseline, 4);
+        // 20 kernels -> 19 boundaries x 4 chiplets + final drain.
+        assert!(base.sync_ops >= 19 * 4);
+        assert!(base.sync_cycles > 0.0);
+    }
+
+    #[test]
+    fn monolithic_is_fastest_on_reuse_workloads() {
+        let base = run("square", ProtocolKind::Baseline, 4);
+        let mono = run("square", ProtocolKind::Monolithic, 4);
+        assert_eq!(mono.chiplets, 1);
+        assert_eq!(mono.equivalent_chiplets, 4);
+        assert!(mono.cycles < base.cycles);
+        assert_eq!(mono.traffic.remote, 0);
+    }
+
+    #[test]
+    fn hmg_generates_more_l2_l3_traffic_than_cpelide_on_streaming() {
+        let hmg = run("square", ProtocolKind::Hmg, 4);
+        let cpe = run("square", ProtocolKind::CpElide, 4);
+        assert!(
+            hmg.traffic.l2_l3 > cpe.traffic.l2_l3,
+            "write-through must inflate L2-L3 traffic: HMG {} vs CPElide {}",
+            hmg.traffic.l2_l3,
+            cpe.traffic.l2_l3
+        );
+    }
+
+    #[test]
+    fn low_reuse_apps_see_no_cpelide_penalty() {
+        let base = run("btree", ProtocolKind::Baseline, 4);
+        let cpe = run("btree", ProtocolKind::CpElide, 4);
+        let ratio = cpe.cycles / base.cycles;
+        assert!(ratio < 1.05, "CPElide must not hurt btree: ratio {ratio}");
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let a = run("bfs", ProtocolKind::CpElide, 4);
+        let b = run("bfs", ProtocolKind::CpElide, 4);
+        assert_eq!(a.cycles.to_bits(), b.cycles.to_bits());
+        assert_eq!(a.traffic, b.traffic);
+        assert_eq!(a.dram_accesses, b.dram_accesses);
+    }
+
+    #[test]
+    fn multi_stream_workload_runs_on_bound_chiplets() {
+        let w = chiplet_workloads::multi_stream_suite()
+            .into_iter()
+            .find(|w| w.name() == "streams")
+            .unwrap();
+        let m = Simulator::new(SimConfig::table1(4, ProtocolKind::CpElide)).run(&w);
+        assert_eq!(m.kernels, 40);
+        assert!(m.cycles > 0.0);
+    }
+
+    #[test]
+    fn table_never_overflows_on_suite_member() {
+        let m = run("srad_v2", ProtocolKind::CpElide, 4);
+        let t = m.table.unwrap();
+        assert!(t.max_live_entries <= 64);
+        assert_eq!(t.evictions, 0);
+    }
+}

@@ -1,0 +1,407 @@
+//! Experiment runners regenerating every figure and table of the paper's
+//! evaluation (see DESIGN.md §5 for the experiment index).
+
+use crate::config::SimConfig;
+use crate::engine::Simulator;
+use crate::metrics::{geomean, RunMetrics};
+use chiplet_coherence::ProtocolKind;
+use chiplet_workloads::{ReuseClass, Workload};
+
+/// Runs one (workload, protocol, chiplets) cell.
+pub fn run_one(workload: &Workload, protocol: ProtocolKind, chiplets: usize) -> RunMetrics {
+    Simulator::new(SimConfig::table1(chiplets, protocol)).run(workload)
+}
+
+/// Runs a closure over workloads in parallel, preserving order.
+fn par_map<T: Send>(workloads: &[Workload], f: impl Fn(&Workload) -> T + Sync) -> Vec<T> {
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(workloads.len().max(1));
+    let mut out: Vec<Option<T>> = (0..workloads.len()).map(|_| None).collect();
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let slots = std::sync::Mutex::new(&mut out);
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= workloads.len() {
+                    break;
+                }
+                let r = f(&workloads[i]);
+                slots.lock().expect("no panics while mapping")[i] = Some(r);
+            });
+        }
+    });
+    out.into_iter().map(|t| t.expect("all slots filled")).collect()
+}
+
+// ---------------------------------------------------------------- Figure 2
+
+/// One Figure 2 bar: performance loss of the 4-chiplet baseline relative
+/// to the equivalent monolithic GPU.
+#[derive(Debug, Clone)]
+pub struct Fig2Row {
+    /// Workload name.
+    pub workload: String,
+    /// Slowdown of the chiplet baseline vs monolithic, as a fraction
+    /// (0.54 = 54 % more cycles).
+    pub loss: f64,
+}
+
+/// Figure 2: per-workload and average performance loss from the lack of
+/// inter-kernel L2 reuse in a 4-chiplet GPU vs an equivalent monolithic
+/// GPU (paper: 54 % average).
+pub fn fig2(workloads: &[Workload], chiplets: usize) -> (Vec<Fig2Row>, f64) {
+    let rows = par_map(workloads, |w| {
+        let base = run_one(w, ProtocolKind::Baseline, chiplets);
+        let mono = run_one(w, ProtocolKind::Monolithic, chiplets);
+        Fig2Row {
+            workload: w.name().to_owned(),
+            loss: base.cycles / mono.cycles - 1.0,
+        }
+    });
+    let avg = rows.iter().map(|r| r.loss).sum::<f64>() / rows.len().max(1) as f64;
+    (rows, avg)
+}
+
+// ---------------------------------------------------------------- Figure 8
+
+/// One Figure 8 group: speedups over the Baseline at one chiplet count.
+#[derive(Debug, Clone)]
+pub struct Fig8Row {
+    /// Workload name.
+    pub workload: String,
+    /// Reuse grouping.
+    pub class: ReuseClass,
+    /// CPElide speedup over Baseline (>1 is faster).
+    pub cpelide: f64,
+    /// HMG speedup over Baseline.
+    pub hmg: f64,
+}
+
+/// Figure 8 summary statistics.
+#[derive(Debug, Clone, Copy)]
+pub struct Fig8Summary {
+    /// Geomean CPElide speedup over Baseline.
+    pub cpelide_vs_baseline: f64,
+    /// Geomean HMG speedup over Baseline.
+    pub hmg_vs_baseline: f64,
+    /// Geomean CPElide speedup over HMG.
+    pub cpelide_vs_hmg: f64,
+    /// Geomean CPElide speedup over Baseline, moderate/high-reuse apps.
+    pub cpelide_vs_baseline_reuse: f64,
+}
+
+/// Figure 8: CPElide and HMG normalized to Baseline for one chiplet count.
+pub fn fig8(workloads: &[Workload], chiplets: usize) -> (Vec<Fig8Row>, Fig8Summary) {
+    let rows = par_map(workloads, |w| {
+        let base = run_one(w, ProtocolKind::Baseline, chiplets);
+        let cpe = run_one(w, ProtocolKind::CpElide, chiplets);
+        let hmg = run_one(w, ProtocolKind::Hmg, chiplets);
+        Fig8Row {
+            workload: w.name().to_owned(),
+            class: w.class(),
+            cpelide: cpe.speedup_over(&base),
+            hmg: hmg.speedup_over(&base),
+        }
+    });
+    let summary = Fig8Summary {
+        cpelide_vs_baseline: geomean(rows.iter().map(|r| r.cpelide)),
+        hmg_vs_baseline: geomean(rows.iter().map(|r| r.hmg)),
+        cpelide_vs_hmg: geomean(rows.iter().map(|r| r.cpelide / r.hmg)),
+        cpelide_vs_baseline_reuse: geomean(
+            rows.iter()
+                .filter(|r| r.class == ReuseClass::ModerateHigh)
+                .map(|r| r.cpelide),
+        ),
+    };
+    (rows, summary)
+}
+
+// ------------------------------------------------------------ Figures 9/10
+
+/// One workload's three-protocol metric set (Figures 9 and 10 share it).
+#[derive(Debug, Clone)]
+pub struct ProtocolTriple {
+    /// Workload name.
+    pub workload: String,
+    /// Reuse grouping.
+    pub class: ReuseClass,
+    /// Baseline run.
+    pub baseline: RunMetrics,
+    /// CPElide run.
+    pub cpelide: RunMetrics,
+    /// HMG run.
+    pub hmg: RunMetrics,
+}
+
+/// Runs Baseline/CPElide/HMG for every workload (input to Figures 9/10).
+pub fn protocol_triples(workloads: &[Workload], chiplets: usize) -> Vec<ProtocolTriple> {
+    par_map(workloads, |w| ProtocolTriple {
+        workload: w.name().to_owned(),
+        class: w.class(),
+        baseline: run_one(w, ProtocolKind::Baseline, chiplets),
+        cpelide: run_one(w, ProtocolKind::CpElide, chiplets),
+        hmg: run_one(w, ProtocolKind::Hmg, chiplets),
+    })
+}
+
+/// Figure 9 summary: average energy of CPElide and HMG relative to
+/// Baseline (paper: CPElide −14 % vs Baseline, −11 % vs HMG).
+pub fn fig9_summary(triples: &[ProtocolTriple]) -> (f64, f64) {
+    let cpe = geomean(
+        triples
+            .iter()
+            .map(|t| t.cpelide.energy_ratio_to(&t.baseline)),
+    );
+    let hmg = geomean(triples.iter().map(|t| t.hmg.energy_ratio_to(&t.baseline)));
+    (cpe, hmg)
+}
+
+/// Figure 10 summary: average traffic of CPElide and HMG relative to
+/// Baseline (paper: CPElide −14 % vs Baseline, −17 % vs HMG).
+pub fn fig10_summary(triples: &[ProtocolTriple]) -> (f64, f64) {
+    let cpe = geomean(
+        triples
+            .iter()
+            .map(|t| t.cpelide.traffic_ratio_to(&t.baseline)),
+    );
+    let hmg = geomean(triples.iter().map(|t| t.hmg.traffic_ratio_to(&t.baseline)));
+    (cpe, hmg)
+}
+
+// ----------------------------------------------------- §VI scaling study
+
+/// §VI scalability study: mimic 8-/16-chiplet systems by serializing 2/4
+/// sets of boundary acquires/releases on the 4-chiplet CPElide system
+/// (paper: ≈1 % and ≈2 % average slowdown).
+pub fn scaling_study(workloads: &[Workload]) -> Vec<(usize, f64)> {
+    let base: Vec<RunMetrics> = par_map(workloads, |w| run_one(w, ProtocolKind::CpElide, 4));
+    [(8usize, 2u32), (16, 4)]
+        .into_iter()
+        .map(|(mimicked, replication)| {
+            let slowdowns = par_map(workloads, |w| {
+                let mut cfg = SimConfig::table1(4, ProtocolKind::CpElide);
+                cfg.sync_replication = replication;
+                Simulator::new(cfg).run(w)
+            });
+            let geo = geomean(
+                slowdowns
+                    .iter()
+                    .zip(&base)
+                    .map(|(s, b)| s.cycles / b.cycles),
+            );
+            (mimicked, geo - 1.0)
+        })
+        .collect()
+}
+
+// -------------------------------------------------- §VI multi-stream study
+
+/// §VI multi-stream study: CPElide vs HMG on the multi-stream suite at 4
+/// chiplets (paper: CPElide ≈ +12 % over HMG on average).
+pub fn multistream_study() -> (Vec<Fig8Row>, f64) {
+    let suite = chiplet_workloads::multi_stream_suite();
+    let (rows, summary) = fig8(&suite, 4);
+    (rows, summary.cpelide_vs_hmg)
+}
+
+// ------------------------------------------- §IV-C HMG write-back ablation
+
+/// §IV-C ablation: HMG's write-back L2 variant vs its write-through
+/// variant (paper: write-back ≈13 % worse geomean).
+pub fn hmg_writeback_ablation(workloads: &[Workload]) -> f64 {
+    let ratios = par_map(workloads, |w| {
+        let wt = run_one(w, ProtocolKind::Hmg, 4);
+        let wb = run_one(w, ProtocolKind::HmgWriteBack, 4);
+        wb.cycles / wt.cycles
+    });
+    geomean(ratios) - 1.0
+}
+
+// ------------------------------------------------ §III-A table occupancy
+
+/// §III-A validation: maximum live Chiplet Coherence Table entries per
+/// workload (paper: ≤ 11, never overflowing the 64-entry table).
+pub fn table_occupancy(workloads: &[Workload]) -> Vec<(String, usize, u64)> {
+    par_map(workloads, |w| {
+        let m = run_one(w, ProtocolKind::CpElide, 4);
+        let t = m.table.expect("CPElide metrics carry table stats");
+        (w.name().to_owned(), t.max_live_entries, t.evictions)
+    })
+}
+
+// -------------------------------------------------------------- rendering
+
+/// Renders a percentage with sign, e.g. `+13.2 %`.
+pub fn pct(x: f64) -> String {
+    format!("{:+.1}%", x * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mini_suite() -> Vec<Workload> {
+        ["square", "btree"]
+            .iter()
+            .map(|n| chiplet_workloads::by_name(n).unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn fig2_reports_positive_loss_for_reuse_apps() {
+        let suite = vec![chiplet_workloads::by_name("square").unwrap()];
+        let (rows, avg) = fig2(&suite, 4);
+        assert_eq!(rows.len(), 1);
+        assert!(rows[0].loss > 0.0, "chiplets must lose to monolithic");
+        assert!(avg > 0.0);
+    }
+
+    #[test]
+    fn fig8_summary_orders_protocols_on_streaming() {
+        let suite = vec![chiplet_workloads::by_name("square").unwrap()];
+        let (rows, summary) = fig8(&suite, 4);
+        assert!(rows[0].cpelide > 1.0, "CPElide beats Baseline on square");
+        assert!(
+            summary.cpelide_vs_hmg > 1.0,
+            "CPElide beats HMG on square: {}",
+            summary.cpelide_vs_hmg
+        );
+    }
+
+    #[test]
+    fn triples_feed_energy_and_traffic_summaries() {
+        let triples = protocol_triples(&mini_suite(), 2);
+        let (e_cpe, _) = fig9_summary(&triples);
+        let (t_cpe, _) = fig10_summary(&triples);
+        assert!(e_cpe > 0.0 && e_cpe < 1.5);
+        assert!(t_cpe > 0.0 && t_cpe < 1.5);
+    }
+
+    #[test]
+    fn scaling_study_overhead_is_small() {
+        let suite = mini_suite();
+        let results = scaling_study(&suite);
+        assert_eq!(results.len(), 2);
+        for (n, overhead) in results {
+            assert!(overhead >= -0.01, "mimicked {n}-chiplet overhead negative");
+            assert!(overhead < 0.25, "mimicked {n}-chiplet overhead too large: {overhead}");
+        }
+    }
+
+    #[test]
+    fn occupancy_is_within_table_capacity() {
+        for (name, max, evictions) in table_occupancy(&mini_suite()) {
+            assert!(max <= 64, "{name} overflowed");
+            assert_eq!(evictions, 0, "{name} evicted entries");
+        }
+    }
+
+    #[test]
+    fn pct_formats() {
+        assert_eq!(pct(0.132), "+13.2%");
+        assert_eq!(pct(-0.05), "-5.0%");
+    }
+}
+
+// ------------------------------------------------------- sensitivity sweeps
+
+/// One cell of a sensitivity sweep: the swept parameter value and the
+/// resulting CPElide speedup over the Baseline.
+#[derive(Debug, Clone, Copy)]
+pub struct SweepPoint {
+    /// The swept parameter's value.
+    pub value: f64,
+    /// CPElide speedup over Baseline at that value.
+    pub cpelide_speedup: f64,
+    /// Synchronization operations CPElide issued.
+    pub sync_ops: u64,
+}
+
+/// Table-capacity sensitivity (DESIGN.md ablation): shrinking the Chiplet
+/// Coherence Table below the paper's 64 entries forces conservative
+/// capacity evictions; the sweep shows how small it can get before the
+/// elision benefit erodes.
+pub fn table_capacity_sweep(workload: &Workload, capacities: &[usize]) -> Vec<SweepPoint> {
+    let base = run_one(workload, ProtocolKind::Baseline, 4);
+    capacities
+        .iter()
+        .map(|&cap| {
+            let mut cfg = SimConfig::table1(4, ProtocolKind::CpElide);
+            cfg.table_capacity = cap;
+            let m = Simulator::new(cfg).run(workload);
+            SweepPoint {
+                value: cap as f64,
+                cpelide_speedup: m.speedup_over(&base),
+                sync_ops: m.sync_ops,
+            }
+        })
+        .collect()
+}
+
+/// CP-crossbar round-trip sensitivity (DESIGN.md ablation): CPElide's
+/// request/ack/enable exchange sits on the launch critical path; the sweep
+/// shows the benefit is robust to much slower crossbars because the
+/// exchange is rare.
+pub fn crossbar_latency_sweep(workload: &Workload, round_trips: &[f64]) -> Vec<SweepPoint> {
+    let base = run_one(workload, ProtocolKind::Baseline, 4);
+    round_trips
+        .iter()
+        .map(|&rt| {
+            let mut cfg = SimConfig::table1(4, ProtocolKind::CpElide);
+            cfg.sync.round_trip_cycles = rt;
+            let m = Simulator::new(cfg).run(workload);
+            SweepPoint {
+                value: rt,
+                cpelide_speedup: m.speedup_over(&base),
+                sync_ops: m.sync_ops,
+            }
+        })
+        .collect()
+}
+
+/// Inter-chiplet link-bandwidth sensitivity: both configurations pay the
+/// link for remote traffic and flush drains; CPElide's advantage grows as
+/// the link gets slower because it drains less.
+pub fn link_bandwidth_sweep(workload: &Workload, bandwidths_gbs: &[f64]) -> Vec<SweepPoint> {
+    bandwidths_gbs
+        .iter()
+        .map(|&bw| {
+            let link = chiplet_noc::link::LinkConfig::from_bandwidth(bw, 1801.0, 121);
+            let mut bcfg = SimConfig::table1(4, ProtocolKind::Baseline);
+            bcfg.link = link;
+            let base = Simulator::new(bcfg).run(workload);
+            let mut ccfg = SimConfig::table1(4, ProtocolKind::CpElide);
+            ccfg.link = link;
+            let m = Simulator::new(ccfg).run(workload);
+            SweepPoint {
+                value: bw,
+                cpelide_speedup: m.speedup_over(&base),
+                sync_ops: m.sync_ops,
+            }
+        })
+        .collect()
+}
+
+// ----------------------------------------- §VI driver-managed ablation
+
+/// §VI "Managing Implicit Synchronization at Driver": the same elision
+/// algorithm run by the host driver pays an exposed round trip per launch
+/// to fetch the CP's scheduling decisions. Returns, per workload, the
+/// CP-integrated and driver-managed speedups over the Baseline.
+pub fn driver_study(workloads: &[Workload]) -> Vec<(String, f64, f64)> {
+    par_map(workloads, |w| {
+        let base = run_one(w, ProtocolKind::Baseline, 4);
+        let cp = run_one(w, ProtocolKind::CpElide, 4);
+        let mut cfg = SimConfig::table1(4, ProtocolKind::CpElide);
+        cfg.driver_managed = true;
+        let driver = Simulator::new(cfg).run(w);
+        (
+            w.name().to_owned(),
+            cp.speedup_over(&base),
+            driver.speedup_over(&base),
+        )
+    })
+}

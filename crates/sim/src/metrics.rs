@@ -1,0 +1,233 @@
+//! Run metrics: what one (workload, protocol, chiplet-count) simulation
+//! produces.
+
+use chiplet_coherence::ProtocolKind;
+use chiplet_energy::{EnergyBreakdown, EnergyCounts};
+use chiplet_mem::cache::CacheStats;
+use chiplet_noc::traffic::FlitCounter;
+use cpelide::table::TableStats;
+use std::fmt;
+
+/// Everything measured over one simulated run.
+#[derive(Debug, Clone)]
+pub struct RunMetrics {
+    /// Workload name.
+    pub workload: String,
+    /// Protocol simulated.
+    pub protocol: ProtocolKind,
+    /// Chiplet count (1 for monolithic; carries the *equivalent* count in
+    /// `equivalent_chiplets`).
+    pub chiplets: usize,
+    /// Chiplet count the configuration is equivalent to (for monolithic).
+    pub equivalent_chiplets: usize,
+    /// Total simulated GPU cycles (execution + synchronization).
+    pub cycles: f64,
+    /// Cycles spent executing kernels.
+    pub exec_cycles: f64,
+    /// Cycles spent on implicit synchronization (flush/invalidate, CP).
+    pub sync_cycles: f64,
+    /// Dynamic kernels executed.
+    pub kernels: u64,
+    /// Interconnect traffic.
+    pub traffic: FlitCounter,
+    /// Raw energy event counts.
+    pub energy_counts: EnergyCounts,
+    /// Energy by component.
+    pub energy: EnergyBreakdown,
+    /// Aggregate L2 statistics.
+    pub l2: CacheStats,
+    /// LLC statistics.
+    pub l3: CacheStats,
+    /// HBM reads + writes.
+    pub dram_accesses: u64,
+    /// Coherence-table statistics (CPElide runs only).
+    pub table: Option<TableStats>,
+    /// Bulk releases/acquires performed at kernel boundaries.
+    pub sync_ops: u64,
+    /// Dirty lines drained by boundary synchronization.
+    pub flushed_lines: u64,
+}
+
+impl RunMetrics {
+    /// Aggregate L2 hit rate over the run.
+    pub fn l2_hit_rate(&self) -> f64 {
+        self.l2.hit_rate()
+    }
+
+    /// Speedup of this run relative to `baseline` (same workload).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the runs are for different workloads.
+    pub fn speedup_over(&self, baseline: &RunMetrics) -> f64 {
+        assert_eq!(
+            self.workload, baseline.workload,
+            "speedup must compare the same workload"
+        );
+        baseline.cycles / self.cycles
+    }
+
+    /// This run's energy relative to `baseline` (1.0 = equal).
+    pub fn energy_ratio_to(&self, baseline: &RunMetrics) -> f64 {
+        self.energy.total() / baseline.energy.total()
+    }
+
+    /// This run's total traffic relative to `baseline`.
+    pub fn traffic_ratio_to(&self, baseline: &RunMetrics) -> f64 {
+        self.traffic.total() as f64 / baseline.traffic.total() as f64
+    }
+}
+
+impl RunMetrics {
+    /// Renders a gem5-style flat stats dump (`name value # comment`),
+    /// convenient for diffing runs and feeding plotting scripts.
+    pub fn stats_text(&self) -> String {
+        let mut s = String::new();
+        let mut line = |name: &str, value: String, comment: &str| {
+            s.push_str(&format!("{name:<44} {value:>20} # {comment}\n"));
+        };
+        line("sim.workload", self.workload.clone(), "application");
+        line("sim.protocol", self.protocol.label().to_owned(), "configuration");
+        line("sim.chiplets", self.equivalent_chiplets.to_string(), "GPU chiplets (equivalent)");
+        line("sim.kernels", self.kernels.to_string(), "dynamic kernels executed");
+        line("sim.cycles", format!("{:.0}", self.cycles), "total GPU cycles");
+        line("sim.exec_cycles", format!("{:.0}", self.exec_cycles), "kernel execution cycles");
+        line("sim.sync_cycles", format!("{:.0}", self.sync_cycles), "implicit-synchronization cycles");
+        line("sync.ops", self.sync_ops.to_string(), "bulk L2 acquires+releases performed");
+        line("sync.flushed_lines", self.flushed_lines.to_string(), "dirty lines drained at boundaries");
+        line("l2.accesses", self.l2.accesses().to_string(), "aggregate L2 accesses");
+        line("l2.hit_rate", format!("{:.4}", self.l2_hit_rate()), "aggregate L2 hit rate");
+        line("l2.flush_writebacks", self.l2.flush_writebacks.to_string(), "release writebacks");
+        line("l2.invalidated", self.l2.invalidated.to_string(), "acquire invalidations");
+        line("l3.accesses", self.l3.accesses().to_string(), "LLC accesses");
+        line("l3.hit_rate", format!("{:.4}", self.l3.hit_rate()), "LLC hit rate");
+        line("dram.accesses", self.dram_accesses.to_string(), "64B HBM accesses");
+        line("noc.flits.l1_l2", self.traffic.l1_l2.to_string(), "L1-L2 flits");
+        line("noc.flits.l2_l3", self.traffic.l2_l3.to_string(), "L2-L3 flits");
+        line("noc.flits.remote", self.traffic.remote.to_string(), "inter-chiplet flits");
+        line("energy.total_uj", format!("{:.3}", self.energy.total() / 1e6), "memory-subsystem energy");
+        line("energy.dram_uj", format!("{:.3}", self.energy.dram / 1e6), "HBM energy");
+        line("energy.noc_uj", format!("{:.3}", self.energy.noc / 1e6), "interconnect energy");
+        if let Some(t) = &self.table {
+            line("cp.table.acquires_issued", t.acquires_issued.to_string(), "CPElide acquires generated");
+            line("cp.table.releases_issued", t.releases_issued.to_string(), "CPElide releases generated");
+            line("cp.table.acquires_elided", t.acquires_elided.to_string(), "acquires the baseline would do");
+            line("cp.table.releases_elided", t.releases_elided.to_string(), "releases the baseline would do");
+            line("cp.table.max_entries", t.max_live_entries.to_string(), "table high-water mark");
+        }
+        s
+    }
+}
+
+impl fmt::Display for RunMetrics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} [{} x{}]: {:.0} cycles ({:.0} exec + {:.0} sync), L2 hit {:.1}%, {} flits, {:.2} uJ",
+            self.workload,
+            self.protocol,
+            self.equivalent_chiplets,
+            self.cycles,
+            self.exec_cycles,
+            self.sync_cycles,
+            100.0 * self.l2_hit_rate(),
+            self.traffic.total(),
+            self.energy.total() / 1e6,
+        )
+    }
+}
+
+/// Geometric mean of an iterator of positive ratios.
+pub fn geomean(values: impl IntoIterator<Item = f64>) -> f64 {
+    let mut log_sum = 0.0;
+    let mut n = 0usize;
+    for v in values {
+        assert!(v > 0.0, "geomean requires positive values");
+        log_sum += v.ln();
+        n += 1;
+    }
+    if n == 0 {
+        return 1.0;
+    }
+    (log_sum / n as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn metrics(name: &str, cycles: f64) -> RunMetrics {
+        RunMetrics {
+            workload: name.to_owned(),
+            protocol: ProtocolKind::Baseline,
+            chiplets: 4,
+            equivalent_chiplets: 4,
+            cycles,
+            exec_cycles: cycles,
+            sync_cycles: 0.0,
+            kernels: 1,
+            traffic: FlitCounter::new(),
+            energy_counts: EnergyCounts::default(),
+            energy: EnergyBreakdown {
+                dram: cycles,
+                ..Default::default()
+            },
+            l2: CacheStats::default(),
+            l3: CacheStats::default(),
+            dram_accesses: 0,
+            table: None,
+            sync_ops: 0,
+            flushed_lines: 0,
+        }
+    }
+
+    #[test]
+    fn speedup_is_baseline_over_self() {
+        let fast = metrics("w", 50.0);
+        let slow = metrics("w", 100.0);
+        assert!((fast.speedup_over(&slow) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "same workload")]
+    fn speedup_rejects_mismatched_workloads() {
+        let a = metrics("a", 1.0);
+        let b = metrics("b", 1.0);
+        let _ = a.speedup_over(&b);
+    }
+
+    #[test]
+    fn energy_ratio() {
+        let a = metrics("w", 50.0);
+        let b = metrics("w", 100.0);
+        assert!((a.energy_ratio_to(&b) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn geomean_of_identities_is_one() {
+        assert!((geomean([1.0, 1.0, 1.0]) - 1.0).abs() < 1e-12);
+        assert!((geomean([2.0, 8.0]) - 4.0).abs() < 1e-12);
+        assert!((geomean(std::iter::empty()) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stats_text_is_complete_and_parsable() {
+        let m = metrics("square", 123.0);
+        let s = m.stats_text();
+        for key in ["sim.cycles", "l2.hit_rate", "noc.flits.remote", "energy.total_uj"] {
+            assert!(s.contains(key), "missing {key}");
+        }
+        // Every line is `name value # comment`.
+        for l in s.lines() {
+            assert!(l.contains(" # "), "malformed stats line: {l}");
+        }
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let m = metrics("square", 123.0);
+        let s = format!("{m}");
+        assert!(s.contains("square"));
+        assert!(s.contains("Baseline"));
+    }
+}

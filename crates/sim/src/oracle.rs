@@ -1,0 +1,371 @@
+//! Coherence correctness oracle: verifies that a protocol's
+//! synchronization decisions never allow a chiplet to observe stale data.
+//!
+//! The oracle replays a workload's exact access traces through a *shadow
+//! memory* that tracks, per cache line, the dynamic kernel id of the last
+//! write (its **version**):
+//!
+//! * a per-chiplet shadow L2 holds `(version, dirty)` entries following the
+//!   VIPER datapath (local stores dirty the shadow, remote stores write
+//!   through to global, local reads fill clean copies);
+//! * *release* publishes a chiplet's dirty versions to global memory
+//!   (newest wins, mirroring last-writer-correct DRF semantics);
+//! * *acquire* publishes and then drops the chiplet's shadow entries.
+//!
+//! The shadow L2 is **unbounded** — deliberately adversarial: capacity
+//! evictions in a real cache only push data *down* (making it globally
+//! visible sooner), so an elision that is safe against an infinite cache is
+//! safe against any smaller one. Every read is checked against the ground
+//! truth (the last kernel, in launch order, that wrote the line); a
+//! mismatch is a coherence violation and means the protocol elided a
+//! synchronization operation it actually needed.
+
+use crate::config::SimConfig;
+use chiplet_coherence::ProtocolKind;
+use chiplet_gpu::dispatch::StaticPartitionScheduler;
+use chiplet_gpu::kernel::KernelId;
+use chiplet_gpu::stream::SoftwareQueue;
+use chiplet_gpu::trace::TraceGenerator;
+use chiplet_mem::addr::{ChipletId, LineAddr};
+use chiplet_workloads::Workload;
+use cpelide::api::KernelLaunchInfo;
+use cpelide::cp::GlobalCp;
+use std::collections::HashMap;
+
+/// One observed coherence violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Dynamic kernel that performed the stale read.
+    pub kernel: u64,
+    /// Chiplet that read.
+    pub chiplet: ChipletId,
+    /// Line read.
+    pub line: LineAddr,
+    /// Version (writer kernel id) observed.
+    pub observed: u64,
+    /// Version that should have been observed.
+    pub expected: u64,
+}
+
+/// Result of an oracle run.
+#[derive(Debug, Clone, Default)]
+pub struct OracleReport {
+    /// Reads checked.
+    pub reads_checked: u64,
+    /// Writes recorded.
+    pub writes_recorded: u64,
+    /// Violations found (empty = the protocol is coherent on this trace).
+    pub violations: Vec<Violation>,
+}
+
+impl OracleReport {
+    /// True if no stale read was observed.
+    pub fn is_coherent(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct ShadowEntry {
+    version: u64,
+    dirty: bool,
+}
+
+/// The shadow memory state.
+#[derive(Debug, Default)]
+struct Shadow {
+    /// Versions visible at the shared level (L3/HBM). Missing = initial (0).
+    global: HashMap<LineAddr, u64>,
+    /// Per-chiplet shadow L2s (unbounded).
+    l2: Vec<HashMap<LineAddr, ShadowEntry>>,
+    /// Ground truth per line: (last writer kernel version, previous
+    /// version before this kernel). Intra-kernel accesses from different
+    /// WGs are unordered on a real GPU, so a read racing with a same-kernel
+    /// write may legally observe either value.
+    truth: HashMap<LineAddr, (u64, u64)>,
+    /// First-touch homes.
+    homes: HashMap<chiplet_mem::addr::PageAddr, ChipletId>,
+}
+
+impl Shadow {
+    fn new(chiplets: usize) -> Self {
+        Shadow {
+            l2: (0..chiplets).map(|_| HashMap::new()).collect(),
+            ..Default::default()
+        }
+    }
+
+    fn home_of(&mut self, line: LineAddr, toucher: ChipletId) -> ChipletId {
+        *self.homes.entry(line.page()).or_insert(toucher)
+    }
+
+    fn release(&mut self, c: ChipletId) {
+        for (line, e) in self.l2[c.index()].iter_mut() {
+            if e.dirty {
+                let g = self.global.entry(*line).or_insert(0);
+                // Newest version wins (DRF last-writer semantics).
+                *g = (*g).max(e.version);
+                e.dirty = false;
+            }
+        }
+    }
+
+    fn acquire(&mut self, c: ChipletId) {
+        self.release(c);
+        self.l2[c.index()].clear();
+    }
+
+    fn write(&mut self, c: ChipletId, line: LineAddr, kernel: u64) {
+        let prev = match self.truth.get(&line) {
+            Some(&(v, p)) if v == kernel => p, // same-kernel rewrite
+            Some(&(v, _)) => v,
+            None => 0,
+        };
+        self.truth.insert(line, (kernel, prev));
+        let home = self.home_of(line, c);
+        if home == c {
+            // Local store: dirty in the shadow L2 (write-back).
+            self.l2[c.index()].insert(
+                line,
+                ShadowEntry {
+                    version: kernel,
+                    dirty: true,
+                },
+            );
+        } else {
+            // Remote store: written through, no local copy.
+            let g = self.global.entry(line).or_insert(0);
+            *g = (*g).max(kernel);
+        }
+    }
+
+    /// Returns the observed version for a read.
+    fn read(&mut self, c: ChipletId, line: LineAddr) -> u64 {
+        let home = self.home_of(line, c);
+        if home == c {
+            if let Some(e) = self.l2[c.index()].get(&line) {
+                return e.version;
+            }
+            let v = self.global.get(&line).copied().unwrap_or(0);
+            // Local read fills a clean shadow copy.
+            self.l2[c.index()].insert(
+                line,
+                ShadowEntry {
+                    version: v,
+                    dirty: false,
+                },
+            );
+            v
+        } else {
+            // Remote reads are forwarded to the home's LLC bank (never
+            // cached locally in the VIPER datapath).
+            self.global.get(&line).copied().unwrap_or(0)
+        }
+    }
+}
+
+/// Replays `workload` with **no synchronization at all** — a deliberately
+/// broken protocol used to validate that the oracle actually detects stale
+/// reads on workloads with cross-chiplet dependences.
+pub fn check_never_sync(workload: &Workload, chiplets: usize, sample: usize) -> OracleReport {
+    check_inner(workload, ProtocolKind::CpElide, chiplets, sample, false)
+}
+
+/// Replays `workload` under `protocol`'s synchronization decisions and
+/// checks every `sample`-th read against ground truth.
+///
+/// Supports the VIPER-datapath configurations ([`ProtocolKind::Baseline`],
+/// [`ProtocolKind::CpElide`], [`ProtocolKind::Monolithic`]) — exactly the
+/// ones whose correctness depends on implicit synchronization. HMG keeps
+/// coherence per access and has no boundary decisions to audit.
+///
+/// # Panics
+///
+/// Panics if called with an HMG configuration.
+pub fn check_coherence(
+    workload: &Workload,
+    protocol: ProtocolKind,
+    chiplets: usize,
+    sample: usize,
+) -> OracleReport {
+    check_inner(workload, protocol, chiplets, sample, true)
+}
+
+fn check_inner(
+    workload: &Workload,
+    protocol: ProtocolKind,
+    chiplets: usize,
+    sample: usize,
+    apply_sync: bool,
+) -> OracleReport {
+    assert!(
+        !protocol.is_hmg(),
+        "the oracle audits implicit-synchronization protocols"
+    );
+    let cfg = SimConfig::table1(chiplets, protocol);
+    let n = cfg.num_chiplets;
+    let sample = sample.max(1);
+
+    let mut cp = (protocol == ProtocolKind::CpElide).then(|| GlobalCp::new(n));
+    let mut shadow = Shadow::new(n);
+    let tracegen = TraceGenerator::new(cfg.seed);
+    let scheduler = StaticPartitionScheduler::new();
+    let all_chiplets: Vec<ChipletId> = ChipletId::all(n).collect();
+
+    let mut queue = SoftwareQueue::new();
+    for l in workload.launches() {
+        queue.enqueue(l.stream, l.spec.clone(), l.binding.clone());
+    }
+
+    let mut report = OracleReport::default();
+    let mut first = true;
+    while !queue.is_empty() {
+        for packet in queue.next_round() {
+            let binding: Vec<ChipletId> = match &packet.binding {
+                None => all_chiplets.clone(),
+                Some(b) => {
+                    let v: Vec<_> = b.iter().copied().filter(|c| c.index() < n).collect();
+                    if v.is_empty() {
+                        all_chiplets.clone()
+                    } else {
+                        v
+                    }
+                }
+            };
+            let plan = scheduler.plan(&packet.spec, &binding);
+
+            // Boundary synchronization per protocol.
+            match protocol {
+                _ if !apply_sync => {
+                    // Broken-protocol mode: still run the CP so decisions
+                    // are computed, but never apply them to the shadow.
+                    if let Some(cp) = cp.as_mut() {
+                        let info = KernelLaunchInfo::from_spec(
+                            &packet.spec,
+                            KernelId::new(packet.id.get()),
+                            workload.arrays(),
+                            &plan,
+                            n,
+                        );
+                        let _ = cp.launch_kernel(&info);
+                    }
+                }
+                ProtocolKind::Baseline if !first => {
+                    for c in ChipletId::all(n) {
+                        shadow.acquire(c);
+                    }
+                }
+                ProtocolKind::CpElide => {
+                    let cp = cp.as_mut().expect("CPElide oracle carries a CP");
+                    let info = KernelLaunchInfo::from_spec(
+                        &packet.spec,
+                        KernelId::new(packet.id.get()),
+                        workload.arrays(),
+                        &plan,
+                        n,
+                    );
+                    let decision = cp.launch_kernel(&info);
+                    for &c in &decision.acquires {
+                        shadow.acquire(c);
+                    }
+                    for &c in &decision.releases {
+                        shadow.release(c);
+                    }
+                }
+                _ => {}
+            }
+            first = false;
+
+            // Kernel body: the version of every read must match truth.
+            // The dynamic kernel id is offset by 1 so that version 0 means
+            // "initial memory".
+            let version = packet.id.get() + 1;
+            for chiplet in plan.chiplets() {
+                let trace = tracegen.chiplet_trace(
+                    &packet.spec,
+                    KernelId::new(packet.id.get()),
+                    workload.arrays(),
+                    &plan,
+                    chiplet,
+                );
+                for (i, ev) in trace.iter().enumerate() {
+                    if ev.write {
+                        shadow.write(chiplet, ev.line, version);
+                        report.writes_recorded += 1;
+                    } else if i % sample == 0 {
+                        let observed = shadow.read(chiplet, ev.line);
+                        let (expected, prev) =
+                            shadow.truth.get(&ev.line).copied().unwrap_or((0, 0));
+                        report.reads_checked += 1;
+                        // A read racing a same-kernel write may see either
+                        // the new value or the pre-kernel one.
+                        let ok = observed == expected
+                            || (expected == version && observed == prev);
+                        if !ok {
+                            report.violations.push(Violation {
+                                kernel: packet.id.get(),
+                                chiplet,
+                                line: ev.line,
+                                observed,
+                                expected,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cpelide_is_coherent_on_streaming_reuse() {
+        let w = chiplet_workloads::by_name("square").unwrap();
+        let r = check_coherence(&w, ProtocolKind::CpElide, 4, 7);
+        assert!(r.reads_checked > 1000);
+        assert!(r.is_coherent(), "violations: {:?}", &r.violations[..r.violations.len().min(3)]);
+    }
+
+    #[test]
+    fn baseline_is_coherent_by_construction() {
+        let w = chiplet_workloads::by_name("hotspot3d").unwrap();
+        let r = check_coherence(&w, ProtocolKind::Baseline, 4, 31);
+        assert!(r.is_coherent());
+    }
+
+    #[test]
+    fn cpelide_is_coherent_on_ping_pong_stencils() {
+        // Hotspot3D's halo reads cross partition boundaries every kernel —
+        // the sharpest test of the lazy release/acquire rules.
+        let w = chiplet_workloads::by_name("hotspot3d").unwrap();
+        let r = check_coherence(&w, ProtocolKind::CpElide, 4, 31);
+        assert!(r.is_coherent(), "violations: {:?}", &r.violations[..r.violations.len().min(3)]);
+    }
+
+    #[test]
+    fn never_syncing_is_caught_by_the_oracle() {
+        // An (incorrect) protocol that never synchronizes must be flagged:
+        // sssp's cross-chiplet gathers of owner-updated distances read
+        // stale values if the producers' releases are dropped.
+        let w = chiplet_workloads::by_name("sssp").unwrap();
+        let broken = check_never_sync(&w, 4, 7);
+        assert!(
+            !broken.is_coherent(),
+            "oracle must detect stale reads when synchronization is dropped"
+        );
+        // ...and CPElide's decisions fix exactly those reads.
+        let ok = check_coherence(&w, ProtocolKind::CpElide, 4, 7);
+        assert!(ok.is_coherent(), "violations: {:?}", &ok.violations[..ok.violations.len().min(3)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "implicit-synchronization")]
+    fn oracle_rejects_hmg() {
+        let w = chiplet_workloads::by_name("square").unwrap();
+        let _ = check_coherence(&w, ProtocolKind::Hmg, 4, 1);
+    }
+}

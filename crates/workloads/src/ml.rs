@@ -1,0 +1,197 @@
+//! Machine-learning application models: DeepBench RNNs (GRU and LSTM, two
+//! configurations each) and a DNNMark-style CNN.
+
+use crate::{single_stream, ReuseClass, Workload};
+use chiplet_gpu::kernel::{AccessPattern, KernelSpec, TouchKind};
+use chiplet_gpu::table::ArrayTable;
+use std::sync::Arc;
+
+/// Builds one RNN workload: `gates` gate matrices of `hidden²` weights,
+/// `timesteps` steps, batch-scaled activations.
+///
+/// The weights are read-only and *shared* by every chiplet (broadcast
+/// matmul panels); activations flow producer-consumer between per-timestep
+/// kernels. CPElide preserves both across kernels; HMG additionally caches
+/// the remote weight reads, which is why it edges out CPElide by a few
+/// percent on the RNNs (paper §V-B).
+fn rnn(
+    name: &str,
+    input: &str,
+    gates: u64,
+    hidden: u64,
+    timesteps: u64,
+    batch: u64,
+    act_seq: u64,
+) -> Workload {
+    const ELEM: u64 = 4;
+    let mut t = ArrayTable::new();
+    // Input-to-hidden and hidden-to-hidden weights, one panel per gate;
+    // each gate's matmul kernel broadcast-reads only its own panel.
+    let gate_weights: Vec<_> = (0..gates)
+        .map(|g| t.alloc(format!("gate{g}_weights"), 2 * hidden * hidden * ELEM))
+        .collect();
+    let state = t.alloc("hidden_state", batch * hidden * act_seq * ELEM);
+    let gates_buf = t.alloc("gate_outputs", gates * batch * hidden * act_seq * ELEM);
+    let output = t.alloc("outputs", batch * hidden * act_seq * ELEM);
+
+    // Weight initialization (the UVM host transfer / init kernel): touches
+    // each panel partitioned, distributing weight pages across chiplets
+    // under first-touch placement — as the paper's UVM-converted workloads
+    // do when copying weights in.
+    let mut init = KernelSpec::builder(format!("{name}_init_weights"))
+        .wg_count(2048)
+        .compute_per_line(0.5)
+        .l1_hit_rate(0.1)
+        .mlp(64.0);
+    for &w in &gate_weights {
+        init = init.array(w, TouchKind::Store, AccessPattern::Partitioned);
+    }
+    let init = Arc::new(
+        init.array(state, TouchKind::Store, AccessPattern::Partitioned)
+            .build(),
+    );
+
+    let matmuls: Vec<Arc<KernelSpec>> = gate_weights
+        .iter()
+        .enumerate()
+        .map(|(g, &w)| {
+            Arc::new(
+                KernelSpec::builder(format!("{name}_gate{g}_matmul"))
+                    .wg_count(2048)
+                    .array(w, TouchKind::Load, AccessPattern::Shared)
+                    .array(state, TouchKind::Load, AccessPattern::Partitioned)
+                    .array(gates_buf, TouchKind::Store, AccessPattern::Partitioned)
+                    .compute_per_line(3.0)
+                    .lds_per_line(2.0)
+                    .l1_hit_rate(0.5)
+                    .mlp(32.0)
+                    .build(),
+            )
+        })
+        .collect();
+    let pointwise = Arc::new(
+        KernelSpec::builder(format!("{name}_pointwise"))
+            .wg_count(2048)
+            .array(gates_buf, TouchKind::Load, AccessPattern::Partitioned)
+            .array(state, TouchKind::LoadStore, AccessPattern::Partitioned)
+            .array(output, TouchKind::Store, AccessPattern::Partitioned)
+            .compute_per_line(1.5)
+            .l1_hit_rate(0.5)
+            .mlp(32.0)
+            .build(),
+    );
+    let mut kernels = vec![init];
+    for _ in 0..timesteps {
+        kernels.extend(matmuls.iter().cloned());
+        kernels.push(pointwise.clone());
+    }
+    Workload::new(name, input, ReuseClass::ModerateHigh, t, single_stream(kernels))
+}
+
+/// RNN-GRU, small config (DeepBench; BS:4, TS:2, hidden 256).
+pub fn rnn_gru_small() -> Workload {
+    rnn("rnn-gru-small", "BS:4, TS:2, Hidden Layers: 256", 3, 256, 2, 4, 56)
+}
+
+/// RNN-GRU, large config (DeepBench; BS:16, TS:4, hidden 512).
+pub fn rnn_gru_large() -> Workload {
+    rnn("rnn-gru-large", "BS:16, TS:4, Hidden Layers: 512", 3, 512, 4, 16, 24)
+}
+
+/// RNN-LSTM, small config (DeepBench; BS:4, TS:2, hidden 256).
+pub fn rnn_lstm_small() -> Workload {
+    rnn("rnn-lstm-small", "BS:4, TS:2, Hidden Layers: 256", 4, 256, 2, 4, 56)
+}
+
+/// RNN-LSTM, large config (DeepBench; BS:16, TS:4, hidden 512).
+pub fn rnn_lstm_large() -> Workload {
+    rnn("rnn-lstm-large", "BS:16, TS:4, Hidden Layers: 512", 4, 512, 4, 16, 24)
+}
+
+/// CNN (DNNMark-style Conv+Pool+FC; input 128x128x3, BS:4): compute-bound
+/// layers — CPElide and HMG perform like the Baseline (paper §V-B).
+pub fn cnn() -> Workload {
+    const ELEM: u64 = 4;
+    let mut t = ArrayTable::new();
+    let image = t.alloc("images", 128 * 128 * 3 * 4 * ELEM); // BS 4
+    let filters = t.alloc("conv_filters", 64 * 3 * 3 * 3 * 64 * ELEM);
+    let fmap1 = t.alloc("fmap_conv", 128 * 128 * 64 * 4 * ELEM / 4);
+    let fmap2 = t.alloc("fmap_pool", 64 * 64 * 64 * 4 * ELEM / 4);
+    let fc_w = t.alloc("fc_weights", 4_194_304 * ELEM);
+    let logits = t.alloc("logits", 4096 * ELEM);
+
+    let conv = Arc::new(
+        KernelSpec::builder("conv2d")
+            .wg_count(4096)
+            .array(image, TouchKind::Load, AccessPattern::Partitioned)
+            .array(filters, TouchKind::Load, AccessPattern::Shared)
+            .array(fmap1, TouchKind::Store, AccessPattern::Partitioned)
+            .compute_per_line(24.0)
+            .lds_per_line(4.0)
+            .l1_hit_rate(0.6)
+            .mlp(64.0)
+            .build(),
+    );
+    let pool = Arc::new(
+        KernelSpec::builder("maxpool")
+            .wg_count(2048)
+            .array(fmap1, TouchKind::Load, AccessPattern::Partitioned)
+            .array(fmap2, TouchKind::Store, AccessPattern::Partitioned)
+            .compute_per_line(4.0)
+            .l1_hit_rate(0.6)
+            .mlp(64.0)
+            .build(),
+    );
+    let fc = Arc::new(
+        KernelSpec::builder("fully_connected")
+            .wg_count(2048)
+            .array(fmap2, TouchKind::Load, AccessPattern::Partitioned)
+            .array(fc_w, TouchKind::Load, AccessPattern::Partitioned)
+            .array(logits, TouchKind::Store, AccessPattern::Shared)
+            .compute_per_line(18.0)
+            .lds_per_line(2.0)
+            .l1_hit_rate(0.6)
+            .mlp(64.0)
+            .build(),
+    );
+    Workload::new(
+        "cnn",
+        "128x128x3, BS:4",
+        ReuseClass::Low,
+        t,
+        single_stream(vec![conv, pool, fc]),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rnns_share_weights() {
+        for w in [rnn_gru_small(), rnn_lstm_large()] {
+            // launches()[0] is the weight-init kernel; the matmuls follow.
+            let k = &w.launches()[1].spec;
+            assert_eq!(k.arrays()[0].pattern, AccessPattern::Shared);
+            assert_eq!(k.arrays()[0].touch, TouchKind::Load);
+        }
+    }
+
+    #[test]
+    fn lstm_has_more_gates_than_gru() {
+        // 4 gates vs 3: more matmul kernels per timestep.
+        assert!(rnn_lstm_small().kernel_count() > rnn_gru_small().kernel_count());
+    }
+
+    #[test]
+    fn large_configs_have_bigger_weights() {
+        assert!(rnn_gru_large().footprint_bytes() > rnn_gru_small().footprint_bytes());
+    }
+
+    #[test]
+    fn cnn_is_compute_bound() {
+        let w = cnn();
+        assert!(w.launches()[0].spec.compute_per_line() >= 20.0);
+        assert_eq!(w.kernel_count(), 3);
+    }
+}

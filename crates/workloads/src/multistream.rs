@@ -1,0 +1,238 @@
+//! Multi-stream workloads for the paper's §VI study.
+//!
+//! `hipSetDevice` binds a stream to chiplet(s); independent kernels from
+//! different streams execute concurrently on their bound chiplets. The
+//! suite contains `streams` (the one multi-stream benchmark in
+//! gem5-resources) plus multi-stream extensions of Table II applications
+//! mimicking concurrent jobs, as the paper does.
+
+use crate::{Launch, ReuseClass, Workload};
+use chiplet_gpu::kernel::{AccessPattern, KernelSpec, TouchKind};
+use chiplet_gpu::stream::StreamId;
+use chiplet_gpu::table::ArrayTable;
+use chiplet_mem::addr::ChipletId;
+use std::sync::Arc;
+
+/// Binds stream `s` of `num_streams` to an equal share of 4 chiplets.
+fn binding_for(s: u32, num_streams: u32) -> Vec<ChipletId> {
+    let per = (4 / num_streams).max(1);
+    (0..per).map(|i| ChipletId::new((s * per + i) as u8 % 4)).collect()
+}
+
+/// The `streams` microbenchmark: four independent streams, each running an
+/// iterative square-style kernel on its own array and chiplet.
+pub fn streams() -> Workload {
+    const N: u64 = 262_144;
+    const ELEM: u64 = 4;
+    let mut t = ArrayTable::new();
+    let mut launches = Vec::new();
+    for s in 0..4u32 {
+        let a = t.alloc(format!("in{s}"), N * ELEM);
+        let c = t.alloc(format!("out{s}"), N * ELEM);
+        let k = Arc::new(
+            KernelSpec::builder(format!("stream{s}_square"))
+                .wg_count(512)
+                .array(a, TouchKind::Load, AccessPattern::Partitioned)
+                .array(c, TouchKind::LoadStore, AccessPattern::Partitioned)
+                .compute_per_line(5.0)
+                .l1_hit_rate(0.25)
+                .mlp(48.0)
+                .build(),
+        );
+        for _ in 0..10 {
+            launches.push(Launch {
+                stream: StreamId::new(s),
+                spec: k.clone(),
+                binding: Some(binding_for(s, 4)),
+            });
+        }
+    }
+    // Interleave the four streams' launches round-robin, as the runtime
+    // would enqueue them.
+    launches.sort_by_key(|l| l.stream.get());
+    let mut interleaved = Vec::with_capacity(launches.len());
+    for i in 0..10 {
+        for s in 0..4 {
+            interleaved.push(launches[s * 10 + i].clone());
+        }
+    }
+    Workload::new(
+        "streams",
+        "4 streams x 262144",
+        ReuseClass::ModerateHigh,
+        t,
+        interleaved,
+    )
+}
+
+/// Two concurrent BabelStream-style jobs on disjoint chiplet pairs.
+pub fn babelstream_2s() -> Workload {
+    const N: u64 = 262_144;
+    const ELEM: u64 = 8;
+    let mut t = ArrayTable::new();
+    let mut launches = Vec::new();
+    let mut per_stream_kernels: Vec<Vec<Arc<KernelSpec>>> = Vec::new();
+    for s in 0..2u32 {
+        let a = t.alloc(format!("a{s}"), N * ELEM);
+        let b = t.alloc(format!("b{s}"), N * ELEM);
+        let c = t.alloc(format!("c{s}"), N * ELEM);
+        let mk = |name: String, srcs: Vec<_>, dst| {
+            let mut kb = KernelSpec::builder(name)
+                .wg_count(1024)
+                .compute_per_line(5.0)
+                .l1_hit_rate(0.25)
+                .mlp(48.0);
+            for src in srcs {
+                kb = kb.array(src, TouchKind::Load, AccessPattern::Partitioned);
+            }
+            Arc::new(kb.array(dst, TouchKind::Store, AccessPattern::Partitioned).build())
+        };
+        per_stream_kernels.push(vec![
+            mk(format!("copy{s}"), vec![a], c),
+            mk(format!("add{s}"), vec![a, b], c),
+            mk(format!("triad{s}"), vec![b, c], a),
+        ]);
+    }
+    for iter in 0..6 {
+        for s in 0..2u32 {
+            let ks = &per_stream_kernels[s as usize];
+            launches.push(Launch {
+                stream: StreamId::new(s),
+                spec: ks[iter % ks.len()].clone(),
+                binding: Some(binding_for(s, 2)),
+            });
+        }
+    }
+    Workload::new(
+        "babelstream-2s",
+        "2 streams x 262144",
+        ReuseClass::ModerateHigh,
+        t,
+        launches,
+    )
+}
+
+/// Two concurrent irregular-graph jobs (BFS-like) on disjoint chiplet pairs.
+pub fn graph_2s() -> Workload {
+    const NODES: u64 = 131_072;
+    const ELEM: u64 = 4;
+    let mut t = ArrayTable::new();
+    let mut launches = Vec::new();
+    let mut kernels = Vec::new();
+    for s in 0..2u32 {
+        let edges = t.alloc(format!("edges{s}"), NODES * 8 * ELEM);
+        let cost = t.alloc(format!("cost{s}"), NODES * ELEM);
+        kernels.push(Arc::new(
+            KernelSpec::builder(format!("relax{s}"))
+                .wg_count(1024)
+                .array(edges, TouchKind::Load, AccessPattern::Irregular { fraction: 0.3, locality: 0.5 })
+                .array(cost, TouchKind::LoadStore, AccessPattern::Partitioned)
+                .compute_per_line(1.5)
+                .l1_hit_rate(0.35)
+                .mlp(24.0)
+                .build(),
+        ));
+    }
+    for _ in 0..10 {
+        for s in 0..2u32 {
+            launches.push(Launch {
+                stream: StreamId::new(s),
+                spec: kernels[s as usize].clone(),
+                binding: Some(binding_for(s, 2)),
+            });
+        }
+    }
+    Workload::new(
+        "graph-2s",
+        "2 streams x 131072 nodes",
+        ReuseClass::ModerateHigh,
+        t,
+        launches,
+    )
+}
+
+/// Two concurrent compute-bound stencil jobs (Hotspot-like).
+pub fn hotspot_2s() -> Workload {
+    const N: u64 = 512;
+    const ELEM: u64 = 4;
+    let mut t = ArrayTable::new();
+    let mut launches = Vec::new();
+    let mut kernels = Vec::new();
+    for s in 0..2u32 {
+        let temp = t.alloc(format!("temp{s}"), N * N * ELEM);
+        let power = t.alloc(format!("power{s}"), N * N * ELEM);
+        kernels.push(Arc::new(
+            KernelSpec::builder(format!("hotspot{s}"))
+                .wg_count(1024)
+                .array(temp, TouchKind::LoadStore, AccessPattern::PartitionedHalo { halo_lines: 32 })
+                .array(power, TouchKind::Load, AccessPattern::Partitioned)
+                .compute_per_line(14.0)
+                .lds_per_line(3.0)
+                .l1_hit_rate(0.6)
+                .mlp(64.0)
+                .build(),
+        ));
+    }
+    for _ in 0..10 {
+        for s in 0..2u32 {
+            launches.push(Launch {
+                stream: StreamId::new(s),
+                spec: kernels[s as usize].clone(),
+                binding: Some(binding_for(s, 2)),
+            });
+        }
+    }
+    Workload::new(
+        "hotspot-2s",
+        "2 streams x 512x512",
+        ReuseClass::ModerateHigh,
+        t,
+        launches,
+    )
+}
+
+/// The §VI multi-stream suite.
+pub fn suite() -> Vec<Workload> {
+    vec![streams(), babelstream_2s(), graph_2s(), hotspot_2s()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bindings_are_disjoint_across_streams() {
+        let w = streams();
+        let mut seen: Vec<(u32, Vec<ChipletId>)> = Vec::new();
+        for l in w.launches() {
+            let b = l.binding.clone().unwrap();
+            if let Some((_, prev)) = seen.iter().find(|(s, _)| *s == l.stream.get()) {
+                assert_eq!(*prev, b, "stream binding must be stable");
+            } else {
+                for (_, other) in &seen {
+                    assert!(other.iter().all(|c| !b.contains(c)), "bindings overlap");
+                }
+                seen.push((l.stream.get(), b));
+            }
+        }
+        assert_eq!(seen.len(), 4);
+    }
+
+    #[test]
+    fn suite_members_are_multi_stream() {
+        for w in suite() {
+            assert!(w.stream_count() >= 2, "{}", w.name());
+        }
+    }
+
+    #[test]
+    fn streams_interleaves_rounds() {
+        let w = streams();
+        // First four launches are from four distinct streams.
+        let ids: Vec<u32> = w.launches()[..4].iter().map(|l| l.stream.get()).collect();
+        let mut sorted = ids.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 4);
+    }
+}

@@ -1,0 +1,414 @@
+//! A plain-text workload specification format, so new applications can be
+//! described without writing Rust.
+//!
+//! # Format
+//!
+//! Line-oriented; `#` starts a comment; indentation is free-form.
+//!
+//! ```text
+//! name pipeline
+//! input "3 stages x 10 iters"
+//! class moderate-high            # or: low
+//!
+//! array raw    4MiB
+//! array staged 4MiB
+//! array lut    512KiB
+//!
+//! kernel produce
+//!   wgs 2048
+//!   compute 1.0                  # ALU cycles per line
+//!   lds 0.5                      # LDS accesses per line
+//!   l1 0.3                       # L1 hit rate
+//!   mlp 32                       # memory-level parallelism
+//!   load  raw    partitioned
+//!   store staged partitioned
+//!
+//! kernel transform
+//!   load  staged partitioned
+//!   load  lut    shared
+//!   loadstore raw irregular 0.5 0.9   # fraction, locality
+//!
+//! sequence repeat 10 { produce transform }
+//! sequence produce                     # single launches also allowed
+//! ```
+//!
+//! Access patterns: `partitioned`, `shared`, `halo <lines>`,
+//! `slice <start> <end>`, `irregular <fraction> <locality>`.
+//! Sizes accept `B`, `KiB`, `MiB`, `GiB` suffixes (or bare bytes).
+
+use crate::{single_stream, ReuseClass, Workload};
+use chiplet_gpu::kernel::{AccessPattern, KernelBuilder, KernelSpec, TouchKind};
+use chiplet_gpu::table::ArrayTable;
+use chiplet_mem::array::ArrayId;
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+use std::sync::Arc;
+
+/// Error produced by [`parse_workload`], carrying the offending line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseSpecError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseSpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "workload spec line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for ParseSpecError {}
+
+fn err(line: usize, message: impl Into<String>) -> ParseSpecError {
+    ParseSpecError {
+        line,
+        message: message.into(),
+    }
+}
+
+/// Parses a size like `4MiB`, `512KiB`, `64B` or `1024`.
+fn parse_size(s: &str, line: usize) -> Result<u64, ParseSpecError> {
+    let (digits, mult) = if let Some(p) = s.strip_suffix("GiB") {
+        (p, 1u64 << 30)
+    } else if let Some(p) = s.strip_suffix("MiB") {
+        (p, 1 << 20)
+    } else if let Some(p) = s.strip_suffix("KiB") {
+        (p, 1 << 10)
+    } else if let Some(p) = s.strip_suffix('B') {
+        (p, 1)
+    } else {
+        (s, 1)
+    };
+    digits
+        .parse::<u64>()
+        .map(|v| v * mult)
+        .map_err(|_| err(line, format!("invalid size `{s}`")))
+}
+
+fn parse_f64(s: &str, line: usize) -> Result<f64, ParseSpecError> {
+    s.parse()
+        .map_err(|_| err(line, format!("invalid number `{s}`")))
+}
+
+fn parse_pattern(tokens: &[&str], line: usize) -> Result<AccessPattern, ParseSpecError> {
+    match tokens {
+        ["partitioned"] => Ok(AccessPattern::Partitioned),
+        ["shared"] => Ok(AccessPattern::Shared),
+        ["halo", n] => Ok(AccessPattern::PartitionedHalo {
+            halo_lines: n
+                .parse()
+                .map_err(|_| err(line, format!("invalid halo lines `{n}`")))?,
+        }),
+        ["slice", a, b] => Ok(AccessPattern::Slice {
+            start: parse_f64(a, line)?,
+            end: parse_f64(b, line)?,
+        }),
+        ["irregular", f, l] => Ok(AccessPattern::Irregular {
+            fraction: parse_f64(f, line)?,
+            locality: parse_f64(l, line)?,
+        }),
+        _ => Err(err(line, format!("unknown access pattern `{}`", tokens.join(" ")))),
+    }
+}
+
+struct PendingKernel {
+    builder: Option<KernelBuilder>,
+    name: String,
+    accesses: usize,
+}
+
+/// Parses a workload specification (see the module docs for the format).
+///
+/// # Errors
+///
+/// Returns [`ParseSpecError`] with the offending line number on any
+/// malformed directive, unknown array/kernel reference, or missing
+/// `name`/`sequence` section.
+pub fn parse_workload(text: &str) -> Result<Workload, ParseSpecError> {
+    let mut name: Option<String> = None;
+    let mut input = String::new();
+    let mut class = ReuseClass::ModerateHigh;
+    let mut arrays = ArrayTable::new();
+    let mut array_ids: HashMap<String, ArrayId> = HashMap::new();
+    let mut kernels: HashMap<String, Arc<KernelSpec>> = HashMap::new();
+    let mut current: Option<PendingKernel> = None;
+    let mut sequence: Vec<Arc<KernelSpec>> = Vec::new();
+
+    let finish = |k: PendingKernel,
+                  kernels: &mut HashMap<String, Arc<KernelSpec>>|
+     -> Result<(), ParseSpecError> {
+        if k.accesses == 0 {
+            return Err(err(0, format!("kernel `{}` accesses no arrays", k.name)));
+        }
+        let spec = k.builder.expect("builder present until finished").build();
+        kernels.insert(k.name, Arc::new(spec));
+        Ok(())
+    };
+
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let tokens: Vec<&str> = line.split_whitespace().collect();
+        match tokens[0] {
+            "name" => {
+                name = Some(
+                    tokens
+                        .get(1)
+                        .ok_or_else(|| err(line_no, "name requires a value"))?
+                        .to_string(),
+                );
+            }
+            "input" => {
+                input = line["input".len()..].trim().trim_matches('"').to_owned();
+            }
+            "class" => match tokens.get(1) {
+                Some(&"moderate-high") => class = ReuseClass::ModerateHigh,
+                Some(&"low") => class = ReuseClass::Low,
+                other => {
+                    return Err(err(
+                        line_no,
+                        format!("class must be moderate-high or low, got {other:?}"),
+                    ))
+                }
+            },
+            "array" => {
+                let [_, aname, size] = tokens[..] else {
+                    return Err(err(line_no, "array requires: array <name> <size>"));
+                };
+                if array_ids.contains_key(aname) {
+                    return Err(err(line_no, format!("array `{aname}` redefined")));
+                }
+                let id = arrays.alloc(aname, parse_size(size, line_no)?);
+                array_ids.insert(aname.to_owned(), id);
+            }
+            "kernel" => {
+                if let Some(k) = current.take() {
+                    finish(k, &mut kernels).map_err(|e| err(line_no, e.message))?;
+                }
+                let kname = tokens
+                    .get(1)
+                    .ok_or_else(|| err(line_no, "kernel requires a name"))?;
+                current = Some(PendingKernel {
+                    builder: Some(KernelSpec::builder(*kname)),
+                    name: kname.to_string(),
+                    accesses: 0,
+                });
+            }
+            "wgs" | "compute" | "lds" | "l1" | "mlp" => {
+                let k = current
+                    .as_mut()
+                    .ok_or_else(|| err(line_no, "directive outside a kernel block"))?;
+                let v = tokens
+                    .get(1)
+                    .ok_or_else(|| err(line_no, "directive requires a value"))?;
+                let b = k.builder.take().expect("builder present");
+                k.builder = Some(match tokens[0] {
+                    "wgs" => b.wg_count(
+                        v.parse()
+                            .map_err(|_| err(line_no, format!("invalid wgs `{v}`")))?,
+                    ),
+                    "compute" => b.compute_per_line(parse_f64(v, line_no)?),
+                    "lds" => b.lds_per_line(parse_f64(v, line_no)?),
+                    "l1" => b.l1_hit_rate(parse_f64(v, line_no)?),
+                    "mlp" => b.mlp(parse_f64(v, line_no)?),
+                    _ => unreachable!("matched above"),
+                });
+            }
+            "load" | "store" | "loadstore" => {
+                let k = current
+                    .as_mut()
+                    .ok_or_else(|| err(line_no, "access outside a kernel block"))?;
+                let aname = tokens
+                    .get(1)
+                    .ok_or_else(|| err(line_no, "access requires an array name"))?;
+                let &id = array_ids
+                    .get(*aname)
+                    .ok_or_else(|| err(line_no, format!("unknown array `{aname}`")))?;
+                let touch = match tokens[0] {
+                    "load" => TouchKind::Load,
+                    "store" => TouchKind::Store,
+                    _ => TouchKind::LoadStore,
+                };
+                let pattern = parse_pattern(&tokens[2..], line_no)?;
+                let b = k.builder.take().expect("builder present");
+                k.builder = Some(b.array(id, touch, pattern));
+                k.accesses += 1;
+            }
+            "sequence" => {
+                if let Some(k) = current.take() {
+                    finish(k, &mut kernels).map_err(|e| err(line_no, e.message))?;
+                }
+                let rest = &tokens[1..];
+                let (repeat, names): (usize, &[&str]) = match rest {
+                    ["repeat", n, "{", inner @ .., "}"] => (
+                        n.parse()
+                            .map_err(|_| err(line_no, format!("invalid repeat `{n}`")))?,
+                        inner,
+                    ),
+                    names => (1, names),
+                };
+                if names.is_empty() {
+                    return Err(err(line_no, "sequence requires kernel names"));
+                }
+                for _ in 0..repeat {
+                    for kname in names {
+                        let spec = kernels
+                            .get(*kname)
+                            .ok_or_else(|| err(line_no, format!("unknown kernel `{kname}`")))?;
+                        sequence.push(spec.clone());
+                    }
+                }
+            }
+            other => return Err(err(line_no, format!("unknown directive `{other}`"))),
+        }
+    }
+    if let Some(k) = current.take() {
+        finish(k, &mut kernels).map_err(|e| err(text.lines().count(), e.message))?;
+    }
+
+    let name = name.ok_or_else(|| err(1, "spec is missing a `name` directive"))?;
+    if sequence.is_empty() {
+        return Err(err(
+            text.lines().count(),
+            "spec is missing a `sequence` directive",
+        ));
+    }
+    Ok(Workload::new(
+        name,
+        input,
+        class,
+        arrays,
+        single_stream(sequence),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const PIPELINE: &str = r#"
+# a three-stage pipeline
+name pipeline
+input "3 stages"
+class moderate-high
+
+array raw    4MiB
+array staged 4MiB
+array lut    512KiB
+
+kernel produce
+  wgs 2048
+  compute 1.0
+  l1 0.3
+  mlp 32
+  load  raw    partitioned
+  store staged partitioned
+
+kernel transform
+  load staged partitioned
+  load lut shared
+  loadstore raw irregular 0.5 0.9
+
+sequence repeat 3 { produce transform }
+sequence produce
+"#;
+
+    #[test]
+    fn parses_a_full_spec() {
+        let w = parse_workload(PIPELINE).expect("valid spec");
+        assert_eq!(w.name(), "pipeline");
+        assert_eq!(w.input(), "3 stages");
+        assert_eq!(w.class(), ReuseClass::ModerateHigh);
+        assert_eq!(w.arrays().len(), 3);
+        assert_eq!(w.kernel_count(), 7); // 3x(produce transform) + produce
+        let produce = &w.launches()[0].spec;
+        assert_eq!(produce.name(), "produce");
+        assert_eq!(produce.wg_count(), 2048);
+        assert!((produce.mlp() - 32.0).abs() < 1e-12);
+        let transform = &w.launches()[1].spec;
+        assert_eq!(transform.arrays().len(), 3);
+        assert!(matches!(
+            transform.arrays()[2].pattern,
+            AccessPattern::Irregular { .. }
+        ));
+    }
+
+    #[test]
+    fn sizes_accept_suffixes() {
+        assert_eq!(parse_size("4MiB", 1).unwrap(), 4 << 20);
+        assert_eq!(parse_size("512KiB", 1).unwrap(), 512 << 10);
+        assert_eq!(parse_size("1GiB", 1).unwrap(), 1 << 30);
+        assert_eq!(parse_size("64B", 1).unwrap(), 64);
+        assert_eq!(parse_size("4096", 1).unwrap(), 4096);
+        assert!(parse_size("4x", 1).is_err());
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let bad = "name x\narray a 4MiB\nkernel k\n  load b partitioned\nsequence k\n";
+        let e = parse_workload(bad).unwrap_err();
+        assert_eq!(e.line, 4);
+        assert!(e.message.contains("unknown array"));
+    }
+
+    #[test]
+    fn unknown_directive_rejected() {
+        let e = parse_workload("name x\nfrobnicate 3\n").unwrap_err();
+        assert_eq!(e.line, 2);
+    }
+
+    #[test]
+    fn missing_sequence_rejected() {
+        let e = parse_workload("name x\narray a 4MiB\nkernel k\n load a shared\n").unwrap_err();
+        assert!(e.message.contains("sequence"));
+    }
+
+    #[test]
+    fn unknown_kernel_in_sequence_rejected() {
+        let e = parse_workload("name x\narray a 64B\nkernel k\n load a shared\nsequence nope\n")
+            .unwrap_err();
+        assert!(e.message.contains("unknown kernel"));
+    }
+
+    #[test]
+    fn redefined_array_rejected() {
+        let e = parse_workload("name x\narray a 64B\narray a 64B\n").unwrap_err();
+        assert!(e.message.contains("redefined"));
+    }
+
+    #[test]
+    fn parsed_workload_simulates() {
+        // End-to-end sanity: the spec runs through the public Workload API.
+        let w = parse_workload(PIPELINE).unwrap();
+        assert!(w.footprint_bytes() > 8 << 20);
+        assert_eq!(w.stream_count(), 1);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let spec = "\n# hi\nname z # trailing\narray a 64B\nkernel k\n load a shared\nsequence k\n";
+        let w = parse_workload(spec).unwrap();
+        assert_eq!(w.name(), "z");
+    }
+
+    #[test]
+    fn halo_and_slice_patterns_parse() {
+        let spec = "name s\narray a 1MiB\nkernel k\n load a halo 32\n store a slice 0.25 0.75\nsequence k\n";
+        let w = parse_workload(spec).unwrap();
+        let k = &w.launches()[0].spec;
+        assert_eq!(
+            k.arrays()[0].pattern,
+            AccessPattern::PartitionedHalo { halo_lines: 32 }
+        );
+        assert_eq!(
+            k.arrays()[1].pattern,
+            AccessPattern::Slice { start: 0.25, end: 0.75 }
+        );
+    }
+}

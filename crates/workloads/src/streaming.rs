@@ -1,0 +1,165 @@
+//! Streaming / bandwidth benchmarks: BabelStream, Square, Pathfinder.
+
+use crate::{single_stream, ReuseClass, Workload};
+use chiplet_gpu::kernel::{AccessPattern, KernelSpec, TouchKind};
+use chiplet_gpu::table::ArrayTable;
+use std::sync::Arc;
+
+/// BabelStream (input 524288): the classic copy/mul/add/triad/dot sweep.
+/// Iterative, uniformly partitioned, memory-bound streaming kernels whose
+/// 12 MiB working set fits the aggregate L2 — the poster child for
+/// CPElide's inter-kernel reuse (paper §V-A: +31 % with Square).
+pub fn babelstream() -> Workload {
+    const N: u64 = 524_288;
+    const ELEM: u64 = 8; // doubles
+    let mut t = ArrayTable::new();
+    let a = t.alloc("a", N * ELEM);
+    let b = t.alloc("b", N * ELEM);
+    let c = t.alloc("c", N * ELEM);
+
+    let mk = |name: &str, build: &dyn Fn(chiplet_gpu::kernel::KernelBuilder) -> chiplet_gpu::kernel::KernelBuilder| {
+        Arc::new(
+            build(
+                KernelSpec::builder(name)
+                    .wg_count(2048)
+                    .compute_per_line(5.8)
+                    .l1_hit_rate(0.25)
+                    .mlp(48.0),
+            )
+            .build(),
+        )
+    };
+
+    let copy = mk("copy", &|k| {
+        k.array(a, TouchKind::Load, AccessPattern::Partitioned)
+            .array(c, TouchKind::Store, AccessPattern::Partitioned)
+    });
+    let mul = mk("mul", &|k| {
+        k.array(c, TouchKind::Load, AccessPattern::Partitioned)
+            .array(b, TouchKind::Store, AccessPattern::Partitioned)
+    });
+    let add = mk("add", &|k| {
+        k.array(a, TouchKind::Load, AccessPattern::Partitioned)
+            .array(b, TouchKind::Load, AccessPattern::Partitioned)
+            .array(c, TouchKind::Store, AccessPattern::Partitioned)
+    });
+    let triad = mk("triad", &|k| {
+        k.array(b, TouchKind::Load, AccessPattern::Partitioned)
+            .array(c, TouchKind::Load, AccessPattern::Partitioned)
+            .array(a, TouchKind::Store, AccessPattern::Partitioned)
+    });
+    let dot = mk("dot", &|k| {
+        k.array(a, TouchKind::Load, AccessPattern::Partitioned)
+            .array(b, TouchKind::Load, AccessPattern::Partitioned)
+    });
+
+    let mut kernels = Vec::new();
+    for _ in 0..8 {
+        kernels.extend([copy.clone(), mul.clone(), add.clone(), triad.clone(), dot.clone()]);
+    }
+    Workload::new(
+        "babelstream",
+        "524288",
+        ReuseClass::ModerateHigh,
+        t,
+        single_stream(kernels),
+    )
+}
+
+/// Square (HIP-Examples; input 524288 1 2 2048 256): `C[i] = A[i]²`
+/// repeated — iterative, uniform, trivially partitionable (paper §V-A).
+pub fn square() -> Workload {
+    const N: u64 = 524_288;
+    const ELEM: u64 = 4;
+    let mut t = ArrayTable::new();
+    let a = t.alloc("A_d", N * ELEM);
+    let c = t.alloc("C_d", N * ELEM);
+
+    let square = Arc::new(
+        KernelSpec::builder("square")
+            .wg_count(2048)
+            .array(a, TouchKind::Load, AccessPattern::Partitioned)
+            .array(c, TouchKind::Store, AccessPattern::Partitioned)
+            .compute_per_line(4.5)
+            .l1_hit_rate(0.25)
+            .mlp(48.0)
+            .build(),
+    );
+    let kernels = vec![square; 20];
+    Workload::new(
+        "square",
+        "524288 1 2 2048 256",
+        ReuseClass::ModerateHigh,
+        t,
+        single_stream(kernels),
+    )
+}
+
+/// Pathfinder (Rodinia; input 200000 100 20): dynamic-programming grid
+/// traversal — each step consumes a fresh strip of the 80 MB grid, so there
+/// is essentially no inter-kernel reuse (paper groups it as low-reuse).
+pub fn pathfinder() -> Workload {
+    const COLS: u64 = 200_000;
+    const ROWS: u64 = 100;
+    const ELEM: u64 = 4;
+    const STEPS: u64 = 20;
+    let mut t = ArrayTable::new();
+    let wall = t.alloc("wall", COLS * ROWS * ELEM);
+    let result = t.alloc("result", COLS * ELEM);
+
+    let rows_per_step = ROWS / STEPS;
+    let kernels: Vec<Arc<KernelSpec>> = (0..STEPS)
+        .map(|s| {
+            let start = (s * rows_per_step) as f64 / ROWS as f64;
+            let end = ((s + 1) * rows_per_step) as f64 / ROWS as f64;
+            Arc::new(
+                KernelSpec::builder(format!("dynproc_step{s}"))
+                    .wg_count(1024)
+                    .array(wall, TouchKind::Load, AccessPattern::Slice { start, end })
+                    .array(result, TouchKind::LoadStore, AccessPattern::Partitioned)
+                    .compute_per_line(4.5)
+                    .l1_hit_rate(0.4)
+                    .mlp(48.0)
+                    .build(),
+            )
+        })
+        .collect();
+    Workload::new(
+        "pathfinder",
+        "200000 100 20",
+        ReuseClass::Low,
+        t,
+        single_stream(kernels),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn babelstream_shape() {
+        let w = babelstream();
+        assert_eq!(w.kernel_count(), 40);
+        assert_eq!(w.footprint_bytes(), 3 * 524_288 * 8);
+        assert_eq!(w.class(), ReuseClass::ModerateHigh);
+    }
+
+    #[test]
+    fn square_reads_a_writes_c() {
+        let w = square();
+        let k = &w.launches()[0].spec;
+        assert_eq!(k.arrays().len(), 2);
+        assert_eq!(k.arrays()[0].touch, TouchKind::Load);
+        assert_eq!(k.arrays()[1].touch, TouchKind::Store);
+    }
+
+    #[test]
+    fn pathfinder_steps_cover_distinct_strips() {
+        let w = pathfinder();
+        assert_eq!(w.kernel_count(), 20);
+        let k0 = &w.launches()[0].spec;
+        let k1 = &w.launches()[1].spec;
+        assert_ne!(k0.arrays()[0].pattern, k1.arrays()[0].pattern);
+    }
+}

@@ -1,0 +1,102 @@
+//! Reproduces the paper's Listings 1 and 2: labeling data structures with
+//! `hipSetAccessMode` / `hipSetAccessModeRange` and watching the global
+//! CP's Chiplet Coherence Table decide which implicit synchronization
+//! operations to elide.
+//!
+//! The example shows the paper's motivation for range labels: mode-only
+//! labels (Listing 1) on a multi-chiplet R/W array are conservative — the
+//! CP must assume every chiplet may have dirtied every byte — while range
+//! labels (Listing 2) prove the partitions disjoint and let every flush
+//! and invalidation be elided.
+//!
+//! ```sh
+//! cargo run --release --example annotate_kernels
+//! ```
+
+use cpelide_repro::cpelide::state::EntryState;
+use cpelide_repro::prelude::*;
+
+fn main() {
+    const N: u64 = 524_288 * 4; // bytes per array
+
+    // ---- Listing 2: mode + per-chiplet ranges ---------------------------
+    // Each chiplet works on half of the input and output; re-launching the
+    // kernel re-touches the same halves, so nothing ever synchronizes.
+    let mut hip = HipRuntime::new(2);
+    let mut cp = GlobalCp::new(2);
+    let a_d = hip.malloc("A_d", N);
+    let c_d = hip.malloc("C_d", N);
+    let halves = |p: cpelide_repro::cpelide::hip::DevicePtr| {
+        let mid = p.base().offset(N / 2);
+        vec![
+            RangeChiplet::new(p.base(), mid, 0),
+            RangeChiplet::new(mid, p.base().offset(N), 1),
+        ]
+    };
+    for launch in 0..3 {
+        hip.set_access_mode_range("square", c_d, AccessMode::ReadWrite, halves(c_d));
+        hip.set_access_mode_range("square", a_d, AccessMode::ReadOnly, halves(a_d));
+        let info = hip.launch_kernel_ggl("square", ChipletId::all(2));
+        let d = cp.launch_kernel(&info);
+        println!(
+            "square #{launch} (ranged): acquires {:?}, releases {:?}",
+            d.acquires, d.releases
+        );
+        assert!(d.is_elided(), "disjoint halves re-touched: fully elided");
+    }
+    println!(
+        "  C_d on chiplet0: {}\n",
+        cp.table().state_of(c_d.base().line().get(), ChipletId::new(0))
+    );
+
+    // A cross-chiplet consumer forces a release — and only of chiplet 0.
+    hip.set_access_mode("reduce", c_d, AccessMode::ReadOnly);
+    let info = hip.launch_kernel_ggl("reduce", [ChipletId::new(1)]);
+    let d = cp.launch_kernel(&info);
+    println!("reduce (on chiplet1): acquires {:?}, releases {:?}", d.acquires, d.releases);
+    assert_eq!(d.releases, vec![ChipletId::new(0)]);
+    assert!(d.acquires.is_empty());
+    assert_eq!(
+        cp.table().state_of(c_d.base().line().get(), ChipletId::new(0)),
+        EntryState::Valid,
+        "the flush retains clean copies on chiplet 0"
+    );
+
+    // ---- Listing 1: mode-only labels are conservative -------------------
+    // Without ranges the CP must assume both chiplets may have written
+    // every byte of C, so a relaunch synchronizes both chiplets.
+    let mut hip1 = HipRuntime::new(2);
+    let mut cp1 = GlobalCp::new(2);
+    let c1 = hip1.malloc("C_d", N);
+    let a1 = hip1.malloc("A_d", N);
+    for launch in 0..2 {
+        hip1.set_access_mode("square", c1, AccessMode::ReadWrite);
+        hip1.set_access_mode("square", a1, AccessMode::ReadOnly);
+        let info = hip1.launch_kernel_ggl("square", ChipletId::all(2));
+        let d = cp1.launch_kernel(&info);
+        println!(
+            "\nsquare #{launch} (mode-only): acquires {:?}, releases {:?}",
+            d.acquires, d.releases
+        );
+        if launch > 0 {
+            assert!(
+                !d.is_elided(),
+                "whole-array R/W labels on two chiplets cannot be elided"
+            );
+        }
+    }
+
+    let s2 = cp.table_stats();
+    let s1 = cp1.table_stats();
+    println!(
+        "\nrange labels:     {} sync ops over {} launches",
+        s2.acquires_issued + s2.releases_issued,
+        s2.launches
+    );
+    println!(
+        "mode-only labels: {} sync ops over {} launches",
+        s1.acquires_issued + s1.releases_issued,
+        s1.launches
+    );
+    println!("\n=> Listing 2's ranges are what turn implicit sync into a no-op.");
+}

@@ -1,0 +1,30 @@
+//! The paper's §VI multi-stream scenario: independent streams bound to
+//! disjoint chiplet subsets with `hipSetDevice`, running concurrently.
+//!
+//! ```sh
+//! cargo run --release --example multi_stream
+//! ```
+
+use cpelide_repro::prelude::*;
+
+fn main() {
+    println!("multi-stream workloads (4 chiplets): CPElide vs HMG vs Baseline\n");
+    println!(
+        "{:<16} {:>8} {:>10} {:>10} {:>10}",
+        "workload", "streams", "Baseline", "CPElide", "HMG"
+    );
+    for w in cpelide_repro::workloads::multi_stream_suite() {
+        let base = Simulator::new(SimConfig::table1(4, ProtocolKind::Baseline)).run(&w);
+        let cpe = Simulator::new(SimConfig::table1(4, ProtocolKind::CpElide)).run(&w);
+        let hmg = Simulator::new(SimConfig::table1(4, ProtocolKind::Hmg)).run(&w);
+        println!(
+            "{:<16} {:>8} {:>10} {:>9.2}x {:>9.2}x",
+            w.name(),
+            w.stream_count(),
+            "1.00x",
+            cpe.speedup_over(&base),
+            hmg.speedup_over(&base),
+        );
+    }
+    println!("\npaper: CPElide outperforms HMG by ~12% on multi-stream workloads");
+}

@@ -1,0 +1,52 @@
+//! Quickstart: run one paper workload under all protocols and see why
+//! CPElide matters.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use cpelide_repro::prelude::*;
+
+fn main() {
+    // The paper's Square benchmark: C[i] = A[i]^2 repeated 20 times on a
+    // 4-chiplet GPU. Each iteration re-reads the same arrays, so implicit
+    // synchronization policy decides whether the L2s ever get to help.
+    let workload = cpelide_repro::workloads::by_name("square").expect("square is in the suite");
+    println!(
+        "workload: {} ({} kernels, {:.1} MiB footprint)\n",
+        workload.name(),
+        workload.kernel_count(),
+        workload.footprint_bytes() as f64 / (1 << 20) as f64
+    );
+
+    let baseline = Simulator::new(SimConfig::table1(4, ProtocolKind::Baseline)).run(&workload);
+    println!("Baseline  : {baseline}");
+
+    let cpelide = Simulator::new(SimConfig::table1(4, ProtocolKind::CpElide)).run(&workload);
+    println!("CPElide   : {cpelide}");
+
+    let hmg = Simulator::new(SimConfig::table1(4, ProtocolKind::Hmg)).run(&workload);
+    println!("HMG       : {hmg}");
+
+    let mono = Simulator::new(SimConfig::table1(4, ProtocolKind::Monolithic)).run(&workload);
+    println!("Monolithic: {mono}\n");
+
+    println!(
+        "CPElide speedup over Baseline: {:.2}x (paper: ~1.3x for Square-class apps)",
+        cpelide.speedup_over(&baseline)
+    );
+    println!(
+        "CPElide speedup over HMG:      {:.2}x (paper: ~1.4x for Square)",
+        cpelide.speedup_over(&hmg)
+    );
+
+    let table = cpelide.table.expect("CPElide runs expose table stats");
+    println!(
+        "\nChiplet Coherence Table: {} releases elided, {} acquires elided, \
+         {} issued in total, max {} live entries",
+        table.releases_elided,
+        table.acquires_elided,
+        table.releases_issued + table.acquires_issued,
+        table.max_live_entries
+    );
+}

@@ -1,0 +1,29 @@
+//! Loading a workload from a plain-text spec file and simulating it —
+//! no Rust required to define new applications.
+//!
+//! ```sh
+//! cargo run --release --example spec_workload [path/to/file.workload]
+//! ```
+
+use cpelide_repro::prelude::*;
+use cpelide_repro::workloads::parse_workload;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "specs/pipeline.workload".to_owned());
+    let text = std::fs::read_to_string(&path)?;
+    let workload = parse_workload(&text)?;
+    println!(
+        "loaded {} from {path}: {} kernels, {:.1} MiB\n",
+        workload.name(),
+        workload.kernel_count(),
+        workload.footprint_bytes() as f64 / (1 << 20) as f64
+    );
+    let base = Simulator::new(SimConfig::table1(4, ProtocolKind::Baseline)).run(&workload);
+    let cpe = Simulator::new(SimConfig::table1(4, ProtocolKind::CpElide)).run(&workload);
+    println!("Baseline: {base}");
+    println!("CPElide : {cpe}");
+    println!("\nspeedup: {:.2}x", cpe.speedup_over(&base));
+    Ok(())
+}

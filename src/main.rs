@@ -1,0 +1,174 @@
+//! `cpelide-repro` — the command-line front end to the simulator.
+//!
+//! ```text
+//! cpelide-repro list
+//! cpelide-repro run --workload square --protocol cpelide --chiplets 4 [--seed N] [--stats]
+//! cpelide-repro compare --workload square [--chiplets 4]
+//! cpelide-repro oracle --workload hotspot3d [--chiplets 4] [--sample 17]
+//! ```
+
+use cpelide_repro::coherence::ProtocolKind;
+use cpelide_repro::sim::oracle::check_coherence;
+use cpelide_repro::sim::{SimConfig, Simulator};
+use cpelide_repro::workloads::{self, Workload};
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  cpelide-repro list\n  cpelide-repro run --workload <name> \
+         [--protocol baseline|cpelide|hmg|hmg-wb|monolithic] [--chiplets N] [--seed N] [--stats]\n  \
+         cpelide-repro compare --workload <name> [--chiplets N]\n  \
+         cpelide-repro oracle --workload <name> [--chiplets N] [--sample K]"
+    );
+    ExitCode::from(2)
+}
+
+/// Minimal `--flag value` parser (no external dependencies).
+struct Args {
+    pairs: Vec<(String, String)>,
+    flags: Vec<String>,
+}
+
+impl Args {
+    fn parse(raw: &[String]) -> Option<Args> {
+        let mut pairs = Vec::new();
+        let mut flags = Vec::new();
+        let mut it = raw.iter().peekable();
+        while let Some(a) = it.next() {
+            let name = a.strip_prefix("--")?;
+            match it.peek() {
+                Some(v) if !v.starts_with("--") => {
+                    pairs.push((name.to_owned(), it.next().expect("peeked").clone()));
+                }
+                _ => flags.push(name.to_owned()),
+            }
+        }
+        Some(Args { pairs, flags })
+    }
+
+    fn get(&self, name: &str) -> Option<&str> {
+        self.pairs
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn has(&self, name: &str) -> bool {
+        self.flags.iter().any(|f| f == name)
+    }
+}
+
+fn find_workload(name: &str) -> Option<Workload> {
+    workloads::by_name(name).or_else(|| {
+        workloads::multi_stream_suite()
+            .into_iter()
+            .find(|w| w.name() == name.to_lowercase())
+    })
+}
+
+fn parse_protocol(s: &str) -> Option<ProtocolKind> {
+    Some(match s.to_lowercase().as_str() {
+        "baseline" => ProtocolKind::Baseline,
+        "cpelide" => ProtocolKind::CpElide,
+        "hmg" => ProtocolKind::Hmg,
+        "hmg-wb" | "hmgwb" | "hmg_wb" => ProtocolKind::HmgWriteBack,
+        "monolithic" | "mono" => ProtocolKind::Monolithic,
+        _ => return None,
+    })
+}
+
+fn main() -> ExitCode {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = raw.first() else { return usage() };
+    let Some(args) = Args::parse(&raw[1..]) else { return usage() };
+
+    match cmd.as_str() {
+        "list" => {
+            println!("{:<18} {:>8} {:>10} {}", "workload", "kernels", "footprint", "class");
+            for w in workloads::suite() {
+                println!(
+                    "{:<18} {:>8} {:>7.1}MiB {}",
+                    w.name(),
+                    w.kernel_count(),
+                    w.footprint_bytes() as f64 / (1 << 20) as f64,
+                    w.class()
+                );
+            }
+            for w in workloads::multi_stream_suite() {
+                println!(
+                    "{:<18} {:>8} {:>7.1}MiB multi-stream ({} streams)",
+                    w.name(),
+                    w.kernel_count(),
+                    w.footprint_bytes() as f64 / (1 << 20) as f64,
+                    w.stream_count()
+                );
+            }
+            ExitCode::SUCCESS
+        }
+        "run" => {
+            let Some(name) = args.get("workload") else { return usage() };
+            let Some(w) = find_workload(name) else {
+                eprintln!("unknown workload {name}; try `cpelide-repro list`");
+                return ExitCode::FAILURE;
+            };
+            let protocol = match args.get("protocol").map(parse_protocol) {
+                None => ProtocolKind::CpElide,
+                Some(Some(p)) => p,
+                Some(None) => return usage(),
+            };
+            let chiplets: usize = args.get("chiplets").map_or(4, |v| v.parse().unwrap_or(4));
+            let mut cfg = SimConfig::table1(chiplets, protocol);
+            if let Some(seed) = args.get("seed") {
+                cfg.seed = seed.parse().unwrap_or(cfg.seed);
+            }
+            let metrics = Simulator::new(cfg).run(&w);
+            if args.has("stats") {
+                print!("{}", metrics.stats_text());
+            } else {
+                println!("{metrics}");
+            }
+            ExitCode::SUCCESS
+        }
+        "compare" => {
+            let Some(name) = args.get("workload") else { return usage() };
+            let Some(w) = find_workload(name) else {
+                eprintln!("unknown workload {name}");
+                return ExitCode::FAILURE;
+            };
+            let chiplets: usize = args.get("chiplets").map_or(4, |v| v.parse().unwrap_or(4));
+            let base = Simulator::new(SimConfig::table1(chiplets, ProtocolKind::Baseline)).run(&w);
+            println!("{base}");
+            for p in [ProtocolKind::CpElide, ProtocolKind::Hmg, ProtocolKind::Monolithic] {
+                let m = Simulator::new(SimConfig::table1(chiplets, p)).run(&w);
+                println!("{m}  ({:.2}x vs Baseline)", m.speedup_over(&base));
+            }
+            ExitCode::SUCCESS
+        }
+        "oracle" => {
+            let Some(name) = args.get("workload") else { return usage() };
+            let Some(w) = find_workload(name) else {
+                eprintln!("unknown workload {name}");
+                return ExitCode::FAILURE;
+            };
+            let chiplets: usize = args.get("chiplets").map_or(4, |v| v.parse().unwrap_or(4));
+            let sample: usize = args.get("sample").map_or(17, |v| v.parse().unwrap_or(17));
+            let r = check_coherence(&w, ProtocolKind::CpElide, chiplets, sample);
+            println!(
+                "checked {} reads / {} writes: {}",
+                r.reads_checked,
+                r.writes_recorded,
+                if r.is_coherent() {
+                    "coherent".to_owned()
+                } else {
+                    format!("{} VIOLATIONS (first: {:?})", r.violations.len(), r.violations[0])
+                }
+            );
+            if r.is_coherent() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        _ => usage(),
+    }
+}

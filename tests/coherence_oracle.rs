@@ -1,0 +1,111 @@
+//! Suite-wide coherence audit: CPElide's elisions must never let any
+//! chiplet read stale data, on any workload, at any chiplet count.
+
+use chiplet_coherence::ProtocolKind;
+use chiplet_sim::oracle::{check_coherence, check_never_sync};
+
+/// Workloads small enough to audit densely.
+const DENSE: &[&str] = &["square", "bfs", "gaussian", "rnn-gru-small", "fw"];
+
+/// Larger workloads audited with sparser read sampling.
+const SPARSE: &[&str] = &[
+    "babelstream",
+    "backprop",
+    "hotspot",
+    "hotspot3d",
+    "lud",
+    "lulesh",
+    "pennant",
+    "sssp",
+    "color-max",
+    "btree",
+    "srad_v2",
+    "pathfinder",
+];
+
+#[test]
+fn cpelide_is_coherent_on_dense_sample_at_4_chiplets() {
+    for name in DENSE {
+        let w = cpelide_repro::workloads::by_name(name).unwrap();
+        let r = check_coherence(&w, ProtocolKind::CpElide, 4, 3);
+        assert!(
+            r.is_coherent(),
+            "{name}: {} violations, first: {:?}",
+            r.violations.len(),
+            r.violations.first()
+        );
+        assert!(r.reads_checked > 0, "{name} audited no reads");
+    }
+}
+
+#[test]
+fn cpelide_is_coherent_on_sparse_sample_at_4_chiplets() {
+    // Debug builds audit a subset to keep plain `cargo test` fast.
+    let sparse: &[&str] = if cfg!(debug_assertions) {
+        &SPARSE[..4]
+    } else {
+        SPARSE
+    };
+    for name in sparse {
+        let w = cpelide_repro::workloads::by_name(name).unwrap();
+        let sample = if cfg!(debug_assertions) { 97 } else { 41 };
+        let r = check_coherence(&w, ProtocolKind::CpElide, 4, sample);
+        assert!(
+            r.is_coherent(),
+            "{name}: {} violations, first: {:?}",
+            r.violations.len(),
+            r.violations.first()
+        );
+    }
+}
+
+#[test]
+fn cpelide_is_coherent_at_other_chiplet_counts() {
+    for chiplets in [2usize, 6, 7] {
+        for name in ["square", "hotspot3d", "sssp", "rnn-lstm-small"] {
+            let w = cpelide_repro::workloads::by_name(name).unwrap();
+            let r = check_coherence(&w, ProtocolKind::CpElide, chiplets, 17);
+            assert!(
+                r.is_coherent(),
+                "{name}@{chiplets}: first violation {:?}",
+                r.violations.first()
+            );
+        }
+    }
+}
+
+#[test]
+fn baseline_is_coherent_everywhere() {
+    for name in DENSE {
+        let w = cpelide_repro::workloads::by_name(name).unwrap();
+        let r = check_coherence(&w, ProtocolKind::Baseline, 4, 13);
+        assert!(r.is_coherent(), "{name}: {:?}", r.violations.first());
+    }
+}
+
+#[test]
+fn multi_stream_workloads_are_coherent_under_cpelide() {
+    for w in cpelide_repro::workloads::multi_stream_suite() {
+        let r = check_coherence(&w, ProtocolKind::CpElide, 4, 5);
+        assert!(
+            r.is_coherent(),
+            "{}: {:?}",
+            w.name(),
+            r.violations.first()
+        );
+    }
+}
+
+#[test]
+fn the_oracle_itself_detects_missing_synchronization() {
+    // Validate the validator: dropping all sync on cross-chiplet
+    // producer/consumer workloads must produce violations.
+    let mut caught = 0;
+    for name in ["sssp", "lud", "fw"] {
+        let w = cpelide_repro::workloads::by_name(name).unwrap();
+        if !check_never_sync(&w, 4, 7).is_coherent() {
+            caught += 1;
+        }
+    }
+    assert!(caught >= 2, "oracle failed to flag broken protocols: {caught}/3");
+}
