@@ -2,88 +2,72 @@
 //! updates, Chiplet Coherence Table launch processing, and trace
 //! generation. These bound the simulator's own speed and demonstrate the
 //! CP-side cost of CPElide's algorithm (paper §IV-B estimates 6 µs per
-//! launch on a 1.5 GHz CP; `table_prepare_launch` shows the same work takes
+//! launch on a 1.5 GHz CP; `prepare_launch_*` shows the same work takes
 //! microseconds on a host core too).
+//!
+//! Run with `cargo bench -p cpelide-bench --bench microbench`; a JSON
+//! session report is written to `results/microbench.json`.
 
 use chiplet_gpu::dispatch::StaticPartitionScheduler;
 use chiplet_gpu::kernel::{AccessPattern, KernelId, KernelSpec, TouchKind};
 use chiplet_gpu::table::ArrayTable;
 use chiplet_gpu::trace::TraceGenerator;
+use chiplet_harness::bench::BenchRunner;
 use chiplet_mem::addr::{ChipletId, LineAddr};
 use chiplet_mem::cache::{CacheGeometry, SetAssocCache, WritePolicy};
 use chiplet_mem::directory::CoarseDirectory;
 use cpelide::api::KernelLaunchInfo;
 use cpelide::table::ChipletCoherenceTable;
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use std::hint::black_box;
-use std::time::Duration;
 
-fn bench_cache(c: &mut Criterion) {
-    let mut g = c.benchmark_group("cache");
-    g.measurement_time(Duration::from_secs(2)).sample_size(20);
+fn bench_cache(r: &mut BenchRunner) {
     let geom = CacheGeometry::new(8 << 20, 64, 32).unwrap();
 
-    g.throughput(Throughput::Elements(10_000));
-    g.bench_function("l2_read_hit_stream", |b| {
-        let mut cache = SetAssocCache::new(geom, WritePolicy::WriteBack);
+    let mut warm = SetAssocCache::new(geom, WritePolicy::WriteBack);
+    for i in 0..10_000u64 {
+        warm.read(LineAddr::new(i));
+    }
+    r.bench("cache/l2_read_hit_stream_10k", |_| {
+        let mut hits = 0u64;
         for i in 0..10_000u64 {
-            cache.read(LineAddr::new(i));
+            hits += u64::from(warm.read(LineAddr::new(i)).hit);
         }
-        b.iter(|| {
-            for i in 0..10_000u64 {
-                black_box(cache.read(LineAddr::new(i)));
+        hits
+    });
+
+    let mut cold = SetAssocCache::new(geom, WritePolicy::WriteBack);
+    r.bench("cache/l2_write_miss_stream_10k", |iter| {
+        let base = u64::from(iter) * 10_000;
+        for i in 0..10_000u64 {
+            cold.write(LineAddr::new(base + i));
+        }
+        cold.dirty_lines()
+    });
+
+    r.bench_with_setup(
+        "cache/l2_flush_dirty_8mib",
+        |_| {
+            let mut cache = SetAssocCache::new(geom, WritePolicy::WriteBack);
+            for i in 0..131_072u64 {
+                cache.write(LineAddr::new(i));
             }
-        });
-    });
-    g.bench_function("l2_write_miss_stream", |b| {
-        let mut cache = SetAssocCache::new(geom, WritePolicy::WriteBack);
-        let mut base = 0u64;
-        b.iter(|| {
-            for i in 0..10_000u64 {
-                black_box(cache.write(LineAddr::new(base + i)));
-            }
-            base += 10_000;
-        });
-    });
-    g.bench_function("l2_flush_dirty_8mib", |b| {
-        b.iter_with_setup(
-            || {
-                let mut cache = SetAssocCache::new(geom, WritePolicy::WriteBack);
-                for i in 0..131_072u64 {
-                    cache.write(LineAddr::new(i));
-                }
-                cache
-            },
-            |mut cache| black_box(cache.flush_dirty()),
-        );
-    });
-    g.finish();
+            cache
+        },
+        |mut cache| cache.flush_dirty(),
+    );
 }
 
-fn bench_directory(c: &mut Criterion) {
-    let mut g = c.benchmark_group("directory");
-    g.measurement_time(Duration::from_secs(2)).sample_size(20);
-    g.throughput(Throughput::Elements(10_000));
-    g.bench_function("record_sharer_churn", |b| {
-        let mut dir = CoarseDirectory::new(16 * 1024, 8, 4);
-        let mut base = 0u64;
-        b.iter(|| {
-            for i in 0..10_000u64 {
-                black_box(dir.record_sharer(
-                    LineAddr::new(base + i * 4),
-                    ChipletId::new((i % 4) as u8),
-                ));
-            }
-            base += 40_000;
-        });
+fn bench_directory(r: &mut BenchRunner) {
+    let mut dir = CoarseDirectory::new(16 * 1024, 8, 4);
+    r.bench("directory/record_sharer_churn_10k", |iter| {
+        let base = u64::from(iter) * 40_000;
+        for i in 0..10_000u64 {
+            dir.record_sharer(LineAddr::new(base + i * 4), ChipletId::new((i % 4) as u8));
+        }
+        dir.live_entries()
     });
-    g.finish();
 }
 
-fn bench_table(c: &mut Criterion) {
-    let mut g = c.benchmark_group("coherence_table");
-    g.measurement_time(Duration::from_secs(2)).sample_size(50);
-
+fn bench_table(r: &mut BenchRunner) {
     // The paper's common case: 4 structures, partitioned over 4 chiplets.
     let info = |k: u64| {
         let mut b = KernelLaunchInfo::builder(k, ChipletId::all(4));
@@ -98,36 +82,39 @@ fn bench_table(c: &mut Criterion) {
         }
         b.build()
     };
-    g.bench_function("prepare_launch_elided_path", |b| {
-        let mut table = ChipletCoherenceTable::new(4);
-        let mut k = 0u64;
-        b.iter(|| {
+    let mut table = ChipletCoherenceTable::new(4);
+    let mut k = 0u64;
+    r.bench("coherence_table/prepare_launch_elided_path_1k", |_| {
+        let mut ops = 0usize;
+        for _ in 0..1000 {
             let actions = table.prepare_launch(&info(k));
+            ops += actions.acquires.len() + actions.releases.len();
             k += 1;
-            black_box(actions)
-        });
+        }
+        ops
     });
-    g.bench_function("prepare_launch_sync_path", |b| {
-        // Alternating producers/consumers: every launch generates ops.
-        let mut table = ChipletCoherenceTable::new(4);
-        let mut k = 0u64;
-        b.iter(|| {
-            let writer = (k % 4) as usize;
+
+    // Alternating producers/consumers: every launch generates ops.
+    let mut sync_table = ChipletCoherenceTable::new(4);
+    let mut sk = 0u64;
+    r.bench("coherence_table/prepare_launch_sync_path_1k", |_| {
+        let mut ops = 0usize;
+        for _ in 0..1000 {
+            let writer = (sk % 4) as usize;
             let mut ranges: Vec<Option<std::ops::Range<u64>>> = vec![None; 4];
             ranges[writer] = Some(0..32_768);
-            let i = KernelLaunchInfo::builder(k, [ChipletId::new(writer as u8)])
+            let i = KernelLaunchInfo::builder(sk, [ChipletId::new(writer as u8)])
                 .structure(0, 32_768, chiplet_mem::array::AccessMode::ReadWrite, ranges)
                 .build();
-            k += 1;
-            black_box(table.prepare_launch(&i))
-        });
+            let actions = sync_table.prepare_launch(&i);
+            ops += actions.acquires.len() + actions.releases.len();
+            sk += 1;
+        }
+        ops
     });
-    g.finish();
 }
 
-fn bench_trace(c: &mut Criterion) {
-    let mut g = c.benchmark_group("trace_generation");
-    g.measurement_time(Duration::from_secs(2)).sample_size(20);
+fn bench_trace(r: &mut BenchRunner) {
     let mut arrays = ArrayTable::new();
     let a = arrays.alloc("a", 4 << 20);
     let partitioned = KernelSpec::builder("p")
@@ -139,37 +126,44 @@ fn bench_trace(c: &mut Criterion) {
         .array(
             a,
             TouchKind::Load,
-            AccessPattern::Irregular { fraction: 1.0, locality: 0.7 },
+            AccessPattern::Irregular {
+                fraction: 1.0,
+                locality: 0.7,
+            },
         )
         .build();
     let chiplets: Vec<ChipletId> = ChipletId::all(4).collect();
     let plan = StaticPartitionScheduler::new().plan(&partitioned, &chiplets);
-    let gen = TraceGenerator::new(7);
+    let tracegen = TraceGenerator::new(7);
 
-    g.bench_function("partitioned_64k_lines", |b| {
-        b.iter(|| {
-            black_box(gen.chiplet_trace(
-                &partitioned,
-                KernelId::new(0),
-                &arrays,
-                &plan,
-                ChipletId::new(1),
-            ))
-        });
+    r.bench("trace/partitioned_64k_lines", |_| {
+        tracegen.chiplet_trace(
+            &partitioned,
+            KernelId::new(0),
+            &arrays,
+            &plan,
+            ChipletId::new(1),
+        )
     });
-    g.bench_function("irregular_16k_lines", |b| {
-        b.iter(|| {
-            black_box(gen.chiplet_trace(
-                &irregular,
-                KernelId::new(0),
-                &arrays,
-                &plan,
-                ChipletId::new(1),
-            ))
-        });
+    r.bench("trace/irregular_16k_lines", |_| {
+        tracegen.chiplet_trace(
+            &irregular,
+            KernelId::new(0),
+            &arrays,
+            &plan,
+            ChipletId::new(1),
+        )
     });
-    g.finish();
 }
 
-criterion_group!(benches, bench_cache, bench_directory, bench_table, bench_trace);
-criterion_main!(benches);
+fn main() {
+    let mut runner = BenchRunner::new("microbench");
+    bench_cache(&mut runner);
+    bench_directory(&mut runner);
+    bench_table(&mut runner);
+    bench_trace(&mut runner);
+    print!("{}", runner.report());
+    let out = "results/microbench.json";
+    runner.write_json(out).expect("write bench JSON");
+    println!("wrote {out}");
+}

@@ -1,44 +1,75 @@
 //! Regenerates every paper artifact in one run and writes the reports to
-//! `results/` (fig2.txt, fig8.txt, fig9.txt, fig10.txt, tables.txt,
-//! studies.txt) plus a summary to stdout.
+//! the results directory (fig2.txt, fig8.txt, fig9.txt, fig10.txt,
+//! tables.txt, studies.txt, all.json) plus a summary to stdout.
 //!
 //! Usage: `cargo run --release -p cpelide-bench --bin all`
 
+use chiplet_harness::json::Json;
 use chiplet_sim::experiments as ex;
 use chiplet_sim::metrics::geomean;
 use chiplet_sim::SimConfig;
-use cpelide_bench::{kv, render_fig8, rule};
+use cpelide_bench::{
+    effective_multistream_suite, effective_suite, kv, pick, render_fig8, results_dir, rule,
+    write_report,
+};
 use std::fmt::Write as _;
 use std::fs;
 
 fn main() {
-    fs::create_dir_all("results").expect("create results dir");
-    let suite = chiplet_workloads::suite();
+    let dir = results_dir();
+    fs::create_dir_all(&dir).expect("create results dir");
+    let suite = effective_suite();
     let mut summary = String::new();
+    let mut report = Json::object().with("artifact", "all");
 
     // ---------------- Figure 2 ----------------
     let mut out = String::new();
     let (rows, avg) = ex::fig2(&suite, 4);
-    writeln!(out, "Figure 2 - perf loss vs equivalent monolithic GPU (4 chiplets)").unwrap();
+    writeln!(
+        out,
+        "Figure 2 - perf loss vs equivalent monolithic GPU (4 chiplets)"
+    )
+    .unwrap();
     for r in &rows {
         writeln!(out, "{:<16} {:>8.1}%", r.workload, 100.0 * r.loss).unwrap();
     }
-    writeln!(out, "{}\naverage {:>16.1}%  (paper: 54%)", rule(26), 100.0 * avg).unwrap();
-    fs::write("results/fig2.txt", &out).unwrap();
-    writeln!(summary, "fig2   avg monolithic loss: {:.1}% (paper 54%)", 100.0 * avg).unwrap();
+    writeln!(
+        out,
+        "{}\naverage {:>16.1}%  (paper: 54%)",
+        rule(26),
+        100.0 * avg
+    )
+    .unwrap();
+    fs::write(dir.join("fig2.txt"), &out).unwrap();
+    writeln!(
+        summary,
+        "fig2   avg monolithic loss: {:.1}% (paper 54%)",
+        100.0 * avg
+    )
+    .unwrap();
+    report.set("fig2_average_loss", avg);
 
-    // ---------------- Figure 8 (2/4/6/7 chiplets) ----------------
+    // ---------------- Figure 8 ----------------
     let mut out = String::new();
-    for n in [2usize, 4, 6, 7] {
+    for n in pick(vec![2usize, 4, 6, 7], vec![2, 4]) {
         let (rows, s) = ex::fig8(&suite, n);
         out.push_str(&render_fig8(&rows, n));
-        out.push_str(&kv("geomean CPElide vs Baseline", ex::pct(s.cpelide_vs_baseline - 1.0)));
+        out.push_str(&kv(
+            "geomean CPElide vs Baseline",
+            ex::pct(s.cpelide_vs_baseline - 1.0),
+        ));
         out.push_str(&kv(
             "geomean CPElide vs Baseline (mod/high reuse)",
             ex::pct(s.cpelide_vs_baseline_reuse - 1.0),
         ));
-        out.push_str(&kv("geomean HMG vs Baseline", ex::pct(s.hmg_vs_baseline - 1.0)));
-        out.push_str(&kv("geomean CPElide vs HMG", ex::pct(s.cpelide_vs_hmg - 1.0)));
+        out.push_str(&kv(
+            "geomean HMG vs Baseline",
+            ex::pct(s.hmg_vs_baseline - 1.0),
+        ));
+        out.push_str(&kv(
+            "geomean CPElide vs HMG",
+            ex::pct(s.cpelide_vs_hmg - 1.0),
+        ));
         out.push('\n');
         if n == 4 {
             writeln!(
@@ -50,6 +81,8 @@ fn main() {
                 ex::pct(s.cpelide_vs_hmg - 1.0)
             )
             .unwrap();
+            report.set("fig8_cpelide_vs_baseline", s.cpelide_vs_baseline);
+            report.set("fig8_cpelide_vs_hmg", s.cpelide_vs_hmg);
         } else {
             writeln!(
                 summary,
@@ -60,7 +93,7 @@ fn main() {
             .unwrap();
         }
     }
-    fs::write("results/fig8.txt", &out).unwrap();
+    fs::write(dir.join("fig8.txt"), &out).unwrap();
 
     // ---------------- Figures 9 and 10 (shared triples) ----------------
     let triples = ex::protocol_triples(&suite, 4);
@@ -128,8 +161,8 @@ fn main() {
         ex::pct(l2l3 - 1.0)
     )
     .unwrap();
-    fs::write("results/fig9.txt", &out9).unwrap();
-    fs::write("results/fig10.txt", &out10).unwrap();
+    fs::write(dir.join("fig9.txt"), &out9).unwrap();
+    fs::write(dir.join("fig10.txt"), &out10).unwrap();
     writeln!(
         summary,
         "fig9   energy: CPElide {} vs Baseline, {} vs HMG (paper: -14%, -11%)",
@@ -146,37 +179,87 @@ fn main() {
         ex::pct(l2l3 - 1.0)
     )
     .unwrap();
+    report.set("fig9_cpelide_energy_vs_baseline", e_cpe);
+    report.set("fig10_cpelide_traffic_vs_baseline", t_cpe);
 
     // ---------------- Tables and studies ----------------
     let mut out = String::new();
     out.push_str(&SimConfig::table1_text(4));
     out.push('\n');
-    for (name, max, ev) in ex::table_occupancy(&suite) {
-        writeln!(out, "occupancy {:<16} max {:>2} entries, {} evictions", name, max, ev).unwrap();
+    let occupancy = ex::table_occupancy(&suite);
+    for (name, max, ev) in &occupancy {
+        writeln!(
+            out,
+            "occupancy {:<16} max {:>2} entries, {} evictions",
+            name, max, ev
+        )
+        .unwrap();
     }
-    fs::write("results/tables.txt", &out).unwrap();
-    let max_occ = ex::table_occupancy(&suite).iter().map(|(_, m, _)| *m).max().unwrap();
-    writeln!(summary, "tabIII max table occupancy: {max_occ} (paper: 11, capacity 64)").unwrap();
+    fs::write(dir.join("tables.txt"), &out).unwrap();
+    let max_occ = occupancy.iter().map(|(_, m, _)| *m).max().unwrap();
+    writeln!(
+        summary,
+        "tabIII max table occupancy: {max_occ} (paper: 11, capacity 64)"
+    )
+    .unwrap();
+    report.set("max_table_occupancy", max_occ);
 
     let mut out = String::new();
     for (mimicked, overhead) in ex::scaling_study(&suite) {
-        writeln!(out, "mimicked {mimicked:>2}-chiplet: {} slowdown", ex::pct(overhead)).unwrap();
-        writeln!(summary, "svi    mimicked {mimicked}-chiplet overhead: {} (paper ~{}%)",
-            ex::pct(overhead), if mimicked == 8 { 1 } else { 2 }).unwrap();
-    }
-    let (ms_rows, ms) = ex::multistream_study();
-    for r in &ms_rows {
-        writeln!(out, "multistream {:<16} CPElide {:.2} HMG {:.2}", r.workload, r.cpelide, r.hmg)
-            .unwrap();
-    }
-    writeln!(out, "multistream geomean CPElide vs HMG: {}", ex::pct(ms - 1.0)).unwrap();
-    writeln!(summary, "svi    multi-stream CPElide vs HMG: {} (paper ~+12%)", ex::pct(ms - 1.0))
+        writeln!(
+            out,
+            "mimicked {mimicked:>2}-chiplet: {} slowdown",
+            ex::pct(overhead)
+        )
         .unwrap();
+        writeln!(
+            summary,
+            "svi    mimicked {mimicked}-chiplet overhead: {} (paper ~{}%)",
+            ex::pct(overhead),
+            if mimicked == 8 { 1 } else { 2 }
+        )
+        .unwrap();
+    }
+    let (ms_rows, ms) = ex::multistream_study(&effective_multistream_suite());
+    for r in &ms_rows {
+        writeln!(
+            out,
+            "multistream {:<16} CPElide {:.2} HMG {:.2}",
+            r.workload, r.cpelide, r.hmg
+        )
+        .unwrap();
+    }
+    writeln!(
+        out,
+        "multistream geomean CPElide vs HMG: {}",
+        ex::pct(ms - 1.0)
+    )
+    .unwrap();
+    writeln!(
+        summary,
+        "svi    multi-stream CPElide vs HMG: {} (paper ~+12%)",
+        ex::pct(ms - 1.0)
+    )
+    .unwrap();
     let wb = ex::hmg_writeback_ablation(&suite);
-    writeln!(out, "HMG write-back ablation: {} slowdown vs write-through", ex::pct(wb)).unwrap();
-    writeln!(summary, "sivC   HMG-WB ablation: {} (paper ~+13%)", ex::pct(wb)).unwrap();
-    fs::write("results/studies.txt", &out).unwrap();
+    writeln!(
+        out,
+        "HMG write-back ablation: {} slowdown vs write-through",
+        ex::pct(wb)
+    )
+    .unwrap();
+    writeln!(
+        summary,
+        "sivC   HMG-WB ablation: {} (paper ~+13%)",
+        ex::pct(wb)
+    )
+    .unwrap();
+    fs::write(dir.join("studies.txt"), &out).unwrap();
+    report.set("multistream_cpelide_vs_hmg", ms);
+    report.set("hmg_writeback_slowdown", wb);
 
+    let path = write_report("all", &report);
     println!("{summary}");
-    println!("full reports written to results/");
+    println!("full reports written to {}", dir.display());
+    println!("report: {}", path.display());
 }

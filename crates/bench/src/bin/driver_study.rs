@@ -5,11 +5,13 @@
 //!
 //! Usage: `cargo run --release -p cpelide-bench --bin driver_study`
 
+use chiplet_harness::json::Json;
 use chiplet_sim::experiments::driver_study;
 use chiplet_sim::metrics::geomean;
+use cpelide_bench::{effective_suite, write_report};
 
 fn main() {
-    let suite = chiplet_workloads::suite();
+    let suite = effective_suite();
     let rows = driver_study(&suite);
     println!("SVI driver-managed ablation (4 chiplets, speedups vs Baseline)");
     println!("{:<16} {:>10} {:>10}", "workload", "CP", "driver");
@@ -18,11 +20,27 @@ fn main() {
         println!("{:<16} {:>9.2}x {:>9.2}x", name, cp, driver);
     }
     println!("{}", "-".repeat(38));
-    println!(
-        "geomean: CP {:.2}x, driver {:.2}x",
-        geomean(rows.iter().map(|r| r.1)),
-        geomean(rows.iter().map(|r| r.2))
-    );
+    let geo_cp = geomean(rows.iter().map(|r| r.1));
+    let geo_driver = geomean(rows.iter().map(|r| r.2));
+    println!("geomean: CP {geo_cp:.2}x, driver {geo_driver:.2}x");
     println!("\npaper: driver-level management adds significant latency [28,79,140];");
     println!("CPElide is integrated at the CP, where scheduling decisions are made.");
+
+    let report = Json::object()
+        .with("artifact", "driver_study")
+        .with("geomean_cp_speedup", geo_cp)
+        .with("geomean_driver_speedup", geo_driver)
+        .with(
+            "rows",
+            rows.iter()
+                .map(|(name, cp, driver)| {
+                    Json::object()
+                        .with("workload", name.as_str())
+                        .with("cp_speedup", *cp)
+                        .with("driver_speedup", *driver)
+                })
+                .collect::<Vec<_>>(),
+        );
+    let path = write_report("driver_study", &report);
+    println!("report: {}", path.display());
 }

@@ -6,10 +6,11 @@
 //!
 //! Usage: `cargo run --release -p cpelide-bench --bin fig10 [chiplets]`
 
+use chiplet_harness::json::Json;
 use chiplet_noc::traffic::FlitCounter;
 use chiplet_sim::experiments::{fig10_summary, pct, protocol_triples};
 use chiplet_sim::metrics::geomean;
-use cpelide_bench::rule;
+use cpelide_bench::{effective_suite, rule, write_report};
 
 fn row(label: &str, t: FlitCounter, base_total: f64) -> String {
     format!(
@@ -21,35 +22,75 @@ fn row(label: &str, t: FlitCounter, base_total: f64) -> String {
     )
 }
 
+fn traffic_json(t: FlitCounter) -> Json {
+    Json::object()
+        .with("l1_l2_flits", t.l1_l2)
+        .with("l2_l3_flits", t.l2_l3)
+        .with("remote_flits", t.remote)
+        .with("remote_bytes", t.remote_bytes())
+}
+
 fn main() {
     let chiplets: usize = std::env::args()
         .nth(1)
         .map(|a| a.parse().expect("chiplet count"))
         .unwrap_or(4);
-    let suite = chiplet_workloads::suite();
+    let suite = effective_suite();
     let triples = protocol_triples(&suite, chiplets);
 
-    println!("Figure 10 — interconnect traffic in flits, normalized to Baseline ({chiplets} chiplets)");
+    println!(
+        "Figure 10 — interconnect traffic in flits, normalized to Baseline ({chiplets} chiplets)"
+    );
     println!("{}", rule(72));
+    let mut rows = Vec::new();
     for t in &triples {
         let base = t.baseline.traffic.total() as f64;
         println!("{}", t.workload);
         println!("{}", row("B", t.baseline.traffic, base));
         println!("{}", row("C", t.cpelide.traffic, base));
         println!("{}", row("H", t.hmg.traffic, base));
+        rows.push(
+            Json::object()
+                .with("workload", t.workload.as_str())
+                .with("baseline", traffic_json(t.baseline.traffic))
+                .with("cpelide", traffic_json(t.cpelide.traffic))
+                .with("hmg", traffic_json(t.hmg.traffic)),
+        );
     }
     println!("{}", rule(72));
     let (cpe, hmg) = fig10_summary(&triples);
     println!("geomean CPElide traffic vs Baseline: {}", pct(cpe - 1.0));
     println!("geomean HMG     traffic vs Baseline: {}", pct(hmg - 1.0));
-    println!("geomean CPElide traffic vs HMG:      {}", pct(cpe / hmg - 1.0));
-    let l2l3 = geomean(triples.iter().filter(|t| t.hmg.traffic.l2_l3 > 0 && t.cpelide.traffic.l2_l3 > 0).map(|t| {
-        t.cpelide.traffic.l2_l3 as f64 / t.hmg.traffic.l2_l3 as f64
-    }));
+    println!(
+        "geomean CPElide traffic vs HMG:      {}",
+        pct(cpe / hmg - 1.0)
+    );
+    let l2l3 = geomean(
+        triples
+            .iter()
+            .filter(|t| t.hmg.traffic.l2_l3 > 0 && t.cpelide.traffic.l2_l3 > 0)
+            .map(|t| t.cpelide.traffic.l2_l3 as f64 / t.hmg.traffic.l2_l3 as f64),
+    );
     println!("geomean CPElide L2-L3 traffic vs HMG: {}", pct(l2l3 - 1.0));
-    let remote = geomean(triples.iter().filter(|t| t.cpelide.traffic.remote > 0 && t.hmg.traffic.remote > 0).map(|t| {
-        t.hmg.traffic.remote as f64 / t.cpelide.traffic.remote as f64
-    }));
-    println!("geomean HMG remote traffic vs CPElide: {}", pct(remote - 1.0));
+    let remote = geomean(
+        triples
+            .iter()
+            .filter(|t| t.cpelide.traffic.remote > 0 && t.hmg.traffic.remote > 0)
+            .map(|t| t.hmg.traffic.remote as f64 / t.cpelide.traffic.remote as f64),
+    );
+    println!(
+        "geomean HMG remote traffic vs CPElide: {}",
+        pct(remote - 1.0)
+    );
     println!("\npaper: CPElide -14% vs Baseline, -17% vs HMG; -37% L2-L3 vs HMG; HMG +23% remote vs CPElide");
+
+    let report = Json::object()
+        .with("artifact", "fig10")
+        .with("chiplets", chiplets)
+        .with("geomean_cpelide_vs_baseline", cpe)
+        .with("geomean_hmg_vs_baseline", hmg)
+        .with("geomean_cpelide_l2_l3_vs_hmg", l2l3)
+        .with("rows", rows);
+    let path = write_report("fig10", &report);
+    println!("report: {}", path.display());
 }

@@ -5,15 +5,16 @@
 //!
 //! Usage: `cargo run --release -p cpelide-bench --bin fig2 [chiplets]`
 
+use chiplet_harness::json::Json;
 use chiplet_sim::experiments::fig2;
-use cpelide_bench::rule;
+use cpelide_bench::{effective_suite, rule, write_report};
 
 fn main() {
     let chiplets: usize = std::env::args()
         .nth(1)
         .map(|a| a.parse().expect("chiplet count"))
         .unwrap_or(4);
-    let suite = chiplet_workloads::suite();
+    let suite = effective_suite();
     let (rows, avg) = fig2(&suite, chiplets);
 
     println!("Figure 2 — perf loss vs equivalent monolithic GPU ({chiplets} chiplets)");
@@ -25,4 +26,21 @@ fn main() {
     println!("{}", rule(27));
     println!("{:<16} {:>9.1}%", "average", 100.0 * avg);
     println!("\npaper: 54% average loss at 4 chiplets (prior work: 29-45%)");
+
+    let report = Json::object()
+        .with("artifact", "fig2")
+        .with("chiplets", chiplets)
+        .with("average_loss", avg)
+        .with(
+            "rows",
+            rows.iter()
+                .map(|r| {
+                    Json::object()
+                        .with("workload", r.workload.as_str())
+                        .with("loss", r.loss)
+                })
+                .collect::<Vec<_>>(),
+        );
+    let path = write_report("fig2", &report);
+    println!("report: {}", path.display());
 }

@@ -3,17 +3,23 @@
 //!
 //! Usage: `cargo run --release -p cpelide-bench --bin fig8 [chiplets...]`
 
+use chiplet_harness::json::Json;
 use chiplet_sim::experiments::{fig8, pct};
-use cpelide_bench::{kv, render_fig8};
+use cpelide_bench::{effective_suite, kv, pick, render_fig8, write_report};
 
 fn main() {
     let args: Vec<usize> = std::env::args()
         .skip(1)
         .map(|a| a.parse().expect("chiplet counts are integers"))
         .collect();
-    let chiplet_counts = if args.is_empty() { vec![2, 4, 6, 7] } else { args };
-    let suite = chiplet_workloads::suite();
+    let chiplet_counts = if args.is_empty() {
+        pick(vec![2, 4, 6, 7], vec![2])
+    } else {
+        args
+    };
+    let suite = effective_suite();
 
+    let mut configs = Vec::new();
     for &n in &chiplet_counts {
         let (rows, summary) = fig8(&suite, n);
         println!("{}", render_fig8(&rows, n));
@@ -33,13 +39,46 @@ fn main() {
         );
         print!(
             "{}",
-            kv("geomean HMG vs Baseline", pct(summary.hmg_vs_baseline - 1.0))
+            kv(
+                "geomean HMG vs Baseline",
+                pct(summary.hmg_vs_baseline - 1.0)
+            )
         );
         print!(
             "{}",
             kv("geomean CPElide vs HMG", pct(summary.cpelide_vs_hmg - 1.0))
         );
         println!();
+
+        configs.push(
+            Json::object()
+                .with("chiplets", n)
+                .with("geomean_cpelide_vs_baseline", summary.cpelide_vs_baseline)
+                .with(
+                    "geomean_cpelide_vs_baseline_reuse",
+                    summary.cpelide_vs_baseline_reuse,
+                )
+                .with("geomean_hmg_vs_baseline", summary.hmg_vs_baseline)
+                .with("geomean_cpelide_vs_hmg", summary.cpelide_vs_hmg)
+                .with(
+                    "rows",
+                    rows.iter()
+                        .map(|r| {
+                            Json::object()
+                                .with("workload", r.workload.as_str())
+                                .with("class", r.class.to_string())
+                                .with("cpelide", r.cpelide)
+                                .with("hmg", r.hmg)
+                        })
+                        .collect::<Vec<_>>(),
+                ),
+        );
     }
     println!("paper (4 chiplets): CPElide +13% vs Baseline (+17% mod/high), +19% vs HMG");
+
+    let report = Json::object()
+        .with("artifact", "fig8")
+        .with("configs", configs);
+    let path = write_report("fig8", &report);
+    println!("report: {}", path.display());
 }

@@ -5,8 +5,9 @@
 //! Usage: `cargo run --release -p cpelide-bench --bin fig9 [chiplets]`
 
 use chiplet_energy::EnergyBreakdown;
+use chiplet_harness::json::Json;
 use chiplet_sim::experiments::{fig9_summary, pct, protocol_triples};
-use cpelide_bench::rule;
+use cpelide_bench::{effective_suite, rule, write_report};
 
 fn row(label: &str, e: &EnergyBreakdown, base_total: f64) -> String {
     format!(
@@ -27,22 +28,41 @@ fn main() {
         .nth(1)
         .map(|a| a.parse().expect("chiplet count"))
         .unwrap_or(4);
-    let suite = chiplet_workloads::suite();
+    let suite = effective_suite();
     let triples = protocol_triples(&suite, chiplets);
 
     println!("Figure 9 — memory-subsystem energy by component, normalized to Baseline ({chiplets} chiplets)");
     println!("{}", rule(100));
+    let mut rows = Vec::new();
     for t in &triples {
         let base_total = t.baseline.energy.total();
         println!("{}", t.workload);
         println!("{}", row("B", &t.baseline.energy, base_total));
         println!("{}", row("C", &t.cpelide.energy, base_total));
         println!("{}", row("H", &t.hmg.energy, base_total));
+        rows.push(
+            Json::object()
+                .with("workload", t.workload.as_str())
+                .with("cpelide_vs_baseline", t.cpelide.energy.total() / base_total)
+                .with("hmg_vs_baseline", t.hmg.energy.total() / base_total),
+        );
     }
     println!("{}", rule(100));
     let (cpe, hmg) = fig9_summary(&triples);
     println!("geomean CPElide energy vs Baseline: {}", pct(cpe - 1.0));
     println!("geomean HMG     energy vs Baseline: {}", pct(hmg - 1.0));
-    println!("geomean CPElide energy vs HMG:      {}", pct(cpe / hmg - 1.0));
+    println!(
+        "geomean CPElide energy vs HMG:      {}",
+        pct(cpe / hmg - 1.0)
+    );
     println!("\npaper: CPElide -14% vs Baseline, -11% vs HMG");
+
+    let report = Json::object()
+        .with("artifact", "fig9")
+        .with("chiplets", chiplets)
+        .with("geomean_cpelide_vs_baseline", cpe)
+        .with("geomean_hmg_vs_baseline", hmg)
+        .with("rows", rows);
+    let path = write_report("fig9", &report);
+    println!("report: {}", path.display());
 }

@@ -5,12 +5,23 @@
 //!
 //! Usage: `cargo run --release -p cpelide-bench --bin hmg_ablation`
 
+use chiplet_harness::json::Json;
 use chiplet_sim::experiments::{hmg_writeback_ablation, pct};
+use cpelide_bench::{effective_suite, write_report};
 
 fn main() {
-    let suite = chiplet_workloads::suite();
+    let suite = effective_suite();
     let overhead = hmg_writeback_ablation(&suite);
     println!("SIV-C ablation - HMG write-back vs write-through L2s (4 chiplets)");
-    println!("write-back variant geomean slowdown vs write-through: {}", pct(overhead));
+    println!(
+        "write-back variant geomean slowdown vs write-through: {}",
+        pct(overhead)
+    );
     println!("\npaper: ~13% worse geomean");
+
+    let report = Json::object()
+        .with("artifact", "hmg_ablation")
+        .with("writeback_geomean_slowdown", overhead);
+    let path = write_report("hmg_ablation", &report);
+    println!("report: {}", path.display());
 }

@@ -4,12 +4,34 @@
 //!
 //! Usage: `cargo run --release -p cpelide-bench --bin multistream`
 
+use chiplet_harness::json::Json;
 use chiplet_sim::experiments::{multistream_study, pct};
-use cpelide_bench::render_fig8;
+use cpelide_bench::{effective_multistream_suite, render_fig8, write_report};
 
 fn main() {
-    let (rows, cpe_vs_hmg) = multistream_study();
+    let suite = effective_multistream_suite();
+    let (rows, cpe_vs_hmg) = multistream_study(&suite);
     println!("{}", render_fig8(&rows, 4));
-    println!("geomean CPElide vs HMG (multi-stream): {}", pct(cpe_vs_hmg - 1.0));
+    println!(
+        "geomean CPElide vs HMG (multi-stream): {}",
+        pct(cpe_vs_hmg - 1.0)
+    );
     println!("\npaper: CPElide ~ +12% over HMG on multi-stream workloads");
+
+    let report = Json::object()
+        .with("artifact", "multistream")
+        .with("geomean_cpelide_vs_hmg", cpe_vs_hmg)
+        .with(
+            "rows",
+            rows.iter()
+                .map(|r| {
+                    Json::object()
+                        .with("workload", r.workload.as_str())
+                        .with("cpelide", r.cpelide)
+                        .with("hmg", r.hmg)
+                })
+                .collect::<Vec<_>>(),
+        );
+    let path = write_report("multistream", &report);
+    println!("report: {}", path.display());
 }

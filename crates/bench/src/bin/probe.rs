@@ -1,14 +1,24 @@
 //! Diagnostic deep-dive for one workload: every protocol's cycles, L2 hit
-//! rate, traffic split, sync costs and energy at a given chiplet count.
+//! rate, traffic split, sync costs and energy at a given chiplet count,
+//! plus the full per-run JSON export (sync counters, per-boundary event
+//! log) written to `results/probe.json`.
 //!
 //! Usage: `cargo run --release -p cpelide-bench --bin probe -- <workload> [chiplets]`
 
 use chiplet_coherence::ProtocolKind;
-use chiplet_sim::experiments::run_one;
+use chiplet_harness::json::Json;
+use chiplet_sim::{SimConfig, Simulator};
+use cpelide_bench::{effective_suite, smoke, write_report};
 
 fn main() {
     let mut args = std::env::args().skip(1);
-    let name = args.next().unwrap_or_else(|| "square".to_owned());
+    let name = args.next().unwrap_or_else(|| {
+        if smoke() {
+            effective_suite()[0].name().to_owned()
+        } else {
+            "square".to_owned()
+        }
+    });
     let chiplets: usize = args.next().map(|a| a.parse().unwrap()).unwrap_or(4);
     let w = chiplet_workloads::by_name(&name)
         .or_else(|| {
@@ -40,6 +50,7 @@ fn main() {
         "dram",
         "uJ"
     );
+    let mut runs = Vec::new();
     for p in [
         ProtocolKind::Baseline,
         ProtocolKind::CpElide,
@@ -47,7 +58,11 @@ fn main() {
         ProtocolKind::HmgWriteBack,
         ProtocolKind::Monolithic,
     ] {
-        let m = run_one(&w, p, chiplets);
+        let mut cfg = SimConfig::table1(chiplets, p);
+        // The deep-dive records the per-boundary event log for the CPElide
+        // run so the JSON report shows where each sync was paid.
+        cfg.record_events = p == ProtocolKind::CpElide;
+        let m = Simulator::new(cfg).run(&w);
         println!(
             "{:<11} {:>12.0} {:>12.0} {:>12.0} {:>7.1} {:>8.1} {:>10} {:>10} {:>10} {:>9} {:>8.1}",
             p.label(),
@@ -62,7 +77,18 @@ fn main() {
             m.dram_accesses,
             m.energy.total() / 1e6,
         );
-        if let Some(t) = m.table {
+        println!(
+            "            sync: {} acq / {} rel performed, {} acq / {} rel elided, \
+             {} lines invalidated, {} flushed, {} remote bytes",
+            m.sync.acquires_performed,
+            m.sync.releases_performed,
+            m.sync.acquires_elided,
+            m.sync.releases_elided,
+            m.sync.invalidated_lines,
+            m.sync.flushed_lines,
+            m.sync.remote_bytes,
+        );
+        if let Some(t) = &m.table {
             println!(
                 "            table: {} acq / {} rel issued, {} acq / {} rel elided, max {} entries",
                 t.acquires_issued,
@@ -72,5 +98,14 @@ fn main() {
                 t.max_live_entries
             );
         }
+        runs.push(m.to_json());
     }
+
+    let report = Json::object()
+        .with("artifact", "probe")
+        .with("workload", name.as_str())
+        .with("chiplets", chiplets)
+        .with("runs", runs);
+    let path = write_report("probe", &report);
+    println!("report: {}", path.display());
 }

@@ -5,13 +5,32 @@
 //!
 //! Usage: `cargo run --release -p cpelide-bench --bin scaling`
 
+use chiplet_harness::json::Json;
 use chiplet_sim::experiments::{pct, scaling_study};
+use cpelide_bench::{effective_suite, write_report};
 
 fn main() {
-    let suite = chiplet_workloads::suite();
+    let suite = effective_suite();
     println!("SVI scaling study - mimicked larger systems on 4-chiplet CPElide");
-    for (mimicked, overhead) in scaling_study(&suite) {
-        println!("mimicked {mimicked:>2}-chiplet system: {} average slowdown", pct(overhead));
+    let rows = scaling_study(&suite);
+    for (mimicked, overhead) in &rows {
+        println!(
+            "mimicked {mimicked:>2}-chiplet system: {} average slowdown",
+            pct(*overhead)
+        );
     }
     println!("\npaper: ~1% (8 chiplets) and ~2% (16 chiplets)");
+
+    let report = Json::object().with("artifact", "scaling").with(
+        "rows",
+        rows.iter()
+            .map(|(mimicked, overhead)| {
+                Json::object()
+                    .with("mimicked_chiplets", *mimicked)
+                    .with("average_slowdown", *overhead)
+            })
+            .collect::<Vec<_>>(),
+    );
+    let path = write_report("scaling", &report);
+    println!("report: {}", path.display());
 }

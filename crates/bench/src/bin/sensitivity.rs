@@ -3,28 +3,74 @@
 //!
 //! Usage: `cargo run --release -p cpelide-bench --bin sensitivity [workload]`
 
-use chiplet_sim::experiments::{crossbar_latency_sweep, link_bandwidth_sweep, table_capacity_sweep};
+use chiplet_harness::json::Json;
+use chiplet_sim::experiments::{
+    crossbar_latency_sweep, link_bandwidth_sweep, table_capacity_sweep, SweepPoint,
+};
+use cpelide_bench::{effective_suite, pick, smoke, write_report};
+
+fn sweep_json(points: &[SweepPoint]) -> Vec<Json> {
+    points
+        .iter()
+        .map(|p| {
+            Json::object()
+                .with("value", p.value)
+                .with("cpelide_speedup", p.cpelide_speedup)
+                .with("sync_ops", p.sync_ops)
+        })
+        .collect()
+}
 
 fn main() {
-    let name = std::env::args().nth(1).unwrap_or_else(|| "lud".to_owned());
+    let name = std::env::args().nth(1).unwrap_or_else(|| {
+        if smoke() {
+            effective_suite()[0].name().to_owned()
+        } else {
+            "lud".to_owned()
+        }
+    });
     let w = chiplet_workloads::by_name(&name).unwrap_or_else(|| panic!("unknown workload {name}"));
     println!("sensitivity sweeps on {name} (4 chiplets)\n");
 
     println!("Chiplet Coherence Table capacity (paper sizing: 64 entries):");
     println!("{:<10} {:>10} {:>10}", "entries", "speedup", "sync ops");
-    for p in table_capacity_sweep(&w, &[2, 4, 8, 16, 32, 64]) {
-        println!("{:<10} {:>9.3}x {:>10}", p.value as usize, p.cpelide_speedup, p.sync_ops);
+    let capacities = pick(vec![2usize, 4, 8, 16, 32, 64], vec![2, 64]);
+    let cap = table_capacity_sweep(&w, &capacities);
+    for p in &cap {
+        println!(
+            "{:<10} {:>9.3}x {:>10}",
+            p.value as usize, p.cpelide_speedup, p.sync_ops
+        );
     }
 
     println!("\nCP crossbar round-trip latency (paper: 230 cycles):");
     println!("{:<10} {:>10} {:>10}", "cycles", "speedup", "sync ops");
-    for p in crossbar_latency_sweep(&w, &[115.0, 230.0, 460.0, 920.0, 1840.0]) {
-        println!("{:<10} {:>9.3}x {:>10}", p.value as u64, p.cpelide_speedup, p.sync_ops);
+    let latencies = pick(vec![115.0, 230.0, 460.0, 920.0, 1840.0], vec![230.0]);
+    let xbar = crossbar_latency_sweep(&w, &latencies);
+    for p in &xbar {
+        println!(
+            "{:<10} {:>9.3}x {:>10}",
+            p.value as u64, p.cpelide_speedup, p.sync_ops
+        );
     }
 
     println!("\ninter-chiplet link bandwidth (Table I: 768 GB/s):");
     println!("{:<10} {:>10} {:>10}", "GB/s", "speedup", "sync ops");
-    for p in link_bandwidth_sweep(&w, &[192.0, 384.0, 768.0, 1536.0]) {
-        println!("{:<10} {:>9.3}x {:>10}", p.value as u64, p.cpelide_speedup, p.sync_ops);
+    let bandwidths = pick(vec![192.0, 384.0, 768.0, 1536.0], vec![768.0]);
+    let link = link_bandwidth_sweep(&w, &bandwidths);
+    for p in &link {
+        println!(
+            "{:<10} {:>9.3}x {:>10}",
+            p.value as u64, p.cpelide_speedup, p.sync_ops
+        );
     }
+
+    let report = Json::object()
+        .with("artifact", "sensitivity")
+        .with("workload", name.as_str())
+        .with("table_capacity", sweep_json(&cap))
+        .with("crossbar_latency", sweep_json(&xbar))
+        .with("link_bandwidth", sweep_json(&link));
+    let path = write_report("sensitivity", &report);
+    println!("\nreport: {}", path.display());
 }

@@ -2,13 +2,23 @@
 //!
 //! Usage: `cargo run --release -p cpelide-bench --bin table1 [chiplets]`
 
+use chiplet_harness::json::Json;
 use chiplet_sim::SimConfig;
+use cpelide_bench::write_report;
 
 fn main() {
     let chiplets: usize = std::env::args()
         .nth(1)
         .map(|a| a.parse().expect("chiplet count"))
         .unwrap_or(4);
+    let text = SimConfig::table1_text(chiplets);
     println!("Table I — simulated baseline GPU parameters");
-    println!("{}", SimConfig::table1_text(chiplets));
+    println!("{text}");
+
+    let report = Json::object()
+        .with("artifact", "table1")
+        .with("chiplets", chiplets)
+        .with("text", text);
+    let path = write_report("table1", &report);
+    println!("report: {}", path.display());
 }

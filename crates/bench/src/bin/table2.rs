@@ -3,7 +3,9 @@
 //!
 //! Usage: `cargo run --release -p cpelide-bench --bin table2`
 
+use chiplet_harness::json::Json;
 use chiplet_workloads::ReuseClass;
+use cpelide_bench::write_report;
 
 fn main() {
     println!("Table II — evaluated benchmarks");
@@ -12,9 +14,13 @@ fn main() {
         "application", "input", "kernels", "footprint", "arrays"
     );
     println!("{}", "-".repeat(84));
+    let mut rows = Vec::new();
     for class in [ReuseClass::ModerateHigh, ReuseClass::Low] {
         println!("[{class} inter-kernel reuse]");
-        for w in chiplet_workloads::suite().iter().filter(|w| w.class() == class) {
+        for w in chiplet_workloads::suite()
+            .iter()
+            .filter(|w| w.class() == class)
+        {
             println!(
                 "{:<16} {:<34} {:>8} {:>9.1} MB {:>8}",
                 w.name(),
@@ -23,6 +29,19 @@ fn main() {
                 w.footprint_bytes() as f64 / (1 << 20) as f64,
                 w.arrays().len()
             );
+            rows.push(
+                Json::object()
+                    .with("workload", w.name())
+                    .with("input", w.input())
+                    .with("class", class.to_string())
+                    .with("kernels", w.kernel_count())
+                    .with("footprint_bytes", w.footprint_bytes())
+                    .with("arrays", w.arrays().len()),
+            );
         }
     }
+
+    let report = Json::object().with("artifact", "table2").with("rows", rows);
+    let path = write_report("table2", &report);
+    println!("report: {}", path.display());
 }

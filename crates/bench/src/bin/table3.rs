@@ -3,6 +3,9 @@
 //!
 //! Usage: `cargo run --release -p cpelide-bench --bin table3`
 
+use chiplet_harness::json::Json;
+use cpelide_bench::write_report;
+
 fn main() {
     let features = [
         "No coherence protocol changes",
@@ -11,6 +14,9 @@ fn main() {
         "Avoids remote coherence traffic",
         "Designed for chiplet-based systems",
         "Access to scheduling information to reduce overhead",
+    ];
+    let schemes = [
+        "HMG", "Spandex", "hLRC", "Halcone", "SW-DSM", "HW-DSM", "CPElide",
     ];
     // Columns follow the paper: HMG, Spandex, hLRC, Halcone, SW DSM, HW DSM, CPElide.
     let rows: [[bool; 7]; 6] = [
@@ -27,11 +33,30 @@ fn main() {
         "feature", "HMG", "Spandex", "hLRC", "Halcone", "SW-DSM", "HW-DSM", "CPElide"
     );
     println!("{}", "-".repeat(106));
+    let mut json_rows = Vec::new();
     for (f, r) in features.iter().zip(rows.iter()) {
         let mark = |b: bool| if b { "yes" } else { "no" };
         println!(
             "{:<52} {:>5} {:>8} {:>5} {:>8} {:>7} {:>7} {:>8}",
-            f, mark(r[0]), mark(r[1]), mark(r[2]), mark(r[3]), mark(r[4]), mark(r[5]), mark(r[6])
+            f,
+            mark(r[0]),
+            mark(r[1]),
+            mark(r[2]),
+            mark(r[3]),
+            mark(r[4]),
+            mark(r[5]),
+            mark(r[6])
         );
+        let mut row = Json::object().with("feature", *f);
+        for (scheme, has) in schemes.iter().zip(r.iter()) {
+            row.set(scheme, *has);
+        }
+        json_rows.push(row);
     }
+
+    let report = Json::object()
+        .with("artifact", "table3")
+        .with("rows", json_rows);
+    let path = write_report("table3", &report);
+    println!("report: {}", path.display());
 }

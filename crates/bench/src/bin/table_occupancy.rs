@@ -4,12 +4,17 @@
 //!
 //! Usage: `cargo run --release -p cpelide-bench --bin table_occupancy`
 
+use chiplet_harness::json::Json;
 use chiplet_sim::experiments::table_occupancy;
+use cpelide_bench::{effective_suite, write_report};
 
 fn main() {
-    let suite = chiplet_workloads::suite();
+    let suite = effective_suite();
     println!("SIII-A table occupancy (4 chiplets, capacity 64)");
-    println!("{:<16} {:>12} {:>10}", "workload", "max entries", "evictions");
+    println!(
+        "{:<16} {:>12} {:>10}",
+        "workload", "max entries", "evictions"
+    );
     println!("{}", "-".repeat(40));
     let rows = table_occupancy(&suite);
     for (name, max, ev) in &rows {
@@ -18,4 +23,21 @@ fn main() {
     let overall = rows.iter().map(|(_, m, _)| *m).max().unwrap_or(0);
     println!("{}", "-".repeat(40));
     println!("max across suite: {overall} (paper: 11; capacity 64, never overflows)");
+
+    let report = Json::object()
+        .with("artifact", "table_occupancy")
+        .with("max_across_suite", overall)
+        .with(
+            "rows",
+            rows.iter()
+                .map(|(name, max, ev)| {
+                    Json::object()
+                        .with("workload", name.as_str())
+                        .with("max_entries", *max)
+                        .with("evictions", *ev)
+                })
+                .collect::<Vec<_>>(),
+        );
+    let path = write_report("table_occupancy", &report);
+    println!("report: {}", path.display());
 }

@@ -1,11 +1,76 @@
 //! Shared reporting helpers for the figure-regeneration binaries and
-//! Criterion benches.
+//! the wall-clock benches.
 //!
 //! Each paper artifact has a dedicated binary (`cargo run --release -p
 //! cpelide-bench --bin fig8`, etc.); `--bin all` regenerates everything.
+//! Every binary honours two environment variables:
+//!
+//! - `CPELIDE_SMOKE=1` shrinks the run to a tiny configuration (two
+//!   workloads, one chiplet count) so CI can smoke-run every artifact.
+//! - `CPELIDE_RESULTS_DIR` redirects the JSON reports (default
+//!   `results/`).
 
+use chiplet_harness::json::{self, Json};
 use chiplet_sim::experiments::Fig8Row;
-use chiplet_workloads::ReuseClass;
+use chiplet_workloads::{ReuseClass, Workload};
+use std::path::PathBuf;
+
+/// True when `CPELIDE_SMOKE=1`: binaries run a tiny configuration.
+pub fn smoke() -> bool {
+    std::env::var("CPELIDE_SMOKE").is_ok_and(|v| v == "1")
+}
+
+fn shrink(mut s: Vec<Workload>) -> Vec<Workload> {
+    if smoke() {
+        // Simulation cost scales with kernels × footprint (each kernel
+        // walks a trace over its arrays), so rank by that product rather
+        // than footprint alone — the smallest-footprint suite members are
+        // the most kernel-heavy.
+        s.sort_by_key(|w| w.kernel_count() as u64 * w.footprint_bytes());
+        s.truncate(2);
+    }
+    s
+}
+
+/// The paper suite, truncated to the two cheapest-to-simulate members in
+/// smoke mode so debug-build smoke runs stay fast.
+pub fn effective_suite() -> Vec<Workload> {
+    shrink(chiplet_workloads::suite())
+}
+
+/// The multi-stream suite, truncated the same way in smoke mode.
+pub fn effective_multistream_suite() -> Vec<Workload> {
+    shrink(chiplet_workloads::multi_stream_suite())
+}
+
+/// Picks `full` for a real run and `tiny` under smoke.
+pub fn pick<T>(full: Vec<T>, tiny: Vec<T>) -> Vec<T> {
+    if smoke() {
+        tiny
+    } else {
+        full
+    }
+}
+
+/// Where JSON reports land: `CPELIDE_RESULTS_DIR`, default `results/`.
+pub fn results_dir() -> PathBuf {
+    std::env::var_os("CPELIDE_RESULTS_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("results"))
+}
+
+/// Validates `report` and writes it to `<results_dir>/<artifact>.json`,
+/// returning the path. Every figure binary funnels its machine-readable
+/// output through here, so a malformed document can never land on disk.
+pub fn write_report(artifact: &str, report: &Json) -> PathBuf {
+    let rendered = report.render();
+    json::validate(&rendered).expect("report must render as well-formed JSON");
+    let dir = results_dir();
+    std::fs::create_dir_all(&dir).expect("create results dir");
+    let path = dir.join(format!("{artifact}.json"));
+    std::fs::write(&path, rendered).expect("write report");
+    path
+}
 
 /// Renders a horizontal rule sized for the report tables.
 pub fn rule(width: usize) -> String {
@@ -23,7 +88,10 @@ pub fn render_fig8(rows: &[Fig8Row], chiplets: usize) -> String {
     out.push_str(&format!(
         "Figure 8 — normalized performance vs Baseline ({chiplets} chiplets)\n"
     ));
-    out.push_str(&format!("{:<16} {:>9} {:>9}\n", "workload", "CPElide", "HMG"));
+    out.push_str(&format!(
+        "{:<16} {:>9} {:>9}\n",
+        "workload", "CPElide", "HMG"
+    ));
     out.push_str(&rule(36));
     out.push('\n');
     for class in [ReuseClass::ModerateHigh, ReuseClass::Low] {

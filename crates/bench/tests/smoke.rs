@@ -1,0 +1,77 @@
+//! Smoke-runs every figure binary in the tiny `CPELIDE_SMOKE`
+//! configuration and checks that it exits cleanly and drops a well-formed
+//! JSON report into its results directory.
+
+use chiplet_harness::json::validate;
+use std::path::PathBuf;
+use std::process::Command;
+
+/// Runs one binary under smoke mode with an isolated results directory
+/// and returns the rendered JSON report.
+fn smoke_run(exe: &str, artifact: &str) -> String {
+    let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join(format!("smoke-{artifact}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    let output = Command::new(exe)
+        .env("CPELIDE_SMOKE", "1")
+        .env("CPELIDE_RESULTS_DIR", &dir)
+        .output()
+        .unwrap_or_else(|e| panic!("spawn {artifact}: {e}"));
+    assert!(
+        output.status.success(),
+        "{artifact} exited with {:?}\nstdout:\n{}\nstderr:\n{}",
+        output.status,
+        String::from_utf8_lossy(&output.stdout),
+        String::from_utf8_lossy(&output.stderr),
+    );
+    let path = dir.join(format!("{artifact}.json"));
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("{artifact} wrote no report at {}: {e}", path.display()));
+    validate(&text).unwrap_or_else(|e| panic!("{artifact} report is malformed JSON: {e}"));
+    text
+}
+
+macro_rules! smoke_test {
+    ($name:ident) => {
+        #[test]
+        fn $name() {
+            smoke_run(
+                env!(concat!("CARGO_BIN_EXE_", stringify!($name))),
+                stringify!($name),
+            );
+        }
+    };
+}
+
+smoke_test!(all);
+smoke_test!(beyond7);
+smoke_test!(driver_study);
+smoke_test!(fig2);
+smoke_test!(fig8);
+smoke_test!(fig9);
+smoke_test!(fig10);
+smoke_test!(hmg_ablation);
+smoke_test!(multistream);
+smoke_test!(scaling);
+smoke_test!(sensitivity);
+smoke_test!(table1);
+smoke_test!(table2);
+smoke_test!(table3);
+smoke_test!(table_occupancy);
+
+/// The deep-dive binary must export the full per-run sync counters and
+/// the per-boundary event log for the CPElide run.
+#[test]
+fn probe() {
+    let text = smoke_run(env!("CARGO_BIN_EXE_probe"), "probe");
+    for key in [
+        "\"acquires_performed\"",
+        "\"acquires_elided\"",
+        "\"releases_elided\"",
+        "\"invalidated_lines\"",
+        "\"remote_bytes\"",
+        "\"kernel_boundary\"",
+        "\"final_drain\"",
+    ] {
+        assert!(text.contains(key), "probe report lacks {key}");
+    }
+}

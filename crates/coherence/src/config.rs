@@ -85,7 +85,10 @@ impl MemConfig {
     ///
     /// Panics if `num_chiplets` is 0 or exceeds 16.
     pub fn table1(num_chiplets: usize) -> Self {
-        assert!((1..=16).contains(&num_chiplets), "1..=16 chiplets supported");
+        assert!(
+            (1..=16).contains(&num_chiplets),
+            "1..=16 chiplets supported"
+        );
         MemConfig {
             num_chiplets,
             l2_bytes: 8 << 20,

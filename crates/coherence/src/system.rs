@@ -9,6 +9,7 @@
 //! (Figure 9) evaluations.
 
 use crate::config::{MemConfig, ProtocolKind};
+use chiplet_harness::obs::EventLog;
 use chiplet_mem::addr::{ChipletId, LineAddr};
 use chiplet_mem::cache::{CacheGeometry, CacheStats, SetAssocCache, WritePolicy};
 use chiplet_mem::directory::{CoarseDirectory, DirectoryStats};
@@ -92,6 +93,9 @@ pub struct MemorySystem {
     dirs: Vec<CoarseDirectory>,
     traffic: FlitCounter,
     dir_remote_invalidations: u64,
+    /// Per-operation synchronization event log (disabled by default so the
+    /// hot paths stay allocation-free; see [`MemorySystem::enable_event_log`]).
+    events: EventLog,
 }
 
 impl MemorySystem {
@@ -120,7 +124,11 @@ impl MemorySystem {
         let dirs = if kind.is_hmg() {
             (0..config.num_chiplets)
                 .map(|_| {
-                    CoarseDirectory::new(config.dir_entries, config.dir_ways, config.dir_region_lines)
+                    CoarseDirectory::new(
+                        config.dir_entries,
+                        config.dir_ways,
+                        config.dir_region_lines,
+                    )
                 })
                 .collect()
         } else {
@@ -138,7 +146,20 @@ impl MemorySystem {
             dirs,
             traffic: FlitCounter::new(),
             dir_remote_invalidations: 0,
+            events: EventLog::disabled(),
         }
+    }
+
+    /// Turns on per-operation event recording (releases, acquires, bulk
+    /// syncs). Off by default to keep the access paths cheap.
+    pub fn enable_event_log(&mut self) {
+        self.events = EventLog::new();
+    }
+
+    /// The recorded synchronization events (empty unless
+    /// [`MemorySystem::enable_event_log`] was called).
+    pub fn events(&self) -> &EventLog {
+        &self.events
     }
 
     /// The protocol this system simulates.
@@ -165,16 +186,7 @@ impl MemorySystem {
     pub fn l2_stats_total(&self) -> CacheStats {
         let mut total = CacheStats::default();
         for l2 in &self.l2 {
-            let s = l2.stats();
-            total.reads += s.reads;
-            total.writes += s.writes;
-            total.read_hits += s.read_hits;
-            total.write_hits += s.write_hits;
-            total.fills += s.fills;
-            total.evictions += s.evictions;
-            total.capacity_writebacks += s.capacity_writebacks;
-            total.flush_writebacks += s.flush_writebacks;
-            total.invalidated += s.invalidated;
+            total += l2.stats();
         }
         total
     }
@@ -517,6 +529,14 @@ impl MemorySystem {
                 cost.local_lines += 1;
             }
         }
+        self.events.record(
+            "l2_release",
+            vec![
+                ("chiplet", c.index() as f64),
+                ("local_lines", cost.local_lines as f64),
+                ("remote_lines", cost.remote_lines as f64),
+            ],
+        );
         cost
     }
 
@@ -526,6 +546,13 @@ impl MemorySystem {
         let flush = self.release(c);
         let inv = self.l2[c.index()].invalidate_all();
         debug_assert_eq!(inv.dirty_dropped, 0, "flush must precede invalidate");
+        self.events.record(
+            "l2_acquire",
+            vec![
+                ("chiplet", c.index() as f64),
+                ("invalidated_lines", inv.lines_invalidated as f64),
+            ],
+        );
         AcquireCost {
             flush,
             invalidated_lines: inv.lines_invalidated,
@@ -580,7 +607,10 @@ mod tests {
         let mut m = MemorySystem::new(ProtocolKind::Baseline, small_config(2));
         m.read(c(0), l(0)); // chiplet 0 becomes home of page 0
         let r = m.read(c(1), l(1)); // same page, chiplet 1 -> remote, L3 hit
-        assert!(matches!(r, CostClass::L3 { remote: true } | CostClass::Mem { remote: true }));
+        assert!(matches!(
+            r,
+            CostClass::L3 { remote: true } | CostClass::Mem { remote: true }
+        ));
     }
 
     #[test]
@@ -635,7 +665,10 @@ mod tests {
     fn hmg_store_is_never_dirty_and_generates_l2_l3_traffic() {
         let mut m = MemorySystem::new(ProtocolKind::Hmg, small_config(2));
         let before = m.traffic().l2_l3;
-        assert_eq!(m.write(c(0), l(0)), CostClass::StoreThrough { remote: false });
+        assert_eq!(
+            m.write(c(0), l(0)),
+            CostClass::StoreThrough { remote: false }
+        );
         assert_eq!(m.l2_dirty_lines(c(0)), 0);
         assert!(m.traffic().l2_l3 > before, "write-through traffic");
         // The local clean copy serves later reads.
@@ -646,7 +679,7 @@ mod tests {
     fn hmg_remote_read_is_cached_for_reuse() {
         let mut m = MemorySystem::new(ProtocolKind::Hmg, small_config(2));
         m.read(c(0), l(0)); // home at 0, cached in 0's L2
-        // Remote read is served by the home node's L2 (Table I: 390 cyc).
+                            // Remote read is served by the home node's L2 (Table I: 390 cyc).
         let first = m.read(c(1), l(0));
         assert_eq!(first, CostClass::L2RemoteHit);
         // HMG also caches the remote read locally: the next access hits.
@@ -682,8 +715,8 @@ mod tests {
         cfg.dir_ways = 4;
         let mut m = MemorySystem::new(ProtocolKind::Hmg, cfg);
         m.read(c(0), l(0)); // chiplet 0 becomes home of page 0
-        // Chiplet 1 caches remote lines, each tracked at chiplet 0's
-        // directory. Five distinct regions overflow the 4-entry directory.
+                            // Chiplet 1 caches remote lines, each tracked at chiplet 0's
+                            // directory. Five distinct regions overflow the 4-entry directory.
         for r in 0..=4u64 {
             m.read(c(1), l(r * 4));
         }
@@ -743,7 +776,9 @@ mod tests {
             let r = m.read(c(0), l(i * 17));
             assert!(matches!(
                 r,
-                CostClass::L2Hit | CostClass::L3 { remote: false } | CostClass::Mem { remote: false }
+                CostClass::L2Hit
+                    | CostClass::L3 { remote: false }
+                    | CostClass::Mem { remote: false }
             ));
         }
         assert_eq!(m.traffic().remote, 0);
@@ -768,6 +803,23 @@ mod tests {
         assert_eq!(r, CostClass::Mem { remote: false });
         assert!(m.hbm().total_writes() > 0, "L3 evictions reach HBM");
         assert!(m.hbm().total_reads() > 0);
+    }
+
+    #[test]
+    fn event_log_records_sync_ops_when_enabled() {
+        let mut m = MemorySystem::new(ProtocolKind::Baseline, small_config(2));
+        m.write(c(0), l(0));
+        m.release(c(0));
+        assert!(m.events().is_empty(), "logging is off by default");
+        m.enable_event_log();
+        m.write(c(0), l(1));
+        m.release(c(0));
+        m.acquire(c(1));
+        // release + acquire's embedded release + acquire itself.
+        assert_eq!(m.events().len(), 3);
+        assert_eq!(m.events().events()[0].label, "l2_release");
+        assert_eq!(m.events().events()[0].field("local_lines"), Some(1.0));
+        assert_eq!(m.events().events()[2].label, "l2_acquire");
     }
 
     #[test]

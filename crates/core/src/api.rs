@@ -9,12 +9,12 @@
 //! the kernel's declarative access patterns via
 //! [`KernelLaunchInfo::from_spec`].
 
-use chiplet_mem::addr::ChipletId;
-use chiplet_mem::array::AccessMode;
 use chiplet_gpu::dispatch::DispatchPlan;
 use chiplet_gpu::kernel::{KernelId, KernelSpec};
 use chiplet_gpu::table::ArrayTable;
 use chiplet_gpu::trace::hint_lines;
+use chiplet_mem::addr::ChipletId;
+use chiplet_mem::array::AccessMode;
 use std::ops::Range;
 
 /// One data structure's labels for one kernel launch: access mode plus the
@@ -46,10 +46,7 @@ impl StructureAccess {
     /// True if any chiplet other than `c` touches a range overlapping `r`.
     pub fn any_other_overlaps(&self, c: ChipletId, r: &Range<u64>) -> bool {
         self.ranges.iter().enumerate().any(|(i, other)| {
-            i != c.index()
-                && other
-                    .as_ref()
-                    .is_some_and(|o| ranges_overlap(o, r))
+            i != c.index() && other.as_ref().is_some_and(|o| ranges_overlap(o, r))
         })
     }
 }
@@ -80,7 +77,10 @@ pub struct KernelLaunchInfo {
 impl KernelLaunchInfo {
     /// Starts building launch info by hand (the `hipSetAccessModeRange`
     /// path; see the crate-level example).
-    pub fn builder(kernel: u64, chiplets: impl IntoIterator<Item = ChipletId>) -> LaunchInfoBuilder {
+    pub fn builder(
+        kernel: u64,
+        chiplets: impl IntoIterator<Item = ChipletId>,
+    ) -> LaunchInfoBuilder {
         LaunchInfoBuilder {
             kernel,
             chiplets: chiplets.into_iter().collect(),
@@ -109,8 +109,7 @@ impl KernelLaunchInfo {
                 let span = decl.line_range();
                 let mut ranges = vec![None; num_chiplets];
                 for (slot, c) in chiplets.iter().enumerate() {
-                    ranges[c.index()] =
-                        Some(hint_lines(&acc.pattern, decl, slot, chiplets.len()));
+                    ranges[c.index()] = Some(hint_lines(&acc.pattern, decl, slot, chiplets.len()));
                 }
                 StructureAccess {
                     base_line: span.start,
@@ -152,7 +151,11 @@ impl LaunchInfoBuilder {
         let ranges: Vec<_> = ranges.into_iter().collect();
         assert!(base_line < end_line, "structure span must be non-empty");
         if let Some(n) = self.num_chiplets {
-            assert_eq!(ranges.len(), n, "inconsistent chiplet counts across structures");
+            assert_eq!(
+                ranges.len(),
+                n,
+                "inconsistent chiplet counts across structures"
+            );
         } else {
             self.num_chiplets = Some(ranges.len());
         }
@@ -280,7 +283,10 @@ mod tests {
             .array(
                 a,
                 TouchKind::Load,
-                AccessPattern::Irregular { fraction: 0.1, locality: 0.5 },
+                AccessPattern::Irregular {
+                    fraction: 0.1,
+                    locality: 0.5,
+                },
             )
             .build();
         let chiplets: Vec<_> = ChipletId::all(2).collect();

@@ -37,10 +37,8 @@ fn merge(a: &StructureAccess, b: &StructureAccess) -> StructureAccess {
 fn gap(a: &StructureAccess, b: &StructureAccess) -> u64 {
     if a.end_line <= b.base_line {
         b.base_line - a.end_line
-    } else if b.end_line <= a.base_line {
-        a.base_line - b.end_line
     } else {
-        0
+        a.base_line.saturating_sub(b.end_line)
     }
 }
 
@@ -103,7 +101,10 @@ mod tests {
 
     #[test]
     fn within_budget_is_untouched() {
-        let v = vec![s(0, 10, AccessMode::ReadOnly), s(1000, 1010, AccessMode::ReadWrite)];
+        let v = vec![
+            s(0, 10, AccessMode::ReadOnly),
+            s(1000, 1010, AccessMode::ReadWrite),
+        ];
         let out = coarsen_structures(&v, 8);
         assert_eq!(out.len(), 2);
     }
@@ -135,7 +136,8 @@ mod tests {
         let out = coarsen_structures(&v, 3);
         assert_eq!(out.len(), 3);
         assert!(
-            out.iter().any(|x| x.base_line == 1_000 && x.end_line == 1_210),
+            out.iter()
+                .any(|x| x.base_line == 1_000 && x.end_line == 1_210),
             "the 1000/1200 pair should merge: {out:?}"
         );
     }
@@ -149,8 +151,8 @@ mod tests {
         assert!(out.len() <= 8);
         for orig in &v {
             assert!(
-                out.iter().any(|m| m.base_line <= orig.base_line
-                    && m.end_line >= orig.end_line),
+                out.iter()
+                    .any(|m| m.base_line <= orig.base_line && m.end_line >= orig.end_line),
                 "structure {orig:?} lost"
             );
         }

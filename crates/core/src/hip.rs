@@ -115,7 +115,10 @@ impl HipRuntime {
     ///
     /// Panics if `num_chiplets` is 0 or exceeds 16.
     pub fn new(num_chiplets: usize) -> Self {
-        assert!((1..=16).contains(&num_chiplets), "1..=16 chiplets supported");
+        assert!(
+            (1..=16).contains(&num_chiplets),
+            "1..=16 chiplets supported"
+        );
         HipRuntime {
             num_chiplets,
             next_base: 0x1000_0000,
@@ -213,10 +216,17 @@ impl HipRuntime {
         let mut spans: Vec<(u64, u64)> = Vec::new();
         for group in range_groups {
             assert!(!group.is_empty(), "sub-range group must be non-empty");
-            let lo = group.iter().map(|r| r.start.get()).min().expect("non-empty");
+            let lo = group
+                .iter()
+                .map(|r| r.start.get())
+                .min()
+                .expect("non-empty");
             let hi = group.iter().map(|r| r.end.get()).max().expect("non-empty");
             for &(a, b) in &spans {
-                assert!(hi <= a || lo >= b, "dis-contiguous sub-ranges must not overlap");
+                assert!(
+                    hi <= a || lo >= b,
+                    "dis-contiguous sub-ranges must not overlap"
+                );
             }
             spans.push((lo, hi));
             // Each group is registered as its own structure: a narrowed
@@ -273,7 +283,8 @@ impl HipRuntime {
                                     chiplets.len()
                                 )
                             });
-                            let lines = r.start.line().get()..r.end.offset(LINE_BYTES - 1).line().get();
+                            let lines =
+                                r.start.line().get()..r.end.offset(LINE_BYTES - 1).line().get();
                             let clamped = lines.start.max(span.start)..lines.end.min(span.end);
                             per_chiplet[c.index()] = Some(match per_chiplet[c.index()].take() {
                                 Some(old) => old.start.min(clamped.start)..old.end.max(clamped.end),
@@ -397,8 +408,10 @@ mod tests {
         );
         let info = hip.launch_kernel_ggl("scatter", ChipletId::all(2));
         assert_eq!(info.structures.len(), 2, "one chiplet vector per range");
-        assert!(info.structures[0].end_line <= info.structures[1].base_line
-            || info.structures[1].end_line <= info.structures[0].base_line);
+        assert!(
+            info.structures[0].end_line <= info.structures[1].base_line
+                || info.structures[1].end_line <= info.structures[0].base_line
+        );
         // Both rows carry both chiplets' sub-ranges.
         for s in &info.structures {
             assert!(s.range_for(ChipletId::new(0)).is_some());
@@ -411,7 +424,13 @@ mod tests {
     fn overlapping_discontiguous_groups_rejected() {
         let mut hip = HipRuntime::new(2);
         let a = hip.malloc("A_d", 4 * 4096);
-        let r = |p: u64| RangeChiplet::new(a.base().offset(p * 4096), a.base().offset((p + 2) * 4096), 0);
+        let r = |p: u64| {
+            RangeChiplet::new(
+                a.base().offset(p * 4096),
+                a.base().offset((p + 2) * 4096),
+                0,
+            )
+        };
         hip.set_access_mode_ranges_discontiguous(
             "k",
             a,

@@ -14,7 +14,7 @@
 //! release affects *every* structure cached on that chiplet; the table
 //! applies those whole-cache side effects to all rows.
 
-use crate::api::{ranges_overlap, range_union, KernelLaunchInfo, StructureAccess};
+use crate::api::{range_union, ranges_overlap, KernelLaunchInfo, StructureAccess};
 use crate::coarsen::coarsen_structures;
 use crate::state::{EntryState, StateEvent};
 use crate::{MAX_STRUCTURES_PER_KERNEL, TABLE_CAPACITY};
@@ -22,6 +22,10 @@ use chiplet_mem::addr::ChipletId;
 use chiplet_mem::array::AccessMode;
 use std::fmt;
 use std::ops::Range;
+
+/// One first-touch placement record: a structure span plus the per-chiplet
+/// home ranges fixed for it at dispatch time.
+type HomeRecord = (Range<u64>, Vec<Option<Range<u64>>>);
 
 /// One table row.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -169,6 +173,14 @@ pub struct ChipletCoherenceTable {
     num_chiplets: usize,
     capacity: usize,
     entries: Vec<TableEntry>,
+    /// First-touch placement record per structure span. Page homes are
+    /// fixed at dispatch time and outlive table residency, so this log
+    /// survives row removal: a recreated row must not re-infer narrower
+    /// homes from the new launch alone, or a chiplet's dirty/stale lines
+    /// could escape the [`TableEntry::cacheable`] bound (unsound elision).
+    /// The CP can always re-derive this because it performed every
+    /// dispatch.
+    home_log: Vec<HomeRecord>,
     stats: TableStats,
 }
 
@@ -186,14 +198,62 @@ impl ChipletCoherenceTable {
     ///
     /// Panics if `num_chiplets` is 0 or exceeds 16, or `capacity` is 0.
     pub fn with_capacity(num_chiplets: usize, capacity: usize) -> Self {
-        assert!((1..=16).contains(&num_chiplets), "1..=16 chiplets supported");
+        assert!(
+            (1..=16).contains(&num_chiplets),
+            "1..=16 chiplets supported"
+        );
         assert!(capacity > 0, "table must hold at least one entry");
         ChipletCoherenceTable {
             num_chiplets,
             capacity,
             entries: Vec::new(),
+            home_log: Vec::new(),
             stats: TableStats::default(),
         }
+    }
+
+    /// Merged home ranges of every `home_log` record overlapping `span`,
+    /// or `None` if the span has never been dispatched.
+    fn homes_on_record(&self, span: &Range<u64>) -> Option<Vec<Option<Range<u64>>>> {
+        let mut found: Option<Vec<Option<Range<u64>>>> = None;
+        for (r, hs) in &self.home_log {
+            if !ranges_overlap(r, span) {
+                continue;
+            }
+            let homes = found.get_or_insert_with(|| vec![None; self.num_chiplets]);
+            for (h, old) in homes.iter_mut().zip(hs) {
+                if let Some(o) = old {
+                    *h = Some(match h.take() {
+                        Some(cur) => range_union(&cur, o),
+                        None => o.clone(),
+                    });
+                }
+            }
+        }
+        found
+    }
+
+    /// Records (and coalesces) the first-touch homes for `span`. Widening
+    /// a home only ever produces extra synchronization, so merging by
+    /// union is always safe.
+    fn record_homes(&mut self, mut span: Range<u64>, mut homes: Vec<Option<Range<u64>>>) {
+        while let Some(pos) = self
+            .home_log
+            .iter()
+            .position(|(r, _)| ranges_overlap(r, &span))
+        {
+            let (r, hs) = self.home_log.swap_remove(pos);
+            span = span.start.min(r.start)..span.end.max(r.end);
+            for (h, old) in homes.iter_mut().zip(hs) {
+                if let Some(o) = old {
+                    *h = Some(match h.take() {
+                        Some(cur) => range_union(&cur, &o),
+                        None => o,
+                    });
+                }
+            }
+        }
+        self.home_log.push((span, homes));
     }
 
     /// The system's chiplet count.
@@ -354,8 +414,11 @@ impl ChipletCoherenceTable {
             let idx = match self.find_entry(s) {
                 Some(i) => i,
                 None => {
-                    self.entries
-                        .push(TableEntry::new(s, self.num_chiplets, info.kernel));
+                    let mut e = TableEntry::new(s, self.num_chiplets, info.kernel);
+                    if let Some(homes) = self.homes_on_record(&e.span()) {
+                        e.home_ranges = homes;
+                    }
+                    self.entries.push(e);
                     self.entries.len() - 1
                 }
             };
@@ -374,13 +437,9 @@ impl ChipletCoherenceTable {
                 let Some(cached) = entry.cacheable(j) else {
                     continue;
                 };
-                let overlapping_writer_or_reader = s
-                    .ranges
-                    .iter()
-                    .enumerate()
-                    .any(|(k, r)| {
-                        k != j.index() && r.as_ref().is_some_and(|r| ranges_overlap(r, &cached))
-                    });
+                let overlapping_writer_or_reader = s.ranges.iter().enumerate().any(|(k, r)| {
+                    k != j.index() && r.as_ref().is_some_and(|r| ranges_overlap(r, &cached))
+                });
                 if overlapping_writer_or_reader {
                     let ev = if s.mode.writes() {
                         StateEvent::RemoteWrite
@@ -424,6 +483,11 @@ impl ChipletCoherenceTable {
                     None => new_range,
                 });
             }
+
+            // Persist the (possibly widened) homes beyond this row's
+            // residency in the table.
+            let (span, homes) = (entry.span(), entry.home_ranges.clone());
+            self.record_homes(span, homes);
         }
 
         // Phase 4: drop rows whose chiplet vector is all Not-Present
@@ -665,7 +729,12 @@ mod tests {
         for k in 0..2u64 {
             let base = k * 1000;
             let info = KernelLaunchInfo::builder(k, [c(0)])
-                .structure(base, base + 100, AccessMode::ReadWrite, [Some(base..base + 100), None])
+                .structure(
+                    base,
+                    base + 100,
+                    AccessMode::ReadWrite,
+                    [Some(base..base + 100), None],
+                )
                 .build();
             assert!(t.prepare_launch(&info).is_empty());
         }
@@ -687,7 +756,12 @@ mod tests {
         let mut b = KernelLaunchInfo::builder(0, [c(0)]);
         for i in 0..10u64 {
             let base = i * 100; // contiguous structures
-            b = b.structure(base, base + 100, AccessMode::ReadWrite, [Some(base..base + 100), None]);
+            b = b.structure(
+                base,
+                base + 100,
+                AccessMode::ReadWrite,
+                [Some(base..base + 100), None],
+            );
         }
         let a = t.prepare_launch(&b.build());
         assert!(a.is_empty());

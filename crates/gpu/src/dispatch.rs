@@ -168,10 +168,7 @@ mod tests {
 
     #[test]
     fn slots_follow_plan_order() {
-        let plan = DispatchPlan::new(vec![
-            (ChipletId::new(2), 5),
-            (ChipletId::new(0), 5),
-        ]);
+        let plan = DispatchPlan::new(vec![(ChipletId::new(2), 5), (ChipletId::new(0), 5)]);
         assert_eq!(plan.slot_of(ChipletId::new(2)), Some(0));
         assert_eq!(plan.slot_of(ChipletId::new(0)), Some(1));
         assert_eq!(plan.slot_of(ChipletId::new(1)), None);

@@ -202,7 +202,13 @@ impl KernelSpec {
 
 impl fmt::Display for KernelSpec {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}({} arrays, {} WGs)", self.name, self.arrays.len(), self.wg_count)
+        write!(
+            f,
+            "{}({} arrays, {} WGs)",
+            self.name,
+            self.arrays.len(),
+            self.wg_count
+        )
     }
 }
 
@@ -385,7 +391,10 @@ mod tests {
         let _ = KernelSpec::builder("k").array(
             a(0),
             TouchKind::Load,
-            AccessPattern::Slice { start: 0.9, end: 0.1 },
+            AccessPattern::Slice {
+                start: 0.9,
+                end: 0.1,
+            },
         );
     }
 
@@ -395,7 +404,10 @@ mod tests {
         let _ = KernelSpec::builder("k").array(
             a(0),
             TouchKind::Load,
-            AccessPattern::Irregular { fraction: 1.5, locality: 0.5 },
+            AccessPattern::Irregular {
+                fraction: 1.5,
+                locality: 0.5,
+            },
         );
     }
 

@@ -18,10 +18,8 @@ pub mod table;
 pub mod trace;
 
 pub use dispatch::{DispatchPlan, StaticPartitionScheduler};
+pub use kernel::{AccessPattern, ArrayAccess, KernelBuilder, KernelId, KernelSpec, TouchKind};
 pub use occupancy::{occupancy_fraction, occupancy_wavefronts, CuResources, KernelResources};
-pub use kernel::{
-    AccessPattern, ArrayAccess, KernelBuilder, KernelId, KernelSpec, TouchKind,
-};
 pub use stream::{KernelPacket, SoftwareQueue, StreamId};
 pub use table::ArrayTable;
 pub use trace::{AccessEvent, TraceGenerator};

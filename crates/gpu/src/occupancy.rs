@@ -87,21 +87,18 @@ impl Default for KernelResources {
 /// ```
 pub fn occupancy_wavefronts(cu: &CuResources, k: &KernelResources) -> u32 {
     let by_slots = cu.max_wavefronts();
-    let by_vgpr = if k.vgpr_bytes_per_wf == 0 {
-        by_slots
-    } else {
-        (cu.vgpr_bytes / k.vgpr_bytes_per_wf) as u32
-    };
-    let by_sgpr = if k.sgpr_bytes_per_wf == 0 {
-        by_slots
-    } else {
-        (cu.sgpr_bytes / k.sgpr_bytes_per_wf) as u32
-    };
-    let by_lds_wgs = if k.lds_bytes_per_wg == 0 {
-        u32::MAX
-    } else {
-        (cu.lds_bytes / k.lds_bytes_per_wg) as u32
-    };
+    let by_vgpr = cu
+        .vgpr_bytes
+        .checked_div(k.vgpr_bytes_per_wf)
+        .map_or(by_slots, |v| v as u32);
+    let by_sgpr = cu
+        .sgpr_bytes
+        .checked_div(k.sgpr_bytes_per_wf)
+        .map_or(by_slots, |v| v as u32);
+    let by_lds_wgs = cu
+        .lds_bytes
+        .checked_div(k.lds_bytes_per_wg)
+        .map_or(u32::MAX, |v| v as u32);
     let wf_cap = by_slots.min(by_vgpr).min(by_sgpr);
     // Hardware schedules whole workgroups.
     let wg_cap = (wf_cap / k.wf_per_wg.max(1)).min(by_lds_wgs);
@@ -185,8 +182,6 @@ mod tests {
             lds_bytes_per_wg: 24 * 1024,
             ..unfused
         };
-        assert!(
-            occupancy_fraction(&cu, &fused) < occupancy_fraction(&cu, &unfused) / 2.0
-        );
+        assert!(occupancy_fraction(&cu, &fused) < occupancy_fraction(&cu, &unfused) / 2.0);
     }
 }

@@ -10,10 +10,9 @@
 use crate::dispatch::DispatchPlan;
 use crate::kernel::{AccessPattern, KernelId, KernelSpec, TouchKind};
 use crate::table::ArrayTable;
+use chiplet_harness::rng::{mix64, Xoshiro256};
 use chiplet_mem::addr::{ChipletId, LineAddr};
 use chiplet_mem::array::{ArrayDecl, ArrayId};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 use std::ops::Range;
 
 /// One cache-line access issued by a chiplet.
@@ -61,8 +60,7 @@ pub fn hint_lines(
         AccessPattern::Partitioned => partition_lines(all, slot, width),
         AccessPattern::PartitionedHalo { halo_lines } => {
             let p = partition_lines(all.clone(), slot, width);
-            p.start.saturating_sub(halo_lines).max(all.start)
-                ..(p.end + halo_lines).min(all.end)
+            p.start.saturating_sub(halo_lines).max(all.start)..(p.end + halo_lines).min(all.end)
         }
         AccessPattern::Irregular { locality, .. } if locality >= 1.0 => {
             partition_lines(all, slot, width)
@@ -90,16 +88,14 @@ impl TraceGenerator {
         TraceGenerator { seed }
     }
 
-    fn rng_for(&self, kernel: KernelId, chiplet: ChipletId, array: ArrayId) -> SmallRng {
-        // SplitMix64-style avalanche over the identifying tuple.
-        let mut z = self
+    fn rng_for(&self, kernel: KernelId, chiplet: ChipletId, array: ArrayId) -> Xoshiro256 {
+        // SplitMix64 avalanche over the identifying tuple.
+        let z = self
             .seed
             .wrapping_add(kernel.get().wrapping_mul(0x9E37_79B9_7F4A_7C15))
             .wrapping_add((chiplet.index() as u64) << 32)
             .wrapping_add(u64::from(array.get()).wrapping_mul(0xBF58_476D_1CE4_E5B9));
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        SmallRng::seed_from_u64(z ^ (z >> 31))
+        Xoshiro256::seed_from_u64(mix64(z))
     }
 
     /// The lines one chiplet touches in one array (single sweep, in issue
@@ -131,7 +127,7 @@ impl TraceGenerator {
                 let mut rng = self.rng_for(kernel, chiplet, decl.id());
                 (0..count)
                     .map(|_| {
-                        let r: f64 = rng.gen();
+                        let r = rng.next_f64();
                         if r < locality && own.end > own.start {
                             LineAddr::new(rng.gen_range(own.clone()))
                         } else {
@@ -283,7 +279,10 @@ mod tests {
         assert_eq!(hint_lines(&AccessPattern::Shared, d, 2, 4), d.line_range());
         assert_eq!(
             hint_lines(
-                &AccessPattern::Irregular { fraction: 0.1, locality: 0.9 },
+                &AccessPattern::Irregular {
+                    fraction: 0.1,
+                    locality: 0.9
+                },
                 d,
                 0,
                 4
@@ -296,7 +295,10 @@ mod tests {
     fn slice_narrows_before_partitioning() {
         let (t, id) = setup(64 * 100);
         let d = t.get(id);
-        let s = AccessPattern::Slice { start: 0.5, end: 1.0 };
+        let s = AccessPattern::Slice {
+            start: 0.5,
+            end: 1.0,
+        };
         let r0 = hint_lines(&s, d, 0, 2);
         let r1 = hint_lines(&s, d, 1, 2);
         let base = d.line_range().start;
@@ -309,14 +311,20 @@ mod tests {
         let (t, id) = setup(64 * 1000);
         let d = t.get(id);
         let g = TraceGenerator::new(42);
-        let p = AccessPattern::Irregular { fraction: 0.25, locality: 1.0 };
-        let l1 = g.lines_for(&p, d, KernelId::new(3), ChipletId::new(1), 1, 4, );
-        let l2 = g.lines_for(&p, d, KernelId::new(3), ChipletId::new(1), 1, 4, );
+        let p = AccessPattern::Irregular {
+            fraction: 0.25,
+            locality: 1.0,
+        };
+        let l1 = g.lines_for(&p, d, KernelId::new(3), ChipletId::new(1), 1, 4);
+        let l2 = g.lines_for(&p, d, KernelId::new(3), ChipletId::new(1), 1, 4);
         assert_eq!(l1, l2, "same seed tuple must replay");
         // 1000 lines x 0.25 kernel-wide, split over 4 chiplets.
         assert_eq!(l1.len(), 63);
         let own = partition_lines(d.line_range(), 1, 4);
-        assert!(l1.iter().all(|l| own.contains(&l.get())), "locality=1 stays local");
+        assert!(
+            l1.iter().all(|l| own.contains(&l.get())),
+            "locality=1 stays local"
+        );
     }
 
     #[test]
@@ -324,12 +332,18 @@ mod tests {
         let (t, id) = setup(64 * 4000);
         let d = t.get(id);
         let g = TraceGenerator::new(7);
-        let p = AccessPattern::Irregular { fraction: 1.0, locality: 0.0 };
+        let p = AccessPattern::Irregular {
+            fraction: 1.0,
+            locality: 0.0,
+        };
         let lines = g.lines_for(&p, d, KernelId::new(0), ChipletId::new(0), 0, 4);
         let own = partition_lines(d.line_range(), 0, 4);
         let local = lines.iter().filter(|l| own.contains(&l.get())).count();
         let frac = local as f64 / lines.len() as f64;
-        assert!((frac - 0.25).abs() < 0.05, "expected ~1/4 local, got {frac}");
+        assert!(
+            (frac - 0.25).abs() < 0.05,
+            "expected ~1/4 local, got {frac}"
+        );
     }
 
     #[test]

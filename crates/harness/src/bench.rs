@@ -1,0 +1,288 @@
+//! A wall-clock micro-benchmark runner (in-repo `criterion` replacement).
+//!
+//! Each benchmark runs a warmup phase followed by `iters` timed
+//! iterations; the runner reports min/mean/median/p95/max nanoseconds per
+//! iteration and can write the whole session as JSON (typically into
+//! `results/`). Iteration counts are fixed (not adaptive) so runs are
+//! reproducible and cheap enough for CI; override globally with
+//! `CHIPLET_BENCH_ITERS` / `CHIPLET_BENCH_WARMUP`.
+//!
+//! ```no_run
+//! use chiplet_harness::bench::BenchRunner;
+//!
+//! let mut runner = BenchRunner::new("microbench");
+//! runner.bench("u64_sum", |_| (0..1000u64).sum::<u64>());
+//! runner.write_json("results/microbench.json").unwrap();
+//! println!("{}", runner.report());
+//! ```
+
+use crate::json::Json;
+use std::hint::black_box;
+use std::path::Path;
+use std::time::Instant;
+
+/// Per-benchmark iteration configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct BenchConfig {
+    /// Untimed warmup iterations (fills caches, triggers lazy init).
+    pub warmup: u32,
+    /// Timed iterations.
+    pub iters: u32,
+}
+
+impl Default for BenchConfig {
+    fn default() -> Self {
+        let env = |key: &str| std::env::var(key).ok().and_then(|v| v.parse::<u32>().ok());
+        BenchConfig {
+            warmup: env("CHIPLET_BENCH_WARMUP").unwrap_or(3),
+            iters: env("CHIPLET_BENCH_ITERS").unwrap_or(15),
+        }
+    }
+}
+
+/// Summary statistics of one benchmark, in nanoseconds per iteration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchStats {
+    /// Benchmark name.
+    pub name: String,
+    /// Timed iterations.
+    pub iters: u32,
+    /// Fastest iteration.
+    pub min_ns: f64,
+    /// Arithmetic mean.
+    pub mean_ns: f64,
+    /// Median (p50).
+    pub median_ns: f64,
+    /// 95th percentile.
+    pub p95_ns: f64,
+    /// Slowest iteration.
+    pub max_ns: f64,
+}
+
+impl BenchStats {
+    fn from_samples(name: &str, mut samples: Vec<f64>) -> Self {
+        assert!(!samples.is_empty(), "benchmark ran zero iterations");
+        samples.sort_by(|a, b| a.total_cmp(b));
+        let n = samples.len();
+        let pct = |q: f64| samples[((n - 1) as f64 * q).round() as usize];
+        BenchStats {
+            name: name.to_owned(),
+            iters: n as u32,
+            min_ns: samples[0],
+            mean_ns: samples.iter().sum::<f64>() / n as f64,
+            median_ns: pct(0.50),
+            p95_ns: pct(0.95),
+            max_ns: samples[n - 1],
+        }
+    }
+
+    fn to_json(&self) -> Json {
+        Json::object()
+            .with("name", self.name.as_str())
+            .with("iters", u64::from(self.iters))
+            .with("min_ns", self.min_ns)
+            .with("mean_ns", self.mean_ns)
+            .with("median_ns", self.median_ns)
+            .with("p95_ns", self.p95_ns)
+            .with("max_ns", self.max_ns)
+    }
+}
+
+/// Formats a nanosecond quantity with an adaptive unit.
+pub fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.2} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.2} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.2} µs", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+/// A benchmark session: a named group of measured closures.
+#[derive(Debug)]
+pub struct BenchRunner {
+    group: String,
+    config: BenchConfig,
+    results: Vec<BenchStats>,
+}
+
+impl BenchRunner {
+    /// Creates a session with the environment-default config.
+    pub fn new(group: impl Into<String>) -> Self {
+        BenchRunner {
+            group: group.into(),
+            config: BenchConfig::default(),
+            results: Vec::new(),
+        }
+    }
+
+    /// Overrides the iteration config for subsequently added benchmarks.
+    pub fn config(&mut self, config: BenchConfig) -> &mut Self {
+        self.config = config;
+        self
+    }
+
+    /// Measures `op` (its return value is black-boxed so the work is not
+    /// optimized away). The iteration index is passed in so closures can
+    /// vary their input without reusing warm state unintentionally.
+    pub fn bench<R>(&mut self, name: &str, mut op: impl FnMut(u32) -> R) -> &BenchStats {
+        for i in 0..self.config.warmup {
+            black_box(op(i));
+        }
+        let samples = (0..self.config.iters)
+            .map(|i| {
+                let t = Instant::now();
+                black_box(op(self.config.warmup + i));
+                t.elapsed().as_secs_f64() * 1e9
+            })
+            .collect();
+        self.results.push(BenchStats::from_samples(name, samples));
+        self.results.last().expect("just pushed")
+    }
+
+    /// Like [`BenchRunner::bench`], but re-creates untimed per-iteration
+    /// state with `setup` (for operations that consume their input).
+    pub fn bench_with_setup<S, R>(
+        &mut self,
+        name: &str,
+        mut setup: impl FnMut(u32) -> S,
+        mut op: impl FnMut(S) -> R,
+    ) -> &BenchStats {
+        for i in 0..self.config.warmup {
+            black_box(op(setup(i)));
+        }
+        let samples = (0..self.config.iters)
+            .map(|i| {
+                let state = setup(self.config.warmup + i);
+                let t = Instant::now();
+                black_box(op(state));
+                t.elapsed().as_secs_f64() * 1e9
+            })
+            .collect();
+        self.results.push(BenchStats::from_samples(name, samples));
+        self.results.last().expect("just pushed")
+    }
+
+    /// All results so far.
+    pub fn results(&self) -> &[BenchStats] {
+        &self.results
+    }
+
+    /// The session as a JSON document.
+    pub fn to_json(&self) -> Json {
+        Json::object().with("group", self.group.as_str()).with(
+            "benchmarks",
+            Json::Arr(self.results.iter().map(BenchStats::to_json).collect()),
+        )
+    }
+
+    /// Writes the session JSON to `path`, creating parent directories.
+    pub fn write_json(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
+        let path = path.as_ref();
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir)?;
+        }
+        std::fs::write(path, self.to_json().render())
+    }
+
+    /// A fixed-width human-readable report of every benchmark.
+    pub fn report(&self) -> String {
+        let mut out = format!(
+            "{group}: {n} benchmarks, {iters} iters each\n{h:<40} {a:>12} {b:>12} {c:>12}\n",
+            group = self.group,
+            n = self.results.len(),
+            iters = self.config.iters,
+            h = "benchmark",
+            a = "median",
+            b = "p95",
+            c = "min",
+        );
+        for r in &self.results {
+            out.push_str(&format!(
+                "{:<40} {:>12} {:>12} {:>12}\n",
+                r.name,
+                fmt_ns(r.median_ns),
+                fmt_ns(r.p95_ns),
+                fmt_ns(r.min_ns)
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::validate;
+
+    fn tiny() -> BenchConfig {
+        BenchConfig {
+            warmup: 1,
+            iters: 5,
+        }
+    }
+
+    #[test]
+    fn stats_are_ordered_and_sane() {
+        let mut r = BenchRunner::new("t");
+        r.config(tiny());
+        let s = r.bench("spin", |_| {
+            let mut acc = 0u64;
+            for i in 0..1000u64 {
+                acc = acc.wrapping_add(i * i);
+            }
+            acc
+        });
+        assert!(s.min_ns > 0.0);
+        assert!(s.min_ns <= s.median_ns);
+        assert!(s.median_ns <= s.p95_ns);
+        assert!(s.p95_ns <= s.max_ns);
+        assert_eq!(s.iters, 5);
+    }
+
+    #[test]
+    fn setup_variant_excludes_setup_cost() {
+        let mut r = BenchRunner::new("t");
+        r.config(tiny());
+        r.bench_with_setup(
+            "consume_vec",
+            |i| vec![i; 10_000],
+            |v| v.into_iter().map(u64::from).sum::<u64>(),
+        );
+        assert_eq!(r.results().len(), 1);
+    }
+
+    #[test]
+    fn json_round_trip_validates() {
+        let mut r = BenchRunner::new("session");
+        r.config(tiny());
+        r.bench("a", |_| 1 + 1);
+        r.bench("b", |_| 2 + 2);
+        let text = r.to_json().render();
+        validate(&text).expect("bench JSON must validate");
+        assert!(text.contains("\"group\": \"session\""));
+        assert!(text.contains("\"median_ns\""));
+    }
+
+    #[test]
+    fn report_lists_every_benchmark() {
+        let mut r = BenchRunner::new("g");
+        r.config(tiny());
+        r.bench("first", |_| ());
+        r.bench("second", |_| ());
+        let rep = r.report();
+        assert!(rep.contains("first") && rep.contains("second"));
+        assert!(rep.contains("median"));
+    }
+
+    #[test]
+    fn fmt_ns_picks_units() {
+        assert_eq!(fmt_ns(500.0), "500 ns");
+        assert_eq!(fmt_ns(1500.0), "1.50 µs");
+        assert_eq!(fmt_ns(2.5e6), "2.50 ms");
+        assert_eq!(fmt_ns(3.0e9), "3.00 s");
+    }
+}

@@ -1,0 +1,28 @@
+//! `chiplet-harness`: the workspace's hermetic, zero-dependency test,
+//! bench and observability toolkit.
+//!
+//! The CPElide reproduction must build and validate offline, so the three
+//! external crates the workspace once used are replaced in-repo:
+//!
+//! * [`rng`] replaces `rand` — deterministic SplitMix64 seeding plus a
+//!   xoshiro256** stream generator, stable across platforms and releases.
+//! * [`prop`] replaces `proptest` — seedable generators, configurable
+//!   case counts, shrink-by-halving, and `prop_assert!`-style macros.
+//! * [`bench`] replaces `criterion` — a warmup+iterations wall-clock
+//!   runner reporting median/p95 and writing JSON into `results/`.
+//!
+//! [`obs`] adds the structured instrumentation layer (counters, event
+//! logs, spans) the simulator threads through kernel boundaries, and
+//! [`json`] is the tiny writer/validator the other modules share.
+
+pub mod bench;
+pub mod json;
+pub mod obs;
+pub mod prop;
+pub mod rng;
+
+pub use bench::{BenchConfig, BenchRunner, BenchStats};
+pub use json::Json;
+pub use obs::{Counter, Event, EventLog, Span};
+pub use prop::{check, PropConfig, PropResult};
+pub use rng::{mix64, SplitMix64, Xoshiro256};

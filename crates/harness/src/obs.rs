@@ -1,0 +1,323 @@
+//! Structured observability: named counters, an append-only event log,
+//! and scoped wall-clock spans.
+//!
+//! The simulator threads these through its hot paths so every kernel
+//! boundary records what synchronization was performed vs. elided, how
+//! many lines were flushed or invalidated, and how many bytes crossed
+//! inter-chiplet links. Exports are plain JSON/CSV text so downstream
+//! plotting needs no shared schema crate.
+
+use crate::json::Json;
+use std::fmt;
+use std::time::Instant;
+
+/// A named monotonically increasing counter.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Counter {
+    name: String,
+    value: u64,
+}
+
+impl Counter {
+    /// Creates a zeroed counter.
+    pub fn new(name: impl Into<String>) -> Self {
+        Counter {
+            name: name.into(),
+            value: 0,
+        }
+    }
+
+    /// The counter's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The current value.
+    pub fn get(&self) -> u64 {
+        self.value
+    }
+
+    /// Adds one.
+    pub fn inc(&mut self) {
+        self.value += 1;
+    }
+
+    /// Adds `n`.
+    pub fn add(&mut self, n: u64) {
+        self.value += n;
+    }
+}
+
+impl fmt::Display for Counter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} = {}", self.name, self.value)
+    }
+}
+
+/// One recorded event: a label plus named numeric fields, stamped with a
+/// monotonically increasing sequence number.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// Position in the log (0-based).
+    pub seq: u64,
+    /// Event kind, e.g. `"kernel_boundary"` or `"release"`.
+    pub label: String,
+    /// Named measurements attached to the event.
+    pub fields: Vec<(&'static str, f64)>,
+}
+
+impl Event {
+    /// The value of field `key`, if present.
+    pub fn field(&self, key: &str) -> Option<f64> {
+        self.fields.iter().find(|(k, _)| *k == key).map(|&(_, v)| v)
+    }
+}
+
+/// An append-only in-memory event log, exportable as JSON or CSV.
+///
+/// Disabled logs ([`EventLog::disabled`]) drop records at zero cost so
+/// instrumented hot paths stay cheap when nobody is listening.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct EventLog {
+    events: Vec<Event>,
+    enabled: bool,
+}
+
+impl EventLog {
+    /// A recording log.
+    pub fn new() -> Self {
+        EventLog {
+            events: Vec::new(),
+            enabled: true,
+        }
+    }
+
+    /// A log that silently drops every record.
+    pub fn disabled() -> Self {
+        EventLog {
+            events: Vec::new(),
+            enabled: false,
+        }
+    }
+
+    /// Whether records are kept.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Appends an event (no-op when disabled).
+    pub fn record(&mut self, label: impl Into<String>, fields: Vec<(&'static str, f64)>) {
+        if !self.enabled {
+            return;
+        }
+        self.events.push(Event {
+            seq: self.events.len() as u64,
+            label: label.into(),
+            fields,
+        });
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The recorded events, in order.
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// Merges `other`'s events after this log's, renumbering sequences.
+    pub fn extend(&mut self, other: &EventLog) {
+        for e in &other.events {
+            self.record(e.label.clone(), e.fields.clone());
+        }
+    }
+
+    /// The log as a JSON array of objects.
+    pub fn to_json(&self) -> Json {
+        Json::Arr(
+            self.events
+                .iter()
+                .map(|e| {
+                    let mut obj = Json::object()
+                        .with("seq", e.seq)
+                        .with("label", e.label.as_str());
+                    for &(k, v) in &e.fields {
+                        obj.set(k, v);
+                    }
+                    obj
+                })
+                .collect(),
+        )
+    }
+
+    /// The log as CSV. Columns are `seq,label` followed by the union of
+    /// field names in first-appearance order; absent fields render empty.
+    pub fn to_csv(&self) -> String {
+        let mut columns: Vec<&'static str> = Vec::new();
+        for e in &self.events {
+            for &(k, _) in &e.fields {
+                if !columns.contains(&k) {
+                    columns.push(k);
+                }
+            }
+        }
+        let mut out = String::from("seq,label");
+        for c in &columns {
+            out.push(',');
+            out.push_str(c);
+        }
+        out.push('\n');
+        for e in &self.events {
+            out.push_str(&format!("{},{}", e.seq, e.label));
+            for c in &columns {
+                out.push(',');
+                if let Some(v) = e.field(c) {
+                    if v.fract() == 0.0 && v.abs() < 9e15 {
+                        out.push_str(&format!("{}", v as i64));
+                    } else {
+                        out.push_str(&format!("{v}"));
+                    }
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// A scoped wall-clock span: measures from construction to `finish` (or
+/// drop) and records a `span` event with the elapsed nanoseconds.
+#[derive(Debug)]
+pub struct Span<'a> {
+    log: Option<&'a mut EventLog>,
+    label: &'static str,
+    start: Instant,
+}
+
+impl<'a> Span<'a> {
+    /// Starts a span that will record into `log`.
+    pub fn enter(log: &'a mut EventLog, label: &'static str) -> Self {
+        Span {
+            log: Some(log),
+            label,
+            start: Instant::now(),
+        }
+    }
+
+    /// Ends the span explicitly, returning the elapsed nanoseconds.
+    pub fn finish(mut self) -> f64 {
+        let elapsed = self.record();
+        self.log = None;
+        elapsed
+    }
+
+    fn record(&mut self) -> f64 {
+        let elapsed_ns = self.start.elapsed().as_secs_f64() * 1e9;
+        if let Some(log) = self.log.as_deref_mut() {
+            log.record(
+                format!("span:{}", self.label),
+                vec![("elapsed_ns", elapsed_ns)],
+            );
+        }
+        elapsed_ns
+    }
+}
+
+impl Drop for Span<'_> {
+    fn drop(&mut self) {
+        if self.log.is_some() {
+            self.record();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::validate;
+
+    #[test]
+    fn counter_accumulates() {
+        let mut c = Counter::new("acquires");
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        assert_eq!(format!("{c}"), "acquires = 5");
+    }
+
+    #[test]
+    fn log_records_in_order_with_sequence_numbers() {
+        let mut log = EventLog::new();
+        log.record("a", vec![("x", 1.0)]);
+        log.record("b", vec![("y", 2.0)]);
+        assert_eq!(log.len(), 2);
+        assert_eq!(log.events()[0].seq, 0);
+        assert_eq!(log.events()[1].seq, 1);
+        assert_eq!(log.events()[1].field("y"), Some(2.0));
+        assert_eq!(log.events()[1].field("x"), None);
+    }
+
+    #[test]
+    fn disabled_log_drops_everything() {
+        let mut log = EventLog::disabled();
+        log.record("a", vec![]);
+        assert!(log.is_empty());
+        assert!(!log.is_enabled());
+    }
+
+    #[test]
+    fn json_export_validates() {
+        let mut log = EventLog::new();
+        log.record("kernel_boundary", vec![("flushed", 10.0), ("elided", 3.0)]);
+        let text = log.to_json().render();
+        validate(&text).expect("event JSON validates");
+        assert!(text.contains("kernel_boundary"));
+    }
+
+    #[test]
+    fn csv_unions_columns_and_leaves_gaps_empty() {
+        let mut log = EventLog::new();
+        log.record("a", vec![("x", 1.0)]);
+        log.record("b", vec![("y", 2.5)]);
+        let csv = log.to_csv();
+        let mut lines = csv.lines();
+        assert_eq!(lines.next(), Some("seq,label,x,y"));
+        assert_eq!(lines.next(), Some("0,a,1,"));
+        assert_eq!(lines.next(), Some("1,b,,2.5"));
+    }
+
+    #[test]
+    fn extend_renumbers() {
+        let mut a = EventLog::new();
+        a.record("one", vec![]);
+        let mut b = EventLog::new();
+        b.record("two", vec![]);
+        a.extend(&b);
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.events()[1].seq, 1);
+        assert_eq!(a.events()[1].label, "two");
+    }
+
+    #[test]
+    fn span_records_elapsed_time() {
+        let mut log = EventLog::new();
+        {
+            let _s = Span::enter(&mut log, "work");
+        }
+        assert_eq!(log.len(), 1);
+        assert_eq!(log.events()[0].label, "span:work");
+        assert!(log.events()[0].field("elapsed_ns").unwrap() >= 0.0);
+        let mut log2 = EventLog::new();
+        let s = Span::enter(&mut log2, "explicit");
+        let ns = s.finish();
+        assert!(ns >= 0.0);
+        assert_eq!(log2.len(), 1, "finish records exactly once");
+    }
+}

@@ -1,0 +1,316 @@
+//! A minimal, hermetic property-testing harness (in-repo `proptest`
+//! replacement).
+//!
+//! A property test pairs a *generator* — a closure producing a random
+//! input from a [`Xoshiro256`] stream and a `size` budget — with a
+//! *property* — a closure returning `Ok(())` or a failure message (built
+//! with the [`prop_assert!`] family, which early-return `Err` instead of
+//! panicking so the runner can shrink).
+//!
+//! On failure the runner shrinks by **halving the size budget**: the
+//! failing case's seed is replayed at size/2, size/4, … and the smallest
+//! still-failing reproduction is reported along with the `CHIPLET_PROP_*`
+//! environment variables that replay it exactly.
+//!
+//! ```
+//! use chiplet_harness::prop::{PropConfig, check};
+//! use chiplet_harness::prop_assert;
+//!
+//! check(
+//!     "reverse_is_involutive",
+//!     &PropConfig::default(),
+//!     |rng, size| (0..size).map(|_| rng.next_u64()).collect::<Vec<_>>(),
+//!     |v| {
+//!         let mut w = v.clone();
+//!         w.reverse();
+//!         w.reverse();
+//!         prop_assert!(w == *v, "double reverse changed {v:?}");
+//!         Ok(())
+//!     },
+//! );
+//! ```
+
+use crate::rng::{mix64, Xoshiro256};
+use std::fmt::Debug;
+
+/// Result type the property closure returns; `Err` carries the failure
+/// message assembled by the `prop_assert!` macros.
+pub type PropResult = Result<(), String>;
+
+/// Runner configuration. Defaults: 256 cases, seed 0, max size 64; each
+/// is overridable via `CHIPLET_PROP_CASES`, `CHIPLET_PROP_SEED` and
+/// `CHIPLET_PROP_SIZE` for CI sweeps and failure replay.
+#[derive(Debug, Clone, Copy)]
+pub struct PropConfig {
+    /// Number of random cases to run.
+    pub cases: u32,
+    /// Base seed; case `i` derives its stream from `mix64(seed ^ i)`.
+    pub seed: u64,
+    /// Upper size budget; cases ramp from 1 up to this.
+    pub max_size: usize,
+}
+
+impl Default for PropConfig {
+    fn default() -> Self {
+        let env_u64 = |key: &str| std::env::var(key).ok().and_then(|v| v.parse::<u64>().ok());
+        PropConfig {
+            cases: env_u64("CHIPLET_PROP_CASES")
+                .map(|v| v as u32)
+                .unwrap_or(256),
+            seed: env_u64("CHIPLET_PROP_SEED").unwrap_or(0),
+            max_size: env_u64("CHIPLET_PROP_SIZE")
+                .map(|v| v as usize)
+                .unwrap_or(64),
+        }
+    }
+}
+
+impl PropConfig {
+    /// A config running `cases` cases with the environment defaults for
+    /// seed and size.
+    pub fn with_cases(cases: u32) -> Self {
+        PropConfig {
+            cases,
+            ..PropConfig::default()
+        }
+    }
+}
+
+/// The size budget for case `case` of `cases`: ramps linearly from 1 to
+/// `max_size` so early cases are small (fast, easy to debug) and later
+/// cases stress capacity.
+fn size_for(case: u32, cases: u32, max_size: usize) -> usize {
+    if cases <= 1 {
+        // A single case (the CHIPLET_PROP_CASES=1 replay path) must run at
+        // the full reported size, or replays would not reproduce.
+        return max_size.max(1);
+    }
+    1 + (case as usize * max_size.saturating_sub(1)) / (cases as usize - 1)
+}
+
+/// Runs one property. `generate(rng, size)` builds an input whose
+/// magnitude scales with `size`; `property(&input)` checks it.
+///
+/// # Panics
+///
+/// Panics with a replayable report on the first failing case, after
+/// shrinking the size budget by halving.
+pub fn check<T, G, P>(name: &str, config: &PropConfig, generate: G, property: P)
+where
+    T: Debug,
+    G: Fn(&mut Xoshiro256, usize) -> T,
+    P: Fn(&T) -> PropResult,
+{
+    for case in 0..config.cases {
+        let case_seed = mix64(config.seed ^ u64::from(case).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let size = size_for(case, config.cases, config.max_size);
+        let value = generate(&mut Xoshiro256::seed_from_u64(case_seed), size);
+        let Err(message) = property(&value) else {
+            continue;
+        };
+
+        // Shrink by halving the size budget with the same stream seed.
+        let mut best = (size, value, message);
+        let mut s = size / 2;
+        while s >= 1 {
+            let candidate = generate(&mut Xoshiro256::seed_from_u64(case_seed), s);
+            if let Err(m) = property(&candidate) {
+                best = (s, candidate, m);
+                s /= 2;
+            } else {
+                break;
+            }
+        }
+
+        let (shrunk_size, shrunk_value, shrunk_message) = best;
+        panic!(
+            "property `{name}` failed on case {case}/{cases} \
+             (seed {seed:#x}, size {size} shrunk to {shrunk_size})\n\
+             failure: {shrunk_message}\n\
+             input: {shrunk_value:?}\n\
+             replay: CHIPLET_PROP_SEED={replay_seed} CHIPLET_PROP_CASES=1 \
+             CHIPLET_PROP_SIZE={shrunk_size}",
+            cases = config.cases,
+            seed = case_seed,
+            // Replaying with CASES=1 makes case 0 derive exactly this stream.
+            replay_seed = config.seed ^ u64::from(case).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        );
+    }
+}
+
+/// Generates a `Vec<T>` whose length is uniform in `len` (clamped to the
+/// size budget) using `element` for each slot — the common collection
+/// generator.
+pub fn vec_of<T>(
+    rng: &mut Xoshiro256,
+    size: usize,
+    len: std::ops::Range<usize>,
+    mut element: impl FnMut(&mut Xoshiro256) -> T,
+) -> Vec<T> {
+    let hi = len.end.min(len.start + size.max(1) + 1).max(len.start + 1);
+    let n = rng.gen_range_usize(len.start..hi);
+    (0..n).map(|_| element(rng)).collect()
+}
+
+/// Asserts a condition inside a property, early-returning `Err` with a
+/// formatted message (instead of panicking) so the runner can shrink.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return Err(format!("assertion failed: {}", stringify!($cond)));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return Err(format!($($fmt)+));
+        }
+    };
+}
+
+/// `prop_assert!` for equality; reports both values on failure.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return Err(format!(
+                "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                l,
+                r
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return Err(format!(
+                "{}\n  left: {:?}\n right: {:?}",
+                format!($($fmt)+),
+                l,
+                r
+            ));
+        }
+    }};
+}
+
+/// `prop_assert!` for inequality; reports the shared value on failure.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if l == r {
+            return Err(format!(
+                "assertion failed: {} != {}\n  both: {:?}",
+                stringify!($left),
+                stringify!($right),
+                l
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if l == r {
+            return Err(format!("{}\n  both: {:?}", format!($($fmt)+), l));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fixed(cases: u32) -> PropConfig {
+        PropConfig {
+            cases,
+            seed: 0,
+            max_size: 64,
+        }
+    }
+
+    #[test]
+    fn passing_property_runs_all_cases() {
+        let ran = std::cell::Cell::new(0u32);
+        check(
+            "always_true",
+            &fixed(300),
+            |rng, _| rng.next_u64(),
+            |_| {
+                ran.set(ran.get() + 1);
+                Ok(())
+            },
+        );
+        assert_eq!(ran.get(), 300);
+    }
+
+    #[test]
+    fn sizes_ramp_from_small_to_max() {
+        assert_eq!(size_for(0, 256, 64), 1);
+        assert!(size_for(255, 256, 64) >= 60);
+        assert!(size_for(128, 256, 64) > size_for(4, 256, 64));
+    }
+
+    #[test]
+    #[should_panic(expected = "property `too_big` failed")]
+    fn failing_property_panics_with_report() {
+        check(
+            "too_big",
+            &fixed(50),
+            |rng, size| vec_of(rng, size, 0..100, |r| r.next_below(100)),
+            |v| {
+                prop_assert!(v.len() < 10, "vector of {} elements", v.len());
+                Ok(())
+            },
+        );
+    }
+
+    #[test]
+    fn shrinking_reports_a_small_reproduction() {
+        let result = std::panic::catch_unwind(|| {
+            check(
+                "len_under_4",
+                &fixed(100),
+                |rng, size| vec_of(rng, size, 0..size + 1, |r| r.next_u64()),
+                |v| {
+                    prop_assert!(v.len() < 4, "len {}", v.len());
+                    Ok(())
+                },
+            );
+        });
+        let msg = *result.unwrap_err().downcast::<String>().unwrap();
+        assert!(msg.contains("shrunk to"), "no shrink info: {msg}");
+        assert!(msg.contains("replay:"), "no replay line: {msg}");
+    }
+
+    #[test]
+    fn macros_compile_in_result_context() {
+        fn body() -> PropResult {
+            prop_assert!(1 + 1 == 2);
+            prop_assert_eq!(2, 2);
+            prop_assert_ne!(2, 3);
+            prop_assert_eq!(2, 2, "custom {}", "message");
+            prop_assert_ne!(2, 3, "custom");
+            Ok(())
+        }
+        assert!(body().is_ok());
+        fn failing() -> PropResult {
+            prop_assert_eq!(1, 2);
+            Ok(())
+        }
+        assert!(failing().unwrap_err().contains("left"));
+    }
+
+    #[test]
+    fn vec_of_respects_bounds() {
+        let mut rng = Xoshiro256::seed_from_u64(3);
+        for size in [1usize, 8, 64] {
+            for _ in 0..100 {
+                let v = vec_of(&mut rng, size, 2..50, |r| r.next_bool());
+                assert!(v.len() >= 2 && v.len() < 50);
+                assert!(v.len() <= 2 + size + 1);
+            }
+        }
+    }
+}

@@ -102,7 +102,7 @@ impl ArrayDecl {
     /// Panics if `base` is not page-aligned or `bytes` is zero.
     pub fn new(id: ArrayId, name: impl Into<String>, base: Addr, bytes: u64) -> Self {
         assert!(
-            base.get() % PAGE_BYTES == 0,
+            base.get().is_multiple_of(PAGE_BYTES),
             "array base {base} must be page-aligned"
         );
         assert!(bytes > 0, "array must not be empty");

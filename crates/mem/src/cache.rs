@@ -67,7 +67,7 @@ impl CacheGeometry {
             });
         }
         let row = line_bytes * u64::from(ways);
-        if capacity_bytes % row != 0 {
+        if !capacity_bytes.is_multiple_of(row) {
             return Err(GeometryError {
                 message: format!(
                     "capacity {capacity_bytes} is not a multiple of line_bytes*ways = {row}"
@@ -154,6 +154,20 @@ impl CacheStats {
         } else {
             self.hits() as f64 / self.accesses() as f64
         }
+    }
+}
+
+impl std::ops::AddAssign for CacheStats {
+    fn add_assign(&mut self, rhs: CacheStats) {
+        self.reads += rhs.reads;
+        self.writes += rhs.writes;
+        self.read_hits += rhs.read_hits;
+        self.write_hits += rhs.write_hits;
+        self.fills += rhs.fills;
+        self.evictions += rhs.evictions;
+        self.capacity_writebacks += rhs.capacity_writebacks;
+        self.flush_writebacks += rhs.flush_writebacks;
+        self.invalidated += rhs.invalidated;
     }
 }
 

@@ -53,7 +53,9 @@ impl SharerSet {
 
     /// Iterates over members in ascending chiplet order.
     pub fn iter(self) -> impl Iterator<Item = ChipletId> {
-        (0..16u8).filter(move |i| self.0 & (1 << i) != 0).map(ChipletId::new)
+        (0..16u8)
+            .filter(move |i| self.0 & (1 << i) != 0)
+            .map(ChipletId::new)
     }
 }
 
@@ -163,7 +165,7 @@ impl CoarseDirectory {
     pub fn new(entries: u64, ways: u32, lines_per_entry: u64) -> Self {
         assert!(entries > 0 && ways > 0 && lines_per_entry > 0);
         assert!(
-            entries % u64::from(ways) == 0,
+            entries.is_multiple_of(u64::from(ways)),
             "entries must be a multiple of ways"
         );
         CoarseDirectory {
@@ -240,8 +242,7 @@ impl CoarseDirectory {
                 sharers: victim.sharers,
             });
             self.stats.evictions += 1;
-            self.stats.invalidation_messages +=
-                u64::from(victim.sharers.len()) * region_lines;
+            self.stats.invalidation_messages += u64::from(victim.sharers.len()) * region_lines;
             self.live -= 1;
         }
         victim.region = region;

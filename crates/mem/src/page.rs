@@ -69,8 +69,14 @@ mod tests {
     #[test]
     fn first_touch_sticks() {
         let mut p = FirstTouchPlacement::new();
-        assert_eq!(p.home_of(PageAddr::new(0), ChipletId::new(1)), ChipletId::new(1));
-        assert_eq!(p.home_of(PageAddr::new(0), ChipletId::new(3)), ChipletId::new(1));
+        assert_eq!(
+            p.home_of(PageAddr::new(0), ChipletId::new(1)),
+            ChipletId::new(1)
+        );
+        assert_eq!(
+            p.home_of(PageAddr::new(0), ChipletId::new(3)),
+            ChipletId::new(1)
+        );
         assert_eq!(p.placed_pages(), 1);
     }
 
@@ -88,7 +94,10 @@ mod tests {
     fn place_overrides_future_touches() {
         let mut p = FirstTouchPlacement::new();
         p.place(PageAddr::new(5), ChipletId::new(2));
-        assert_eq!(p.home_of(PageAddr::new(5), ChipletId::new(0)), ChipletId::new(2));
+        assert_eq!(
+            p.home_of(PageAddr::new(5), ChipletId::new(0)),
+            ChipletId::new(2)
+        );
     }
 
     #[test]

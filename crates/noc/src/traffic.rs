@@ -13,6 +13,9 @@ pub const CONTROL_FLITS: u64 = 1;
 /// Flits in a 64 B cache-line data message (header + 4 × 16 B payload).
 pub const DATA_FLITS: u64 = 5;
 
+/// Bytes per flit.
+pub const FLIT_BYTES: u64 = 16;
+
 /// Traffic category, matching Figure 10's breakdown.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum TrafficClass {
@@ -107,6 +110,21 @@ impl FlitCounter {
     pub fn total(&self) -> u64 {
         self.l1_l2 + self.l2_l3 + self.remote
     }
+
+    /// Bytes moved in one category.
+    pub fn bytes(&self, class: TrafficClass) -> u64 {
+        self.get(class) * FLIT_BYTES
+    }
+
+    /// Bytes that crossed inter-chiplet links.
+    pub fn remote_bytes(&self) -> u64 {
+        self.remote * FLIT_BYTES
+    }
+
+    /// Total bytes across categories.
+    pub fn total_bytes(&self) -> u64 {
+        self.total() * FLIT_BYTES
+    }
 }
 
 impl Add for FlitCounter {
@@ -174,6 +192,16 @@ mod tests {
         let mut d = FlitCounter::new();
         d += c;
         assert_eq!(d.total(), 3);
+    }
+
+    #[test]
+    fn byte_accounting_scales_flits() {
+        let mut t = FlitCounter::new();
+        t.record(TrafficClass::Remote, 3);
+        t.record(TrafficClass::L1ToL2, 2);
+        assert_eq!(t.remote_bytes(), 3 * FLIT_BYTES);
+        assert_eq!(t.bytes(TrafficClass::L1ToL2), 2 * FLIT_BYTES);
+        assert_eq!(t.total_bytes(), 5 * FLIT_BYTES);
     }
 
     #[test]

@@ -1,8 +1,8 @@
 //! Simulation configuration: Table I parameters, the latency model, and
 //! the synchronization cost model.
 
-use chiplet_coherence::{MemConfig, ProtocolKind};
 use chiplet_coherence::system::CostClass;
+use chiplet_coherence::{MemConfig, ProtocolKind};
 use chiplet_energy::EnergyModel;
 use chiplet_noc::link::LinkConfig;
 
@@ -51,9 +51,9 @@ impl Default for LatencyModel {
             l1_hit: 140.0,
             l2_hit: 269.0,
             l2_remote_hit: 390.0,
-            l3_local: 599.0,   // 269 + 330
-            l3_remote: 720.0,  // + 121-cycle link hop
-            mem_local: 949.0,  // + 350-cycle HBM access
+            l3_local: 599.0,  // 269 + 330
+            l3_remote: 720.0, // + 121-cycle link hop
+            mem_local: 949.0, // + 350-cycle HBM access
             mem_remote: 1070.0,
             store_local: 30.0,
             store_through_local: 370.0,
@@ -179,6 +179,10 @@ pub struct SimConfig {
     /// decide — latency the paper cites as the reason the CP is the right
     /// place ([28], [79], [140]).
     pub driver_managed: bool,
+    /// Record a per-kernel-boundary event log (plus the memory system's
+    /// per-operation log) into [`crate::metrics::RunMetrics::events`]. Off
+    /// by default: sweeps over the 24-app suite don't need event streams.
+    pub record_events: bool,
 }
 
 impl SimConfig {
@@ -210,6 +214,7 @@ impl SimConfig {
             sync_replication: 1,
             table_capacity: cpelide::TABLE_CAPACITY,
             driver_managed: false,
+            record_events: false,
         }
     }
 

@@ -12,13 +12,14 @@
 //! with execution, exactly the overhead CPElide exists to elide.
 
 use crate::config::SimConfig;
-use crate::metrics::RunMetrics;
+use crate::metrics::{RunMetrics, SyncCounters};
 use chiplet_coherence::{MemorySystem, ProtocolKind};
 use chiplet_energy::EnergyCounts;
 use chiplet_gpu::dispatch::{DispatchPlan, StaticPartitionScheduler};
 use chiplet_gpu::kernel::KernelId;
 use chiplet_gpu::stream::{KernelPacket, SoftwareQueue};
 use chiplet_gpu::trace::TraceGenerator;
+use chiplet_harness::obs::EventLog;
 use chiplet_mem::addr::ChipletId;
 use chiplet_workloads::Workload;
 use cpelide::api::KernelLaunchInfo;
@@ -51,6 +52,9 @@ impl Simulator {
         let cfg = &self.config;
         let n = cfg.num_chiplets;
         let mut mem = MemorySystem::new(cfg.protocol, cfg.mem);
+        if cfg.record_events {
+            mem.enable_event_log();
+        }
         let mut cp = (cfg.protocol == ProtocolKind::CpElide)
             .then(|| GlobalCp::with_table_capacity(n, cfg.table_capacity));
         let tracegen = TraceGenerator::new(cfg.seed);
@@ -68,6 +72,13 @@ impl Simulator {
         let mut kernels_run = 0u64;
         let mut sync_ops = 0u64;
         let mut flushed_lines = 0u64;
+        let mut sync = SyncCounters::default();
+        let mut evlog = if cfg.record_events {
+            EventLog::new()
+        } else {
+            EventLog::disabled()
+        };
+        let mut round_idx = 0u64;
         let mut first_kernel = true;
 
         while !queue.is_empty() {
@@ -82,15 +93,23 @@ impl Simulator {
                 .collect();
 
             // ---- Synchronization phase (kernel boundary) ----
+            let round_acq = sync.acquires_performed;
+            let round_rel = sync.releases_performed;
+            let round_flushed = flushed_lines;
+            let round_inval = sync.invalidated_lines;
             let mut round_sync = 0.0f64;
             match cfg.protocol {
                 ProtocolKind::Baseline if !first_kernel => {
                     // Conservative whole-GPU implicit acquire+release.
                     let costs = mem.bulk_sync_all();
                     sync_ops += costs.len() as u64;
+                    // A bulk op is a fused release+acquire on each chiplet.
+                    sync.acquires_performed += costs.len() as u64;
+                    sync.releases_performed += costs.len() as u64;
                     let mut op_max = 0.0f64;
                     for a in &costs {
                         flushed_lines += a.flush.total_lines();
+                        sync.invalidated_lines += a.invalidated_lines;
                         let cyc = cfg.sync.acquire_cycles(
                             a.flush.local_lines,
                             a.flush.remote_lines,
@@ -127,6 +146,8 @@ impl Simulator {
                         for &c in &decision.acquires {
                             let a = mem.acquire(c);
                             flushed_lines += a.flush.total_lines();
+                            sync.invalidated_lines += a.invalidated_lines;
+                            sync.acquires_performed += 1;
                             sync_ops += 1;
                             op_max = op_max.max(cfg.sync.acquire_cycles(
                                 a.flush.local_lines,
@@ -138,6 +159,7 @@ impl Simulator {
                         for &c in &decision.releases {
                             let r = mem.release(c);
                             flushed_lines += r.total_lines();
+                            sync.releases_performed += 1;
                             sync_ops += 1;
                             op_max = op_max.max(cfg.sync.release_cycles(
                                 r.local_lines,
@@ -154,6 +176,21 @@ impl Simulator {
                 _ => {}
             }
             round_sync *= f64::from(cfg.sync_replication);
+            evlog.record(
+                "kernel_boundary",
+                vec![
+                    ("round", round_idx as f64),
+                    ("kernels", plans.len() as f64),
+                    ("acquires", (sync.acquires_performed - round_acq) as f64),
+                    ("releases", (sync.releases_performed - round_rel) as f64),
+                    ("flushed_lines", (flushed_lines - round_flushed) as f64),
+                    (
+                        "invalidated_lines",
+                        (sync.invalidated_lines - round_inval) as f64,
+                    ),
+                    ("sync_cycles", round_sync),
+                ],
+            );
 
             // ---- Execution phase ----
             let mut round_exec = 0.0f64;
@@ -203,17 +240,21 @@ impl Simulator {
             exec_cycles += round_exec + cfg.us_to_cycles(LAUNCH_OVERHEAD_US);
             sync_cycles += round_sync;
             kernels_run += plans.len() as u64;
+            round_idx += 1;
             first_kernel = false;
         }
 
         // End-of-program drain: dirty data must reach memory. CPElide
         // "elides all flushes and invalidations except the final ones".
         let mut final_max = 0.0f64;
+        let mut drained_lines = 0u64;
         for c in ChipletId::all(n) {
             let r = mem.release(c);
             if r.total_lines() > 0 {
                 sync_ops += 1;
+                sync.releases_performed += 1;
                 flushed_lines += r.total_lines();
+                drained_lines += r.total_lines();
                 final_max = final_max.max(cfg.sync.release_cycles(
                     r.local_lines,
                     r.remote_lines,
@@ -222,6 +263,13 @@ impl Simulator {
             }
         }
         sync_cycles += final_max;
+        evlog.record(
+            "final_drain",
+            vec![
+                ("flushed_lines", drained_lines as f64),
+                ("sync_cycles", final_max),
+            ],
+        );
 
         // ---- Assemble metrics ----
         let l2 = mem.l2_stats_total();
@@ -231,6 +279,15 @@ impl Simulator {
         counts.dram_accesses = mem.hbm().total_accesses();
         counts.add_traffic(mem.traffic());
         let energy = cfg.energy.evaluate(&counts);
+
+        sync.flushed_lines = flushed_lines;
+        sync.remote_bytes = mem.traffic().remote_bytes();
+        let table = cp.map(|cp| cp.table_stats());
+        if let Some(t) = &table {
+            sync.acquires_elided = t.acquires_elided;
+            sync.releases_elided = t.releases_elided;
+        }
+        evlog.extend(mem.events());
 
         RunMetrics {
             workload: workload.name().to_owned(),
@@ -247,9 +304,11 @@ impl Simulator {
             l2,
             l3,
             dram_accesses: mem.hbm().total_accesses(),
-            table: cp.map(|cp| cp.table_stats()),
+            table,
             sync_ops,
             flushed_lines,
+            sync,
+            events: evlog,
         }
     }
 
@@ -369,6 +428,57 @@ mod tests {
         let m = Simulator::new(SimConfig::table1(4, ProtocolKind::CpElide)).run(&w);
         assert_eq!(m.kernels, 40);
         assert!(m.cycles > 0.0);
+    }
+
+    #[test]
+    fn sync_counters_agree_with_table_stats() {
+        let cpe = run("bfs", ProtocolKind::CpElide, 4);
+        let table = cpe.table.expect("CPElide exposes table stats");
+        assert_eq!(cpe.sync.acquires_elided, table.acquires_elided);
+        assert_eq!(cpe.sync.releases_elided, table.releases_elided);
+        // Every performed acquire was one the table issued; releases also
+        // include the end-of-program drain.
+        assert_eq!(cpe.sync.acquires_performed, table.acquires_issued);
+        assert!(cpe.sync.releases_performed >= table.releases_issued);
+        assert_eq!(
+            cpe.sync_ops,
+            cpe.sync.acquires_performed + cpe.sync.releases_performed
+        );
+        assert_eq!(cpe.sync.flushed_lines, cpe.flushed_lines);
+        assert_eq!(cpe.sync.remote_bytes, cpe.traffic.remote_bytes());
+    }
+
+    #[test]
+    fn baseline_counts_fused_sync_per_boundary() {
+        let base = run("square", ProtocolKind::Baseline, 4);
+        // 20 kernels -> 19 boundaries x 4 chiplets, plus the final drain
+        // (releases only).
+        assert_eq!(base.sync.acquires_performed, 19 * 4);
+        assert!(base.sync.releases_performed >= 19 * 4);
+        assert_eq!(base.sync.acquires_elided, 0);
+        assert_eq!(base.sync.releases_elided, 0);
+    }
+
+    #[test]
+    fn record_events_yields_boundary_log() {
+        let w = chiplet_workloads::by_name("square").unwrap();
+        let mut cfg = SimConfig::table1(4, ProtocolKind::CpElide);
+        cfg.record_events = true;
+        let m = Simulator::new(cfg).run(&w);
+        let boundaries = m
+            .events
+            .events()
+            .iter()
+            .filter(|e| e.label == "kernel_boundary")
+            .count() as u64;
+        assert_eq!(boundaries, m.kernels, "one boundary event per round");
+        assert!(m.events.events().iter().any(|e| e.label == "final_drain"));
+        // The memory system's per-operation log rides along.
+        assert!(m.events.events().iter().any(|e| e.label == "l2_release"));
+
+        // Default config records nothing.
+        let quiet = run("square", ProtocolKind::CpElide, 4);
+        assert!(quiet.events.is_empty());
     }
 
     #[test]

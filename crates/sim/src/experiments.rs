@@ -33,7 +33,9 @@ fn par_map<T: Send>(workloads: &[Workload], f: impl Fn(&Workload) -> T + Sync) -
             });
         }
     });
-    out.into_iter().map(|t| t.expect("all slots filled")).collect()
+    out.into_iter()
+        .map(|t| t.expect("all slots filled"))
+        .collect()
 }
 
 // ---------------------------------------------------------------- Figure 2
@@ -199,11 +201,11 @@ pub fn scaling_study(workloads: &[Workload]) -> Vec<(usize, f64)> {
 
 // -------------------------------------------------- §VI multi-stream study
 
-/// §VI multi-stream study: CPElide vs HMG on the multi-stream suite at 4
-/// chiplets (paper: CPElide ≈ +12 % over HMG on average).
-pub fn multistream_study() -> (Vec<Fig8Row>, f64) {
-    let suite = chiplet_workloads::multi_stream_suite();
-    let (rows, summary) = fig8(&suite, 4);
+/// §VI multi-stream study: CPElide vs HMG on a multi-stream suite
+/// (normally [`chiplet_workloads::multi_stream_suite`]) at 4 chiplets
+/// (paper: CPElide ≈ +12 % over HMG on average).
+pub fn multistream_study(workloads: &[Workload]) -> (Vec<Fig8Row>, f64) {
+    let (rows, summary) = fig8(workloads, 4);
     (rows, summary.cpelide_vs_hmg)
 }
 
@@ -287,7 +289,10 @@ mod tests {
         assert_eq!(results.len(), 2);
         for (n, overhead) in results {
             assert!(overhead >= -0.01, "mimicked {n}-chiplet overhead negative");
-            assert!(overhead < 0.25, "mimicked {n}-chiplet overhead too large: {overhead}");
+            assert!(
+                overhead < 0.25,
+                "mimicked {n}-chiplet overhead too large: {overhead}"
+            );
         }
     }
 

@@ -3,10 +3,47 @@
 
 use chiplet_coherence::ProtocolKind;
 use chiplet_energy::{EnergyBreakdown, EnergyCounts};
+use chiplet_harness::json::Json;
+use chiplet_harness::obs::EventLog;
 use chiplet_mem::cache::CacheStats;
 use chiplet_noc::traffic::FlitCounter;
 use cpelide::table::TableStats;
 use std::fmt;
+
+/// Boundary-synchronization accounting for one run: what was performed vs.
+/// what CPElide (or the baseline) skipped, and what it cost the memory
+/// system.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SyncCounters {
+    /// Whole-L2 flush+invalidate operations performed at kernel boundaries.
+    pub acquires_performed: u64,
+    /// Per-chiplet acquires skipped relative to sync-everything (CPElide).
+    pub acquires_elided: u64,
+    /// Whole-L2 dirty flushes performed (boundaries + final drain).
+    pub releases_performed: u64,
+    /// Per-chiplet releases skipped relative to sync-everything (CPElide).
+    pub releases_elided: u64,
+    /// L2 lines dropped by boundary acquires.
+    pub invalidated_lines: u64,
+    /// Dirty L2 lines drained by boundary synchronization.
+    pub flushed_lines: u64,
+    /// Bytes that crossed inter-chiplet links over the whole run.
+    pub remote_bytes: u64,
+}
+
+impl SyncCounters {
+    /// The counters as a JSON object.
+    pub fn to_json(&self) -> Json {
+        Json::object()
+            .with("acquires_performed", self.acquires_performed)
+            .with("acquires_elided", self.acquires_elided)
+            .with("releases_performed", self.releases_performed)
+            .with("releases_elided", self.releases_elided)
+            .with("invalidated_lines", self.invalidated_lines)
+            .with("flushed_lines", self.flushed_lines)
+            .with("remote_bytes", self.remote_bytes)
+    }
+}
 
 /// Everything measured over one simulated run.
 #[derive(Debug, Clone)]
@@ -46,6 +83,11 @@ pub struct RunMetrics {
     pub sync_ops: u64,
     /// Dirty lines drained by boundary synchronization.
     pub flushed_lines: u64,
+    /// Elided-vs-performed synchronization accounting.
+    pub sync: SyncCounters,
+    /// Per-kernel-boundary event log (empty unless the run was configured
+    /// with `record_events`).
+    pub events: EventLog,
 }
 
 impl RunMetrics {
@@ -76,6 +118,64 @@ impl RunMetrics {
     pub fn traffic_ratio_to(&self, baseline: &RunMetrics) -> f64 {
         self.traffic.total() as f64 / baseline.traffic.total() as f64
     }
+
+    /// The run as a JSON object (counters, traffic, energy, table stats,
+    /// and the event log when recorded).
+    pub fn to_json(&self) -> Json {
+        let mut o = Json::object()
+            .with("workload", self.workload.as_str())
+            .with("protocol", self.protocol.label())
+            .with("chiplets", self.equivalent_chiplets)
+            .with("kernels", self.kernels)
+            .with("cycles", self.cycles)
+            .with("exec_cycles", self.exec_cycles)
+            .with("sync_cycles", self.sync_cycles)
+            .with("sync_ops", self.sync_ops)
+            .with("flushed_lines", self.flushed_lines)
+            .with("sync", self.sync.to_json())
+            .with(
+                "traffic",
+                Json::object()
+                    .with("l1_l2_flits", self.traffic.l1_l2)
+                    .with("l2_l3_flits", self.traffic.l2_l3)
+                    .with("remote_flits", self.traffic.remote)
+                    .with("remote_bytes", self.traffic.remote_bytes()),
+            )
+            .with(
+                "l2",
+                Json::object()
+                    .with("accesses", self.l2.accesses())
+                    .with("hit_rate", self.l2_hit_rate())
+                    .with("flush_writebacks", self.l2.flush_writebacks)
+                    .with("invalidated", self.l2.invalidated),
+            )
+            .with("dram_accesses", self.dram_accesses)
+            .with("energy_total_uj", self.energy.total() / 1e6);
+        if let Some(t) = &self.table {
+            o.set(
+                "table",
+                Json::object()
+                    .with("launches", t.launches)
+                    .with("acquires_issued", t.acquires_issued)
+                    .with("releases_issued", t.releases_issued)
+                    .with("acquires_elided", t.acquires_elided)
+                    .with("releases_elided", t.releases_elided)
+                    .with("max_live_entries", t.max_live_entries)
+                    .with("coarsenings", t.coarsenings)
+                    .with("evictions", t.evictions),
+            );
+        }
+        if !self.events.is_empty() {
+            o.set("events", self.events.to_json());
+        }
+        o
+    }
+
+    /// The boundary event log as CSV (header only when nothing was
+    /// recorded).
+    pub fn events_csv(&self) -> String {
+        self.events.to_csv()
+    }
 }
 
 impl RunMetrics {
@@ -87,33 +187,167 @@ impl RunMetrics {
             s.push_str(&format!("{name:<44} {value:>20} # {comment}\n"));
         };
         line("sim.workload", self.workload.clone(), "application");
-        line("sim.protocol", self.protocol.label().to_owned(), "configuration");
-        line("sim.chiplets", self.equivalent_chiplets.to_string(), "GPU chiplets (equivalent)");
-        line("sim.kernels", self.kernels.to_string(), "dynamic kernels executed");
-        line("sim.cycles", format!("{:.0}", self.cycles), "total GPU cycles");
-        line("sim.exec_cycles", format!("{:.0}", self.exec_cycles), "kernel execution cycles");
-        line("sim.sync_cycles", format!("{:.0}", self.sync_cycles), "implicit-synchronization cycles");
-        line("sync.ops", self.sync_ops.to_string(), "bulk L2 acquires+releases performed");
-        line("sync.flushed_lines", self.flushed_lines.to_string(), "dirty lines drained at boundaries");
-        line("l2.accesses", self.l2.accesses().to_string(), "aggregate L2 accesses");
-        line("l2.hit_rate", format!("{:.4}", self.l2_hit_rate()), "aggregate L2 hit rate");
-        line("l2.flush_writebacks", self.l2.flush_writebacks.to_string(), "release writebacks");
-        line("l2.invalidated", self.l2.invalidated.to_string(), "acquire invalidations");
-        line("l3.accesses", self.l3.accesses().to_string(), "LLC accesses");
-        line("l3.hit_rate", format!("{:.4}", self.l3.hit_rate()), "LLC hit rate");
-        line("dram.accesses", self.dram_accesses.to_string(), "64B HBM accesses");
-        line("noc.flits.l1_l2", self.traffic.l1_l2.to_string(), "L1-L2 flits");
-        line("noc.flits.l2_l3", self.traffic.l2_l3.to_string(), "L2-L3 flits");
-        line("noc.flits.remote", self.traffic.remote.to_string(), "inter-chiplet flits");
-        line("energy.total_uj", format!("{:.3}", self.energy.total() / 1e6), "memory-subsystem energy");
-        line("energy.dram_uj", format!("{:.3}", self.energy.dram / 1e6), "HBM energy");
-        line("energy.noc_uj", format!("{:.3}", self.energy.noc / 1e6), "interconnect energy");
+        line(
+            "sim.protocol",
+            self.protocol.label().to_owned(),
+            "configuration",
+        );
+        line(
+            "sim.chiplets",
+            self.equivalent_chiplets.to_string(),
+            "GPU chiplets (equivalent)",
+        );
+        line(
+            "sim.kernels",
+            self.kernels.to_string(),
+            "dynamic kernels executed",
+        );
+        line(
+            "sim.cycles",
+            format!("{:.0}", self.cycles),
+            "total GPU cycles",
+        );
+        line(
+            "sim.exec_cycles",
+            format!("{:.0}", self.exec_cycles),
+            "kernel execution cycles",
+        );
+        line(
+            "sim.sync_cycles",
+            format!("{:.0}", self.sync_cycles),
+            "implicit-synchronization cycles",
+        );
+        line(
+            "sync.ops",
+            self.sync_ops.to_string(),
+            "bulk L2 acquires+releases performed",
+        );
+        line(
+            "sync.flushed_lines",
+            self.flushed_lines.to_string(),
+            "dirty lines drained at boundaries",
+        );
+        line(
+            "sync.acquires_performed",
+            self.sync.acquires_performed.to_string(),
+            "whole-L2 acquires performed",
+        );
+        line(
+            "sync.acquires_elided",
+            self.sync.acquires_elided.to_string(),
+            "acquires skipped vs sync-everything",
+        );
+        line(
+            "sync.releases_performed",
+            self.sync.releases_performed.to_string(),
+            "whole-L2 releases performed",
+        );
+        line(
+            "sync.releases_elided",
+            self.sync.releases_elided.to_string(),
+            "releases skipped vs sync-everything",
+        );
+        line(
+            "sync.invalidated_lines",
+            self.sync.invalidated_lines.to_string(),
+            "L2 lines dropped by acquires",
+        );
+        line(
+            "sync.remote_bytes",
+            self.sync.remote_bytes.to_string(),
+            "inter-chiplet link bytes",
+        );
+        line(
+            "l2.accesses",
+            self.l2.accesses().to_string(),
+            "aggregate L2 accesses",
+        );
+        line(
+            "l2.hit_rate",
+            format!("{:.4}", self.l2_hit_rate()),
+            "aggregate L2 hit rate",
+        );
+        line(
+            "l2.flush_writebacks",
+            self.l2.flush_writebacks.to_string(),
+            "release writebacks",
+        );
+        line(
+            "l2.invalidated",
+            self.l2.invalidated.to_string(),
+            "acquire invalidations",
+        );
+        line(
+            "l3.accesses",
+            self.l3.accesses().to_string(),
+            "LLC accesses",
+        );
+        line(
+            "l3.hit_rate",
+            format!("{:.4}", self.l3.hit_rate()),
+            "LLC hit rate",
+        );
+        line(
+            "dram.accesses",
+            self.dram_accesses.to_string(),
+            "64B HBM accesses",
+        );
+        line(
+            "noc.flits.l1_l2",
+            self.traffic.l1_l2.to_string(),
+            "L1-L2 flits",
+        );
+        line(
+            "noc.flits.l2_l3",
+            self.traffic.l2_l3.to_string(),
+            "L2-L3 flits",
+        );
+        line(
+            "noc.flits.remote",
+            self.traffic.remote.to_string(),
+            "inter-chiplet flits",
+        );
+        line(
+            "energy.total_uj",
+            format!("{:.3}", self.energy.total() / 1e6),
+            "memory-subsystem energy",
+        );
+        line(
+            "energy.dram_uj",
+            format!("{:.3}", self.energy.dram / 1e6),
+            "HBM energy",
+        );
+        line(
+            "energy.noc_uj",
+            format!("{:.3}", self.energy.noc / 1e6),
+            "interconnect energy",
+        );
         if let Some(t) = &self.table {
-            line("cp.table.acquires_issued", t.acquires_issued.to_string(), "CPElide acquires generated");
-            line("cp.table.releases_issued", t.releases_issued.to_string(), "CPElide releases generated");
-            line("cp.table.acquires_elided", t.acquires_elided.to_string(), "acquires the baseline would do");
-            line("cp.table.releases_elided", t.releases_elided.to_string(), "releases the baseline would do");
-            line("cp.table.max_entries", t.max_live_entries.to_string(), "table high-water mark");
+            line(
+                "cp.table.acquires_issued",
+                t.acquires_issued.to_string(),
+                "CPElide acquires generated",
+            );
+            line(
+                "cp.table.releases_issued",
+                t.releases_issued.to_string(),
+                "CPElide releases generated",
+            );
+            line(
+                "cp.table.acquires_elided",
+                t.acquires_elided.to_string(),
+                "acquires the baseline would do",
+            );
+            line(
+                "cp.table.releases_elided",
+                t.releases_elided.to_string(),
+                "releases the baseline would do",
+            );
+            line(
+                "cp.table.max_entries",
+                t.max_live_entries.to_string(),
+                "table high-water mark",
+            );
         }
         s
     }
@@ -178,6 +412,8 @@ mod tests {
             table: None,
             sync_ops: 0,
             flushed_lines: 0,
+            sync: SyncCounters::default(),
+            events: EventLog::disabled(),
         }
     }
 
@@ -214,13 +450,39 @@ mod tests {
     fn stats_text_is_complete_and_parsable() {
         let m = metrics("square", 123.0);
         let s = m.stats_text();
-        for key in ["sim.cycles", "l2.hit_rate", "noc.flits.remote", "energy.total_uj"] {
+        for key in [
+            "sim.cycles",
+            "l2.hit_rate",
+            "noc.flits.remote",
+            "energy.total_uj",
+        ] {
             assert!(s.contains(key), "missing {key}");
         }
         // Every line is `name value # comment`.
         for l in s.lines() {
             assert!(l.contains(" # "), "malformed stats line: {l}");
         }
+    }
+
+    #[test]
+    fn json_export_is_valid_and_complete() {
+        let mut m = metrics("square", 123.0);
+        m.sync.acquires_elided = 7;
+        m.sync.remote_bytes = 160;
+        let mut events = EventLog::new();
+        events.record("kernel_boundary", vec![("acquires", 1.0)]);
+        m.events = events;
+        let text = m.to_json().render();
+        chiplet_harness::json::validate(&text).expect("run JSON validates");
+        for key in [
+            "acquires_elided",
+            "remote_bytes",
+            "kernel_boundary",
+            "hit_rate",
+        ] {
+            assert!(text.contains(key), "missing {key} in {text}");
+        }
+        assert!(m.events_csv().starts_with("seq,label"));
     }
 
     #[test]

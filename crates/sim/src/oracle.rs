@@ -299,8 +299,7 @@ fn check_inner(
                         report.reads_checked += 1;
                         // A read racing a same-kernel write may see either
                         // the new value or the pre-kernel one.
-                        let ok = observed == expected
-                            || (expected == version && observed == prev);
+                        let ok = observed == expected || (expected == version && observed == prev);
                         if !ok {
                             report.violations.push(Violation {
                                 kernel: packet.id.get(),
@@ -327,7 +326,11 @@ mod tests {
         let w = chiplet_workloads::by_name("square").unwrap();
         let r = check_coherence(&w, ProtocolKind::CpElide, 4, 7);
         assert!(r.reads_checked > 1000);
-        assert!(r.is_coherent(), "violations: {:?}", &r.violations[..r.violations.len().min(3)]);
+        assert!(
+            r.is_coherent(),
+            "violations: {:?}",
+            &r.violations[..r.violations.len().min(3)]
+        );
     }
 
     #[test]
@@ -343,7 +346,11 @@ mod tests {
         // the sharpest test of the lazy release/acquire rules.
         let w = chiplet_workloads::by_name("hotspot3d").unwrap();
         let r = check_coherence(&w, ProtocolKind::CpElide, 4, 31);
-        assert!(r.is_coherent(), "violations: {:?}", &r.violations[..r.violations.len().min(3)]);
+        assert!(
+            r.is_coherent(),
+            "violations: {:?}",
+            &r.violations[..r.violations.len().min(3)]
+        );
     }
 
     #[test]
@@ -359,7 +366,11 @@ mod tests {
         );
         // ...and CPElide's decisions fix exactly those reads.
         let ok = check_coherence(&w, ProtocolKind::CpElide, 4, 7);
-        assert!(ok.is_coherent(), "violations: {:?}", &ok.violations[..ok.violations.len().min(3)]);
+        assert!(
+            ok.is_coherent(),
+            "violations: {:?}",
+            &ok.violations[..ok.violations.len().min(3)]
+        );
     }
 
     #[test]

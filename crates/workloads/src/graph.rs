@@ -43,10 +43,31 @@ pub fn bfs() -> Workload {
         KernelSpec::builder("bfs_kernel1")
             .wg_count(2048)
             .array(nodes, TouchKind::Load, AccessPattern::Partitioned)
-            .array(edges, TouchKind::Load, AccessPattern::Irregular { fraction: 0.48, locality: 0.75 })
+            .array(
+                edges,
+                TouchKind::Load,
+                AccessPattern::Irregular {
+                    fraction: 0.48,
+                    locality: 0.75,
+                },
+            )
             .array(mask, TouchKind::LoadStore, AccessPattern::Partitioned)
-            .array(cost, TouchKind::LoadStore, AccessPattern::Irregular { fraction: 0.32, locality: 0.5 })
-            .array(updating, TouchKind::Store, AccessPattern::Irregular { fraction: 0.32, locality: 0.5 })
+            .array(
+                cost,
+                TouchKind::LoadStore,
+                AccessPattern::Irregular {
+                    fraction: 0.32,
+                    locality: 0.5,
+                },
+            )
+            .array(
+                updating,
+                TouchKind::Store,
+                AccessPattern::Irregular {
+                    fraction: 0.32,
+                    locality: 0.5,
+                },
+            )
             .compute_per_line(4.0)
             .l1_hit_rate(0.35)
             .mlp(36.0)
@@ -94,8 +115,22 @@ pub fn color_max() -> Workload {
         KernelSpec::builder("color_max1")
             .wg_count(4096)
             .array(row, TouchKind::Load, AccessPattern::Partitioned)
-            .array(col, TouchKind::Load, AccessPattern::Irregular { fraction: 0.6, locality: 0.7 })
-            .array(values, TouchKind::Load, AccessPattern::Irregular { fraction: 0.4, locality: 0.75 })
+            .array(
+                col,
+                TouchKind::Load,
+                AccessPattern::Irregular {
+                    fraction: 0.6,
+                    locality: 0.7,
+                },
+            )
+            .array(
+                values,
+                TouchKind::Load,
+                AccessPattern::Irregular {
+                    fraction: 0.4,
+                    locality: 0.75,
+                },
+            )
             .array(max_array, TouchKind::Store, AccessPattern::Partitioned)
             .compute_per_line(1.2)
             .l1_hit_rate(0.35)
@@ -172,9 +207,9 @@ pub fn sssp() -> Workload {
     let row = t.alloc("row_offsets", NODES * ELEM);
     let col = t.alloc("col_indices", EDGES * ELEM); // 8 MiB
     let weights = t.alloc("edge_weights", EDGES * ELEM); // 8 MiB
-    // Double-buffered distances (Bellman-Ford iterations): neighbours are
-    // gathered from the previous iteration's buffer, updates are
-    // owner-computed into the new buffer.
+                                                         // Double-buffered distances (Bellman-Ford iterations): neighbours are
+                                                         // gathered from the previous iteration's buffer, updates are
+                                                         // owner-computed into the new buffer.
     let dist_old = t.alloc("dist_old", NODES * ELEM);
     let dist_new = t.alloc("dist_new", NODES * ELEM);
 
@@ -194,9 +229,30 @@ pub fn sssp() -> Workload {
         KernelSpec::builder("sssp_relax")
             .wg_count(4096)
             .array(row, TouchKind::Load, AccessPattern::Partitioned)
-            .array(col, TouchKind::Load, AccessPattern::Irregular { fraction: 1.0, locality: 0.7 })
-            .array(weights, TouchKind::Load, AccessPattern::Irregular { fraction: 1.0, locality: 0.7 })
-            .array(dist_old, TouchKind::Load, AccessPattern::Irregular { fraction: 0.48, locality: 0.75 })
+            .array(
+                col,
+                TouchKind::Load,
+                AccessPattern::Irregular {
+                    fraction: 1.0,
+                    locality: 0.7,
+                },
+            )
+            .array(
+                weights,
+                TouchKind::Load,
+                AccessPattern::Irregular {
+                    fraction: 1.0,
+                    locality: 0.7,
+                },
+            )
+            .array(
+                dist_old,
+                TouchKind::Load,
+                AccessPattern::Irregular {
+                    fraction: 0.48,
+                    locality: 0.75,
+                },
+            )
             .array(dist_new, TouchKind::LoadStore, AccessPattern::Partitioned)
             .compute_per_line(1.2)
             .l1_hit_rate(0.35)
@@ -260,8 +316,7 @@ mod tests {
     fn fw_broadcasts_its_pivot() {
         let w = fw();
         assert_eq!(w.kernel_count(), 128);
-        assert!(w
-            .launches()[0]
+        assert!(w.launches()[0]
             .spec
             .arrays()
             .iter()

@@ -76,7 +76,10 @@ pub fn lulesh() -> Workload {
     let forces = t.alloc("nodal_forces", ELEMS * ELEM); // 3 MiB
     let volumes = t.alloc("volumes", ELEMS * ELEM); // 3 MiB
 
-    let irregular = |f: f64| AccessPattern::Irregular { fraction: f, locality: 0.35 };
+    let irregular = |f: f64| AccessPattern::Irregular {
+        fraction: f,
+        locality: 0.35,
+    };
     // Mesh setup: nodal arrays are first-touched by their owner partitions.
     let init = Arc::new(
         KernelSpec::builder("init_mesh")
@@ -105,7 +108,14 @@ pub fn lulesh() -> Workload {
             .wg_count(4096)
             .array(stress, TouchKind::Load, AccessPattern::Partitioned)
             .array(conn, TouchKind::Load, AccessPattern::Partitioned)
-            .array(forces, TouchKind::LoadStore, AccessPattern::Irregular { fraction: 1.0, locality: 1.0 })
+            .array(
+                forces,
+                TouchKind::LoadStore,
+                AccessPattern::Irregular {
+                    fraction: 1.0,
+                    locality: 1.0,
+                },
+            )
             .compute_per_line(7.5)
             .l1_hit_rate(0.45)
             .mlp(48.0)
@@ -151,7 +161,10 @@ pub fn pennant() -> Workload {
     let rho = t.alloc("density", ZONES * ELEM); // 2 MiB
     let energy = t.alloc("energy", ZONES * ELEM); // 2 MiB
 
-    let irr = |f: f64| AccessPattern::Irregular { fraction: f, locality: 1.0 };
+    let irr = |f: f64| AccessPattern::Irregular {
+        fraction: f,
+        locality: 1.0,
+    };
     let gather = Arc::new(
         KernelSpec::builder("gather_corners")
             .wg_count(4096)
@@ -211,7 +224,10 @@ mod tests {
     #[test]
     fn pennant_fits_aggregate_l2_and_is_latency_sensitive() {
         let w = pennant();
-        assert!(w.footprint_bytes() < 32 << 20, "fits 4-chiplet aggregate L2");
+        assert!(
+            w.footprint_bytes() < 32 << 20,
+            "fits 4-chiplet aggregate L2"
+        );
         assert!(w.launches()[0].spec.mlp() <= 24.0);
     }
 

@@ -30,8 +30,8 @@ mod streaming;
 
 pub use spec::{parse_workload, ParseSpecError};
 
-use chiplet_gpu::stream::StreamId;
 use chiplet_gpu::kernel::KernelSpec;
+use chiplet_gpu::stream::StreamId;
 use chiplet_gpu::table::ArrayTable;
 use chiplet_mem::addr::ChipletId;
 use std::fmt;

@@ -85,27 +85,65 @@ fn rnn(
         kernels.extend(matmuls.iter().cloned());
         kernels.push(pointwise.clone());
     }
-    Workload::new(name, input, ReuseClass::ModerateHigh, t, single_stream(kernels))
+    Workload::new(
+        name,
+        input,
+        ReuseClass::ModerateHigh,
+        t,
+        single_stream(kernels),
+    )
 }
 
 /// RNN-GRU, small config (DeepBench; BS:4, TS:2, hidden 256).
 pub fn rnn_gru_small() -> Workload {
-    rnn("rnn-gru-small", "BS:4, TS:2, Hidden Layers: 256", 3, 256, 2, 4, 56)
+    rnn(
+        "rnn-gru-small",
+        "BS:4, TS:2, Hidden Layers: 256",
+        3,
+        256,
+        2,
+        4,
+        56,
+    )
 }
 
 /// RNN-GRU, large config (DeepBench; BS:16, TS:4, hidden 512).
 pub fn rnn_gru_large() -> Workload {
-    rnn("rnn-gru-large", "BS:16, TS:4, Hidden Layers: 512", 3, 512, 4, 16, 24)
+    rnn(
+        "rnn-gru-large",
+        "BS:16, TS:4, Hidden Layers: 512",
+        3,
+        512,
+        4,
+        16,
+        24,
+    )
 }
 
 /// RNN-LSTM, small config (DeepBench; BS:4, TS:2, hidden 256).
 pub fn rnn_lstm_small() -> Workload {
-    rnn("rnn-lstm-small", "BS:4, TS:2, Hidden Layers: 256", 4, 256, 2, 4, 56)
+    rnn(
+        "rnn-lstm-small",
+        "BS:4, TS:2, Hidden Layers: 256",
+        4,
+        256,
+        2,
+        4,
+        56,
+    )
 }
 
 /// RNN-LSTM, large config (DeepBench; BS:16, TS:4, hidden 512).
 pub fn rnn_lstm_large() -> Workload {
-    rnn("rnn-lstm-large", "BS:16, TS:4, Hidden Layers: 512", 4, 512, 4, 16, 24)
+    rnn(
+        "rnn-lstm-large",
+        "BS:16, TS:4, Hidden Layers: 512",
+        4,
+        512,
+        4,
+        16,
+        24,
+    )
 }
 
 /// CNN (DNNMark-style Conv+Pool+FC; input 128x128x3, BS:4): compute-bound

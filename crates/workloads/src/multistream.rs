@@ -16,7 +16,9 @@ use std::sync::Arc;
 /// Binds stream `s` of `num_streams` to an equal share of 4 chiplets.
 fn binding_for(s: u32, num_streams: u32) -> Vec<ChipletId> {
     let per = (4 / num_streams).max(1);
-    (0..per).map(|i| ChipletId::new((s * per + i) as u8 % 4)).collect()
+    (0..per)
+        .map(|i| ChipletId::new((s * per + i) as u8 % 4))
+        .collect()
 }
 
 /// The `streams` microbenchmark: four independent streams, each running an
@@ -85,7 +87,10 @@ pub fn babelstream_2s() -> Workload {
             for src in srcs {
                 kb = kb.array(src, TouchKind::Load, AccessPattern::Partitioned);
             }
-            Arc::new(kb.array(dst, TouchKind::Store, AccessPattern::Partitioned).build())
+            Arc::new(
+                kb.array(dst, TouchKind::Store, AccessPattern::Partitioned)
+                    .build(),
+            )
         };
         per_stream_kernels.push(vec![
             mk(format!("copy{s}"), vec![a], c),
@@ -125,7 +130,14 @@ pub fn graph_2s() -> Workload {
         kernels.push(Arc::new(
             KernelSpec::builder(format!("relax{s}"))
                 .wg_count(1024)
-                .array(edges, TouchKind::Load, AccessPattern::Irregular { fraction: 0.3, locality: 0.5 })
+                .array(
+                    edges,
+                    TouchKind::Load,
+                    AccessPattern::Irregular {
+                        fraction: 0.3,
+                        locality: 0.5,
+                    },
+                )
                 .array(cost, TouchKind::LoadStore, AccessPattern::Partitioned)
                 .compute_per_line(1.5)
                 .l1_hit_rate(0.35)
@@ -164,7 +176,11 @@ pub fn hotspot_2s() -> Workload {
         kernels.push(Arc::new(
             KernelSpec::builder(format!("hotspot{s}"))
                 .wg_count(1024)
-                .array(temp, TouchKind::LoadStore, AccessPattern::PartitionedHalo { halo_lines: 32 })
+                .array(
+                    temp,
+                    TouchKind::LoadStore,
+                    AccessPattern::PartitionedHalo { halo_lines: 32 },
+                )
                 .array(power, TouchKind::Load, AccessPattern::Partitioned)
                 .compute_per_line(14.0)
                 .lds_per_line(3.0)

@@ -76,7 +76,11 @@ pub fn gaussian() -> Workload {
         kernels.push(Arc::new(
             KernelSpec::builder(format!("fan1_{step}"))
                 .wg_count(256)
-                .array(m, TouchKind::Store, AccessPattern::Slice { start, end: 1.0 })
+                .array(
+                    m,
+                    TouchKind::Store,
+                    AccessPattern::Slice { start, end: 1.0 },
+                )
                 .array(a, TouchKind::Load, AccessPattern::Slice { start, end: 1.0 })
                 .compute_per_line(3.0)
                 .l1_hit_rate(0.5)
@@ -88,7 +92,11 @@ pub fn gaussian() -> Workload {
             KernelSpec::builder(format!("fan2_{step}"))
                 .wg_count(1024)
                 .array(m, TouchKind::Load, AccessPattern::Slice { start, end: 1.0 })
-                .array(a, TouchKind::LoadStore, AccessPattern::Slice { start, end: 1.0 })
+                .array(
+                    a,
+                    TouchKind::LoadStore,
+                    AccessPattern::Slice { start, end: 1.0 },
+                )
                 .array(b, TouchKind::LoadStore, AccessPattern::Partitioned)
                 .compute_per_line(3.0)
                 .l1_hit_rate(0.5)
@@ -218,9 +226,9 @@ pub fn lud() -> Workload {
     const STEPS: u64 = 12;
     let mut t = ArrayTable::new();
     let m = t.alloc("m", N * N * ELEM); // 16 MiB: fits the shared LLC
-    // The factored diagonal/perimeter band each step is staged into a small
-    // workspace (Rodinia's LUD stages it through the LDS), so the band
-    // updates are owner-partitioned rather than scattered over `m`.
+                                        // The factored diagonal/perimeter band each step is staged into a small
+                                        // workspace (Rodinia's LUD stages it through the LDS), so the band
+                                        // updates are owner-partitioned rather than scattered over `m`.
     let band = t.alloc("band_workspace", N * N * ELEM / STEPS);
 
     let mut kernels = Vec::new();
@@ -230,7 +238,14 @@ pub fn lud() -> Workload {
         kernels.push(Arc::new(
             KernelSpec::builder(format!("lud_diagonal_{step}"))
                 .wg_count(64)
-                .array(m, TouchKind::Load, AccessPattern::Slice { start, end: band_end })
+                .array(
+                    m,
+                    TouchKind::Load,
+                    AccessPattern::Slice {
+                        start,
+                        end: band_end,
+                    },
+                )
                 .array(band, TouchKind::LoadStore, AccessPattern::Partitioned)
                 .compute_per_line(1.0)
                 .lds_per_line(4.0)
@@ -280,8 +295,16 @@ pub fn nw() -> Workload {
             Arc::new(
                 KernelSpec::builder(format!("nw_diag_{d}"))
                     .wg_count(512)
-                    .array(score, TouchKind::LoadStore, AccessPattern::Slice { start, end })
-                    .array(reference, TouchKind::Load, AccessPattern::Slice { start, end })
+                    .array(
+                        score,
+                        TouchKind::LoadStore,
+                        AccessPattern::Slice { start, end },
+                    )
+                    .array(
+                        reference,
+                        TouchKind::Load,
+                        AccessPattern::Slice { start, end },
+                    )
                     .compute_per_line(3.0)
                     .lds_per_line(2.0)
                     .l1_hit_rate(0.5)
@@ -308,8 +331,22 @@ pub fn dwt2d() -> Workload {
         kernels.push(Arc::new(
             KernelSpec::builder(format!("fdwt_level{level}"))
                 .wg_count(2048)
-                .array(src, TouchKind::Load, AccessPattern::Slice { start: 0.0, end: frac })
-                .array(dst, TouchKind::Store, AccessPattern::Slice { start: 0.0, end: frac })
+                .array(
+                    src,
+                    TouchKind::Load,
+                    AccessPattern::Slice {
+                        start: 0.0,
+                        end: frac,
+                    },
+                )
+                .array(
+                    dst,
+                    TouchKind::Store,
+                    AccessPattern::Slice {
+                        start: 0.0,
+                        end: frac,
+                    },
+                )
                 .compute_per_line(2.5)
                 .lds_per_line(2.0)
                 .l1_hit_rate(0.4)
@@ -392,7 +429,10 @@ pub fn btree() -> Workload {
     let keys = t.alloc("keys", KEYS_BYTES);
     let answers = t.alloc("answers", KEYS_BYTES);
 
-    let irregular = AccessPattern::Irregular { fraction: 1.0, locality: 0.3 };
+    let irregular = AccessPattern::Irregular {
+        fraction: 1.0,
+        locality: 0.3,
+    };
     let find_k = Arc::new(
         KernelSpec::builder("findK")
             .wg_count(4096)
@@ -465,7 +505,10 @@ mod tests {
         let w = lud();
         assert!(w.kernel_count() >= 20);
         assert!(w.launches()[0].spec.mlp() <= 24.0);
-        assert!(w.footprint_bytes() <= 18 << 20, "fits the LLC within a workspace");
+        assert!(
+            w.footprint_bytes() <= 18 << 20,
+            "fits the LLC within a workspace"
+        );
     }
 
     #[test]

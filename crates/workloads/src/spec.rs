@@ -110,7 +110,10 @@ fn parse_pattern(tokens: &[&str], line: usize) -> Result<AccessPattern, ParseSpe
             fraction: parse_f64(f, line)?,
             locality: parse_f64(l, line)?,
         }),
-        _ => Err(err(line, format!("unknown access pattern `{}`", tokens.join(" ")))),
+        _ => Err(err(
+            line,
+            format!("unknown access pattern `{}`", tokens.join(" ")),
+        )),
     }
 }
 
@@ -408,7 +411,10 @@ sequence produce
         );
         assert_eq!(
             k.arrays()[1].pattern,
-            AccessPattern::Slice { start: 0.25, end: 0.75 }
+            AccessPattern::Slice {
+                start: 0.25,
+                end: 0.75
+            }
         );
     }
 }

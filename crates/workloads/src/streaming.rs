@@ -17,7 +17,10 @@ pub fn babelstream() -> Workload {
     let b = t.alloc("b", N * ELEM);
     let c = t.alloc("c", N * ELEM);
 
-    let mk = |name: &str, build: &dyn Fn(chiplet_gpu::kernel::KernelBuilder) -> chiplet_gpu::kernel::KernelBuilder| {
+    let mk = |name: &str,
+              build: &dyn Fn(
+        chiplet_gpu::kernel::KernelBuilder,
+    ) -> chiplet_gpu::kernel::KernelBuilder| {
         Arc::new(
             build(
                 KernelSpec::builder(name)
@@ -55,7 +58,13 @@ pub fn babelstream() -> Workload {
 
     let mut kernels = Vec::new();
     for _ in 0..8 {
-        kernels.extend([copy.clone(), mul.clone(), add.clone(), triad.clone(), dot.clone()]);
+        kernels.extend([
+            copy.clone(),
+            mul.clone(),
+            add.clone(),
+            triad.clone(),
+            dot.clone(),
+        ]);
     }
     Workload::new(
         "babelstream",

@@ -46,18 +46,23 @@ fn main() {
     }
     println!(
         "  C_d on chiplet0: {}\n",
-        cp.table().state_of(c_d.base().line().get(), ChipletId::new(0))
+        cp.table()
+            .state_of(c_d.base().line().get(), ChipletId::new(0))
     );
 
     // A cross-chiplet consumer forces a release — and only of chiplet 0.
     hip.set_access_mode("reduce", c_d, AccessMode::ReadOnly);
     let info = hip.launch_kernel_ggl("reduce", [ChipletId::new(1)]);
     let d = cp.launch_kernel(&info);
-    println!("reduce (on chiplet1): acquires {:?}, releases {:?}", d.acquires, d.releases);
+    println!(
+        "reduce (on chiplet1): acquires {:?}, releases {:?}",
+        d.acquires, d.releases
+    );
     assert_eq!(d.releases, vec![ChipletId::new(0)]);
     assert!(d.acquires.is_empty());
     assert_eq!(
-        cp.table().state_of(c_d.base().line().get(), ChipletId::new(0)),
+        cp.table()
+            .state_of(c_d.base().line().get(), ChipletId::new(0)),
         EntryState::Valid,
         "the flush retains clean copies on chiplet 0"
     );

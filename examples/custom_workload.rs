@@ -5,9 +5,9 @@
 //! cargo run --release --example custom_workload
 //! ```
 
+use cpelide_repro::gpu::stream::StreamId;
 use cpelide_repro::prelude::*;
 use cpelide_repro::workloads::Launch;
-use cpelide_repro::gpu::stream::StreamId;
 use std::sync::Arc;
 
 /// A three-stage pipeline iterated ten times:
@@ -64,7 +64,13 @@ fn build_pipeline() -> Workload {
             });
         }
     }
-    Workload::new("pipeline", "3 stages x 10 iters", ReuseClass::ModerateHigh, arrays, launches)
+    Workload::new(
+        "pipeline",
+        "3 stages x 10 iters",
+        ReuseClass::ModerateHigh,
+        arrays,
+        launches,
+    )
 }
 
 fn main() {

@@ -10,6 +10,7 @@
 //!      compute penalty standing in for the occupancy loss the paper
 //!      warns about),
 //!   3. unfused under CPElide —
+//!
 //! and compare.
 //!
 //! ```sh
@@ -47,10 +48,20 @@ fn unfused() -> Workload {
     let mut launches = Vec::new();
     for _ in 0..ITERS {
         for k in [&k1, &k2, &k3] {
-            launches.push(Launch { stream: StreamId::new(0), spec: k.clone(), binding: None });
+            launches.push(Launch {
+                stream: StreamId::new(0),
+                spec: k.clone(),
+                binding: None,
+            });
         }
     }
-    Workload::new("pipeline-unfused", "3 kernels x 12", ReuseClass::ModerateHigh, arrays, launches)
+    Workload::new(
+        "pipeline-unfused",
+        "3 kernels x 12",
+        ReuseClass::ModerateHigh,
+        arrays,
+        launches,
+    )
 }
 
 fn fused() -> Workload {
@@ -72,9 +83,19 @@ fn fused() -> Workload {
             .build(),
     );
     let launches = (0..ITERS)
-        .map(|_| Launch { stream: StreamId::new(0), spec: k.clone(), binding: None })
+        .map(|_| Launch {
+            stream: StreamId::new(0),
+            spec: k.clone(),
+            binding: None,
+        })
         .collect();
-    Workload::new("pipeline-fused", "1 kernel x 12", ReuseClass::ModerateHigh, arrays, launches)
+    Workload::new(
+        "pipeline-fused",
+        "1 kernel x 12",
+        ReuseClass::ModerateHigh,
+        arrays,
+        launches,
+    )
 }
 
 fn main() {
@@ -85,9 +106,18 @@ fn main() {
     let cpe_unfused = Simulator::new(SimConfig::table1(4, ProtocolKind::CpElide)).run(&u);
 
     println!("kernel-fusion study (4 chiplets, cycles lower = better)\n");
-    println!("unfused, Baseline : {:>12.0}  (pays implicit sync at every boundary)", base_unfused.cycles);
-    println!("fused,   Baseline : {:>12.0}  (no boundaries, but occupancy penalty)", base_fused.cycles);
-    println!("unfused, CPElide  : {:>12.0}  (boundaries elided, full occupancy)", cpe_unfused.cycles);
+    println!(
+        "unfused, Baseline : {:>12.0}  (pays implicit sync at every boundary)",
+        base_unfused.cycles
+    );
+    println!(
+        "fused,   Baseline : {:>12.0}  (no boundaries, but occupancy penalty)",
+        base_fused.cycles
+    );
+    println!(
+        "unfused, CPElide  : {:>12.0}  (boundaries elided, full occupancy)",
+        cpe_unfused.cycles
+    );
 
     let fusion_gain = base_unfused.cycles / base_fused.cycles;
     let cpelide_gain = base_unfused.cycles / cpe_unfused.cycles;

@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Runs the exact checks .github/workflows/ci.yml runs, locally and fully
+# offline. The workspace is hermetic (zero external crates), so this needs
+# nothing but a Rust toolchain with rustfmt and clippy.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export CARGO_NET_OFFLINE=true
+
+echo "== fmt =="
+cargo fmt --all --check
+
+echo "== clippy =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== build (release) =="
+cargo build --workspace --release
+
+echo "== test (release) =="
+cargo test --workspace --release -q
+
+echo "== smoke-run every figure binary =="
+CPELIDE_SMOKE=1 cargo run --release -p cpelide-bench --bin all
+
+echo "== bench runner (fixed iterations) =="
+CHIPLET_BENCH_ITERS=3 CHIPLET_BENCH_WARMUP=1 cargo bench --workspace
+
+echo "ci-local: all checks passed"

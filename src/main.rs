@@ -79,12 +79,19 @@ fn parse_protocol(s: &str) -> Option<ProtocolKind> {
 
 fn main() -> ExitCode {
     let raw: Vec<String> = std::env::args().skip(1).collect();
-    let Some(cmd) = raw.first() else { return usage() };
-    let Some(args) = Args::parse(&raw[1..]) else { return usage() };
+    let Some(cmd) = raw.first() else {
+        return usage();
+    };
+    let Some(args) = Args::parse(&raw[1..]) else {
+        return usage();
+    };
 
     match cmd.as_str() {
         "list" => {
-            println!("{:<18} {:>8} {:>10} {}", "workload", "kernels", "footprint", "class");
+            println!(
+                "{:<18} {:>8} {:>10} class",
+                "workload", "kernels", "footprint"
+            );
             for w in workloads::suite() {
                 println!(
                     "{:<18} {:>8} {:>7.1}MiB {}",
@@ -106,7 +113,9 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         "run" => {
-            let Some(name) = args.get("workload") else { return usage() };
+            let Some(name) = args.get("workload") else {
+                return usage();
+            };
             let Some(w) = find_workload(name) else {
                 eprintln!("unknown workload {name}; try `cpelide-repro list`");
                 return ExitCode::FAILURE;
@@ -130,7 +139,9 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         "compare" => {
-            let Some(name) = args.get("workload") else { return usage() };
+            let Some(name) = args.get("workload") else {
+                return usage();
+            };
             let Some(w) = find_workload(name) else {
                 eprintln!("unknown workload {name}");
                 return ExitCode::FAILURE;
@@ -138,14 +149,20 @@ fn main() -> ExitCode {
             let chiplets: usize = args.get("chiplets").map_or(4, |v| v.parse().unwrap_or(4));
             let base = Simulator::new(SimConfig::table1(chiplets, ProtocolKind::Baseline)).run(&w);
             println!("{base}");
-            for p in [ProtocolKind::CpElide, ProtocolKind::Hmg, ProtocolKind::Monolithic] {
+            for p in [
+                ProtocolKind::CpElide,
+                ProtocolKind::Hmg,
+                ProtocolKind::Monolithic,
+            ] {
                 let m = Simulator::new(SimConfig::table1(chiplets, p)).run(&w);
                 println!("{m}  ({:.2}x vs Baseline)", m.speedup_over(&base));
             }
             ExitCode::SUCCESS
         }
         "oracle" => {
-            let Some(name) = args.get("workload") else { return usage() };
+            let Some(name) = args.get("workload") else {
+                return usage();
+            };
             let Some(w) = find_workload(name) else {
                 eprintln!("unknown workload {name}");
                 return ExitCode::FAILURE;
@@ -160,7 +177,11 @@ fn main() -> ExitCode {
                 if r.is_coherent() {
                     "coherent".to_owned()
                 } else {
-                    format!("{} VIOLATIONS (first: {:?})", r.violations.len(), r.violations[0])
+                    format!(
+                        "{} VIOLATIONS (first: {:?})",
+                        r.violations.len(),
+                        r.violations[0]
+                    )
                 }
             );
             if r.is_coherent() {

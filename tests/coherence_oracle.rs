@@ -87,12 +87,7 @@ fn baseline_is_coherent_everywhere() {
 fn multi_stream_workloads_are_coherent_under_cpelide() {
     for w in cpelide_repro::workloads::multi_stream_suite() {
         let r = check_coherence(&w, ProtocolKind::CpElide, 4, 5);
-        assert!(
-            r.is_coherent(),
-            "{}: {:?}",
-            w.name(),
-            r.violations.first()
-        );
+        assert!(r.is_coherent(), "{}: {:?}", w.name(), r.violations.first());
     }
 }
 
@@ -107,5 +102,8 @@ fn the_oracle_itself_detects_missing_synchronization() {
             caught += 1;
         }
     }
-    assert!(caught >= 2, "oracle failed to flag broken protocols: {caught}/3");
+    assert!(
+        caught >= 2,
+        "oracle failed to flag broken protocols: {caught}/3"
+    );
 }

@@ -9,8 +9,17 @@ use cpelide_repro::prelude::*;
 fn test_suite() -> Vec<Workload> {
     let all = cpelide_repro::workloads::suite();
     if cfg!(debug_assertions) {
-        let keep = ["square", "bfs", "gaussian", "rnn-gru-small", "hotspot", "btree"];
-        all.into_iter().filter(|w| keep.contains(&w.name())).collect()
+        let keep = [
+            "square",
+            "bfs",
+            "gaussian",
+            "rnn-gru-small",
+            "hotspot",
+            "btree",
+        ];
+        all.into_iter()
+            .filter(|w| keep.contains(&w.name()))
+            .collect()
     } else {
         all
     }
@@ -42,7 +51,11 @@ fn cpelide_never_loses_to_baseline_across_the_suite() {
 fn monolithic_upper_bounds_every_chiplet_protocol() {
     for name in ["square", "babelstream", "lud", "sssp", "btree"] {
         let mono = run(name, ProtocolKind::Monolithic, 4);
-        for p in [ProtocolKind::Baseline, ProtocolKind::CpElide, ProtocolKind::Hmg] {
+        for p in [
+            ProtocolKind::Baseline,
+            ProtocolKind::CpElide,
+            ProtocolKind::Hmg,
+        ] {
             let m = run(name, p, 4);
             assert!(
                 mono.cycles <= m.cycles * 1.02,
@@ -63,7 +76,10 @@ fn streaming_reuse_apps_match_paper_factors() {
     let hmg = run("square", ProtocolKind::Hmg, 4);
     let vs_base = cpe.speedup_over(&base);
     let vs_hmg = cpe.speedup_over(&hmg);
-    assert!((1.15..=1.5).contains(&vs_base), "square vs baseline: {vs_base}");
+    assert!(
+        (1.15..=1.5).contains(&vs_base),
+        "square vs baseline: {vs_base}"
+    );
     assert!((1.2..=1.6).contains(&vs_hmg), "square vs HMG: {vs_hmg}");
 }
 
@@ -118,7 +134,12 @@ fn hmg_slightly_beats_cpelide_on_rnns() {
     // remote weight-read caching.
     let mut log_sum = 0.0;
     let mut n = 0;
-    for name in ["rnn-gru-small", "rnn-gru-large", "rnn-lstm-small", "rnn-lstm-large"] {
+    for name in [
+        "rnn-gru-small",
+        "rnn-gru-large",
+        "rnn-lstm-small",
+        "rnn-lstm-large",
+    ] {
         let cpe = run(name, ProtocolKind::CpElide, 4);
         let hmg = run(name, ProtocolKind::Hmg, 4);
         log_sum += (cpe.cycles / hmg.cycles).ln();
@@ -192,7 +213,11 @@ fn energy_ordering_follows_traffic() {
 #[test]
 fn seven_chiplets_is_the_rocm_limit_and_still_works() {
     // Paper §IV-E: ROCm 1.6 supports at most 7 chiplets.
-    for p in [ProtocolKind::Baseline, ProtocolKind::CpElide, ProtocolKind::Hmg] {
+    for p in [
+        ProtocolKind::Baseline,
+        ProtocolKind::CpElide,
+        ProtocolKind::Hmg,
+    ] {
         let m = run("square", p, 7);
         assert_eq!(m.chiplets, 7);
         assert!(m.cycles > 0.0);
@@ -205,7 +230,12 @@ fn table_occupancy_stays_within_paper_bounds() {
     for w in test_suite() {
         let m = Simulator::new(SimConfig::table1(4, ProtocolKind::CpElide)).run(&w);
         let t = m.table.expect("table stats");
-        assert!(t.max_live_entries <= 16, "{}: {}", w.name(), t.max_live_entries);
+        assert!(
+            t.max_live_entries <= 16,
+            "{}: {}",
+            w.name(),
+            t.max_live_entries
+        );
         assert_eq!(t.evictions, 0, "{} overflowed the table", w.name());
     }
 }

@@ -77,7 +77,7 @@ fn acquire_preserves_values_through_the_llc() {
         m.write(c(0), l(i));
     }
     let a = m.acquire(c(0));
-    assert_eq!(a.flush.total_lines() + 0, 64);
+    assert_eq!(a.flush.total_lines(), 64);
     assert_eq!(m.l2_valid_lines(c(0)), 0);
     // Everything is recoverable below.
     for i in 0..64 {
@@ -146,7 +146,10 @@ fn strong_scaling_keeps_total_work_constant() {
     let b2 = Simulator::new(SimConfig::table1(2, ProtocolKind::Baseline)).run(&b);
     let b4 = Simulator::new(SimConfig::table1(4, ProtocolKind::Baseline)).run(&b);
     let ratio = b2.energy_counts.l1d_accesses as f64 / b4.energy_counts.l1d_accesses as f64;
-    assert!((0.98..=1.02).contains(&ratio), "irregular strong scaling: {ratio}");
+    assert!(
+        (0.98..=1.02).contains(&ratio),
+        "irregular strong scaling: {ratio}"
+    );
 }
 
 #[test]

@@ -1,13 +1,17 @@
 //! Property-based tests of the Chiplet Coherence Table: random kernel
 //! sequences are checked against a structure-granularity reference model,
 //! and CPElide's decisions are audited for soundness and table invariants.
+//! Runs on the in-repo `chiplet-harness` property runner (≥256 seeded
+//! cases per property; override with `CHIPLET_PROP_CASES`).
 
+use chiplet_harness::prop::{check, vec_of, PropConfig};
+use chiplet_harness::rng::Xoshiro256;
+use chiplet_harness::{prop_assert, prop_assert_eq, prop_assert_ne};
 use chiplet_mem::addr::ChipletId;
 use chiplet_mem::array::AccessMode;
 use cpelide::api::KernelLaunchInfo;
 use cpelide::state::EntryState;
 use cpelide::table::ChipletCoherenceTable;
-use proptest::prelude::*;
 use std::collections::HashMap;
 use std::ops::Range;
 
@@ -31,19 +35,25 @@ struct GenAccess {
     partitioned: bool,
 }
 
-fn access_strategy() -> impl Strategy<Value = GenAccess> {
-    (0..STRUCTS, any::<bool>(), 1u8..16, any::<bool>()).prop_map(
-        |(structure, writes, chiplet_mask, partitioned)| GenAccess {
-            structure,
-            writes,
-            chiplet_mask,
-            partitioned,
-        },
-    )
+fn gen_access(rng: &mut Xoshiro256) -> GenAccess {
+    GenAccess {
+        structure: rng.next_below(STRUCTS),
+        writes: rng.next_bool(),
+        chiplet_mask: rng.gen_range(1..16) as u8,
+        partitioned: rng.next_bool(),
+    }
 }
 
-fn kernel_strategy() -> impl Strategy<Value = GenKernel> {
-    prop::collection::vec(access_strategy(), 1..4).prop_map(|accesses| GenKernel { accesses })
+fn gen_kernel(rng: &mut Xoshiro256) -> GenKernel {
+    GenKernel {
+        accesses: (0..rng.gen_range_usize(1..4))
+            .map(|_| gen_access(rng))
+            .collect(),
+    }
+}
+
+fn gen_kernels(rng: &mut Xoshiro256, size: usize, max: usize) -> Vec<GenKernel> {
+    vec_of(rng, size, 1..max, gen_kernel)
 }
 
 fn span_of(structure: u64) -> Range<u64> {
@@ -56,7 +66,9 @@ fn build_info(kernel_id: u64, k: &GenKernel) -> KernelLaunchInfo {
     // merging modes conservatively.
     let mut merged: HashMap<u64, (bool, u8, bool)> = HashMap::new();
     for a in &k.accesses {
-        let e = merged.entry(a.structure).or_insert((false, 0, a.partitioned));
+        let e = merged
+            .entry(a.structure)
+            .or_insert((false, 0, a.partitioned));
         e.0 |= a.writes;
         e.1 |= a.chiplet_mask;
         e.2 &= a.partitioned;
@@ -71,13 +83,21 @@ fn build_info(kernel_id: u64, k: &GenKernel) -> KernelLaunchInfo {
             ranges[c] = Some(if partitioned {
                 let w = LINES_PER_STRUCT / members.len() as u64;
                 let start = span.start + slot as u64 * w;
-                let end = if slot + 1 == members.len() { span.end } else { start + w };
+                let end = if slot + 1 == members.len() {
+                    span.end
+                } else {
+                    start + w
+                };
                 start..end
             } else {
                 span.clone()
             });
         }
-        let mode = if writes { AccessMode::ReadWrite } else { AccessMode::ReadOnly };
+        let mode = if writes {
+            AccessMode::ReadWrite
+        } else {
+            AccessMode::ReadOnly
+        };
         b = b.structure(span.start, span.end, mode, ranges);
     }
     b.build()
@@ -95,8 +115,11 @@ struct Reference {
     cached: Vec<HashMap<u64, (u64, bool)>>,
     /// Truth: last writer kernel per sampled line.
     truth: HashMap<u64, u64>,
-    /// First-touch home per line.
-    home: HashMap<u64, usize>,
+    /// First-touch claims: disjoint intervals with their home chiplet.
+    /// Claimed eagerly at range granularity (a kernel touches its whole
+    /// labeled range, so every line in it is placed at first dispatch,
+    /// not when a probe happens to sample it).
+    claims: Vec<(Range<u64>, usize)>,
 }
 
 impl Reference {
@@ -109,6 +132,39 @@ impl Reference {
 
     fn probes(range: &Range<u64>) -> [u64; 3] {
         [range.start, (range.start + range.end) / 2, range.end - 1]
+    }
+
+    /// First-touch placement: chiplet `c` becomes home of whatever part
+    /// of `range` no chiplet has claimed yet.
+    fn claim(&mut self, range: &Range<u64>, c: usize) {
+        let mut owned: Vec<Range<u64>> = self
+            .claims
+            .iter()
+            .map(|(r, _)| r.clone())
+            .filter(|r| r.start < range.end && range.start < r.end)
+            .collect();
+        owned.sort_by_key(|r| r.start);
+        let mut cursor = range.start;
+        for r in owned {
+            if r.start > cursor {
+                self.claims.push((cursor..r.start, c));
+            }
+            cursor = cursor.max(r.end);
+            if cursor >= range.end {
+                break;
+            }
+        }
+        if cursor < range.end {
+            self.claims.push((cursor..range.end, c));
+        }
+    }
+
+    fn home_of(&self, line: u64) -> usize {
+        self.claims
+            .iter()
+            .find(|(r, _)| r.contains(&line))
+            .map(|&(_, c)| c)
+            .expect("probed line was claimed before use")
     }
 
     fn release(&mut self, c: usize) {
@@ -129,12 +185,22 @@ impl Reference {
     /// Applies one kernel's accesses; returns stale-read violations.
     fn run_kernel(&mut self, info: &KernelLaunchInfo, version: u64) -> usize {
         let mut violations = 0;
+        // First-touch pass: place every labeled line before any access.
+        for s in &info.structures {
+            for c in 0..CHIPLETS {
+                if let Some(range) = s.ranges[c].clone() {
+                    self.claim(&range, c);
+                }
+            }
+        }
         // Reads first (a kernel observes pre-kernel state), then writes.
         for s in &info.structures {
             for c in 0..CHIPLETS {
-                let Some(range) = s.ranges[c].as_ref() else { continue };
+                let Some(range) = s.ranges[c].as_ref() else {
+                    continue;
+                };
                 for line in Self::probes(range) {
-                    let home = *self.home.entry(line).or_insert(c);
+                    let home = self.home_of(line);
                     let observed = if home == c {
                         match self.cached[c].get(&line) {
                             Some(&(v, _)) => v,
@@ -159,9 +225,11 @@ impl Reference {
                 continue;
             }
             for c in 0..CHIPLETS {
-                let Some(range) = s.ranges[c].as_ref() else { continue };
+                let Some(range) = s.ranges[c].as_ref() else {
+                    continue;
+                };
                 for line in Self::probes(range) {
-                    let home = *self.home.entry(line).or_insert(c);
+                    let home = self.home_of(line);
                     self.truth.insert(line, version);
                     if home == c {
                         self.cached[c].insert(line, (version, true));
@@ -176,101 +244,114 @@ impl Reference {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(
-        if cfg!(debug_assertions) { 24 } else { 64 },
-    ))]
+/// CPElide's decisions keep random kernel DAGs coherent.
+#[test]
+fn random_kernel_sequences_stay_coherent() {
+    check(
+        "random_kernel_sequences_stay_coherent",
+        &PropConfig::default(),
+        |rng, size| gen_kernels(rng, size, 24),
+        |kernels| {
+            // Overlapping whole-range writes from different chiplets within
+            // ONE kernel would be a data race; SC-for-HRF excludes those
+            // programs, so force non-partitioned writes to a single chiplet.
+            let kernels: Vec<GenKernel> = kernels
+                .iter()
+                .cloned()
+                .map(|mut k| {
+                    for a in &mut k.accesses {
+                        if a.writes && !a.partitioned {
+                            a.chiplet_mask = 1 << (a.structure % 4);
+                        }
+                    }
+                    k
+                })
+                .collect();
 
-    /// CPElide's decisions keep random kernel DAGs coherent.
-    #[test]
-    fn random_kernel_sequences_stay_coherent(
-        kernels in prop::collection::vec(kernel_strategy(), 1..24)
-    ) {
-        // Overlapping whole-range writes from different chiplets within ONE
-        // kernel would be a data race; SC-for-HRF excludes those programs,
-        // so force non-partitioned writes to a single chiplet.
-        let kernels: Vec<GenKernel> = kernels
-            .into_iter()
-            .map(|mut k| {
-                for a in &mut k.accesses {
-                    if a.writes && !a.partitioned {
-                        a.chiplet_mask = 1 << (a.structure % 4);
+            let mut table = ChipletCoherenceTable::new(CHIPLETS);
+            let mut reference = Reference::new();
+            let mut total_violations = 0;
+            for (i, k) in kernels.iter().enumerate() {
+                let info = build_info(i as u64, k);
+                let actions = table.prepare_launch(&info);
+                for &c in &actions.acquires {
+                    reference.acquire(c.index());
+                }
+                for &c in &actions.releases {
+                    reference.release(c.index());
+                }
+                total_violations += reference.run_kernel(&info, i as u64 + 1);
+            }
+            prop_assert_eq!(total_violations, 0, "stale reads slipped through");
+            Ok(())
+        },
+    );
+}
+
+/// Table invariants hold on arbitrary launch sequences.
+#[test]
+fn table_invariants_hold() {
+    check(
+        "table_invariants_hold",
+        &PropConfig::default(),
+        |rng, size| gen_kernels(rng, size, 32),
+        |kernels| {
+            let mut table = ChipletCoherenceTable::new(CHIPLETS);
+            for (i, k) in kernels.iter().enumerate() {
+                let info = build_info(i as u64, k);
+                let actions = table.prepare_launch(&info);
+                // An acquire is also a flush: no chiplet appears in releases
+                // redundantly with acquires in a way that exceeds the system.
+                prop_assert!(actions.acquires.len() <= CHIPLETS);
+                prop_assert!(actions.releases.len() <= CHIPLETS);
+                prop_assert!(table.live_entries() <= 64);
+                // Structures just accessed must not be left Stale on their
+                // accessors.
+                for s in &info.structures {
+                    for c in ChipletId::all(CHIPLETS) {
+                        if s.ranges[c.index()].is_some() {
+                            prop_assert_ne!(
+                                table.state_of(s.base_line, c),
+                                EntryState::Stale,
+                                "accessor left stale"
+                            );
+                        }
                     }
                 }
-                k
-            })
-            .collect();
-
-        let mut table = ChipletCoherenceTable::new(CHIPLETS);
-        let mut reference = Reference::new();
-        let mut total_violations = 0;
-        for (i, k) in kernels.iter().enumerate() {
-            let info = build_info(i as u64, k);
-            let actions = table.prepare_launch(&info);
-            for &c in &actions.acquires {
-                reference.acquire(c.index());
             }
-            for &c in &actions.releases {
-                reference.release(c.index());
-            }
-            total_violations += reference.run_kernel(&info, i as u64 + 1);
-        }
-        prop_assert_eq!(total_violations, 0, "stale reads slipped through");
-    }
+            let st = table.stats();
+            prop_assert_eq!(st.launches as usize, kernels.len());
+            prop_assert_eq!(st.evictions, 0);
+            Ok(())
+        },
+    );
+}
 
-    /// Table invariants hold on arbitrary launch sequences.
-    #[test]
-    fn table_invariants_hold(
-        kernels in prop::collection::vec(kernel_strategy(), 1..32)
-    ) {
-        let mut table = ChipletCoherenceTable::new(CHIPLETS);
-        for (i, k) in kernels.iter().enumerate() {
-            let info = build_info(i as u64, k);
-            let actions = table.prepare_launch(&info);
-            // An acquire is also a flush: no chiplet appears in releases
-            // redundantly with acquires in a way that exceeds the system.
-            prop_assert!(actions.acquires.len() <= CHIPLETS);
-            prop_assert!(actions.releases.len() <= CHIPLETS);
-            prop_assert!(table.live_entries() <= 64);
-            // Structures just accessed must not be left Stale on their
-            // accessors.
-            for s in &info.structures {
-                for c in ChipletId::all(CHIPLETS) {
-                    if s.ranges[c.index()].is_some() {
-                        prop_assert_ne!(
-                            table.state_of(s.base_line, c),
-                            EntryState::Stale,
-                            "accessor left stale"
-                        );
-                    }
-                }
+/// Read-only sequences never synchronize at all.
+#[test]
+fn read_only_sequences_are_fully_elided() {
+    check(
+        "read_only_sequences_are_fully_elided",
+        &PropConfig::default(),
+        |rng, size| vec_of(rng, size, 1..16, |r| r.gen_range(1..16) as u8),
+        |masks| {
+            let mut table = ChipletCoherenceTable::new(CHIPLETS);
+            for (i, &mask) in masks.iter().enumerate() {
+                let k = GenKernel {
+                    accesses: vec![GenAccess {
+                        structure: 0,
+                        writes: false,
+                        chiplet_mask: mask,
+                        partitioned: false,
+                    }],
+                };
+                let info = build_info(i as u64, &k);
+                let actions = table.prepare_launch(&info);
+                prop_assert!(actions.is_empty(), "read-only kernel #{i} synchronized");
             }
-        }
-        let st = table.stats();
-        prop_assert_eq!(st.launches as usize, kernels.len());
-        prop_assert_eq!(st.evictions, 0);
-    }
-
-    /// Read-only sequences never synchronize at all.
-    #[test]
-    fn read_only_sequences_are_fully_elided(
-        masks in prop::collection::vec(1u8..16, 1..16)
-    ) {
-        let mut table = ChipletCoherenceTable::new(CHIPLETS);
-        for (i, &mask) in masks.iter().enumerate() {
-            let k = GenKernel {
-                accesses: vec![GenAccess {
-                    structure: 0,
-                    writes: false,
-                    chiplet_mask: mask,
-                    partitioned: false,
-                }],
-            };
-            let info = build_info(i as u64, &k);
-            let actions = table.prepare_launch(&info);
-            prop_assert!(actions.is_empty(), "read-only kernel #{i} synchronized");
-        }
-        prop_assert_eq!(table.stats().releases_issued, 0);
-        prop_assert_eq!(table.stats().acquires_issued, 0);
-    }
+            prop_assert_eq!(table.stats().releases_issued, 0);
+            prop_assert_eq!(table.stats().acquires_issued, 0);
+            Ok(())
+        },
+    );
 }
