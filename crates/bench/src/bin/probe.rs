@@ -1,32 +1,49 @@
 //! Diagnostic deep-dive for one workload: every protocol's cycles, L2 hit
 //! rate, traffic split, sync costs and energy at a given chiplet count,
-//! plus the full per-run JSON export (sync counters, per-boundary event
-//! log) written to `results/probe.json`.
+//! plus the full per-run JSON export (sync counters, histograms,
+//! per-boundary event log) written to `results/probe.json` and a
+//! Prometheus exposition in `results/probe.prom`.
 //!
-//! Usage: `cargo run --release -p cpelide-bench --bin probe -- <workload> [chiplets]`
+//! Usage: `cargo run --release -p cpelide-bench --bin probe -- <workload>
+//! [chiplets] [--trace out.json]`
+//!
+//! `--trace <path>` (or `CPELIDE_TRACE=<path>`) additionally exports the
+//! CPElide run's timeline as Chrome/Perfetto trace-event JSON, loadable at
+//! <https://ui.perfetto.dev>.
 
 use chiplet_coherence::ProtocolKind;
 use chiplet_harness::json::Json;
 use chiplet_sim::{SimConfig, Simulator};
-use cpelide_bench::{effective_suite, smoke, write_report};
+use cpelide_bench::{
+    effective_suite, smoke, trace_path_from_env, write_report, write_text, write_trace,
+};
+use std::path::PathBuf;
 
 fn main() {
+    let mut positional = Vec::new();
+    let mut trace_to: Option<PathBuf> = None;
     let mut args = std::env::args().skip(1);
-    let name = args.next().unwrap_or_else(|| {
+    while let Some(a) = args.next() {
+        if a == "--trace" {
+            let p = args.next().expect("--trace requires a path");
+            trace_to = Some(PathBuf::from(p));
+        } else {
+            positional.push(a);
+        }
+    }
+    let trace_to = trace_to.or_else(trace_path_from_env);
+    let name = positional.first().cloned().unwrap_or_else(|| {
         if smoke() {
             effective_suite()[0].name().to_owned()
         } else {
             "square".to_owned()
         }
     });
-    let chiplets: usize = args.next().map(|a| a.parse().unwrap()).unwrap_or(4);
-    let w = chiplet_workloads::by_name(&name)
-        .or_else(|| {
-            chiplet_workloads::multi_stream_suite()
-                .into_iter()
-                .find(|w| w.name() == name)
-        })
-        .unwrap_or_else(|| panic!("unknown workload {name}"));
+    let chiplets: usize = positional
+        .get(1)
+        .map(|a| a.parse().expect("chiplets must be a number"))
+        .unwrap_or(4);
+    let w = chiplet_workloads::lookup(&name).unwrap_or_else(|e| panic!("{e}"));
 
     println!(
         "{} (input {}, {} kernels, {:.1} MiB footprint, {} chiplets)",
@@ -51,6 +68,7 @@ fn main() {
         "uJ"
     );
     let mut runs = Vec::new();
+    let mut prom = String::new();
     for p in [
         ProtocolKind::Baseline,
         ProtocolKind::CpElide,
@@ -60,8 +78,10 @@ fn main() {
     ] {
         let mut cfg = SimConfig::table1(chiplets, p);
         // The deep-dive records the per-boundary event log for the CPElide
-        // run so the JSON report shows where each sync was paid.
+        // run so the JSON report shows where each sync was paid; the
+        // timeline trace (when requested) covers the same run.
         cfg.record_events = p == ProtocolKind::CpElide;
+        cfg.record_trace = trace_to.is_some() && p == ProtocolKind::CpElide;
         let m = Simulator::new(cfg).run(&w);
         println!(
             "{:<11} {:>12.0} {:>12.0} {:>12.0} {:>7.1} {:>8.1} {:>10} {:>10} {:>10} {:>9} {:>8.1}",
@@ -98,6 +118,31 @@ fn main() {
                 t.max_live_entries
             );
         }
+        if let Some(a) = &m.audit {
+            for l in a.summary_text().lines() {
+                println!("            {l}");
+            }
+        }
+        println!(
+            "            hist: kernel p50/p99 {}/{} cyc, stall p50/p99 {}/{} cyc, link util {:.2}%",
+            m.hist.kernel_cycles.p50(),
+            m.hist.kernel_cycles.p99(),
+            m.hist.boundary_stall_cycles.p50(),
+            m.hist.boundary_stall_cycles.p99(),
+            100.0 * m.link_util.utilization(m.cycles as u64),
+        );
+        if m.trace.is_enabled() {
+            let path = trace_to
+                .as_ref()
+                .expect("trace recording implies a destination");
+            write_trace(&m.trace, path);
+            println!(
+                "            trace: {} events -> {} (open at ui.perfetto.dev)",
+                m.trace.len(),
+                path.display()
+            );
+        }
+        prom.push_str(&m.metrics_text());
         runs.push(m.to_json());
     }
 
@@ -108,4 +153,6 @@ fn main() {
         .with("runs", runs);
     let path = write_report("probe", &report);
     println!("report: {}", path.display());
+    let prom_path = write_text("probe.prom", &prom);
+    println!("metrics: {}", prom_path.display());
 }

@@ -9,6 +9,10 @@
 //!   workloads, one chiplet count) so CI can smoke-run every artifact.
 //! - `CPELIDE_RESULTS_DIR` redirects the JSON reports (default
 //!   `results/`).
+//!
+//! The `probe` binary additionally honours `CPELIDE_TRACE=<path>` (or the
+//! `--trace <path>` flag) to export a Chrome/Perfetto timeline of its
+//! CPElide run, loadable at <https://ui.perfetto.dev>.
 
 use chiplet_harness::json::{self, Json};
 use chiplet_sim::experiments::Fig8Row;
@@ -69,6 +73,38 @@ pub fn write_report(artifact: &str, report: &Json) -> PathBuf {
     std::fs::create_dir_all(&dir).expect("create results dir");
     let path = dir.join(format!("{artifact}.json"));
     std::fs::write(&path, rendered).expect("write report");
+    path
+}
+
+/// The trace destination requested via `CPELIDE_TRACE`, if any.
+pub fn trace_path_from_env() -> Option<PathBuf> {
+    std::env::var_os("CPELIDE_TRACE")
+        .filter(|v| !v.is_empty())
+        .map(PathBuf::from)
+}
+
+/// Validates and writes a Chrome/Perfetto trace to `path`: spans must
+/// balance and the rendered document must be well-formed JSON, so a
+/// half-broken trace can never land on disk.
+pub fn write_trace(tracer: &chiplet_harness::trace::Tracer, path: &std::path::Path) {
+    tracer.balanced().expect("trace spans must pair up");
+    let rendered = tracer.to_chrome_json();
+    json::validate(&rendered).expect("trace must render as well-formed JSON");
+    if let Some(dir) = path.parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).expect("create trace dir");
+        }
+    }
+    std::fs::write(path, rendered).expect("write trace");
+}
+
+/// Writes a plain-text artifact (e.g. a Prometheus exposition) into the
+/// results directory, returning the path.
+pub fn write_text(artifact: &str, content: &str) -> PathBuf {
+    let dir = results_dir();
+    std::fs::create_dir_all(&dir).expect("create results dir");
+    let path = dir.join(artifact);
+    std::fs::write(&path, content).expect("write text artifact");
     path
 }
 

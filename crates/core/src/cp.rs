@@ -83,6 +83,17 @@ impl GlobalCp {
         self.table.stats()
     }
 
+    /// Attaches a transition auditor to the coherence table (see
+    /// [`ChipletCoherenceTable::enable_audit`]).
+    pub fn enable_audit(&mut self, keep_log: bool) {
+        self.table.enable_audit(keep_log);
+    }
+
+    /// The table's transition auditor, if auditing is enabled.
+    pub fn auditor(&self) -> Option<&chiplet_obs::TransitionAuditor> {
+        self.table.auditor()
+    }
+
     /// Processes one kernel launch end to end: table inspection, sync
     /// generation, local-CP request/ack exchange, and launch enable.
     pub fn launch_kernel(&mut self, info: &KernelLaunchInfo) -> LaunchDecision {

@@ -142,6 +142,21 @@ pub enum StateEvent {
     CacheInvalidated,
 }
 
+impl StateEvent {
+    /// The stable event code shared with the `chiplet-obs` transition
+    /// auditor (`chiplet_obs::audit::EVENT_*`).
+    pub const fn encode(self) -> u8 {
+        match self {
+            StateEvent::LocalRead => 0,
+            StateEvent::LocalWrite => 1,
+            StateEvent::RemoteRead => 2,
+            StateEvent::RemoteWrite => 3,
+            StateEvent::CacheFlushed => 4,
+            StateEvent::CacheInvalidated => 5,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

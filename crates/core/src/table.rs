@@ -20,6 +20,7 @@ use crate::state::{EntryState, StateEvent};
 use crate::{MAX_STRUCTURES_PER_KERNEL, TABLE_CAPACITY};
 use chiplet_mem::addr::ChipletId;
 use chiplet_mem::array::AccessMode;
+use chiplet_obs::TransitionAuditor;
 use std::fmt;
 use std::ops::Range;
 
@@ -30,6 +31,10 @@ type HomeRecord = (Range<u64>, Vec<Option<Range<u64>>>);
 /// One table row.
 #[derive(Debug, Clone, PartialEq, Eq)]
 struct TableEntry {
+    /// Stable identity for the audit trail: survives row motion within
+    /// `entries`, but a structure that is removed and later re-tracked
+    /// gets a fresh id (it is a new residency episode).
+    id: u32,
     base_line: u64,
     end_line: u64,
     mode: AccessMode,
@@ -46,8 +51,9 @@ struct TableEntry {
 }
 
 impl TableEntry {
-    fn new(s: &StructureAccess, n: usize, kernel: u64) -> Self {
+    fn new(id: u32, s: &StructureAccess, n: usize, kernel: u64) -> Self {
         TableEntry {
+            id,
             base_line: s.base_line,
             end_line: s.end_line,
             mode: s.mode,
@@ -182,6 +188,43 @@ pub struct ChipletCoherenceTable {
     /// dispatch.
     home_log: Vec<HomeRecord>,
     stats: TableStats,
+    next_entry_id: u32,
+    /// Optional transition audit trail (see `chiplet-obs`). When enabled,
+    /// every state transition applied by [`ChipletCoherenceTable::prepare_launch`]
+    /// is re-validated against the Figure 6 relation; an illegal transition
+    /// panics in debug/test builds and is counted in release builds.
+    audit: Option<TransitionAuditor>,
+}
+
+/// Applies one state event to `states[chiplet]`, recording it into the
+/// auditor when one is attached. A free function so callers can borrow
+/// `entries` and `audit` disjointly.
+fn apply_event(
+    audit: &mut Option<TransitionAuditor>,
+    entry_id: u32,
+    chiplet: usize,
+    kernel: u64,
+    state: &mut EntryState,
+    ev: StateEvent,
+) {
+    let from = *state;
+    let to = from.on_event(ev);
+    if let Some(a) = audit {
+        let res = a.record(
+            entry_id,
+            chiplet as u32,
+            kernel,
+            from.encode(),
+            ev.encode(),
+            to.encode(),
+        );
+        if cfg!(debug_assertions) {
+            if let Err(e) = res {
+                panic!("{e}");
+            }
+        }
+    }
+    *state = to;
 }
 
 impl ChipletCoherenceTable {
@@ -209,7 +252,26 @@ impl ChipletCoherenceTable {
             entries: Vec::new(),
             home_log: Vec::new(),
             stats: TableStats::default(),
+            next_entry_id: 0,
+            audit: None,
         }
+    }
+
+    /// Attaches a [`TransitionAuditor`]: every subsequent state transition
+    /// is validated against the Figure 6 relation and tallied into
+    /// per-structure residency counts. `keep_log` additionally retains the
+    /// full transition sequence (use for short runs only).
+    pub fn enable_audit(&mut self, keep_log: bool) {
+        let mut a = TransitionAuditor::new();
+        a.keep_log(keep_log);
+        self.audit = Some(a);
+    }
+
+    /// The attached auditor, if [`enable_audit`] was called.
+    ///
+    /// [`enable_audit`]: ChipletCoherenceTable::enable_audit
+    pub fn auditor(&self) -> Option<&TransitionAuditor> {
+        self.audit.as_ref()
     }
 
     /// Merged home ranges of every `home_log` record overlapping `span`,
@@ -395,15 +457,30 @@ impl ChipletCoherenceTable {
         // range-scoped; paper §VI).
         for &j in &releases {
             for e in &mut self.entries {
-                e.states[j.index()] = e.states[j.index()].on_event(StateEvent::CacheFlushed);
+                apply_event(
+                    &mut self.audit,
+                    e.id,
+                    j.index(),
+                    info.kernel,
+                    &mut e.states[j.index()],
+                    StateEvent::CacheFlushed,
+                );
             }
         }
         for &j in &acquires {
             for e in &mut self.entries {
                 // An acquire flushes dirty lines before dropping the cache,
                 // so no data is lost.
-                let flushed = e.states[j.index()].on_event(StateEvent::CacheFlushed);
-                e.states[j.index()] = flushed.on_event(StateEvent::CacheInvalidated);
+                for ev in [StateEvent::CacheFlushed, StateEvent::CacheInvalidated] {
+                    apply_event(
+                        &mut self.audit,
+                        e.id,
+                        j.index(),
+                        info.kernel,
+                        &mut e.states[j.index()],
+                        ev,
+                    );
+                }
             }
         }
 
@@ -414,7 +491,9 @@ impl ChipletCoherenceTable {
             let idx = match self.find_entry(s) {
                 Some(i) => i,
                 None => {
-                    let mut e = TableEntry::new(s, self.num_chiplets, info.kernel);
+                    let id = self.next_entry_id;
+                    self.next_entry_id += 1;
+                    let mut e = TableEntry::new(id, s, self.num_chiplets, info.kernel);
                     if let Some(homes) = self.homes_on_record(&e.span()) {
                         e.home_ranges = homes;
                     }
@@ -422,6 +501,7 @@ impl ChipletCoherenceTable {
                     self.entries.len() - 1
                 }
             };
+            let audit = &mut self.audit;
             let entry = &mut self.entries[idx];
             entry.last_use = info.kernel;
             entry.mode = s.mode;
@@ -446,7 +526,14 @@ impl ChipletCoherenceTable {
                     } else {
                         StateEvent::RemoteRead
                     };
-                    entry.states[j.index()] = entry.states[j.index()].on_event(ev);
+                    apply_event(
+                        audit,
+                        entry.id,
+                        j.index(),
+                        info.kernel,
+                        &mut entry.states[j.index()],
+                        ev,
+                    );
                 }
             }
 
@@ -465,7 +552,14 @@ impl ChipletCoherenceTable {
                 } else {
                     StateEvent::LocalRead
                 };
-                entry.states[j.index()] = entry.states[j.index()].on_event(ev);
+                apply_event(
+                    audit,
+                    entry.id,
+                    j.index(),
+                    info.kernel,
+                    &mut entry.states[j.index()],
+                    ev,
+                );
                 // First-touch home tracking: if this access may reach pages
                 // no chiplet has claimed yet, chiplet j becomes their home
                 // (conservatively widening j's home range — widening only
@@ -796,5 +890,107 @@ mod tests {
         let mut t = ChipletCoherenceTable::new(4);
         let info = partitioned(0, AccessMode::ReadOnly); // built for 2
         t.prepare_launch(&info);
+    }
+
+    #[test]
+    fn audit_trail_records_legal_run_without_violations() {
+        let mut t = ChipletCoherenceTable::new(2);
+        t.enable_audit(true);
+        // Producer on chiplet 0, consumer on chiplet 1, then the producer
+        // returns: exercises local writes, releases, remote staleness and
+        // an acquire — every class of Figure 6 edge.
+        let k0 = KernelLaunchInfo::builder(0, [c(0)])
+            .structure(0, 100, AccessMode::ReadWrite, [Some(0..100), None])
+            .build();
+        t.prepare_launch(&k0);
+        let k1 = KernelLaunchInfo::builder(1, [c(1)])
+            .structure(0, 100, AccessMode::ReadWrite, [None, Some(0..100)])
+            .build();
+        t.prepare_launch(&k1);
+        let k2 = KernelLaunchInfo::builder(2, [c(0)])
+            .structure(0, 100, AccessMode::ReadOnly, [Some(0..100), None])
+            .build();
+        t.prepare_launch(&k2);
+
+        let a = t.auditor().expect("audit enabled");
+        assert_eq!(a.violations(), 0);
+        assert!(a.transitions() >= 5, "got {}", a.transitions());
+        assert_eq!(a.log().len() as u64, a.transitions());
+        assert!(a.residency()[0].total() > 0);
+        assert!(a.summary_text().contains("0 violations"));
+    }
+
+    #[test]
+    fn audit_random_legal_launch_sequences_never_trip_the_auditor() {
+        use chiplet_harness::prop::{check, PropConfig};
+        use chiplet_harness::prop_assert;
+        use chiplet_harness::rng::Xoshiro256;
+
+        /// A random but *well-formed* kernel launch sequence: arbitrary
+        /// chiplet subsets, modes and subranges over a small structure
+        /// pool. The table itself only ever applies legal Figure 6 events
+        /// for such inputs, so the auditor must stay silent.
+        fn gen_launches(rng: &mut Xoshiro256, size: usize) -> (usize, Vec<KernelLaunchInfo>) {
+            let nc = 1 + rng.next_below(4) as usize;
+            let launches = (1 + rng.next_below(size.max(1) as u64)) as usize;
+            let infos = (0..launches as u64)
+                .map(|k| {
+                    let nstruct = 1 + rng.next_below(2);
+                    let mut b = KernelLaunchInfo::builder(k, ChipletId::all(nc));
+                    // Each data structure carries one label per kernel, so
+                    // the bases within a launch must be distinct.
+                    let mut bases: Vec<u64> = Vec::new();
+                    for _ in 0..nstruct {
+                        let base = loop {
+                            let cand = rng.next_below(4) * 1000;
+                            if !bases.contains(&cand) {
+                                break cand;
+                            }
+                        };
+                        bases.push(base);
+                        let mode = if rng.next_bool() {
+                            AccessMode::ReadWrite
+                        } else {
+                            AccessMode::ReadOnly
+                        };
+                        let mut ranges: Vec<Option<std::ops::Range<u64>>> = (0..nc)
+                            .map(|_| {
+                                rng.next_bool().then(|| {
+                                    let start = base + rng.next_below(90);
+                                    let len = 1 + rng.next_below(100 - (start - base));
+                                    start..start + len
+                                })
+                            })
+                            .collect();
+                        if ranges.iter().all(Option::is_none) {
+                            ranges[0] = Some(base..base + 100);
+                        }
+                        b = b.structure(base, base + 100, mode, ranges);
+                    }
+                    b.build()
+                })
+                .collect();
+            (nc, infos)
+        }
+
+        check(
+            "cct_audit_accepts_legal_sequences",
+            &PropConfig::with_cases(64),
+            gen_launches,
+            |(nc, infos)| {
+                let mut t = ChipletCoherenceTable::new(*nc);
+                t.enable_audit(false);
+                for info in infos {
+                    t.prepare_launch(info);
+                }
+                let a = t.auditor().expect("audit enabled");
+                prop_assert!(
+                    a.violations() == 0,
+                    "auditor tripped on a legal sequence: {}",
+                    a.summary_text()
+                );
+                Ok(())
+            },
+        );
     }
 }

@@ -14,6 +14,12 @@
 //! [`obs`] adds the structured instrumentation layer (counters, event
 //! logs, spans) the simulator threads through kernel boundaries, and
 //! [`json`] is the tiny writer/validator the other modules share.
+//!
+//! The deeper tracing subsystem — the Perfetto timeline [`trace::Tracer`],
+//! the CCT [`trace::TransitionAuditor`], and log2 [`trace::Histogram`]
+//! metrics — lives in the dependency-free `chiplet-obs` crate and is
+//! re-exported here as [`trace`] so downstream crates reach the whole
+//! toolkit through this facade.
 
 pub mod bench;
 pub mod json;
@@ -21,8 +27,11 @@ pub mod obs;
 pub mod prop;
 pub mod rng;
 
+pub use chiplet_obs as trace;
+
 pub use bench::{BenchConfig, BenchRunner, BenchStats};
 pub use json::Json;
 pub use obs::{Counter, Event, EventLog, Span};
 pub use prop::{check, PropConfig, PropResult};
 pub use rng::{mix64, SplitMix64, Xoshiro256};
+pub use trace::{Histogram, Tracer, TransitionAuditor};

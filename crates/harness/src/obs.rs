@@ -132,10 +132,18 @@ impl EventLog {
         &self.events
     }
 
-    /// Merges `other`'s events after this log's, renumbering sequences.
+    /// Merges `other`'s events after this log's, renumbering sequences so
+    /// the merged log is a single gap-free, duplicate-free ordering.
+    /// Merging is independent of the enabled flag: events already recorded
+    /// in `other` are history, not new instrumentation, so a disabled
+    /// destination still receives them.
     pub fn extend(&mut self, other: &EventLog) {
         for e in &other.events {
-            self.record(e.label.clone(), e.fields.clone());
+            self.events.push(Event {
+                seq: self.events.len() as u64,
+                label: e.label.clone(),
+                fields: e.fields.clone(),
+            });
         }
     }
 
@@ -157,8 +165,11 @@ impl EventLog {
         )
     }
 
-    /// The log as CSV. Columns are `seq,label` followed by the union of
-    /// field names in first-appearance order; absent fields render empty.
+    /// The log as CSV (RFC 4180). Columns are `seq,label` followed by the
+    /// union of field names in first-appearance order; absent fields
+    /// render empty. Labels and column names containing separators,
+    /// quotes, or newlines are quoted with embedded quotes doubled, so
+    /// labels like `span:a,b` survive a round trip.
     pub fn to_csv(&self) -> String {
         let mut columns: Vec<&'static str> = Vec::new();
         for e in &self.events {
@@ -171,11 +182,12 @@ impl EventLog {
         let mut out = String::from("seq,label");
         for c in &columns {
             out.push(',');
-            out.push_str(c);
+            push_csv_field(&mut out, c);
         }
         out.push('\n');
         for e in &self.events {
-            out.push_str(&format!("{},{}", e.seq, e.label));
+            out.push_str(&format!("{},", e.seq));
+            push_csv_field(&mut out, &e.label);
             for c in &columns {
                 out.push(',');
                 if let Some(v) = e.field(c) {
@@ -189,6 +201,23 @@ impl EventLog {
             out.push('\n');
         }
         out
+    }
+}
+
+/// Appends `field` to `out`, quoting per RFC 4180 when it contains a
+/// comma, double quote, or line break (embedded quotes are doubled).
+fn push_csv_field(out: &mut String, field: &str) {
+    if field.contains([',', '"', '\n', '\r']) {
+        out.push('"');
+        for c in field.chars() {
+            if c == '"' {
+                out.push('"');
+            }
+            out.push(c);
+        }
+        out.push('"');
+    } else {
+        out.push_str(field);
     }
 }
 
@@ -303,6 +332,50 @@ mod tests {
         assert_eq!(a.len(), 2);
         assert_eq!(a.events()[1].seq, 1);
         assert_eq!(a.events()[1].label, "two");
+    }
+
+    #[test]
+    fn extend_merge_ordering_is_gap_free_and_duplicate_free() {
+        let mut a = EventLog::new();
+        a.record("a0", vec![]);
+        a.record("a1", vec![]);
+        let mut b = EventLog::new();
+        b.record("b0", vec![("x", 1.0)]);
+        b.record("b1", vec![]);
+        a.extend(&b);
+        // Merged log: a's events first, then b's, renumbered 0..n with no
+        // duplicated sequence numbers.
+        let seqs: Vec<u64> = a.events().iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![0, 1, 2, 3]);
+        let labels: Vec<&str> = a.events().iter().map(|e| e.label.as_str()).collect();
+        assert_eq!(labels, vec!["a0", "a1", "b0", "b1"]);
+        assert_eq!(a.events()[2].field("x"), Some(1.0));
+        // Source log is untouched.
+        assert_eq!(b.events()[0].seq, 0);
+
+        // Merging history into a disabled sink still lands: the events
+        // were already recorded, the flag only gates new records.
+        let mut sink = EventLog::disabled();
+        sink.extend(&b);
+        assert_eq!(sink.len(), 2);
+        assert_eq!(sink.events()[1].seq, 1);
+    }
+
+    #[test]
+    fn csv_quotes_labels_with_separators_and_quotes() {
+        let mut log = EventLog::new();
+        log.record("span:a,b", vec![("x", 1.0)]);
+        log.record("say \"hi\"", vec![]);
+        log.record("line\nbreak", vec![]);
+        let csv = log.to_csv();
+        let mut lines = csv.lines();
+        assert_eq!(lines.next(), Some("seq,label,x"));
+        // RFC 4180: the comma-bearing label is quoted, so the row still
+        // has exactly three fields.
+        assert_eq!(lines.next(), Some("0,\"span:a,b\",1"));
+        assert_eq!(lines.next(), Some("1,\"say \"\"hi\"\"\","));
+        // The embedded newline stays inside one quoted field.
+        assert!(csv.contains("2,\"line\nbreak\","));
     }
 
     #[test]

@@ -129,6 +129,10 @@ pub struct CacheStats {
     pub flush_writebacks: u64,
     /// Lines dropped by explicit invalidations (acquires).
     pub invalidated: u64,
+    /// Whole-cache flush operations performed (bulk releases).
+    pub bulk_flushes: u64,
+    /// Whole-cache invalidate operations performed (bulk acquires).
+    pub bulk_invalidates: u64,
 }
 
 impl CacheStats {
@@ -168,6 +172,8 @@ impl std::ops::AddAssign for CacheStats {
         self.capacity_writebacks += rhs.capacity_writebacks;
         self.flush_writebacks += rhs.flush_writebacks;
         self.invalidated += rhs.invalidated;
+        self.bulk_flushes += rhs.bulk_flushes;
+        self.bulk_invalidates += rhs.bulk_invalidates;
     }
 }
 
@@ -401,6 +407,7 @@ impl SetAssocCache {
         }
         self.dirty_count = 0;
         self.stats.flush_writebacks += flushed;
+        self.stats.bulk_flushes += 1;
         FlushOutcome {
             lines_written_back: flushed,
         }
@@ -423,6 +430,7 @@ impl SetAssocCache {
         self.valid_count = 0;
         self.dirty_count = 0;
         self.stats.invalidated += invalidated;
+        self.stats.bulk_invalidates += 1;
         InvalidateOutcome {
             lines_invalidated: invalidated,
             dirty_dropped: dirty,
@@ -442,6 +450,7 @@ impl SetAssocCache {
         }
         self.dirty_count = 0;
         self.stats.flush_writebacks += lines.len() as u64;
+        self.stats.bulk_flushes += 1;
         lines
     }
 
@@ -582,6 +591,28 @@ mod tests {
         assert_eq!(out.dirty_dropped, 1);
         assert_eq!(c.valid_lines(), 0);
         assert!(!c.probe(LineAddr::new(0)));
+    }
+
+    #[test]
+    fn bulk_operation_counters_track_whole_cache_ops() {
+        let mut c = small(WritePolicy::WriteBack);
+        c.write(LineAddr::new(0));
+        c.flush_dirty();
+        c.flush_dirty_lines();
+        c.invalidate_all();
+        // Line-granular operations do not count as bulk ops.
+        c.read(LineAddr::new(1));
+        c.flush_line(LineAddr::new(1));
+        c.invalidate_line(LineAddr::new(1));
+        let s = c.stats();
+        assert_eq!(s.bulk_flushes, 2);
+        assert_eq!(s.bulk_invalidates, 1);
+
+        let mut sum = CacheStats::default();
+        sum += s;
+        sum += s;
+        assert_eq!(sum.bulk_flushes, 4);
+        assert_eq!(sum.bulk_invalidates, 2);
     }
 
     #[test]

@@ -81,6 +81,59 @@ impl Default for InterChipletLink {
     }
 }
 
+/// Accumulated link occupancy over a run: how many bytes crossed the
+/// inter-chiplet link and for how many cycles it was busy, so the
+/// simulator can derive utilisation (busy ÷ elapsed) and stamp NoC busy
+/// windows into the timeline trace.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LinkUtilization {
+    bytes: u64,
+    busy_cycles: u64,
+    transfers: u64,
+}
+
+impl LinkUtilization {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        LinkUtilization::default()
+    }
+
+    /// Records one bulk transfer occupying the link for `cycles`.
+    pub fn record(&mut self, bytes: u64, cycles: u64) {
+        if bytes == 0 && cycles == 0 {
+            return;
+        }
+        self.bytes += bytes;
+        self.busy_cycles += cycles;
+        self.transfers += 1;
+    }
+
+    /// Total bytes moved.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Cycles the link spent busy.
+    pub fn busy_cycles(&self) -> u64 {
+        self.busy_cycles
+    }
+
+    /// Number of transfers recorded.
+    pub fn transfers(&self) -> u64 {
+        self.transfers
+    }
+
+    /// Fraction of `elapsed_cycles` the link was busy, clamped to `[0, 1]`
+    /// (serialized bulk transfers cannot exceed full occupancy). Zero when
+    /// nothing has elapsed.
+    pub fn utilization(&self, elapsed_cycles: u64) -> f64 {
+        if elapsed_cycles == 0 {
+            return 0.0;
+        }
+        (self.busy_cycles as f64 / elapsed_cycles as f64).min(1.0)
+    }
+}
+
 /// The crossbar connecting the global CP to the per-chiplet local CPs
 /// (Figure 7). Latencies from paper §IV-B: 65-cycle unicast, 100-cycle
 /// broadcast. The global CP counts acknowledgements before sending the
@@ -187,6 +240,21 @@ mod tests {
         });
         assert_eq!(l.flush_cycles(100), 100);
         assert!(l.flush_cycles(1000) > l.flush_cycles(10));
+    }
+
+    #[test]
+    fn utilization_accumulates_and_clamps() {
+        let mut u = LinkUtilization::new();
+        assert_eq!(u.utilization(1000), 0.0);
+        u.record(64 * 100, 150);
+        u.record(64 * 50, 50);
+        u.record(0, 0); // no-op
+        assert_eq!(u.bytes(), 64 * 150);
+        assert_eq!(u.busy_cycles(), 200);
+        assert_eq!(u.transfers(), 2);
+        assert!((u.utilization(400) - 0.5).abs() < 1e-12);
+        assert_eq!(u.utilization(0), 0.0);
+        assert_eq!(u.utilization(100), 1.0, "clamped at full occupancy");
     }
 
     #[test]

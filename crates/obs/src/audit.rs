@@ -1,0 +1,401 @@
+//! Chiplet Coherence Table transition audit trail.
+//!
+//! The CCT (paper Figure 6) moves each (data structure, chiplet) pair
+//! through the NP/Valid/Dirty/Stale states at kernel launches. The
+//! [`TransitionAuditor`] sits beside the table, re-checks every applied
+//! transition against an independent copy of the legal relation, and keeps
+//! per-structure state-residency counts. An illegal transition is a hard
+//! error in debug/test builds (callers `expect` the `Result`) and an
+//! accumulated violation count in release builds — the audit trail doubles
+//! as a correctness net for every future coherence change.
+//!
+//! States and events cross this API as their stable bit encodings (the
+//! same 2-bit state codes the table packs into its chiplet vectors), so
+//! the crate stays dependency-free.
+
+use std::fmt;
+
+/// 2-bit state codes, matching `chiplet-core`'s `EntryState::encode`.
+pub const STATE_NOT_PRESENT: u8 = 0b00;
+/// Clean copies may be present and up to date.
+pub const STATE_VALID: u8 = 0b01;
+/// The chiplet may hold the only up-to-date (dirty) copies.
+pub const STATE_DIRTY: u8 = 0b10;
+/// Copies may be present but are out of date.
+pub const STATE_STALE: u8 = 0b11;
+
+/// Event codes, matching `chiplet-core`'s `StateEvent::encode`.
+pub const EVENT_LOCAL_READ: u8 = 0;
+/// A kernel on this chiplet writes the structure.
+pub const EVENT_LOCAL_WRITE: u8 = 1;
+/// A kernel on another chiplet reads an overlapping range.
+pub const EVENT_REMOTE_READ: u8 = 2;
+/// A kernel on another chiplet writes an overlapping range.
+pub const EVENT_REMOTE_WRITE: u8 = 3;
+/// This chiplet's whole L2 was flushed (a release).
+pub const EVENT_CACHE_FLUSHED: u8 = 4;
+/// This chiplet's whole L2 was invalidated (an acquire).
+pub const EVENT_CACHE_INVALIDATED: u8 = 5;
+
+const STATE_NAMES: [&str; 4] = ["NotPresent", "Valid", "Dirty", "Stale"];
+const EVENT_NAMES: [&str; 6] = [
+    "LocalRead",
+    "LocalWrite",
+    "RemoteRead",
+    "RemoteWrite",
+    "CacheFlushed",
+    "CacheInvalidated",
+];
+
+/// Human-readable name for a 2-bit state code.
+pub fn state_name(state: u8) -> &'static str {
+    STATE_NAMES.get(state as usize).copied().unwrap_or("?")
+}
+
+/// Human-readable name for an event code.
+pub fn event_name(event: u8) -> &'static str {
+    EVENT_NAMES.get(event as usize).copied().unwrap_or("?")
+}
+
+/// The legal Figure 6 transition relation: the successor of `from` under
+/// `event`, or `None` when the transition is illegal (a local access to a
+/// Stale structure without an intervening acquire, or out-of-range codes).
+///
+/// This is an independent transcription of the relation — deliberately
+/// *not* derived from `chiplet-core` — so a table bug cannot hide by
+/// corrupting both sides.
+pub fn legal(from: u8, event: u8) -> Option<u8> {
+    Some(match (from, event) {
+        (STATE_NOT_PRESENT, EVENT_LOCAL_READ) => STATE_VALID,
+        (STATE_NOT_PRESENT, EVENT_LOCAL_WRITE) => STATE_DIRTY,
+        (STATE_NOT_PRESENT, EVENT_REMOTE_READ | EVENT_REMOTE_WRITE) => STATE_NOT_PRESENT,
+        (STATE_NOT_PRESENT, EVENT_CACHE_FLUSHED | EVENT_CACHE_INVALIDATED) => STATE_NOT_PRESENT,
+
+        (STATE_VALID, EVENT_LOCAL_READ | EVENT_REMOTE_READ | EVENT_CACHE_FLUSHED) => STATE_VALID,
+        (STATE_VALID, EVENT_LOCAL_WRITE) => STATE_DIRTY,
+        (STATE_VALID, EVENT_REMOTE_WRITE) => STATE_STALE,
+        (STATE_VALID, EVENT_CACHE_INVALIDATED) => STATE_NOT_PRESENT,
+
+        (STATE_DIRTY, EVENT_LOCAL_READ | EVENT_LOCAL_WRITE) => STATE_DIRTY,
+        (STATE_DIRTY, EVENT_CACHE_FLUSHED | EVENT_REMOTE_READ) => STATE_VALID,
+        (STATE_DIRTY, EVENT_REMOTE_WRITE) => STATE_STALE,
+        (STATE_DIRTY, EVENT_CACHE_INVALIDATED) => STATE_NOT_PRESENT,
+
+        (STATE_STALE, EVENT_CACHE_INVALIDATED) => STATE_NOT_PRESENT,
+        (STATE_STALE, EVENT_REMOTE_READ | EVENT_REMOTE_WRITE | EVENT_CACHE_FLUSHED) => STATE_STALE,
+        // Stale + Local{Read,Write}: illegal without an acquire first.
+        _ => return None,
+    })
+}
+
+/// One audited state transition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Transition {
+    /// Table slot / data-structure index.
+    pub structure: u32,
+    /// Chiplet whose per-structure state changed.
+    pub chiplet: u32,
+    /// Kernel launch sequence number driving the transition.
+    pub kernel: u64,
+    /// 2-bit state code before the event.
+    pub from: u8,
+    /// Event code applied.
+    pub event: u8,
+    /// 2-bit state code the table moved to.
+    pub to: u8,
+}
+
+impl fmt::Display for Transition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "structure {} chiplet {} kernel {}: {} --{}--> {}",
+            self.structure,
+            self.chiplet,
+            self.kernel,
+            state_name(self.from),
+            event_name(self.event),
+            state_name(self.to)
+        )
+    }
+}
+
+/// An illegal transition, reported by [`TransitionAuditor::record`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AuditError {
+    /// The offending transition as recorded.
+    pub transition: Transition,
+    /// What the legal relation allows instead (`None` when the event
+    /// itself is illegal from that state).
+    pub expected: Option<u8>,
+}
+
+impl fmt::Display for AuditError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.expected {
+            Some(to) => write!(
+                f,
+                "illegal CCT transition ({}); Figure 6 requires successor {}",
+                self.transition,
+                state_name(to)
+            ),
+            None => write!(
+                f,
+                "illegal CCT event ({}); {} is not permitted from {}",
+                self.transition,
+                event_name(self.transition.event),
+                state_name(self.transition.from)
+            ),
+        }
+    }
+}
+
+impl std::error::Error for AuditError {}
+
+/// Per-structure residency counts: how many audited transitions *ended*
+/// in each of the four states.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Residency {
+    /// Transition counts landing in NP / Valid / Dirty / Stale.
+    pub by_state: [u64; 4],
+}
+
+impl Residency {
+    /// Total transitions observed for the structure.
+    pub fn total(&self) -> u64 {
+        self.by_state.iter().sum()
+    }
+}
+
+/// Records and validates CCT transitions.
+///
+/// The auditor is always cheap enough to leave on (a few adds per
+/// transition); retaining the full transition log is opt-in via
+/// [`TransitionAuditor::keep_log`] because long runs produce millions of
+/// transitions.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TransitionAuditor {
+    log: Vec<Transition>,
+    keep_log: bool,
+    transitions: u64,
+    violations: u64,
+    first_violation: Option<AuditError>,
+    residency: Vec<Residency>,
+}
+
+impl TransitionAuditor {
+    /// Creates an auditor that keeps counts but not the full log.
+    pub fn new() -> Self {
+        TransitionAuditor::default()
+    }
+
+    /// Enables or disables retention of the full transition log.
+    pub fn keep_log(&mut self, keep: bool) {
+        self.keep_log = keep;
+    }
+
+    /// Records one transition, validating it against [`legal`].
+    ///
+    /// On an illegal transition the violation is counted (and retained as
+    /// [`TransitionAuditor::first_violation`]) and an [`AuditError`] is
+    /// returned; the caller decides whether that is fatal (it is in
+    /// debug/test builds).
+    pub fn record(
+        &mut self,
+        structure: u32,
+        chiplet: u32,
+        kernel: u64,
+        from: u8,
+        event: u8,
+        to: u8,
+    ) -> Result<(), AuditError> {
+        let t = Transition {
+            structure,
+            chiplet,
+            kernel,
+            from,
+            event,
+            to,
+        };
+        self.transitions += 1;
+        if self.keep_log {
+            self.log.push(t);
+        }
+        if self.residency.len() <= structure as usize {
+            self.residency
+                .resize(structure as usize + 1, Residency::default());
+        }
+        if (to as usize) < 4 {
+            self.residency[structure as usize].by_state[to as usize] += 1;
+        }
+        let expected = legal(from, event);
+        if expected == Some(to) {
+            Ok(())
+        } else {
+            self.violations += 1;
+            let err = AuditError {
+                transition: t,
+                expected,
+            };
+            if self.first_violation.is_none() {
+                self.first_violation = Some(err.clone());
+            }
+            Err(err)
+        }
+    }
+
+    /// Total transitions audited.
+    pub fn transitions(&self) -> u64 {
+        self.transitions
+    }
+
+    /// Number of illegal transitions observed.
+    pub fn violations(&self) -> u64 {
+        self.violations
+    }
+
+    /// The first illegal transition observed, if any.
+    pub fn first_violation(&self) -> Option<&AuditError> {
+        self.first_violation.as_ref()
+    }
+
+    /// The retained transition log (empty unless [`keep_log`] is on).
+    ///
+    /// [`keep_log`]: TransitionAuditor::keep_log
+    pub fn log(&self) -> &[Transition] {
+        &self.log
+    }
+
+    /// Per-structure residency counts, indexed by structure id.
+    pub fn residency(&self) -> &[Residency] {
+        &self.residency
+    }
+
+    /// A multi-line human-readable summary: totals plus per-structure
+    /// residency rows for structures that saw any transitions.
+    pub fn summary_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "cct audit: {} transitions, {} violations\n",
+            self.transitions, self.violations
+        ));
+        if let Some(err) = &self.first_violation {
+            out.push_str(&format!("  first violation: {err}\n"));
+        }
+        for (i, r) in self.residency.iter().enumerate() {
+            if r.total() == 0 {
+                continue;
+            }
+            out.push_str(&format!(
+                "  structure {i}: NP={} V={} D={} S={} (total {})\n",
+                r.by_state[0],
+                r.by_state[1],
+                r.by_state[2],
+                r.by_state[3],
+                r.total()
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn legal_relation_matches_figure6() {
+        assert_eq!(
+            legal(STATE_NOT_PRESENT, EVENT_LOCAL_READ),
+            Some(STATE_VALID)
+        );
+        assert_eq!(
+            legal(STATE_NOT_PRESENT, EVENT_LOCAL_WRITE),
+            Some(STATE_DIRTY)
+        );
+        assert_eq!(legal(STATE_VALID, EVENT_REMOTE_WRITE), Some(STATE_STALE));
+        assert_eq!(legal(STATE_DIRTY, EVENT_CACHE_FLUSHED), Some(STATE_VALID));
+        assert_eq!(legal(STATE_DIRTY, EVENT_REMOTE_READ), Some(STATE_VALID));
+        assert_eq!(
+            legal(STATE_STALE, EVENT_CACHE_INVALIDATED),
+            Some(STATE_NOT_PRESENT)
+        );
+        assert_eq!(legal(STATE_STALE, EVENT_LOCAL_READ), None);
+        assert_eq!(legal(STATE_STALE, EVENT_LOCAL_WRITE), None);
+        assert_eq!(legal(7, EVENT_LOCAL_READ), None, "bad state code");
+        assert_eq!(legal(STATE_VALID, 9), None, "bad event code");
+    }
+
+    #[test]
+    fn auditor_accepts_legal_sequence() {
+        let mut a = TransitionAuditor::new();
+        a.keep_log(true);
+        // structure 0 on chiplet 0: NP -LW-> D -Flush-> V -RW-> S -Inv-> NP
+        let seq = [
+            (EVENT_LOCAL_WRITE, STATE_NOT_PRESENT, STATE_DIRTY),
+            (EVENT_CACHE_FLUSHED, STATE_DIRTY, STATE_VALID),
+            (EVENT_REMOTE_WRITE, STATE_VALID, STATE_STALE),
+            (EVENT_CACHE_INVALIDATED, STATE_STALE, STATE_NOT_PRESENT),
+        ];
+        for (k, (ev, from, to)) in seq.into_iter().enumerate() {
+            a.record(0, 0, k as u64, from, ev, to).expect("legal");
+        }
+        assert_eq!(a.transitions(), 4);
+        assert_eq!(a.violations(), 0);
+        assert_eq!(a.log().len(), 4);
+        let r = a.residency()[0];
+        assert_eq!(r.total(), 4);
+        assert_eq!(r.by_state, [1, 1, 1, 1]);
+    }
+
+    #[test]
+    fn auditor_rejects_illegal_transition() {
+        let mut a = TransitionAuditor::new();
+        // Local read of a Stale structure without an acquire: the paper's
+        // one forbidden move.
+        let err = a
+            .record(3, 1, 7, STATE_STALE, EVENT_LOCAL_READ, STATE_VALID)
+            .unwrap_err();
+        assert_eq!(err.expected, None);
+        assert!(err.to_string().contains("not permitted from Stale"));
+        assert_eq!(a.violations(), 1);
+        assert_eq!(a.first_violation(), Some(&err));
+
+        // Wrong successor for an otherwise legal event.
+        let err = a
+            .record(0, 0, 8, STATE_DIRTY, EVENT_CACHE_FLUSHED, STATE_DIRTY)
+            .unwrap_err();
+        assert_eq!(err.expected, Some(STATE_VALID));
+        assert!(err.to_string().contains("requires successor Valid"));
+        assert_eq!(a.violations(), 2);
+        // First violation is retained, not overwritten.
+        assert_eq!(a.first_violation().unwrap().transition.kernel, 7);
+    }
+
+    #[test]
+    fn summary_text_lists_active_structures() {
+        let mut a = TransitionAuditor::new();
+        a.record(2, 0, 0, STATE_NOT_PRESENT, EVENT_LOCAL_READ, STATE_VALID)
+            .unwrap();
+        let s = a.summary_text();
+        assert!(s.contains("1 transitions, 0 violations"));
+        assert!(s.contains("structure 2: NP=0 V=1"));
+        assert!(!s.contains("structure 0:"), "idle structures are omitted");
+    }
+
+    #[test]
+    fn log_retention_is_opt_in() {
+        let mut a = TransitionAuditor::new();
+        a.record(0, 0, 0, STATE_NOT_PRESENT, EVENT_LOCAL_READ, STATE_VALID)
+            .unwrap();
+        assert!(a.log().is_empty());
+        assert_eq!(a.transitions(), 1);
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(state_name(STATE_DIRTY), "Dirty");
+        assert_eq!(event_name(EVENT_REMOTE_WRITE), "RemoteWrite");
+        assert_eq!(state_name(9), "?");
+    }
+}

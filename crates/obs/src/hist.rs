@@ -1,0 +1,310 @@
+//! Log2-bucketed histograms with percentile estimates and a
+//! Prometheus-style text exposition.
+//!
+//! Bucket 0 holds the value 0; bucket `k` (k ≥ 1) holds values in
+//! `[2^(k-1), 2^k)`. Observation is O(1) and allocation-free, so the
+//! simulator can feed every kernel boundary without measurable overhead.
+//! Percentiles are bucket-upper-bound estimates (clamped to the observed
+//! maximum), which keeps them deterministic and platform-stable.
+
+use std::fmt;
+
+/// Number of buckets: value 0 plus one bucket per power of two up to
+/// `u64::MAX`.
+pub const BUCKETS: usize = 65;
+
+/// A log2-bucketed histogram over `u64` observations.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    name: String,
+    buckets: Vec<u64>,
+    count: u64,
+    sum: f64,
+    max: u64,
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new(name: impl Into<String>) -> Self {
+        Histogram {
+            name: name.into(),
+            buckets: vec![0; BUCKETS],
+            count: 0,
+            sum: 0.0,
+            max: 0,
+        }
+    }
+
+    /// The histogram's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The bucket index of `v`: 0 for 0, else `1 + floor(log2 v)`.
+    pub fn bucket_index(v: u64) -> usize {
+        if v == 0 {
+            0
+        } else {
+            64 - v.leading_zeros() as usize
+        }
+    }
+
+    /// The largest value bucket `i` can hold (`u64::MAX` for the last).
+    pub fn bucket_upper(i: usize) -> u64 {
+        match i {
+            0 => 0,
+            1..=63 => (1u64 << i) - 1,
+            _ => u64::MAX,
+        }
+    }
+
+    /// Records one observation.
+    pub fn observe(&mut self, v: u64) {
+        self.buckets[Self::bucket_index(v)] += 1;
+        self.count += 1;
+        self.sum += v as f64;
+        self.max = self.max.max(v);
+    }
+
+    /// Records a non-negative `f64` observation, rounded to the nearest
+    /// integer (negative and non-finite values count as 0).
+    pub fn observe_f64(&mut self, v: f64) {
+        let v = if v.is_finite() && v > 0.0 {
+            v.round() as u64
+        } else {
+            0
+        };
+        self.observe(v);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of observations.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Largest observation (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean observation (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// The raw bucket counts.
+    pub fn buckets(&self) -> &[u64] {
+        &self.buckets
+    }
+
+    /// Percentile estimate for `p` in `[0, 1]`: the upper bound of the
+    /// bucket containing the rank-`ceil(p·count)` observation, clamped to
+    /// the observed maximum. Returns 0 for an empty histogram.
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((p.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cumulative = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            cumulative += n;
+            if cumulative >= rank {
+                return Self::bucket_upper(i).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median estimate.
+    pub fn p50(&self) -> u64 {
+        self.percentile(0.50)
+    }
+
+    /// 90th-percentile estimate.
+    pub fn p90(&self) -> u64 {
+        self.percentile(0.90)
+    }
+
+    /// 99th-percentile estimate.
+    pub fn p99(&self) -> u64 {
+        self.percentile(0.99)
+    }
+
+    /// Appends a Prometheus text-format exposition of this histogram to
+    /// `out`: cumulative `_bucket{le=...}` samples (populated prefix plus
+    /// `+Inf`), `_sum`, `_count`, and percentile gauges. `labels` is an
+    /// already-rendered label set like `workload="square"` (may be empty).
+    pub fn prometheus_text(&self, prefix: &str, labels: &str, help: &str, out: &mut String) {
+        let fq = format!("{prefix}_{}", self.name);
+        let sep = if labels.is_empty() { "" } else { "," };
+        out.push_str(&format!("# HELP {fq} {help}\n# TYPE {fq} histogram\n"));
+        let top = self
+            .buckets
+            .iter()
+            .rposition(|&n| n > 0)
+            .map(|i| i + 1)
+            .unwrap_or(1);
+        let mut cumulative = 0u64;
+        for i in 0..top {
+            cumulative += self.buckets[i];
+            out.push_str(&format!(
+                "{fq}_bucket{{{labels}{sep}le=\"{}\"}} {cumulative}\n",
+                Self::bucket_upper(i)
+            ));
+        }
+        out.push_str(&format!(
+            "{fq}_bucket{{{labels}{sep}le=\"+Inf\"}} {}\n",
+            self.count
+        ));
+        let mut sum = String::new();
+        crate::push_num(&mut sum, self.sum);
+        out.push_str(&format!("{fq}_sum{{{labels}}} {sum}\n"));
+        out.push_str(&format!("{fq}_count{{{labels}}} {}\n", self.count));
+        for (q, v) in [(50, self.p50()), (90, self.p90()), (99, self.p99())] {
+            out.push_str(&format!("{fq}_p{q}{{{labels}}} {v}\n"));
+        }
+    }
+}
+
+impl fmt::Display for Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: n={} mean={:.1} p50={} p90={} p99={} max={}",
+            self.name,
+            self.count,
+            self.mean(),
+            self.p50(),
+            self.p90(),
+            self.p99(),
+            self.max
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries_are_powers_of_two() {
+        assert_eq!(Histogram::bucket_index(0), 0);
+        assert_eq!(Histogram::bucket_index(1), 1);
+        assert_eq!(Histogram::bucket_index(2), 2);
+        assert_eq!(Histogram::bucket_index(3), 2);
+        assert_eq!(Histogram::bucket_index(4), 3);
+        assert_eq!(Histogram::bucket_index(7), 3);
+        assert_eq!(Histogram::bucket_index(8), 4);
+        assert_eq!(Histogram::bucket_index(u64::MAX), 64);
+        assert_eq!(Histogram::bucket_upper(0), 0);
+        assert_eq!(Histogram::bucket_upper(1), 1);
+        assert_eq!(Histogram::bucket_upper(2), 3);
+        assert_eq!(Histogram::bucket_upper(3), 7);
+        assert_eq!(Histogram::bucket_upper(64), u64::MAX);
+        // Every bucket's upper bound lands in that bucket.
+        for i in 0..BUCKETS {
+            assert_eq!(Histogram::bucket_index(Histogram::bucket_upper(i)), i);
+        }
+    }
+
+    #[test]
+    fn percentiles_walk_cumulative_counts() {
+        let mut h = Histogram::new("t");
+        for v in [1u64, 2, 3, 4] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.max(), 4);
+        // rank(0.5 * 4) = 2 lands in bucket [2,4) whose upper bound is 3.
+        assert_eq!(h.p50(), 3);
+        // p99 rank 4 lands in bucket [4,8), clamped to the observed max.
+        assert_eq!(h.p99(), 4);
+        assert_eq!(h.percentile(1.0), 4);
+        assert!((h.mean() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zero() {
+        let h = Histogram::new("empty");
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.p50(), 0);
+        assert_eq!(h.p99(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.max(), 0);
+    }
+
+    #[test]
+    fn zero_and_huge_values_take_edge_buckets() {
+        let mut h = Histogram::new("edges");
+        h.observe(0);
+        h.observe(u64::MAX);
+        assert_eq!(h.buckets()[0], 1);
+        assert_eq!(h.buckets()[64], 1);
+        assert_eq!(h.p50(), 0);
+        assert_eq!(h.p99(), u64::MAX);
+    }
+
+    #[test]
+    fn observe_f64_rounds_and_clamps() {
+        let mut h = Histogram::new("f");
+        h.observe_f64(2.6);
+        h.observe_f64(-5.0);
+        h.observe_f64(f64::NAN);
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.max(), 3);
+        assert_eq!(h.buckets()[0], 2, "negative and NaN clamp to 0");
+    }
+
+    #[test]
+    fn skewed_distribution_separates_percentiles() {
+        let mut h = Histogram::new("skew");
+        for _ in 0..99 {
+            h.observe(10);
+        }
+        h.observe(100_000);
+        let p50 = h.p50();
+        let p99 = h.p99();
+        assert!(p50 < 16, "p50 near the mode: {p50}");
+        assert!(p99 >= 10, "{p99}");
+        assert_eq!(h.percentile(1.0), 100_000);
+    }
+
+    #[test]
+    fn prometheus_text_is_cumulative_and_labelled() {
+        let mut h = Histogram::new("stall_cycles");
+        h.observe(1);
+        h.observe(3);
+        let mut out = String::new();
+        h.prometheus_text(
+            "cpelide",
+            "workload=\"square\"",
+            "boundary stalls",
+            &mut out,
+        );
+        assert!(out.contains("# TYPE cpelide_stall_cycles histogram"));
+        assert!(out.contains("cpelide_stall_cycles_bucket{workload=\"square\",le=\"1\"} 1"));
+        assert!(out.contains("cpelide_stall_cycles_bucket{workload=\"square\",le=\"3\"} 2"));
+        assert!(out.contains("le=\"+Inf\"} 2"));
+        assert!(out.contains("cpelide_stall_cycles_sum{workload=\"square\"} 4"));
+        assert!(out.contains("cpelide_stall_cycles_count{workload=\"square\"} 2"));
+        assert!(out.contains("cpelide_stall_cycles_p50"));
+    }
+
+    #[test]
+    fn display_is_compact() {
+        let mut h = Histogram::new("d");
+        h.observe(5);
+        let s = format!("{h}");
+        assert!(s.contains("n=1"));
+        assert!(s.contains("max=5"));
+    }
+}

@@ -1,0 +1,58 @@
+//! `chiplet-obs`: the simulation tracing subsystem.
+//!
+//! Three first-class observability primitives the rest of the workspace
+//! threads through its hot paths, all hermetic (zero external crates):
+//!
+//! * [`timeline`] — a sim-cycle-stamped timeline [`Tracer`] recording
+//!   spans, instants and counter samples, exported as Chrome/Perfetto
+//!   trace-event JSON (`ph: B/E/X/i/C`, `pid` = chiplet, `tid` = stream)
+//!   so a run opens directly in `ui.perfetto.dev`.
+//! * [`audit`] — the Chiplet Coherence Table [`TransitionAuditor`]: every
+//!   per-(structure, chiplet) NP/V/D/S state transition is recorded and
+//!   validated against the paper's Figure 6 transition relation, and
+//!   summarized as per-structure state residency. An illegal transition is
+//!   a hard error in debug/test builds and an accumulated violation in
+//!   release builds.
+//! * [`hist`] — log2-bucketed [`Histogram`] metrics (count/sum/max plus
+//!   p50/p90/p99 estimates) with a Prometheus-style text exposition.
+//!
+//! The crate is deliberately dependency-free — `chiplet-harness` re-exports
+//! it (as `chiplet_harness::trace`) so downstream crates can reach the
+//! whole toolkit through the harness facade, and states/events cross the
+//! API as their stable 2-/3-bit encodings rather than as foreign enums.
+
+pub mod audit;
+pub mod hist;
+pub mod timeline;
+
+pub use audit::{AuditError, Residency, Transition, TransitionAuditor};
+pub use hist::Histogram;
+pub use timeline::{Phase, TraceEvent, Tracer};
+
+/// Escapes `s` for embedding inside a JSON string literal.
+pub(crate) fn escape_json(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// Renders a finite `f64` as a JSON number (non-finite values render as 0).
+pub(crate) fn push_num(out: &mut String, v: f64) {
+    if !v.is_finite() {
+        out.push('0');
+    } else if v.fract() == 0.0 && v.abs() < 9e15 {
+        out.push_str(&format!("{}", v as i64));
+    } else {
+        out.push_str(&format!("{v}"));
+    }
+}

@@ -183,6 +183,17 @@ pub struct SimConfig {
     /// per-operation log) into [`crate::metrics::RunMetrics::events`]. Off
     /// by default: sweeps over the 24-app suite don't need event streams.
     pub record_events: bool,
+    /// Record a sim-cycle-stamped timeline (kernel spans, sync operations,
+    /// NoC drain windows) into [`crate::metrics::RunMetrics::trace`] for
+    /// Chrome/Perfetto export. Off by default for the same reason as
+    /// `record_events`.
+    pub record_trace: bool,
+    /// Validate every Chiplet Coherence Table state transition against the
+    /// Figure 6 relation (CPElide runs only) and report the audit summary
+    /// in [`crate::metrics::RunMetrics::audit`]. On by default: the check
+    /// is a few integer ops per transition and doubles as a correctness
+    /// net for coherence changes.
+    pub audit_cct: bool,
 }
 
 impl SimConfig {
@@ -215,6 +226,8 @@ impl SimConfig {
             table_capacity: cpelide::TABLE_CAPACITY,
             driver_managed: false,
             record_events: false,
+            record_trace: false,
+            audit_cct: true,
         }
     }
 

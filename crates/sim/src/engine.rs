@@ -12,7 +12,7 @@
 //! with execution, exactly the overhead CPElide exists to elide.
 
 use crate::config::SimConfig;
-use crate::metrics::{RunMetrics, SyncCounters};
+use crate::metrics::{RunHistograms, RunMetrics, SyncCounters};
 use chiplet_coherence::{MemorySystem, ProtocolKind};
 use chiplet_energy::EnergyCounts;
 use chiplet_gpu::dispatch::{DispatchPlan, StaticPartitionScheduler};
@@ -21,6 +21,8 @@ use chiplet_gpu::stream::{KernelPacket, SoftwareQueue};
 use chiplet_gpu::trace::TraceGenerator;
 use chiplet_harness::obs::EventLog;
 use chiplet_mem::addr::ChipletId;
+use chiplet_noc::link::LinkUtilization;
+use chiplet_obs::Tracer;
 use chiplet_workloads::Workload;
 use cpelide::api::KernelLaunchInfo;
 use cpelide::cp::GlobalCp;
@@ -57,6 +59,11 @@ impl Simulator {
         }
         let mut cp = (cfg.protocol == ProtocolKind::CpElide)
             .then(|| GlobalCp::with_table_capacity(n, cfg.table_capacity));
+        if cfg.audit_cct {
+            if let Some(cp) = cp.as_mut() {
+                cp.enable_audit(false);
+            }
+        }
         let tracegen = TraceGenerator::new(cfg.seed);
         let scheduler = StaticPartitionScheduler::new();
         let all_chiplets: Vec<ChipletId> = ChipletId::all(n).collect();
@@ -80,6 +87,35 @@ impl Simulator {
         };
         let mut round_idx = 0u64;
         let mut first_kernel = true;
+        let mut hist = RunHistograms::new();
+        let mut link_util = LinkUtilization::new();
+
+        // Timeline tracks: one process per chiplet, plus pseudo-processes
+        // for the global CP (sync decisions) and the inter-chiplet link
+        // (drain busy windows). Timestamps are simulated microseconds.
+        let mut tracer = if cfg.record_trace {
+            Tracer::new()
+        } else {
+            Tracer::disabled()
+        };
+        let cp_pid = n as u32;
+        let noc_pid = n as u32 + 1;
+        if tracer.is_enabled() {
+            for c in 0..n {
+                tracer.name_process(c as u32, format!("chiplet {c}"));
+            }
+            tracer.name_process(cp_pid, "command processor");
+            tracer.name_process(noc_pid, "inter-chiplet link");
+            let mut streams: Vec<u32> =
+                workload.launches().iter().map(|l| l.stream.get()).collect();
+            streams.sort_unstable();
+            streams.dedup();
+            for c in 0..n as u32 {
+                for &s in &streams {
+                    tracer.name_thread(c, s, format!("stream {s}"));
+                }
+            }
+        }
 
         while !queue.is_empty() {
             let round = queue.next_round();
@@ -97,6 +133,8 @@ impl Simulator {
             let round_rel = sync.releases_performed;
             let round_flushed = flushed_lines;
             let round_inval = sync.invalidated_lines;
+            let t0 = exec_cycles + sync_cycles;
+            let round_remote_before = mem.traffic().remote_bytes();
             let mut round_sync = 0.0f64;
             match cfg.protocol {
                 ProtocolKind::Baseline if !first_kernel => {
@@ -107,7 +145,7 @@ impl Simulator {
                     sync.acquires_performed += costs.len() as u64;
                     sync.releases_performed += costs.len() as u64;
                     let mut op_max = 0.0f64;
-                    for a in &costs {
+                    for (ci, a) in costs.iter().enumerate() {
                         flushed_lines += a.flush.total_lines();
                         sync.invalidated_lines += a.invalidated_lines;
                         let cyc = cfg.sync.acquire_cycles(
@@ -117,6 +155,18 @@ impl Simulator {
                             &cfg.link,
                         );
                         op_max = op_max.max(cyc);
+                        tracer.complete(
+                            "bulk_sync",
+                            "sync",
+                            cfg.cycles_to_us(t0),
+                            cfg.cycles_to_us(cyc),
+                            ci as u32,
+                            0,
+                            vec![
+                                ("flushed_lines", a.flush.total_lines() as f64),
+                                ("invalidated_lines", a.invalidated_lines as f64),
+                            ],
+                        );
                     }
                     round_sync += op_max;
                 }
@@ -131,6 +181,16 @@ impl Simulator {
                             n,
                         );
                         let decision = cp.launch_kernel(&info);
+                        if decision.is_elided() {
+                            tracer.instant(
+                                "sync_elided",
+                                "sync",
+                                cfg.cycles_to_us(t0),
+                                cp_pid,
+                                0,
+                                vec![("kernel", packet.id.get() as f64)],
+                            );
+                        }
                         if first_kernel {
                             // The 2+6 µs CP processing is exposed only for
                             // the very first kernel (paper §IV-B).
@@ -149,23 +209,44 @@ impl Simulator {
                             sync.invalidated_lines += a.invalidated_lines;
                             sync.acquires_performed += 1;
                             sync_ops += 1;
-                            op_max = op_max.max(cfg.sync.acquire_cycles(
+                            let cyc = cfg.sync.acquire_cycles(
                                 a.flush.local_lines,
                                 a.flush.remote_lines,
                                 a.invalidated_lines,
                                 &cfg.link,
-                            ));
+                            );
+                            op_max = op_max.max(cyc);
+                            tracer.complete(
+                                "acquire",
+                                "sync",
+                                cfg.cycles_to_us(t0),
+                                cfg.cycles_to_us(cyc),
+                                c.index() as u32,
+                                0,
+                                vec![
+                                    ("flushed_lines", a.flush.total_lines() as f64),
+                                    ("invalidated_lines", a.invalidated_lines as f64),
+                                ],
+                            );
                         }
                         for &c in &decision.releases {
                             let r = mem.release(c);
                             flushed_lines += r.total_lines();
                             sync.releases_performed += 1;
                             sync_ops += 1;
-                            op_max = op_max.max(cfg.sync.release_cycles(
-                                r.local_lines,
-                                r.remote_lines,
-                                &cfg.link,
-                            ));
+                            let cyc =
+                                cfg.sync
+                                    .release_cycles(r.local_lines, r.remote_lines, &cfg.link);
+                            op_max = op_max.max(cyc);
+                            tracer.complete(
+                                "release",
+                                "sync",
+                                cfg.cycles_to_us(t0),
+                                cfg.cycles_to_us(cyc),
+                                c.index() as u32,
+                                0,
+                                vec![("flushed_lines", r.total_lines() as f64)],
+                            );
                         }
                         round_sync += op_max;
                     }
@@ -176,6 +257,8 @@ impl Simulator {
                 _ => {}
             }
             round_sync *= f64::from(cfg.sync_replication);
+            let delta_flushed = flushed_lines - round_flushed;
+            let delta_inval = sync.invalidated_lines - round_inval;
             evlog.record(
                 "kernel_boundary",
                 vec![
@@ -183,16 +266,27 @@ impl Simulator {
                     ("kernels", plans.len() as f64),
                     ("acquires", (sync.acquires_performed - round_acq) as f64),
                     ("releases", (sync.releases_performed - round_rel) as f64),
-                    ("flushed_lines", (flushed_lines - round_flushed) as f64),
-                    (
-                        "invalidated_lines",
-                        (sync.invalidated_lines - round_inval) as f64,
-                    ),
+                    ("flushed_lines", delta_flushed as f64),
+                    ("invalidated_lines", delta_inval as f64),
                     ("sync_cycles", round_sync),
+                ],
+            );
+            hist.boundary_stall_cycles.observe_f64(round_sync);
+            hist.boundary_flushed_lines.observe(delta_flushed);
+            hist.boundary_invalidated_lines.observe(delta_inval);
+            tracer.counter(
+                "boundary_lines",
+                "sync",
+                cfg.cycles_to_us(t0),
+                cp_pid,
+                vec![
+                    ("flushed", delta_flushed as f64),
+                    ("invalidated", delta_inval as f64),
                 ],
             );
 
             // ---- Execution phase ----
+            let exec_start = t0 + round_sync;
             let mut round_exec = 0.0f64;
             for (packet, plan) in &plans {
                 let spec = &packet.spec;
@@ -232,9 +326,51 @@ impl Simulator {
                         * cfg.latency.dir_eviction_penalty;
                     let compute = events as f64 * spec.compute_per_line() / cfg.compute_scale;
                     let mem_time = lat / (spec.mlp() * cfg.compute_scale);
-                    packet_time = packet_time.max(compute.max(mem_time));
+                    let chiplet_time = compute.max(mem_time);
+                    packet_time = packet_time.max(chiplet_time);
+                    if tracer.is_enabled() {
+                        let tid = packet.stream.get();
+                        let pid = chiplet.index() as u32;
+                        tracer.begin(
+                            spec.name(),
+                            "kernel",
+                            cfg.cycles_to_us(exec_start),
+                            pid,
+                            tid,
+                        );
+                        tracer.end(
+                            spec.name(),
+                            "kernel",
+                            cfg.cycles_to_us(exec_start + chiplet_time),
+                            pid,
+                            tid,
+                        );
+                    }
                 }
+                hist.kernel_cycles.observe_f64(packet_time);
                 round_exec = round_exec.max(packet_time);
+            }
+            // The round's inter-chiplet transfers (boundary drains plus
+            // remote accesses during execution) occupy the link for a
+            // bandwidth-limited busy window.
+            let round_link_bytes = mem.traffic().remote_bytes() - round_remote_before;
+            let round_total = round_sync + round_exec + cfg.us_to_cycles(LAUNCH_OVERHEAD_US);
+            if round_link_bytes > 0 {
+                let busy = round_link_bytes as f64 / cfg.link.bytes_per_cycle;
+                link_util.record(round_link_bytes, busy.round() as u64);
+                tracer.complete(
+                    "link_busy",
+                    "noc",
+                    cfg.cycles_to_us(t0),
+                    cfg.cycles_to_us(busy),
+                    noc_pid,
+                    0,
+                    vec![("bytes", round_link_bytes as f64)],
+                );
+                hist.link_busy_permille
+                    .observe_f64(1000.0 * (busy / round_total).min(1.0));
+            } else {
+                hist.link_busy_permille.observe(0);
             }
 
             exec_cycles += round_exec + cfg.us_to_cycles(LAUNCH_OVERHEAD_US);
@@ -246,6 +382,8 @@ impl Simulator {
 
         // End-of-program drain: dirty data must reach memory. CPElide
         // "elides all flushes and invalidations except the final ones".
+        let t_final = exec_cycles + sync_cycles;
+        let final_remote_before = mem.traffic().remote_bytes();
         let mut final_max = 0.0f64;
         let mut drained_lines = 0u64;
         for c in ChipletId::all(n) {
@@ -255,14 +393,38 @@ impl Simulator {
                 sync.releases_performed += 1;
                 flushed_lines += r.total_lines();
                 drained_lines += r.total_lines();
-                final_max = final_max.max(cfg.sync.release_cycles(
-                    r.local_lines,
-                    r.remote_lines,
-                    &cfg.link,
-                ));
+                let cyc = cfg
+                    .sync
+                    .release_cycles(r.local_lines, r.remote_lines, &cfg.link);
+                final_max = final_max.max(cyc);
+                tracer.complete(
+                    "final_drain",
+                    "sync",
+                    cfg.cycles_to_us(t_final),
+                    cfg.cycles_to_us(cyc),
+                    c.index() as u32,
+                    0,
+                    vec![("flushed_lines", r.total_lines() as f64)],
+                );
             }
         }
         sync_cycles += final_max;
+        hist.boundary_stall_cycles.observe_f64(final_max);
+        hist.boundary_flushed_lines.observe(drained_lines);
+        let final_link_bytes = mem.traffic().remote_bytes() - final_remote_before;
+        if final_link_bytes > 0 {
+            let busy = final_link_bytes as f64 / cfg.link.bytes_per_cycle;
+            link_util.record(final_link_bytes, busy.round() as u64);
+            tracer.complete(
+                "link_busy",
+                "noc",
+                cfg.cycles_to_us(t_final),
+                cfg.cycles_to_us(busy),
+                noc_pid,
+                0,
+                vec![("bytes", final_link_bytes as f64)],
+            );
+        }
         evlog.record(
             "final_drain",
             vec![
@@ -282,6 +444,7 @@ impl Simulator {
 
         sync.flushed_lines = flushed_lines;
         sync.remote_bytes = mem.traffic().remote_bytes();
+        let audit = cp.as_ref().and_then(|cp| cp.auditor().cloned());
         let table = cp.map(|cp| cp.table_stats());
         if let Some(t) = &table {
             sync.acquires_elided = t.acquires_elided;
@@ -309,6 +472,10 @@ impl Simulator {
             flushed_lines,
             sync,
             events: evlog,
+            hist,
+            link_util,
+            audit,
+            trace: tracer,
         }
     }
 
@@ -344,7 +511,7 @@ mod tests {
     use crate::config::SimConfig;
 
     fn run(name: &str, protocol: ProtocolKind, chiplets: usize) -> RunMetrics {
-        let w = chiplet_workloads::by_name(name).expect("workload exists");
+        let w = chiplet_workloads::lookup(name).unwrap_or_else(|e| panic!("{e}"));
         Simulator::new(SimConfig::table1(chiplets, protocol)).run(&w)
     }
 
@@ -421,10 +588,7 @@ mod tests {
 
     #[test]
     fn multi_stream_workload_runs_on_bound_chiplets() {
-        let w = chiplet_workloads::multi_stream_suite()
-            .into_iter()
-            .find(|w| w.name() == "streams")
-            .unwrap();
+        let w = chiplet_workloads::lookup("streams").unwrap_or_else(|e| panic!("{e}"));
         let m = Simulator::new(SimConfig::table1(4, ProtocolKind::CpElide)).run(&w);
         assert_eq!(m.kernels, 40);
         assert!(m.cycles > 0.0);
@@ -461,7 +625,7 @@ mod tests {
 
     #[test]
     fn record_events_yields_boundary_log() {
-        let w = chiplet_workloads::by_name("square").unwrap();
+        let w = chiplet_workloads::lookup("square").unwrap_or_else(|e| panic!("{e}"));
         let mut cfg = SimConfig::table1(4, ProtocolKind::CpElide);
         cfg.record_events = true;
         let m = Simulator::new(cfg).run(&w);
@@ -479,6 +643,109 @@ mod tests {
         // Default config records nothing.
         let quiet = run("square", ProtocolKind::CpElide, 4);
         assert!(quiet.events.is_empty());
+    }
+
+    #[test]
+    fn record_trace_emits_valid_balanced_perfetto_json() {
+        for protocol in [ProtocolKind::Baseline, ProtocolKind::CpElide] {
+            let w = chiplet_workloads::lookup("square").unwrap_or_else(|e| panic!("{e}"));
+            let mut cfg = SimConfig::table1(4, protocol);
+            cfg.record_trace = true;
+            let m = Simulator::new(cfg).run(&w);
+            assert!(m.trace.is_enabled());
+            m.trace.balanced().expect("B/E spans pair up");
+            // Every chiplet hosts at least one event.
+            for c in 0..4u32 {
+                assert!(
+                    m.trace.events().iter().any(|e| e.pid == c),
+                    "no events on chiplet {c} under {protocol:?}"
+                );
+            }
+            // Golden category set: every event belongs to one of the three
+            // documented tracks, and both phases of the pipeline show up.
+            let cats: std::collections::BTreeSet<&str> =
+                m.trace.events().iter().map(|e| e.cat).collect();
+            assert!(cats.contains("kernel"), "kernel spans present");
+            assert!(cats.contains("sync"), "sync events present");
+            assert!(
+                cats.iter().all(|c| ["kernel", "sync", "noc"].contains(c)),
+                "unexpected categories: {cats:?}"
+            );
+            let json = m.trace.to_chrome_json();
+            chiplet_harness::json::validate(&json).expect("trace JSON validates");
+            assert!(json.contains("\"process_name\""));
+            assert!(json.contains("chiplet 0"));
+        }
+
+        // Default config records nothing.
+        let quiet = run("square", ProtocolKind::CpElide, 4);
+        assert!(!quiet.trace.is_enabled());
+        assert!(quiet.trace.is_empty());
+    }
+
+    #[test]
+    fn trace_distinguishes_sync_styles() {
+        let w = chiplet_workloads::lookup("bfs").unwrap_or_else(|e| panic!("{e}"));
+        let mut cfg = SimConfig::table1(4, ProtocolKind::Baseline);
+        cfg.record_trace = true;
+        let base = Simulator::new(cfg).run(&w);
+        assert!(
+            base.trace.events().iter().any(|e| e.name == "bulk_sync"),
+            "baseline pays bulk syncs"
+        );
+
+        let mut cfg = SimConfig::table1(4, ProtocolKind::CpElide);
+        cfg.record_trace = true;
+        let cpe = Simulator::new(cfg).run(&w);
+        assert!(
+            cpe.trace.events().iter().any(|e| e.name == "sync_elided"),
+            "CPElide elides boundaries"
+        );
+        assert!(
+            cpe.trace.events().iter().any(|e| e.name == "final_drain"),
+            "end-of-program drain is traced"
+        );
+    }
+
+    #[test]
+    fn cct_audit_runs_clean_on_cpelide() {
+        let cpe = run("bfs", ProtocolKind::CpElide, 4);
+        let audit = cpe.audit.expect("CPElide runs are audited by default");
+        assert!(audit.transitions() > 0, "launches drive CCT transitions");
+        assert_eq!(audit.violations(), 0, "legal runs never trip the auditor");
+        assert!(audit.summary_text().contains("0 violations"));
+
+        let base = run("bfs", ProtocolKind::Baseline, 4);
+        assert!(base.audit.is_none(), "no CCT to audit outside CPElide");
+
+        let mut cfg = SimConfig::table1(4, ProtocolKind::CpElide);
+        cfg.audit_cct = false;
+        let w = chiplet_workloads::lookup("bfs").unwrap_or_else(|e| panic!("{e}"));
+        let off = Simulator::new(cfg).run(&w);
+        assert!(off.audit.is_none(), "auditing can be switched off");
+    }
+
+    #[test]
+    fn histograms_cover_kernels_and_boundaries() {
+        let m = run("square", ProtocolKind::Baseline, 4);
+        assert_eq!(m.hist.kernel_cycles.count(), m.kernels);
+        // One stall sample per round plus the final drain.
+        assert_eq!(m.hist.boundary_stall_cycles.count(), m.kernels + 1);
+        assert!(m.hist.kernel_cycles.p50() > 0);
+        assert!(
+            m.hist.boundary_stall_cycles.p99() >= m.hist.boundary_stall_cycles.p50(),
+            "percentiles are monotone"
+        );
+        // Link occupancy is sampled once per boundary either way; whether
+        // the drains actually crossed the link depends on line homing.
+        assert_eq!(m.hist.link_busy_permille.count(), m.kernels);
+
+        let bfs = run("bfs", ProtocolKind::Baseline, 4);
+        assert!(
+            bfs.link_util.busy_cycles() > 0,
+            "irregular writes leave remote-homed dirty lines to drain"
+        );
+        assert!(bfs.link_util.utilization(bfs.cycles as u64) > 0.0);
     }
 
     #[test]

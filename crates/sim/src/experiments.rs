@@ -248,13 +248,13 @@ mod tests {
     fn mini_suite() -> Vec<Workload> {
         ["square", "btree"]
             .iter()
-            .map(|n| chiplet_workloads::by_name(n).unwrap())
+            .map(|n| chiplet_workloads::lookup(n).unwrap_or_else(|e| panic!("{e}")))
             .collect()
     }
 
     #[test]
     fn fig2_reports_positive_loss_for_reuse_apps() {
-        let suite = vec![chiplet_workloads::by_name("square").unwrap()];
+        let suite = vec![chiplet_workloads::lookup("square").unwrap_or_else(|e| panic!("{e}"))];
         let (rows, avg) = fig2(&suite, 4);
         assert_eq!(rows.len(), 1);
         assert!(rows[0].loss > 0.0, "chiplets must lose to monolithic");
@@ -263,7 +263,7 @@ mod tests {
 
     #[test]
     fn fig8_summary_orders_protocols_on_streaming() {
-        let suite = vec![chiplet_workloads::by_name("square").unwrap()];
+        let suite = vec![chiplet_workloads::lookup("square").unwrap_or_else(|e| panic!("{e}"))];
         let (rows, summary) = fig8(&suite, 4);
         assert!(rows[0].cpelide > 1.0, "CPElide beats Baseline on square");
         assert!(

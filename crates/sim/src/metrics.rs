@@ -6,7 +6,9 @@ use chiplet_energy::{EnergyBreakdown, EnergyCounts};
 use chiplet_harness::json::Json;
 use chiplet_harness::obs::EventLog;
 use chiplet_mem::cache::CacheStats;
+use chiplet_noc::link::LinkUtilization;
 use chiplet_noc::traffic::FlitCounter;
+use chiplet_obs::{Histogram, Tracer, TransitionAuditor};
 use cpelide::table::TableStats;
 use std::fmt;
 
@@ -42,6 +44,95 @@ impl SyncCounters {
             .with("invalidated_lines", self.invalidated_lines)
             .with("flushed_lines", self.flushed_lines)
             .with("remote_bytes", self.remote_bytes)
+    }
+}
+
+/// Log2-bucketed distributions collected over one run. Scalars such as
+/// `sync_cycles` say how much was paid in total; these say how it was
+/// distributed — whether boundary stalls are uniform or dominated by a few
+/// heavyweight flushes, which is the difference CPElide's elision targets.
+#[derive(Debug, Clone)]
+pub struct RunHistograms {
+    /// Per-kernel execution time in cycles (max over the chiplets each
+    /// kernel packet ran on, one sample per packet).
+    pub kernel_cycles: Histogram,
+    /// Synchronization stall cycles per kernel boundary (one sample per
+    /// round that reached the sync phase, plus the final drain).
+    pub boundary_stall_cycles: Histogram,
+    /// Dirty L2 lines drained per kernel boundary.
+    pub boundary_flushed_lines: Histogram,
+    /// L2 lines invalidated per kernel boundary.
+    pub boundary_invalidated_lines: Histogram,
+    /// Inter-chiplet link occupancy per boundary, in tenths of a percent
+    /// of the round's duration (log2 buckets need integer samples; 1000 =
+    /// fully busy).
+    pub link_busy_permille: Histogram,
+}
+
+impl RunHistograms {
+    /// Empty histograms with their canonical metric names.
+    pub fn new() -> Self {
+        RunHistograms {
+            kernel_cycles: Histogram::new("kernel_cycles"),
+            boundary_stall_cycles: Histogram::new("boundary_stall_cycles"),
+            boundary_flushed_lines: Histogram::new("boundary_flushed_lines"),
+            boundary_invalidated_lines: Histogram::new("boundary_invalidated_lines"),
+            link_busy_permille: Histogram::new("link_busy_permille"),
+        }
+    }
+
+    fn all(&self) -> [(&Histogram, &'static str); 5] {
+        [
+            (&self.kernel_cycles, "per-kernel execution cycles"),
+            (
+                &self.boundary_stall_cycles,
+                "sync stall cycles per kernel boundary",
+            ),
+            (
+                &self.boundary_flushed_lines,
+                "dirty L2 lines drained per boundary",
+            ),
+            (
+                &self.boundary_invalidated_lines,
+                "L2 lines invalidated per boundary",
+            ),
+            (
+                &self.link_busy_permille,
+                "inter-chiplet link occupancy per boundary (1/1000)",
+            ),
+        ]
+    }
+
+    /// The distributions as a JSON object: one sub-object per histogram
+    /// with count, mean, p50/p90/p99 and max.
+    pub fn to_json(&self) -> Json {
+        let mut o = Json::object();
+        for (h, _) in self.all() {
+            o.set(
+                h.name(),
+                Json::object()
+                    .with("count", h.count())
+                    .with("mean", h.mean())
+                    .with("p50", h.p50())
+                    .with("p90", h.p90())
+                    .with("p99", h.p99())
+                    .with("max", h.max()),
+            );
+        }
+        o
+    }
+
+    /// Appends Prometheus text exposition for every histogram.
+    pub fn prometheus_text(&self, labels: &str, out: &mut String) {
+        for (h, help) in self.all() {
+            h.prometheus_text("cpelide", labels, help, out);
+        }
+    }
+}
+
+impl Default for RunHistograms {
+    fn default() -> Self {
+        RunHistograms::new()
     }
 }
 
@@ -88,6 +179,16 @@ pub struct RunMetrics {
     /// Per-kernel-boundary event log (empty unless the run was configured
     /// with `record_events`).
     pub events: EventLog,
+    /// Log2-bucketed distributions (kernel duration, boundary stalls,
+    /// flushed/invalidated lines, link occupancy).
+    pub hist: RunHistograms,
+    /// Inter-chiplet link occupancy accumulated over the run.
+    pub link_util: LinkUtilization,
+    /// CCT transition audit (CPElide runs with `audit_cct` only).
+    pub audit: Option<TransitionAuditor>,
+    /// Sim-cycle-stamped timeline for Chrome/Perfetto export (disabled and
+    /// empty unless the run was configured with `record_trace`).
+    pub trace: Tracer,
 }
 
 impl RunMetrics {
@@ -150,7 +251,20 @@ impl RunMetrics {
                     .with("invalidated", self.l2.invalidated),
             )
             .with("dram_accesses", self.dram_accesses)
-            .with("energy_total_uj", self.energy.total() / 1e6);
+            .with("energy_total_uj", self.energy.total() / 1e6)
+            .with("hist", self.hist.to_json())
+            .with(
+                "link_utilization",
+                self.link_util.utilization(self.cycles.max(0.0) as u64),
+            );
+        if let Some(a) = &self.audit {
+            o.set(
+                "audit",
+                Json::object()
+                    .with("transitions", a.transitions())
+                    .with("violations", a.violations()),
+            );
+        }
         if let Some(t) = &self.table {
             o.set(
                 "table",
@@ -322,6 +436,48 @@ impl RunMetrics {
             format!("{:.3}", self.energy.noc / 1e6),
             "interconnect energy",
         );
+        for (h, comment) in self.hist.all() {
+            line(
+                &format!("hist.{}.p50", h.name()),
+                h.p50().to_string(),
+                comment,
+            );
+            line(
+                &format!("hist.{}.p90", h.name()),
+                h.p90().to_string(),
+                comment,
+            );
+            line(
+                &format!("hist.{}.p99", h.name()),
+                h.p99().to_string(),
+                comment,
+            );
+            line(
+                &format!("hist.{}.max", h.name()),
+                h.max().to_string(),
+                comment,
+            );
+        }
+        line(
+            "noc.link_utilization",
+            format!(
+                "{:.4}",
+                self.link_util.utilization(self.cycles.max(0.0) as u64)
+            ),
+            "inter-chiplet link busy fraction",
+        );
+        if let Some(a) = &self.audit {
+            line(
+                "cct.audit.transitions",
+                a.transitions().to_string(),
+                "CCT state transitions checked",
+            );
+            line(
+                "cct.audit.violations",
+                a.violations().to_string(),
+                "illegal transitions observed",
+            );
+        }
         if let Some(t) = &self.table {
             line(
                 "cp.table.acquires_issued",
@@ -349,6 +505,81 @@ impl RunMetrics {
                 "table high-water mark",
             );
         }
+        s
+    }
+
+    /// Renders Prometheus-style text exposition for scrape-friendly
+    /// consumption by the bench binaries: scalar gauges plus the full
+    /// log2-bucketed histograms, all labelled with workload and protocol.
+    pub fn metrics_text(&self) -> String {
+        let labels = format!(
+            "workload=\"{}\",protocol=\"{}\",chiplets=\"{}\"",
+            self.workload,
+            self.protocol.label(),
+            self.equivalent_chiplets
+        );
+        let mut s = String::new();
+        let mut gauge = |name: &str, help: &str, value: String| {
+            s.push_str(&format!(
+                "# HELP cpelide_{name} {help}\n# TYPE cpelide_{name} gauge\ncpelide_{name}{{{labels}}} {value}\n"
+            ));
+        };
+        gauge(
+            "cycles",
+            "total simulated GPU cycles",
+            format!("{:.0}", self.cycles),
+        );
+        gauge(
+            "exec_cycles",
+            "kernel execution cycles",
+            format!("{:.0}", self.exec_cycles),
+        );
+        gauge(
+            "sync_cycles",
+            "implicit-synchronization cycles",
+            format!("{:.0}", self.sync_cycles),
+        );
+        gauge(
+            "kernels",
+            "dynamic kernels executed",
+            self.kernels.to_string(),
+        );
+        gauge(
+            "sync_ops",
+            "bulk L2 acquires+releases performed",
+            self.sync_ops.to_string(),
+        );
+        gauge(
+            "l2_hit_rate",
+            "aggregate L2 hit rate",
+            format!("{:.6}", self.l2_hit_rate()),
+        );
+        gauge(
+            "link_utilization",
+            "inter-chiplet link busy fraction",
+            format!(
+                "{:.6}",
+                self.link_util.utilization(self.cycles.max(0.0) as u64)
+            ),
+        );
+        gauge(
+            "energy_uj",
+            "memory-subsystem energy in microjoules",
+            format!("{:.3}", self.energy.total() / 1e6),
+        );
+        if let Some(a) = &self.audit {
+            gauge(
+                "cct_audit_transitions",
+                "CCT state transitions checked",
+                a.transitions().to_string(),
+            );
+            gauge(
+                "cct_audit_violations",
+                "illegal CCT transitions observed",
+                a.violations().to_string(),
+            );
+        }
+        self.hist.prometheus_text(&labels, &mut s);
         s
     }
 }
@@ -414,6 +645,10 @@ mod tests {
             flushed_lines: 0,
             sync: SyncCounters::default(),
             events: EventLog::disabled(),
+            hist: RunHistograms::new(),
+            link_util: LinkUtilization::new(),
+            audit: None,
+            trace: Tracer::disabled(),
         }
     }
 
@@ -483,6 +718,51 @@ mod tests {
             assert!(text.contains(key), "missing {key} in {text}");
         }
         assert!(m.events_csv().starts_with("seq,label"));
+    }
+
+    #[test]
+    fn json_reports_histogram_percentiles() {
+        let mut m = metrics("square", 123.0);
+        for v in [10u64, 100, 1000, 10_000] {
+            m.hist.kernel_cycles.observe(v);
+            m.hist.boundary_stall_cycles.observe(v / 2);
+        }
+        let text = m.to_json().render();
+        chiplet_harness::json::validate(&text).expect("run JSON validates");
+        for key in [
+            "\"hist\"",
+            "\"kernel_cycles\"",
+            "\"boundary_stall_cycles\"",
+            "\"p50\"",
+            "\"p90\"",
+            "\"p99\"",
+            "\"link_utilization\"",
+        ] {
+            assert!(text.contains(key), "missing {key} in {text}");
+        }
+    }
+
+    #[test]
+    fn metrics_text_is_prometheus_exposition() {
+        let mut m = metrics("square", 123.0);
+        m.hist.kernel_cycles.observe(500);
+        m.link_util.record(6400, 40);
+        let mut audit = TransitionAuditor::new();
+        audit
+            .record(0, 0, 0, 0b00, 0, 0b01) // NP --LocalRead--> Valid
+            .expect("legal transition");
+        m.audit = Some(audit);
+        let t = m.metrics_text();
+        for needle in [
+            "# TYPE cpelide_cycles gauge",
+            "cpelide_cycles{workload=\"square\",protocol=\"Baseline\",chiplets=\"4\"} 123",
+            "# TYPE cpelide_kernel_cycles histogram",
+            "cpelide_kernel_cycles_count{",
+            "cpelide_cct_audit_violations{",
+            "cpelide_link_utilization{",
+        ] {
+            assert!(t.contains(needle), "missing {needle:?} in:\n{t}");
+        }
     }
 
     #[test]

@@ -196,6 +196,53 @@ pub fn by_name(name: &str) -> Option<Workload> {
     suite().into_iter().find(|w| w.name() == lower)
 }
 
+/// Error returned by [`lookup`]: no workload carries the requested name.
+/// The message names the missing workload and lists every known name, so
+/// a typo in a CLI argument or experiment spec is diagnosable without
+/// reading the source.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownWorkload {
+    /// The name that failed to resolve.
+    pub name: String,
+}
+
+impl fmt::Display for UnknownWorkload {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unknown workload '{}'; known workloads: {}",
+            self.name,
+            known_names().join(", ")
+        )
+    }
+}
+
+impl std::error::Error for UnknownWorkload {}
+
+/// Every known workload name: the Table II suite followed by the
+/// multi-stream study.
+pub fn known_names() -> Vec<String> {
+    suite()
+        .into_iter()
+        .chain(multi_stream_suite())
+        .map(|w| w.name().to_owned())
+        .collect()
+}
+
+/// Looks up a workload by (case-insensitive) name across both the Table II
+/// suite and the multi-stream study, reporting an [`UnknownWorkload`]
+/// error that names the missing workload on failure.
+pub fn lookup(name: &str) -> Result<Workload, UnknownWorkload> {
+    let lower = name.to_lowercase();
+    suite()
+        .into_iter()
+        .chain(multi_stream_suite())
+        .find(|w| w.name() == lower)
+        .ok_or(UnknownWorkload {
+            name: name.to_owned(),
+        })
+}
+
 /// The §VI multi-stream study: `streams` (the only multi-stream benchmark
 /// in gem5-resources) plus multi-stream extensions of a subset of Table II
 /// applications, mimicking concurrent jobs.
@@ -236,6 +283,17 @@ mod tests {
         }
         assert!(by_name("BabelStream").is_some(), "case-insensitive");
         assert!(by_name("nonexistent").is_none());
+    }
+
+    #[test]
+    fn lookup_spans_both_suites_and_names_the_missing_workload() {
+        assert_eq!(lookup("BFS").unwrap().name(), "bfs");
+        assert_eq!(lookup("streams").unwrap().name(), "streams");
+        let err = lookup("sqare").unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("unknown workload 'sqare'"), "{msg}");
+        assert!(msg.contains("square"), "suggestion list names: {msg}");
+        assert!(msg.contains("streams"), "multi-stream names listed: {msg}");
     }
 
     #[test]

@@ -22,6 +22,14 @@ cargo test --workspace --release -q
 echo "== smoke-run every figure binary =="
 CPELIDE_SMOKE=1 cargo run --release -p cpelide-bench --bin all
 
+echo "== smoke-run probe with Perfetto trace export =="
+# write_trace validates span balance and JSON well-formedness before the
+# file lands; the greps assert the artifacts exist and are non-trivial.
+CPELIDE_SMOKE=1 CPELIDE_TRACE=results/trace.json \
+  cargo run --release -p cpelide-bench --bin probe
+grep -q '"traceEvents"' results/trace.json
+grep -q 'cpelide_kernel_cycles_bucket' results/probe.prom
+
 echo "== bench runner (fixed iterations) =="
 CHIPLET_BENCH_ITERS=3 CHIPLET_BENCH_WARMUP=1 cargo bench --workspace
 
