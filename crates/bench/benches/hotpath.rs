@@ -1,0 +1,167 @@
+//! Macro-benchmark of the simulation hot path: a fixed probe sweep through
+//! the engine, plus a head-to-head of the oracle's flat dense-index shadow
+//! against the retained `HashMap` reference shadow on identical replays.
+//!
+//! The flat/hash pairing is the point: the reference shadow *is* the
+//! pre-rework implementation, so `speedup.oracle_replay_flat_vs_hashmap`
+//! measures the storage rework's payoff on this machine, robust to CPU
+//! differences. The same pattern covers first-touch placement
+//! (`speedup.placement_flat_vs_hashmap`).
+//!
+//! Run with `cargo bench -p cpelide-bench --bench hotpath`; the validated
+//! session report lands at `results/BENCH_hotpath.json` (honouring
+//! `CPELIDE_RESULTS_DIR`). `CPELIDE_SMOKE=1` shrinks the sweep for CI;
+//! `CHIPLET_BENCH_ITERS` / `CHIPLET_BENCH_WARMUP` control sampling as in
+//! every other bench.
+
+use chiplet_coherence::ProtocolKind;
+use chiplet_harness::bench::BenchRunner;
+use chiplet_harness::json::Json;
+use chiplet_mem::addr::{ChipletId, PageAddr};
+use chiplet_mem::page::PageTable;
+use chiplet_sim::oracle::{check_coherence_with, ShadowKind};
+use chiplet_sim::{SimConfig, Simulator};
+use chiplet_workloads::Workload;
+use std::collections::HashMap;
+
+/// The fixed probe sweep: the `probe` binary's workload at the paper's
+/// default chiplet count, over the three protocol families.
+const SWEEP_PROTOCOLS: &[ProtocolKind] = &[
+    ProtocolKind::Baseline,
+    ProtocolKind::Hmg,
+    ProtocolKind::CpElide,
+];
+
+fn sweep_workloads() -> Vec<Workload> {
+    let names: &[&str] = if cpelide_bench::smoke() {
+        &["square", "bfs"]
+    } else {
+        &["square", "bfs", "hotspot3d"]
+    };
+    names
+        .iter()
+        .map(|n| chiplet_workloads::by_name(n).expect("sweep workload in suite"))
+        .collect()
+}
+
+fn bench_engine(r: &mut BenchRunner, workloads: &[Workload]) {
+    r.bench("engine/probe_sweep", |_| {
+        let mut cycles = 0.0f64;
+        for w in workloads {
+            for &p in SWEEP_PROTOCOLS {
+                let m = Simulator::new(SimConfig::table1(4, p)).run(w);
+                cycles += m.cycles;
+            }
+        }
+        cycles
+    });
+}
+
+fn bench_oracle(r: &mut BenchRunner, workloads: &[Workload]) -> f64 {
+    let sample = 17;
+    let replay = |kind: ShadowKind| {
+        let mut checked = 0u64;
+        for w in workloads {
+            for &p in [ProtocolKind::Baseline, ProtocolKind::CpElide].iter() {
+                let rep = check_coherence_with(w, p, 4, sample, kind);
+                assert!(
+                    rep.is_coherent(),
+                    "{}/{p}: probe sweep must be clean",
+                    w.name()
+                );
+                checked += rep.reads_checked;
+            }
+        }
+        checked
+    };
+    // Touch both paths once so neither pays first-iteration page faults.
+    replay(ShadowKind::Flat);
+    replay(ShadowKind::HashReference);
+
+    r.bench("oracle/replay_flat_shadow", |_| replay(ShadowKind::Flat));
+    r.bench("oracle/replay_hashmap_shadow", |_| {
+        replay(ShadowKind::HashReference)
+    });
+    speedup_of(
+        r,
+        "oracle/replay_flat_shadow",
+        "oracle/replay_hashmap_shadow",
+    )
+}
+
+fn bench_placement(r: &mut BenchRunner) -> f64 {
+    // The page-table access pattern of a partitioned trace: each chiplet
+    // streams its own dense page band, revisiting every page many times
+    // (one probe per line).
+    const PAGES: u64 = 32_768;
+    const BASE: u64 = 0x10000; // the array heap's first page
+    let probe_flat = |table: &mut PageTable| {
+        let mut acc = 0u64;
+        for round in 0..4u64 {
+            for i in 0..PAGES {
+                let c = ChipletId::new(((i * 4) / PAGES) as u8);
+                acc += table.home_of(PageAddr::new(BASE + i), c).index() as u64 + round;
+            }
+        }
+        acc
+    };
+    let probe_hash = |map: &mut HashMap<PageAddr, ChipletId>| {
+        let mut acc = 0u64;
+        for round in 0..4u64 {
+            for i in 0..PAGES {
+                let c = ChipletId::new(((i * 4) / PAGES) as u8);
+                acc += map.entry(PageAddr::new(BASE + i)).or_insert(c).index() as u64 + round;
+            }
+        }
+        acc
+    };
+
+    let mut table = PageTable::new();
+    r.bench("placement/flat_first_touch_128k_probes", |_| {
+        probe_flat(&mut table)
+    });
+    let mut map = HashMap::new();
+    r.bench("placement/hashmap_first_touch_128k_probes", |_| {
+        probe_hash(&mut map)
+    });
+    speedup_of(
+        r,
+        "placement/flat_first_touch_128k_probes",
+        "placement/hashmap_first_touch_128k_probes",
+    )
+}
+
+/// Ratio of the two named benchmarks' medians: how many times faster
+/// `fast` ran than `slow`.
+fn speedup_of(r: &BenchRunner, fast: &str, slow: &str) -> f64 {
+    let median = |name: &str| {
+        r.results()
+            .iter()
+            .find(|s| s.name == name)
+            .unwrap_or_else(|| panic!("benchmark {name} not recorded"))
+            .median_ns
+    };
+    median(slow) / median(fast)
+}
+
+fn main() {
+    let workloads = sweep_workloads();
+    let mut runner = BenchRunner::new("hotpath");
+    bench_engine(&mut runner, &workloads);
+    let oracle_speedup = bench_oracle(&mut runner, &workloads);
+    let placement_speedup = bench_placement(&mut runner);
+    print!("{}", runner.report());
+    println!(
+        "speedup: oracle replay flat vs hashmap {oracle_speedup:.2}x, \
+         placement flat vs hashmap {placement_speedup:.2}x"
+    );
+
+    let report = runner.to_json().with(
+        "speedup",
+        Json::object()
+            .with("oracle_replay_flat_vs_hashmap", oracle_speedup)
+            .with("placement_flat_vs_hashmap", placement_speedup),
+    );
+    let path = cpelide_bench::write_report("BENCH_hotpath", &report);
+    println!("wrote {}", path.display());
+}

@@ -18,7 +18,7 @@ use crate::api::{range_union, ranges_overlap, KernelLaunchInfo, StructureAccess}
 use crate::coarsen::coarsen_structures;
 use crate::state::{EntryState, StateEvent};
 use crate::{MAX_STRUCTURES_PER_KERNEL, TABLE_CAPACITY};
-use chiplet_mem::addr::ChipletId;
+use chiplet_mem::addr::{ChipletId, LINES_PER_PAGE};
 use chiplet_mem::array::AccessMode;
 use chiplet_obs::TransitionAuditor;
 use std::fmt;
@@ -58,7 +58,11 @@ impl TableEntry {
             end_line: s.end_line,
             mode: s.mode,
             ranges: vec![None; n],
-            home_ranges: s.ranges.clone(),
+            home_ranges: s
+                .ranges
+                .iter()
+                .map(|o| o.as_ref().map(page_aligned))
+                .collect(),
             states: vec![EntryState::NotPresent; n],
             last_use: kernel,
         }
@@ -82,22 +86,48 @@ impl TableEntry {
     }
 }
 
+/// Widens a line range to page boundaries.
+///
+/// First-touch placement is page-granular: when a partition boundary cuts
+/// through a page, the single chiplet that touched the page first homes
+/// *all* of its lines — including lines past the boundary that the
+/// line-granular hint attributes to the neighbour. Home claims must
+/// therefore be tracked at page granularity, or a chiplet's dirty/stale
+/// lines in a boundary-straddling page escape the [`TableEntry::cacheable`]
+/// bound and the CP elides a release/acquire it actually needed (observable
+/// as stale reads whenever an array's lines don't divide page-aligned
+/// across the chiplets, e.g. 8192 lines on 3 chiplets). Widening a home
+/// claim only ever produces extra synchronization, never less.
+fn page_aligned(r: &Range<u64>) -> Range<u64> {
+    let start = r.start - r.start % LINES_PER_PAGE;
+    let end = r.end.div_ceil(LINES_PER_PAGE) * LINES_PER_PAGE;
+    start..end
+}
+
 /// True if `range` lies entirely within the merged union of the chiplets'
 /// home ranges (i.e. every page it can touch already has a home).
+///
+/// Runs on the CCT lookup path for every local access classification, so it
+/// advances a cover frontier over the (at most chiplet-count) intervals in
+/// place rather than collecting and sorting them.
 fn covered_by_homes(homes: &[Option<Range<u64>>], range: &Range<u64>) -> bool {
-    let mut intervals: Vec<Range<u64>> = homes.iter().flatten().cloned().collect();
-    intervals.sort_by_key(|r| r.start);
     let mut cursor = range.start;
-    for iv in intervals {
-        if iv.start > cursor {
-            break;
+    loop {
+        // Furthest the cover extends using intervals that reach `cursor`.
+        let mut best = cursor;
+        for iv in homes.iter().flatten() {
+            if iv.start <= cursor {
+                best = best.max(iv.end.min(range.end));
+            }
         }
-        cursor = cursor.max(iv.end.min(range.end));
-        if cursor >= range.end {
+        if best >= range.end {
             return true;
         }
+        if best == cursor {
+            return false; // gap at `cursor`: no interval extends the cover
+        }
+        cursor = best;
     }
-    cursor >= range.end
 }
 
 /// The per-chiplet synchronization operations one kernel launch requires.
@@ -564,11 +594,12 @@ impl ChipletCoherenceTable {
                 // no chiplet has claimed yet, chiplet j becomes their home
                 // (conservatively widening j's home range — widening only
                 // ever produces *extra* synchronization, never less).
-                let claimed = covered_by_homes(&entry.home_ranges, &new_range);
+                let home_claim = page_aligned(&new_range);
+                let claimed = covered_by_homes(&entry.home_ranges, &home_claim);
                 match (&entry.home_ranges[j.index()], claimed) {
-                    (None, _) => entry.home_ranges[j.index()] = Some(new_range.clone()),
+                    (None, _) => entry.home_ranges[j.index()] = Some(home_claim),
                     (Some(old), false) => {
-                        entry.home_ranges[j.index()] = Some(range_union(old, &new_range));
+                        entry.home_ranges[j.index()] = Some(range_union(old, &home_claim));
                     }
                     _ => {}
                 }

@@ -18,6 +18,39 @@ pub const PAGE_BYTES: u64 = 4096;
 /// Cache lines per page.
 pub const LINES_PER_PAGE: u64 = PAGE_BYTES / LINE_BYTES;
 
+/// An address newtype with a dense small-integer index.
+///
+/// The array table allocates every device array page-aligned and
+/// back-to-back from one fixed heap base, so the line/page indices a
+/// workload touches form a single dense band. Flat storage (see
+/// [`crate::flat`]) exploits that: it indexes a `Vec` by `dense() - base`
+/// instead of hashing the newtype.
+pub trait DenseAddr: Copy {
+    /// The dense index of this address at its own granularity.
+    fn dense(self) -> u64;
+}
+
+impl DenseAddr for Addr {
+    #[inline]
+    fn dense(self) -> u64 {
+        self.0
+    }
+}
+
+impl DenseAddr for LineAddr {
+    #[inline]
+    fn dense(self) -> u64 {
+        self.0
+    }
+}
+
+impl DenseAddr for PageAddr {
+    #[inline]
+    fn dense(self) -> u64 {
+        self.0
+    }
+}
+
 /// A byte-granularity virtual address.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Addr(u64);

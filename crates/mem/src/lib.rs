@@ -9,6 +9,8 @@
 //!   operations GPU implicit synchronization is built from.
 //! * [`directory`] — the coarse-grained (4-lines-per-entry) L2 coherence
 //!   directory used by the HMG comparison protocol.
+//! * [`flat`] — dense-index flat maps and epoch-versioned slabs, the
+//!   cache-friendly storage behind the per-access hot paths.
 //! * [`page`] — first-touch page placement, which decides each page's *home*
 //!   chiplet (L3 bank + HBM partition).
 //! * [`array`] — data-structure (array) declarations and access modes, the
@@ -31,11 +33,13 @@ pub mod addr;
 pub mod array;
 pub mod cache;
 pub mod directory;
+pub mod flat;
 pub mod hbm;
 pub mod page;
 
-pub use addr::{Addr, ChipletId, LineAddr, PageAddr, LINE_BYTES, PAGE_BYTES};
+pub use addr::{Addr, ChipletId, DenseAddr, LineAddr, PageAddr, LINE_BYTES, PAGE_BYTES};
 pub use array::{AccessMode, ArrayDecl, ArrayId};
 pub use cache::{CacheGeometry, CacheStats, SetAssocCache, WritePolicy};
 pub use directory::{CoarseDirectory, DirectoryStats};
-pub use page::FirstTouchPlacement;
+pub use flat::{EpochSlab, FlatMap};
+pub use page::{FirstTouchPlacement, PageTable};

@@ -5,9 +5,15 @@
 //! node*, owning the L3 bank slice and HBM partition holding that page.
 //! Accesses from any other chiplet are *remote* and cross the inter-chiplet
 //! interconnect.
+//!
+//! The home of a line is consulted on **every** simulated access, so the
+//! page table is stored flat ([`crate::flat::FlatMap`]) rather than hashed:
+//! device arrays occupy one dense band of pages, and the lookup is an index
+//! into a `Vec` slot shared with the neighbouring pages an access stream
+//! touches next.
 
 use crate::addr::{ChipletId, PageAddr};
-use std::collections::HashMap;
+use crate::flat::FlatMap;
 
 /// First-touch page-to-home-chiplet mapping.
 ///
@@ -25,8 +31,13 @@ use std::collections::HashMap;
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct FirstTouchPlacement {
-    homes: HashMap<PageAddr, ChipletId>,
+    homes: FlatMap<PageAddr, Option<ChipletId>>,
+    placed: usize,
 }
+
+/// The shared page table: one first-touch map serves both the timing model
+/// and the coherence oracle, so their notions of "home" can never drift.
+pub type PageTable = FirstTouchPlacement;
 
 impl FirstTouchPlacement {
     /// Creates an empty placement map.
@@ -36,29 +47,44 @@ impl FirstTouchPlacement {
 
     /// Returns the page's home chiplet, assigning `toucher` as home on the
     /// first touch.
+    #[inline]
     pub fn home_of(&mut self, page: PageAddr, toucher: ChipletId) -> ChipletId {
-        *self.homes.entry(page).or_insert(toucher)
+        let slot = self.homes.get_mut(page);
+        match *slot {
+            Some(home) => home,
+            None => {
+                *slot = Some(toucher);
+                self.placed += 1;
+                toucher
+            }
+        }
     }
 
     /// Returns the page's home chiplet if it has been touched.
+    #[inline]
     pub fn home_if_placed(&self, page: PageAddr) -> Option<ChipletId> {
-        self.homes.get(&page).copied()
+        self.homes.get(page)
     }
 
     /// Pre-assigns a home (used by tests and by workloads that model
     /// initialization kernels having already touched their arrays).
     pub fn place(&mut self, page: PageAddr, home: ChipletId) {
-        self.homes.insert(page, home);
+        let slot = self.homes.get_mut(page);
+        if slot.is_none() {
+            self.placed += 1;
+        }
+        *slot = Some(home);
     }
 
     /// Number of placed pages.
     pub fn placed_pages(&self) -> usize {
-        self.homes.len()
+        self.placed
     }
 
     /// Clears all placements (a fresh address space).
     pub fn clear(&mut self) {
         self.homes.clear();
+        self.placed = 0;
     }
 }
 
@@ -107,5 +133,30 @@ mod tests {
         p.clear();
         assert_eq!(p.placed_pages(), 0);
         assert_eq!(p.home_if_placed(PageAddr::new(0)), None);
+    }
+
+    #[test]
+    fn placement_far_from_heap_base_then_near() {
+        // The oracle and the timing model address pages both at the array
+        // heap base (0x10000) and, in unit tests, near zero; the flat map
+        // must serve both without forgetting earlier placements.
+        let mut p = FirstTouchPlacement::new();
+        p.home_of(PageAddr::new(0x10000), ChipletId::new(3));
+        p.home_of(PageAddr::new(1), ChipletId::new(2));
+        assert_eq!(
+            p.home_if_placed(PageAddr::new(0x10000)),
+            Some(ChipletId::new(3))
+        );
+        assert_eq!(p.home_if_placed(PageAddr::new(1)), Some(ChipletId::new(2)));
+        assert_eq!(p.placed_pages(), 2);
+    }
+
+    #[test]
+    fn place_twice_counts_once() {
+        let mut p = FirstTouchPlacement::new();
+        p.place(PageAddr::new(9), ChipletId::new(0));
+        p.place(PageAddr::new(9), ChipletId::new(1));
+        assert_eq!(p.placed_pages(), 1);
+        assert_eq!(p.home_if_placed(PageAddr::new(9)), Some(ChipletId::new(1)));
     }
 }

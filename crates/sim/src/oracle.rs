@@ -12,13 +12,31 @@
 //!   (newest wins, mirroring last-writer-correct DRF semantics);
 //! * *acquire* publishes and then drops the chiplet's shadow entries.
 //!
-//! The shadow L2 is **unbounded** — deliberately adversarial: capacity
-//! evictions in a real cache only push data *down* (making it globally
-//! visible sooner), so an elision that is safe against an infinite cache is
-//! safe against any smaller one. Every read is checked against the ground
-//! truth (the last kernel, in launch order, that wrote the line); a
-//! mismatch is a coherence violation and means the protocol elided a
-//! synchronization operation it actually needed.
+//! HMG configurations have no boundary decisions to audit — they keep
+//! coherence per access — so their replay instead follows the HMG datapath:
+//! every store writes through to global and invalidates remote shadow
+//! copies, exactly what the coarse directory's invalidation messages do.
+//!
+//! The default shadow L2 is **unbounded** — deliberately adversarial:
+//! capacity evictions in a real cache only push data *down* (making it
+//! globally visible sooner), so an elision that is safe against an infinite
+//! cache is safe against any smaller one. That claim is itself checkable:
+//! [`ShadowKind::Bounded`] replays through a set-associative shadow whose
+//! evictions publish dirty versions, and must never observe a violation the
+//! unbounded shadow misses. Every read is checked against the ground truth
+//! (the last kernel, in launch order, that wrote the line); a mismatch is a
+//! coherence violation and means the protocol elided a synchronization
+//! operation it actually needed.
+//!
+//! # Storage
+//!
+//! Replay visits millions of lines, so the shadow state lives in flat
+//! dense-index storage ([`chiplet_mem::flat`]): version and truth maps are
+//! [`FlatMap`]s, per-chiplet shadow L2s are epoch-versioned slabs whose
+//! acquire is a single generation bump, and first-touch homes reuse the
+//! same [`PageTable`] the timing model uses. The original `HashMap`-backed
+//! shadow is retained as [`ShadowKind::HashReference`] so benchmarks can
+//! measure the speedup and tests can cross-check byte-identical reports.
 
 use crate::config::SimConfig;
 use chiplet_coherence::ProtocolKind;
@@ -26,7 +44,9 @@ use chiplet_gpu::dispatch::StaticPartitionScheduler;
 use chiplet_gpu::kernel::KernelId;
 use chiplet_gpu::stream::SoftwareQueue;
 use chiplet_gpu::trace::TraceGenerator;
-use chiplet_mem::addr::{ChipletId, LineAddr};
+use chiplet_mem::addr::{ChipletId, LineAddr, PageAddr};
+use chiplet_mem::flat::{EpochSlab, FlatMap};
+use chiplet_mem::page::PageTable;
 use chiplet_workloads::Workload;
 use cpelide::api::KernelLaunchInfo;
 use cpelide::cp::GlobalCp;
@@ -54,6 +74,8 @@ pub struct OracleReport {
     pub reads_checked: u64,
     /// Writes recorded.
     pub writes_recorded: u64,
+    /// Pages assigned a first-touch home during the replay.
+    pub pages_placed: u64,
     /// Violations found (empty = the protocol is coherent on this trace).
     pub violations: Vec<Violation>,
 }
@@ -65,31 +87,246 @@ impl OracleReport {
     }
 }
 
-#[derive(Debug, Clone, Copy)]
+/// Which shadow-memory implementation replays the trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShadowKind {
+    /// Flat dense-index storage with epoch-versioned shadow L2s — the
+    /// default and the fast path.
+    Flat,
+    /// The original `HashMap`-backed shadow, kept as a behavioural
+    /// reference: reports must match [`ShadowKind::Flat`] exactly, and the
+    /// `hotpath` benchmark measures the flat speedup against it.
+    HashReference,
+    /// A *bounded* set-associative shadow L2 whose capacity evictions
+    /// publish dirty versions down to global memory. Used to test the
+    /// eviction-monotonicity claim: bounding the cache can only make data
+    /// globally visible sooner, never hide a violation the unbounded
+    /// shadow would catch... nor invent one it wouldn't.
+    Bounded {
+        /// Cache sets per chiplet shadow.
+        sets: usize,
+        /// Ways per set.
+        ways: usize,
+    },
+}
+
+#[derive(Debug, Clone, Copy, Default)]
 struct ShadowEntry {
     version: u64,
     dirty: bool,
 }
 
-/// The shadow memory state.
-#[derive(Debug, Default)]
-struct Shadow {
-    /// Versions visible at the shared level (L3/HBM). Missing = initial (0).
-    global: HashMap<LineAddr, u64>,
-    /// Per-chiplet shadow L2s (unbounded).
-    l2: Vec<HashMap<LineAddr, ShadowEntry>>,
-    /// Ground truth per line: (last writer kernel version, previous
-    /// version before this kernel). Intra-kernel accesses from different
-    /// WGs are unordered on a real GPU, so a read racing with a same-kernel
-    /// write may legally observe either value.
-    truth: HashMap<LineAddr, (u64, u64)>,
-    /// First-touch homes.
-    homes: HashMap<chiplet_mem::addr::PageAddr, ChipletId>,
+/// Advances a line's ground truth for a write by `kernel`: the stored pair
+/// is (last writer version, version before that kernel). A same-kernel
+/// rewrite keeps the original pre-kernel version; version 0 means "initial
+/// memory" and is never a real kernel.
+#[inline]
+fn advance_truth(t: &mut (u64, u64), kernel: u64) {
+    let prev = if t.0 == kernel { t.1 } else { t.0 };
+    *t = (kernel, prev);
 }
 
-impl Shadow {
+/// The shadow-memory operations the replay loop drives. One implementation
+/// per [`ShadowKind`]; all three must agree on observable behaviour.
+trait ShadowMem {
+    /// Publish chiplet `c`'s dirty versions to global memory.
+    fn release(&mut self, c: ChipletId);
+    /// Publish, then drop chiplet `c`'s shadow entries.
+    fn acquire(&mut self, c: ChipletId);
+    /// VIPER-datapath store.
+    fn write(&mut self, c: ChipletId, line: LineAddr, kernel: u64);
+    /// VIPER-datapath load; returns the observed version.
+    fn read(&mut self, c: ChipletId, line: LineAddr) -> u64;
+    /// HMG-datapath store: write through + invalidate remote copies.
+    fn write_through(&mut self, c: ChipletId, line: LineAddr, kernel: u64);
+    /// HMG-datapath load: local copies are legal on every chiplet.
+    fn read_shared(&mut self, c: ChipletId, line: LineAddr) -> u64;
+    /// Ground truth for `line`: (expected version, pre-kernel version).
+    fn truth_of(&self, line: LineAddr) -> (u64, u64);
+    /// Pages assigned a first-touch home so far.
+    fn pages_placed(&self) -> u64;
+}
+
+// ---------------------------------------------------------------------------
+// Flat shadow (default): dense slabs, O(1) bulk invalidate.
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Default)]
+struct FlatL2 {
+    slab: EpochSlab<LineAddr, ShadowEntry>,
+    /// Lines possibly dirty in the current generation; drained on release.
+    dirty: Vec<LineAddr>,
+}
+
+/// The flat shadow memory. `global` and `truth` are total maps whose
+/// default value encodes "initial memory"; the per-chiplet L2s are
+/// epoch-versioned so an acquire drops a whole cache with one counter bump
+/// instead of a map clear.
+#[derive(Debug)]
+struct FlatShadow {
+    /// Versions visible at the shared level (L3/HBM). Default = initial (0).
+    global: FlatMap<LineAddr, u64>,
+    /// Per-chiplet shadow L2s (unbounded).
+    l2: Vec<FlatL2>,
+    /// Ground truth per line: (last writer kernel version, previous version
+    /// before this kernel). Intra-kernel accesses from different WGs are
+    /// unordered on a real GPU, so a read racing with a same-kernel write
+    /// may legally observe either value.
+    truth: FlatMap<LineAddr, (u64, u64)>,
+    /// First-touch homes — the same page table the timing model uses.
+    homes: PageTable,
+}
+
+impl FlatShadow {
     fn new(chiplets: usize) -> Self {
-        Shadow {
+        FlatShadow {
+            global: FlatMap::new(0),
+            l2: (0..chiplets).map(|_| FlatL2::default()).collect(),
+            truth: FlatMap::new((0, 0)),
+            homes: PageTable::new(),
+        }
+    }
+}
+
+impl ShadowMem for FlatShadow {
+    fn release(&mut self, c: ChipletId) {
+        let l2 = &mut self.l2[c.index()];
+        for line in l2.dirty.drain(..) {
+            if let Some(e) = l2.slab.get_mut(line) {
+                if e.dirty {
+                    let g = self.global.get_mut(line);
+                    // Newest version wins (DRF last-writer semantics).
+                    *g = (*g).max(e.version);
+                    e.dirty = false;
+                }
+            }
+        }
+    }
+
+    fn acquire(&mut self, c: ChipletId) {
+        self.release(c);
+        // O(1) whole-cache invalidate: bump the slab generation.
+        self.l2[c.index()].slab.clear();
+    }
+
+    fn write(&mut self, c: ChipletId, line: LineAddr, kernel: u64) {
+        advance_truth(self.truth.get_mut(line), kernel);
+        let home = self.homes.home_of(line.page(), c);
+        if home == c {
+            // Local store: dirty in the shadow L2 (write-back).
+            let l2 = &mut self.l2[c.index()];
+            match l2.slab.get_mut(line) {
+                Some(e) => {
+                    if !e.dirty {
+                        l2.dirty.push(line);
+                    }
+                    *e = ShadowEntry {
+                        version: kernel,
+                        dirty: true,
+                    };
+                }
+                None => {
+                    l2.slab.insert(
+                        line,
+                        ShadowEntry {
+                            version: kernel,
+                            dirty: true,
+                        },
+                    );
+                    l2.dirty.push(line);
+                }
+            }
+        } else {
+            // Remote store: written through, no local copy.
+            let g = self.global.get_mut(line);
+            *g = (*g).max(kernel);
+        }
+    }
+
+    fn read(&mut self, c: ChipletId, line: LineAddr) -> u64 {
+        let home = self.homes.home_of(line.page(), c);
+        if home == c {
+            if let Some(e) = self.l2[c.index()].slab.get(line) {
+                return e.version;
+            }
+            let v = self.global.get(line);
+            // Local read fills a clean shadow copy.
+            self.l2[c.index()].slab.insert(
+                line,
+                ShadowEntry {
+                    version: v,
+                    dirty: false,
+                },
+            );
+            v
+        } else {
+            // Remote reads are forwarded to the home's LLC bank (never
+            // cached locally in the VIPER datapath).
+            self.global.get(line)
+        }
+    }
+
+    fn write_through(&mut self, c: ChipletId, line: LineAddr, kernel: u64) {
+        advance_truth(self.truth.get_mut(line), kernel);
+        let g = self.global.get_mut(line);
+        *g = (*g).max(kernel);
+        // The coarse directory invalidates every remote copy; the writer
+        // keeps a clean up-to-date copy.
+        for (i, l2) in self.l2.iter_mut().enumerate() {
+            if i == c.index() {
+                l2.slab.insert(
+                    line,
+                    ShadowEntry {
+                        version: kernel,
+                        dirty: false,
+                    },
+                );
+            } else {
+                l2.slab.remove(line);
+            }
+        }
+    }
+
+    fn read_shared(&mut self, c: ChipletId, line: LineAddr) -> u64 {
+        if let Some(e) = self.l2[c.index()].slab.get(line) {
+            return e.version;
+        }
+        let v = self.global.get(line);
+        self.l2[c.index()].slab.insert(
+            line,
+            ShadowEntry {
+                version: v,
+                dirty: false,
+            },
+        );
+        v
+    }
+
+    fn truth_of(&self, line: LineAddr) -> (u64, u64) {
+        self.truth.get(line)
+    }
+
+    fn pages_placed(&self) -> u64 {
+        self.homes.placed_pages() as u64
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Hash reference shadow: the original implementation, kept verbatim so the
+// flat rework stays honest (identical reports, measurable speedup).
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Default)]
+struct HashShadow {
+    global: HashMap<LineAddr, u64>,
+    l2: Vec<HashMap<LineAddr, ShadowEntry>>,
+    truth: HashMap<LineAddr, (u64, u64)>,
+    homes: HashMap<PageAddr, ChipletId>,
+}
+
+impl HashShadow {
+    fn new(chiplets: usize) -> Self {
+        HashShadow {
             l2: (0..chiplets).map(|_| HashMap::new()).collect(),
             ..Default::default()
         }
@@ -98,12 +335,13 @@ impl Shadow {
     fn home_of(&mut self, line: LineAddr, toucher: ChipletId) -> ChipletId {
         *self.homes.entry(line.page()).or_insert(toucher)
     }
+}
 
+impl ShadowMem for HashShadow {
     fn release(&mut self, c: ChipletId) {
         for (line, e) in self.l2[c.index()].iter_mut() {
             if e.dirty {
                 let g = self.global.entry(*line).or_insert(0);
-                // Newest version wins (DRF last-writer semantics).
                 *g = (*g).max(e.version);
                 e.dirty = false;
             }
@@ -124,7 +362,6 @@ impl Shadow {
         self.truth.insert(line, (kernel, prev));
         let home = self.home_of(line, c);
         if home == c {
-            // Local store: dirty in the shadow L2 (write-back).
             self.l2[c.index()].insert(
                 line,
                 ShadowEntry {
@@ -133,13 +370,11 @@ impl Shadow {
                 },
             );
         } else {
-            // Remote store: written through, no local copy.
             let g = self.global.entry(line).or_insert(0);
             *g = (*g).max(kernel);
         }
     }
 
-    /// Returns the observed version for a read.
     fn read(&mut self, c: ChipletId, line: LineAddr) -> u64 {
         let home = self.home_of(line, c);
         if home == c {
@@ -147,7 +382,6 @@ impl Shadow {
                 return e.version;
             }
             let v = self.global.get(&line).copied().unwrap_or(0);
-            // Local read fills a clean shadow copy.
             self.l2[c.index()].insert(
                 line,
                 ShadowEntry {
@@ -157,57 +391,401 @@ impl Shadow {
             );
             v
         } else {
-            // Remote reads are forwarded to the home's LLC bank (never
-            // cached locally in the VIPER datapath).
             self.global.get(&line).copied().unwrap_or(0)
         }
     }
+
+    fn write_through(&mut self, c: ChipletId, line: LineAddr, kernel: u64) {
+        let prev = match self.truth.get(&line) {
+            Some(&(v, p)) if v == kernel => p,
+            Some(&(v, _)) => v,
+            None => 0,
+        };
+        self.truth.insert(line, (kernel, prev));
+        let g = self.global.entry(line).or_insert(0);
+        *g = (*g).max(kernel);
+        for (i, l2) in self.l2.iter_mut().enumerate() {
+            if i == c.index() {
+                l2.insert(
+                    line,
+                    ShadowEntry {
+                        version: kernel,
+                        dirty: false,
+                    },
+                );
+            } else {
+                l2.remove(&line);
+            }
+        }
+    }
+
+    fn read_shared(&mut self, c: ChipletId, line: LineAddr) -> u64 {
+        if let Some(e) = self.l2[c.index()].get(&line) {
+            return e.version;
+        }
+        let v = self.global.get(&line).copied().unwrap_or(0);
+        self.l2[c.index()].insert(
+            line,
+            ShadowEntry {
+                version: v,
+                dirty: false,
+            },
+        );
+        v
+    }
+
+    fn truth_of(&self, line: LineAddr) -> (u64, u64) {
+        self.truth.get(&line).copied().unwrap_or((0, 0))
+    }
+
+    fn pages_placed(&self) -> u64 {
+        self.homes.len() as u64
+    }
 }
+
+// ---------------------------------------------------------------------------
+// Bounded shadow: a set-associative L2 whose evictions publish dirty data.
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, Copy)]
+struct BoundedWay {
+    line: LineAddr,
+    entry: ShadowEntry,
+    lru: u64,
+    valid: bool,
+}
+
+#[derive(Debug)]
+struct BoundedL2 {
+    sets: usize,
+    ways: usize,
+    tick: u64,
+    slots: Vec<BoundedWay>,
+}
+
+impl BoundedL2 {
+    fn new(sets: usize, ways: usize) -> Self {
+        assert!(sets > 0 && ways > 0, "bounded shadow needs a real geometry");
+        BoundedL2 {
+            sets,
+            ways,
+            tick: 0,
+            slots: vec![
+                BoundedWay {
+                    line: LineAddr::new(0),
+                    entry: ShadowEntry::default(),
+                    lru: 0,
+                    valid: false,
+                };
+                sets * ways
+            ],
+        }
+    }
+
+    #[inline]
+    fn set_range(&self, line: LineAddr) -> std::ops::Range<usize> {
+        let s = (line.get() % self.sets as u64) as usize * self.ways;
+        s..s + self.ways
+    }
+
+    fn lookup(&mut self, line: LineAddr) -> Option<ShadowEntry> {
+        self.tick += 1;
+        let tick = self.tick;
+        let r = self.set_range(line);
+        for w in &mut self.slots[r] {
+            if w.valid && w.line == line {
+                w.lru = tick;
+                return Some(w.entry);
+            }
+        }
+        None
+    }
+
+    /// Inserts `entry`, evicting the set's LRU way if needed. Evicted
+    /// dirty versions are pushed down into `global` — a real cache's
+    /// write-back — which is exactly the monotonicity the unbounded shadow
+    /// relies on.
+    fn insert(&mut self, line: LineAddr, entry: ShadowEntry, global: &mut FlatMap<LineAddr, u64>) {
+        self.tick += 1;
+        let tick = self.tick;
+        let r = self.set_range(line);
+        let slots = &mut self.slots[r];
+        let mut victim = 0usize;
+        let mut best = u64::MAX;
+        for (i, w) in slots.iter_mut().enumerate() {
+            if w.valid && w.line == line {
+                w.entry = entry;
+                w.lru = tick;
+                return;
+            }
+            let score = if w.valid { w.lru } else { 0 };
+            if score < best {
+                best = score;
+                victim = i;
+            }
+        }
+        let w = &mut slots[victim];
+        if w.valid && w.entry.dirty {
+            let g = global.get_mut(w.line);
+            *g = (*g).max(w.entry.version);
+        }
+        *w = BoundedWay {
+            line,
+            entry,
+            lru: tick,
+            valid: true,
+        };
+    }
+
+    fn remove(&mut self, line: LineAddr) {
+        let r = self.set_range(line);
+        for w in &mut self.slots[r] {
+            if w.valid && w.line == line {
+                w.valid = false;
+            }
+        }
+    }
+
+    fn drain_dirty(&mut self, global: &mut FlatMap<LineAddr, u64>) {
+        for w in &mut self.slots {
+            if w.valid && w.entry.dirty {
+                let g = global.get_mut(w.line);
+                *g = (*g).max(w.entry.version);
+                w.entry.dirty = false;
+            }
+        }
+    }
+
+    fn invalidate_all(&mut self) {
+        for w in &mut self.slots {
+            w.valid = false;
+        }
+    }
+}
+
+/// A shadow with bounded set-associative L2s: same global/truth/homes
+/// storage as [`FlatShadow`], but per-chiplet caches that actually evict.
+#[derive(Debug)]
+struct BoundedShadow {
+    global: FlatMap<LineAddr, u64>,
+    l2: Vec<BoundedL2>,
+    truth: FlatMap<LineAddr, (u64, u64)>,
+    homes: PageTable,
+}
+
+impl BoundedShadow {
+    fn new(chiplets: usize, sets: usize, ways: usize) -> Self {
+        BoundedShadow {
+            global: FlatMap::new(0),
+            l2: (0..chiplets).map(|_| BoundedL2::new(sets, ways)).collect(),
+            truth: FlatMap::new((0, 0)),
+            homes: PageTable::new(),
+        }
+    }
+}
+
+impl ShadowMem for BoundedShadow {
+    fn release(&mut self, c: ChipletId) {
+        self.l2[c.index()].drain_dirty(&mut self.global);
+    }
+
+    fn acquire(&mut self, c: ChipletId) {
+        self.release(c);
+        self.l2[c.index()].invalidate_all();
+    }
+
+    fn write(&mut self, c: ChipletId, line: LineAddr, kernel: u64) {
+        advance_truth(self.truth.get_mut(line), kernel);
+        let home = self.homes.home_of(line.page(), c);
+        if home == c {
+            self.l2[c.index()].insert(
+                line,
+                ShadowEntry {
+                    version: kernel,
+                    dirty: true,
+                },
+                &mut self.global,
+            );
+        } else {
+            let g = self.global.get_mut(line);
+            *g = (*g).max(kernel);
+        }
+    }
+
+    fn read(&mut self, c: ChipletId, line: LineAddr) -> u64 {
+        let home = self.homes.home_of(line.page(), c);
+        if home == c {
+            if let Some(e) = self.l2[c.index()].lookup(line) {
+                return e.version;
+            }
+            let v = self.global.get(line);
+            self.l2[c.index()].insert(
+                line,
+                ShadowEntry {
+                    version: v,
+                    dirty: false,
+                },
+                &mut self.global,
+            );
+            v
+        } else {
+            self.global.get(line)
+        }
+    }
+
+    fn write_through(&mut self, c: ChipletId, line: LineAddr, kernel: u64) {
+        advance_truth(self.truth.get_mut(line), kernel);
+        let g = self.global.get_mut(line);
+        *g = (*g).max(kernel);
+        for (i, l2) in self.l2.iter_mut().enumerate() {
+            if i == c.index() {
+                l2.insert(
+                    line,
+                    ShadowEntry {
+                        version: kernel,
+                        dirty: false,
+                    },
+                    &mut self.global,
+                );
+            } else {
+                l2.remove(line);
+            }
+        }
+    }
+
+    fn read_shared(&mut self, c: ChipletId, line: LineAddr) -> u64 {
+        if let Some(e) = self.l2[c.index()].lookup(line) {
+            return e.version;
+        }
+        let v = self.global.get(line);
+        self.l2[c.index()].insert(
+            line,
+            ShadowEntry {
+                version: v,
+                dirty: false,
+            },
+            &mut self.global,
+        );
+        v
+    }
+
+    fn truth_of(&self, line: LineAddr) -> (u64, u64) {
+        self.truth.get(line)
+    }
+
+    fn pages_placed(&self) -> u64 {
+        self.homes.placed_pages() as u64
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Replay loop.
+// ---------------------------------------------------------------------------
 
 /// Replays `workload` with **no synchronization at all** — a deliberately
 /// broken protocol used to validate that the oracle actually detects stale
 /// reads on workloads with cross-chiplet dependences.
 pub fn check_never_sync(workload: &Workload, chiplets: usize, sample: usize) -> OracleReport {
-    check_inner(workload, ProtocolKind::CpElide, chiplets, sample, false)
+    check_never_sync_with(workload, chiplets, sample, ShadowKind::Flat)
+}
+
+/// [`check_never_sync`] through an explicitly chosen shadow implementation.
+pub fn check_never_sync_with(
+    workload: &Workload,
+    chiplets: usize,
+    sample: usize,
+    kind: ShadowKind,
+) -> OracleReport {
+    dispatch(
+        workload,
+        ProtocolKind::CpElide,
+        chiplets,
+        sample,
+        false,
+        kind,
+    )
 }
 
 /// Replays `workload` under `protocol`'s synchronization decisions and
 /// checks every `sample`-th read against ground truth.
 ///
-/// Supports the VIPER-datapath configurations ([`ProtocolKind::Baseline`],
-/// [`ProtocolKind::CpElide`], [`ProtocolKind::Monolithic`]) — exactly the
-/// ones whose correctness depends on implicit synchronization. HMG keeps
-/// coherence per access and has no boundary decisions to audit.
-///
-/// # Panics
-///
-/// Panics if called with an HMG configuration.
+/// The VIPER-datapath configurations ([`ProtocolKind::Baseline`],
+/// [`ProtocolKind::CpElide`], [`ProtocolKind::Monolithic`]) are audited at
+/// kernel boundaries — exactly where implicit synchronization can be
+/// elided. HMG configurations are replayed through the per-access HMG
+/// datapath (write-through + remote invalidation) and must be coherent by
+/// construction.
 pub fn check_coherence(
     workload: &Workload,
     protocol: ProtocolKind,
     chiplets: usize,
     sample: usize,
 ) -> OracleReport {
-    check_inner(workload, protocol, chiplets, sample, true)
+    check_coherence_with(workload, protocol, chiplets, sample, ShadowKind::Flat)
 }
 
-fn check_inner(
+/// [`check_coherence`] through an explicitly chosen shadow implementation.
+pub fn check_coherence_with(
+    workload: &Workload,
+    protocol: ProtocolKind,
+    chiplets: usize,
+    sample: usize,
+    kind: ShadowKind,
+) -> OracleReport {
+    dispatch(workload, protocol, chiplets, sample, true, kind)
+}
+
+fn dispatch(
     workload: &Workload,
     protocol: ProtocolKind,
     chiplets: usize,
     sample: usize,
     apply_sync: bool,
+    kind: ShadowKind,
 ) -> OracleReport {
-    assert!(
-        !protocol.is_hmg(),
-        "the oracle audits implicit-synchronization protocols"
-    );
     let cfg = SimConfig::table1(chiplets, protocol);
     let n = cfg.num_chiplets;
+    match kind {
+        ShadowKind::Flat => check_inner(
+            &mut FlatShadow::new(n),
+            workload,
+            protocol,
+            &cfg,
+            sample,
+            apply_sync,
+        ),
+        ShadowKind::HashReference => check_inner(
+            &mut HashShadow::new(n),
+            workload,
+            protocol,
+            &cfg,
+            sample,
+            apply_sync,
+        ),
+        ShadowKind::Bounded { sets, ways } => check_inner(
+            &mut BoundedShadow::new(n, sets, ways),
+            workload,
+            protocol,
+            &cfg,
+            sample,
+            apply_sync,
+        ),
+    }
+}
+
+fn check_inner<S: ShadowMem>(
+    shadow: &mut S,
+    workload: &Workload,
+    protocol: ProtocolKind,
+    cfg: &SimConfig,
+    sample: usize,
+    apply_sync: bool,
+) -> OracleReport {
+    let n = cfg.num_chiplets;
     let sample = sample.max(1);
+    let hmg = protocol.is_hmg();
 
     let mut cp = (protocol == ProtocolKind::CpElide).then(|| GlobalCp::new(n));
-    let mut shadow = Shadow::new(n);
     let tracegen = TraceGenerator::new(cfg.seed);
     let scheduler = StaticPartitionScheduler::new();
     let all_chiplets: Vec<ChipletId> = ChipletId::all(n).collect();
@@ -234,8 +812,10 @@ fn check_inner(
             };
             let plan = scheduler.plan(&packet.spec, &binding);
 
-            // Boundary synchronization per protocol.
+            // Boundary synchronization per protocol. HMG keeps coherence
+            // per access and performs nothing at boundaries.
             match protocol {
+                _ if hmg => {}
                 _ if !apply_sync => {
                     // Broken-protocol mode: still run the CP so decisions
                     // are computed, but never apply them to the shadow.
@@ -290,12 +870,19 @@ fn check_inner(
                 );
                 for (i, ev) in trace.iter().enumerate() {
                     if ev.write {
-                        shadow.write(chiplet, ev.line, version);
+                        if hmg {
+                            shadow.write_through(chiplet, ev.line, version);
+                        } else {
+                            shadow.write(chiplet, ev.line, version);
+                        }
                         report.writes_recorded += 1;
                     } else if i % sample == 0 {
-                        let observed = shadow.read(chiplet, ev.line);
-                        let (expected, prev) =
-                            shadow.truth.get(&ev.line).copied().unwrap_or((0, 0));
+                        let observed = if hmg {
+                            shadow.read_shared(chiplet, ev.line)
+                        } else {
+                            shadow.read(chiplet, ev.line)
+                        };
+                        let (expected, prev) = shadow.truth_of(ev.line);
                         report.reads_checked += 1;
                         // A read racing a same-kernel write may see either
                         // the new value or the pre-kernel one.
@@ -314,6 +901,7 @@ fn check_inner(
             }
         }
     }
+    report.pages_placed = shadow.pages_placed();
     report
 }
 
@@ -374,9 +962,54 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "implicit-synchronization")]
-    fn oracle_rejects_hmg() {
+    fn hmg_is_coherent_per_access() {
+        // HMG has no boundary decisions; the per-access write-through +
+        // invalidation datapath must replay clean on a cross-chiplet
+        // producer/consumer workload.
+        let w = chiplet_workloads::by_name("sssp").unwrap();
+        for p in [ProtocolKind::Hmg, ProtocolKind::HmgWriteBack] {
+            let r = check_coherence(&w, p, 4, 7);
+            assert!(r.reads_checked > 0);
+            assert!(r.is_coherent(), "{p}: {:?}", r.violations.first());
+        }
+    }
+
+    #[test]
+    fn flat_and_hash_reference_shadows_agree_exactly() {
+        // The flat rework must be behaviourally invisible: identical
+        // counters and identical violation lists, on both a coherent
+        // replay and a deliberately broken one.
+        let w = chiplet_workloads::by_name("hotspot3d").unwrap();
+        for (proto, sync) in [
+            (ProtocolKind::CpElide, true),
+            (ProtocolKind::CpElide, false),
+        ] {
+            let run = |kind| {
+                if sync {
+                    check_coherence_with(&w, proto, 4, 13, kind)
+                } else {
+                    check_never_sync_with(&w, 4, 13, kind)
+                }
+            };
+            let flat = run(ShadowKind::Flat);
+            let hash = run(ShadowKind::HashReference);
+            assert_eq!(flat.reads_checked, hash.reads_checked);
+            assert_eq!(flat.writes_recorded, hash.writes_recorded);
+            assert_eq!(flat.pages_placed, hash.pages_placed);
+            assert_eq!(flat.violations, hash.violations, "sync={sync}");
+        }
+    }
+
+    #[test]
+    fn bounded_shadow_matches_on_a_coherent_replay() {
         let w = chiplet_workloads::by_name("square").unwrap();
-        let _ = check_coherence(&w, ProtocolKind::Hmg, 4, 1);
+        let r = check_coherence_with(
+            &w,
+            ProtocolKind::CpElide,
+            4,
+            7,
+            ShadowKind::Bounded { sets: 64, ways: 4 },
+        );
+        assert!(r.is_coherent(), "{:?}", r.violations.first());
     }
 }

@@ -33,4 +33,15 @@ grep -q 'cpelide_kernel_cycles_bucket' results/probe.prom
 echo "== bench runner (fixed iterations) =="
 CHIPLET_BENCH_ITERS=3 CHIPLET_BENCH_WARMUP=1 cargo bench --workspace
 
+echo "== hotpath bench smoke (validated BENCH_hotpath.json) =="
+# write_report schema-validates the document before it lands; the greps
+# assert the flat-vs-hashmap speedup section made it into the artifact.
+# CPELIDE_RESULTS_DIR is absolute because `cargo bench` runs the bench
+# binary with the package directory as cwd, not the workspace root.
+CPELIDE_SMOKE=1 CHIPLET_BENCH_ITERS=3 CHIPLET_BENCH_WARMUP=1 \
+  CPELIDE_RESULTS_DIR="$PWD/results" \
+  cargo bench -p cpelide-bench --bench hotpath
+grep -q '"oracle_replay_flat_vs_hashmap"' results/BENCH_hotpath.json
+grep -q '"placement_flat_vs_hashmap"' results/BENCH_hotpath.json
+
 echo "ci-local: all checks passed"

@@ -1,0 +1,112 @@
+//! Golden determinism snapshots: the full `RunMetrics::to_json()` output of
+//! a small fixed sweep must be **byte-identical** across commits.
+//!
+//! This is the gate behind every hot-path rework: a storage or indexing
+//! change that alters even one counter in one run shows up here as a byte
+//! diff. The snapshots live in `tests/golden/` and are committed; to
+//! re-bless them after an *intentional* metrics change, run
+//!
+//! ```text
+//! CPELIDE_BLESS=1 cargo test --release --test golden_determinism
+//! ```
+//!
+//! and commit the resulting files together with the change that explains
+//! them.
+
+use cpelide_repro::prelude::*;
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+/// The smoke sweep: one streaming-reuse app, one dependent-sparse app, one
+/// dense multi-kernel app — all three paper protocol families, at the
+/// paper's smallest and default chiplet counts.
+const WORKLOADS: &[&str] = &["square", "bfs", "fw"];
+const PROTOCOLS: &[(&str, ProtocolKind)] = &[
+    ("baseline", ProtocolKind::Baseline),
+    ("hmg", ProtocolKind::Hmg),
+    ("cpelide", ProtocolKind::CpElide),
+];
+const CHIPLETS: &[usize] = &[2, 4];
+
+fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("golden")
+}
+
+#[test]
+fn run_metrics_json_is_byte_identical_to_golden() {
+    let bless = std::env::var("CPELIDE_BLESS").is_ok();
+    let dir = golden_dir();
+    if bless {
+        std::fs::create_dir_all(&dir).expect("create tests/golden");
+    }
+
+    let mut diffs = String::new();
+    for name in WORKLOADS {
+        let w = cpelide_repro::workloads::by_name(name).expect("smoke workload in suite");
+        for (pname, protocol) in PROTOCOLS {
+            for &chiplets in CHIPLETS {
+                let m = Simulator::new(SimConfig::table1(chiplets, *protocol)).run(&w);
+                let rendered = m.to_json().render();
+                let path = dir.join(format!("{name}_{pname}_{chiplets}.json"));
+                if bless {
+                    std::fs::write(&path, rendered.as_bytes()).expect("write golden");
+                    continue;
+                }
+                let want = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+                    panic!(
+                        "missing golden snapshot {} ({e}); bless with \
+                         CPELIDE_BLESS=1 cargo test --release --test golden_determinism",
+                        path.display()
+                    )
+                });
+                if want != rendered {
+                    // Report the first differing line so the diff is
+                    // actionable without external tooling.
+                    let mismatch = want
+                        .lines()
+                        .zip(rendered.lines())
+                        .enumerate()
+                        .find(|(_, (a, b))| a != b);
+                    let _ = writeln!(
+                        diffs,
+                        "{name}/{pname}/{chiplets}: {}",
+                        match mismatch {
+                            Some((i, (a, b))) =>
+                                format!("line {}: golden `{a}` vs got `{b}`", i + 1),
+                            None => format!(
+                                "length changed: golden {} bytes vs got {} bytes",
+                                want.len(),
+                                rendered.len()
+                            ),
+                        }
+                    );
+                }
+            }
+        }
+    }
+    assert!(
+        diffs.is_empty(),
+        "RunMetrics::to_json drifted from the golden snapshots:\n{diffs}\
+         If the change is intentional, re-bless with CPELIDE_BLESS=1."
+    );
+}
+
+#[test]
+fn golden_sweep_is_stable_within_a_process() {
+    // The snapshot test above catches drift across commits; this one
+    // catches nondeterminism within a build (iteration order, uninitialized
+    // state) by running the same configuration twice.
+    let w = cpelide_repro::workloads::by_name("bfs").expect("bfs in suite");
+    let a = Simulator::new(SimConfig::table1(4, ProtocolKind::CpElide))
+        .run(&w)
+        .to_json()
+        .render();
+    let b = Simulator::new(SimConfig::table1(4, ProtocolKind::CpElide))
+        .run(&w)
+        .to_json()
+        .render();
+    assert_eq!(a, b, "same config, same process, different metrics JSON");
+}

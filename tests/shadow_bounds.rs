@@ -1,0 +1,121 @@
+//! Eviction monotonicity: bounding the oracle's shadow L2 must never
+//! surface a violation the unbounded shadow misses.
+//!
+//! The oracle's default shadow L2 is unbounded, on the argument that
+//! capacity evictions in a real cache only push dirty data *down* to the
+//! globally visible level — they make writes visible sooner, never later —
+//! so a synchronization elision that is safe against an infinite cache is
+//! safe against any finite one. This property test exercises that claim
+//! directly: replay the same trace through a set-associative shadow whose
+//! evictions publish dirty versions, across randomized workloads,
+//! protocols, chiplet counts and (deliberately tiny) cache geometries, and
+//! check
+//!
+//! * coherent protocols stay coherent under any bounded geometry, and
+//! * with synchronization dropped entirely, the bounded shadow's
+//!   violations are a subset of the unbounded shadow's.
+
+use chiplet_coherence::ProtocolKind;
+use chiplet_harness::prop::{check, PropConfig};
+use chiplet_harness::prop_assert;
+use chiplet_sim::oracle::{check_coherence_with, check_never_sync_with, ShadowKind};
+use std::collections::HashSet;
+
+/// Small-footprint workloads so each of the 256 cases replays quickly.
+const POOL: &[&str] = &["square", "bfs", "gaussian"];
+
+#[derive(Debug)]
+struct Case {
+    workload: &'static str,
+    /// `None` replays with synchronization dropped (the broken protocol).
+    protocol: Option<ProtocolKind>,
+    chiplets: usize,
+    sets: usize,
+    ways: usize,
+    sample: usize,
+}
+
+#[test]
+fn bounded_shadow_violations_are_a_subset_of_unbounded() {
+    // Debug builds run fewer cases (repo convention for replay-heavy
+    // tests); release CI runs the full 256. `CHIPLET_PROP_CASES` overrides
+    // either way via PropConfig's environment defaults.
+    let config = if std::env::var("CHIPLET_PROP_CASES").is_ok() {
+        PropConfig::default()
+    } else if cfg!(debug_assertions) {
+        PropConfig::with_cases(24)
+    } else {
+        PropConfig::with_cases(256)
+    };
+    check(
+        "bounded_shadow_eviction_monotonicity",
+        &config,
+        |rng, size| {
+            // Smaller `size` shrinks the geometry, so shrinking a failure
+            // drives the cache toward maximal eviction pressure.
+            let max_set_bits = 1 + (size.min(63) as u64).ilog2().min(6);
+            Case {
+                workload: POOL[rng.next_below(POOL.len() as u64) as usize],
+                protocol: match rng.next_below(4) {
+                    0 => Some(ProtocolKind::Baseline),
+                    1 | 2 => Some(ProtocolKind::CpElide),
+                    _ => None,
+                },
+                chiplets: 2 + rng.next_below(3) as usize,
+                sets: 1usize << rng.next_below(u64::from(max_set_bits)),
+                ways: 1 + rng.next_below(4) as usize,
+                sample: 61 + 2 * rng.next_below(40) as usize,
+            }
+        },
+        |c| {
+            let w = cpelide_repro::workloads::by_name(c.workload).expect("pool workload");
+            let bounded = ShadowKind::Bounded {
+                sets: c.sets,
+                ways: c.ways,
+            };
+            match c.protocol {
+                Some(p) => {
+                    let unb = check_coherence_with(&w, p, c.chiplets, c.sample, ShadowKind::Flat);
+                    let bnd = check_coherence_with(&w, p, c.chiplets, c.sample, bounded);
+                    prop_assert!(
+                        unb.is_coherent(),
+                        "unbounded shadow saw violations under {p}: {:?}",
+                        unb.violations.first()
+                    );
+                    prop_assert!(
+                        bnd.is_coherent(),
+                        "bounded {}x{} shadow invented a violation under {p}: {:?}",
+                        c.sets,
+                        c.ways,
+                        bnd.violations.first()
+                    );
+                    prop_assert!(
+                        bnd.reads_checked == unb.reads_checked,
+                        "shadows audited different read counts: {} vs {}",
+                        bnd.reads_checked,
+                        unb.reads_checked
+                    );
+                }
+                None => {
+                    let unb = check_never_sync_with(&w, c.chiplets, c.sample, ShadowKind::Flat);
+                    let bnd = check_never_sync_with(&w, c.chiplets, c.sample, bounded);
+                    let unbounded_set: HashSet<_> = unb
+                        .violations
+                        .iter()
+                        .map(|v| (v.kernel, v.chiplet, v.line))
+                        .collect();
+                    for v in &bnd.violations {
+                        prop_assert!(
+                            unbounded_set.contains(&(v.kernel, v.chiplet, v.line)),
+                            "bounded {}x{} shadow saw a violation the unbounded shadow \
+                             missed: {v:?}",
+                            c.sets,
+                            c.ways
+                        );
+                    }
+                }
+            }
+            Ok(())
+        },
+    );
+}
