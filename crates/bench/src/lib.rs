@@ -14,6 +14,10 @@
 //! `--trace <path>` flag) to export a Chrome/Perfetto timeline of its
 //! CPElide run, loadable at <https://ui.perfetto.dev>.
 
+// chiplet-check: allow-file(no-panic) — artifact writers abort by contract:
+// a malformed or unwritable report must kill the figure run loudly rather
+// than let a silent skip masquerade as regenerated results.
+
 use chiplet_harness::json::{self, Json};
 use chiplet_sim::experiments::Fig8Row;
 use chiplet_workloads::{ReuseClass, Workload};

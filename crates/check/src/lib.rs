@@ -1,0 +1,26 @@
+//! `chiplet-check`: zero-dependency static analysis for the CPElide
+//! workspace.
+//!
+//! Two engines behind one CLI (`cargo run -p chiplet-check`):
+//!
+//! - [`rules`] + [`walk`]: a token-scanner *linter* enforcing the
+//!   repo-specific determinism and soundness invariants that the dynamic
+//!   test suite can only probe one seed at a time — no hash-order
+//!   iteration where it could leak into metrics, no wall-clock/thread/env
+//!   use on the simulation path, no panicking calls in library code, no
+//!   banned external crates, no unowned to-do markers. Diagnostics carry
+//!   `file:line` spans and honor `// chiplet-check: allow(<rule>)`
+//!   pragmas; see [`rules::RULES`] for the catalogue.
+//! - [`model`]: an exhaustive BFS *model checker* that drives the real
+//!   [`cpelide::table::ChipletCoherenceTable`] through every state
+//!   reachable under a race-free action alphabet (N ∈ {2,3,4} chiplets ×
+//!   2 arrays), asserting the paper's Figure 6 safety invariants on every
+//!   transition and cross-validating against `chiplet_obs::audit`.
+//!
+//! The lexer ([`lexer`]) is a minimal hand-rolled Rust scanner: the
+//! workspace stays free of `syn`/`proc-macro2` like every other crate.
+
+pub mod lexer;
+pub mod model;
+pub mod rules;
+pub mod walk;

@@ -1,0 +1,138 @@
+//! The `chiplet-check` CLI.
+//!
+//! ```text
+//! cargo run --release -p chiplet-check -- --workspace     # lint the tree
+//! cargo run --release -p chiplet-check -- --model-check   # CCT exhaustive check
+//! cargo run --release -p chiplet-check                    # both
+//! ```
+//!
+//! Exits 0 when clean, 1 on any finding or invariant violation, 2 on
+//! usage or I/O errors. `--json` prints the lint report as validated JSON
+//! instead of human-readable lines; the model checker always writes its
+//! census to `results/CHECK_model.json` (override the directory with
+//! `CPELIDE_RESULTS_DIR`).
+
+use chiplet_check::model;
+use chiplet_check::rules::RULES;
+use chiplet_check::walk;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: chiplet-check [--workspace] [--model-check] [--json] \
+                     [--root <dir>] [--rules]";
+
+fn main() -> ExitCode {
+    let mut lint = false;
+    let mut model_check = false;
+    let mut json = false;
+    let mut root: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--workspace" => lint = true,
+            "--model-check" => model_check = true,
+            "--json" => json = true,
+            "--root" => match args.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => {
+                    eprintln!("--root needs a directory\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--rules" => {
+                for r in RULES {
+                    println!("{:<14} {:<44} {}", r.id, r.scope, r.summary);
+                }
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown argument `{other}`\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if !lint && !model_check {
+        lint = true;
+        model_check = true;
+    }
+
+    let mut failed = false;
+
+    if lint {
+        let root = root.unwrap_or_else(walk::workspace_root);
+        let report = match walk::lint_tree(&root) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("chiplet-check: cannot walk {}: {e}", root.display());
+                return ExitCode::from(2);
+            }
+        };
+        if json {
+            let text = walk::lint_report_json(&report).render();
+            if let Err(e) = chiplet_harness::json::validate(&text) {
+                eprintln!("chiplet-check: internal error: report JSON invalid: {e}");
+                return ExitCode::from(2);
+            }
+            println!("{text}");
+        } else {
+            for f in &report.findings {
+                println!("{f}");
+            }
+            println!(
+                "chiplet-check: {} file(s) scanned, {} finding(s)",
+                report.files_scanned,
+                report.findings.len()
+            );
+        }
+        failed |= !report.clean();
+    }
+
+    if model_check {
+        let bounds = [2usize, 3, 4];
+        let (censuses, census) = model::run(&bounds);
+        for c in &censuses {
+            println!(
+                "model-check n={}: {} states, {} transitions ({} actions), \
+                 depth {}, {} fully elided, {} acquires, {} releases, \
+                 {} violation(s)",
+                c.chiplets,
+                c.states,
+                c.transitions,
+                c.actions,
+                c.max_depth,
+                c.elided_transitions,
+                c.acquires_issued,
+                c.releases_issued,
+                c.violation_count
+            );
+            for v in &c.violations {
+                eprintln!("  violation: {v}");
+            }
+            failed |= c.violation_count != 0;
+        }
+        let text = census.render();
+        if let Err(e) = chiplet_harness::json::validate(&text) {
+            eprintln!("chiplet-check: internal error: census JSON invalid: {e}");
+            return ExitCode::from(2);
+        }
+        let dir = std::env::var_os("CPELIDE_RESULTS_DIR")
+            .map(PathBuf::from)
+            .unwrap_or_else(|| walk::workspace_root().join("results"));
+        if let Err(e) = std::fs::create_dir_all(&dir) {
+            eprintln!("chiplet-check: cannot create {}: {e}", dir.display());
+            return ExitCode::from(2);
+        }
+        let path = dir.join("CHECK_model.json");
+        if let Err(e) = std::fs::write(&path, text) {
+            eprintln!("chiplet-check: cannot write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+        println!("model-check: census written to {}", path.display());
+    }
+
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

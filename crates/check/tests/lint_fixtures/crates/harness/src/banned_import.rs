@@ -1,0 +1,7 @@
+//! chiplet-check fixture: `banned-import` must fire on line 3.
+
+use rand::Rng;
+
+pub fn roll<R: Rng>(rng: &mut R) -> u32 {
+    rng.next_u32()
+}

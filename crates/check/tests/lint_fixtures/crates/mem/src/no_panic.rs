@@ -1,0 +1,5 @@
+//! chiplet-check fixture: `no-panic` must fire on line 4.
+
+pub fn first(xs: &[u32]) -> u32 {
+    *xs.first().expect("non-empty input")
+}

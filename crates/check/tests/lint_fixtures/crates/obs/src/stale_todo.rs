@@ -1,0 +1,6 @@
+//! chiplet-check fixture: `stale-todo` must fire on line 4.
+
+pub fn placeholder() -> u32 {
+    // TODO tighten this bound before the camera-ready
+    41
+}

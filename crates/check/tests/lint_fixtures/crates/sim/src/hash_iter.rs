@@ -1,0 +1,11 @@
+//! chiplet-check fixture: `hash-iter` must fire on line 7.
+
+use std::collections::HashMap;
+
+pub fn sum(m: &HashMap<u32, u32>) -> u32 {
+    let mut total = 0;
+    for (_k, v) in m.iter() {
+        total += v;
+    }
+    total
+}

@@ -1,0 +1,5 @@
+//! chiplet-check fixture: `sim-env` must fire on line 4.
+
+pub fn host_override() -> Option<String> {
+    std::env::var("CPELIDE_CHIPLETS").ok()
+}

@@ -1,0 +1,6 @@
+//! chiplet-check fixture: `sim-thread` must fire on line 4.
+
+pub fn fan_out() -> i32 {
+    let handle = std::thread::spawn(|| 1 + 1);
+    handle.join().unwrap_or(0)
+}

@@ -1,0 +1,6 @@
+//! chiplet-check fixture: `wall-clock` must fire on line 4.
+
+pub fn elapsed() -> u128 {
+    let start = std::time::Instant::now();
+    start.elapsed().as_nanos()
+}

@@ -118,9 +118,9 @@ impl MemorySystem {
             _ => WritePolicy::WriteBack,
         };
         let l2_geom = CacheGeometry::new(config.l2_bytes, LINE_BYTES, config.l2_ways)
-            .expect("L2 geometry from Table I is valid");
+            .expect("L2 geometry from Table I is valid"); // chiplet-check: allow(no-panic) — config invariant
         let l3_geom = CacheGeometry::new(config.l3_bytes, LINE_BYTES, config.l3_ways)
-            .expect("L3 geometry from Table I is valid");
+            .expect("L3 geometry from Table I is valid"); // chiplet-check: allow(no-panic) — config invariant
         let dirs = if kind.is_hmg() {
             (0..config.num_chiplets)
                 .map(|_| {

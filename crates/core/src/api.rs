@@ -182,6 +182,7 @@ impl LaunchInfoBuilder {
     pub fn build(self) -> KernelLaunchInfo {
         let num_chiplets = self
             .num_chiplets
+            // chiplet-check: allow(no-panic) — documented panic contract
             .expect("launch info must label at least one structure");
         KernelLaunchInfo {
             kernel: self.kernel,

@@ -220,8 +220,8 @@ impl HipRuntime {
                 .iter()
                 .map(|r| r.start.get())
                 .min()
-                .expect("non-empty");
-            let hi = group.iter().map(|r| r.end.get()).max().expect("non-empty");
+                .expect("non-empty"); // chiplet-check: allow(no-panic) — asserted above
+            let hi = group.iter().map(|r| r.end.get()).max().expect("non-empty"); // chiplet-check: allow(no-panic) — asserted above
             for &(a, b) in &spans {
                 assert!(
                     hi <= a || lo >= b,
@@ -256,14 +256,14 @@ impl HipRuntime {
         chiplets: impl IntoIterator<Item = ChipletId>,
     ) -> KernelLaunchInfo {
         let chiplets: Vec<ChipletId> = chiplets.into_iter().collect();
-        let annotations = self
+        let labeled = self
             .annotations
             .remove(kernel)
             .unwrap_or_else(|| panic!("kernel {kernel} has no labeled data structures"));
         let id = self.launches;
         self.launches += 1;
 
-        let structures = annotations
+        let structures = labeled
             .into_iter()
             .map(|a| {
                 let span = a.ptr.line_span();

@@ -26,7 +26,7 @@ use std::ops::Range;
 
 /// One first-touch placement record: a structure span plus the per-chiplet
 /// home ranges fixed for it at dispatch time.
-type HomeRecord = (Range<u64>, Vec<Option<Range<u64>>>);
+pub type HomeRecord = (Range<u64>, Vec<Option<Range<u64>>>);
 
 /// One table row.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -470,6 +470,7 @@ impl ChipletCoherenceTable {
                 .enumerate()
                 .min_by_key(|(_, e)| e.last_use)
                 .map(|(i, _)| i)
+                // chiplet-check: allow(no-panic) — loop guard proves non-empty
                 .expect("capacity > 0 and entries over capacity");
             let victim = self.entries.remove(lru);
             self.stats.evictions += 1;
@@ -635,6 +636,66 @@ impl ChipletCoherenceTable {
         self.stats.releases_elided += (self.num_chiplets - releases.len()) as u64;
 
         SyncActions { acquires, releases }
+    }
+}
+
+/// A read-only copy of one table row, exposed for external analysis. The
+/// `chiplet-check` model checker canonicalizes reachable CCT states through
+/// this view and re-derives the elision rules against it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EntrySnapshot {
+    /// The structure's tracked line span.
+    pub span: Range<u64>,
+    /// Current access-mode label.
+    pub mode: AccessMode,
+    /// Per-chiplet Figure 6 state.
+    pub states: Vec<EntryState>,
+    /// Per-chiplet tracked (touched) line ranges.
+    pub ranges: Vec<Option<Range<u64>>>,
+    /// Per-chiplet first-touch home ranges.
+    pub home_ranges: Vec<Option<Range<u64>>>,
+}
+
+impl EntrySnapshot {
+    /// The lines chiplet `j` may actually hold in its L2 for this row —
+    /// the same tracked ∩ home bound [`ChipletCoherenceTable::prepare_launch`]
+    /// reasons with.
+    pub fn cacheable(&self, j: ChipletId) -> Option<Range<u64>> {
+        let tracked = self.ranges[j.index()].as_ref()?;
+        let home = self.home_ranges[j.index()].as_ref()?;
+        let r = tracked.start.max(home.start)..tracked.end.min(home.end);
+        (r.start < r.end).then_some(r)
+    }
+}
+
+impl ChipletCoherenceTable {
+    /// Read-only snapshots of the live rows, sorted by span start (row
+    /// order inside the table is an implementation detail).
+    pub fn snapshot(&self) -> Vec<EntrySnapshot> {
+        let mut rows: Vec<EntrySnapshot> = self
+            .entries
+            .iter()
+            .map(|e| EntrySnapshot {
+                span: e.span(),
+                mode: e.mode,
+                states: e.states.clone(),
+                ranges: e.ranges.clone(),
+                home_ranges: e.home_ranges.clone(),
+            })
+            .collect();
+        rows.sort_by_key(|r| (r.span.start, r.span.end));
+        rows
+    }
+
+    /// The persistent first-touch home log (span → per-chiplet homes),
+    /// sorted by span start. Homes outlive row residency, so this is part
+    /// of the table's behavioral state alongside [`snapshot`].
+    ///
+    /// [`snapshot`]: ChipletCoherenceTable::snapshot
+    pub fn home_log_snapshot(&self) -> Vec<HomeRecord> {
+        let mut log = self.home_log.clone();
+        log.sort_by_key(|(r, _)| (r.start, r.end));
+        log
     }
 }
 

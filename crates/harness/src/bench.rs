@@ -140,7 +140,7 @@ impl BenchRunner {
             })
             .collect();
         self.results.push(BenchStats::from_samples(name, samples));
-        self.results.last().expect("just pushed")
+        self.results.last().expect("just pushed") // chiplet-check: allow(no-panic) — pushed above
     }
 
     /// Like [`BenchRunner::bench`], but re-creates untimed per-iteration
@@ -163,7 +163,7 @@ impl BenchRunner {
             })
             .collect();
         self.results.push(BenchStats::from_samples(name, samples));
-        self.results.last().expect("just pushed")
+        self.results.last().expect("just pushed") // chiplet-check: allow(no-panic) — pushed above
     }
 
     /// All results so far.

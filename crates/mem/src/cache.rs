@@ -339,7 +339,7 @@ impl SetAssocCache {
         let victim = set
             .iter_mut()
             .min_by_key(|w| if w.valid { w.lru + 1 } else { 0 })
-            .expect("cache sets are never empty");
+            .expect("cache sets are never empty"); // chiplet-check: allow(no-panic) — geometry invariant
 
         let mut writeback = None;
         let mut clean_eviction = None;

@@ -171,6 +171,7 @@ impl Simulator {
                     round_sync += op_max;
                 }
                 ProtocolKind::CpElide => {
+                    // chiplet-check: allow(no-panic) — constructed for this protocol above
                     let cp = cp.as_mut().expect("CPElide runs carry a global CP");
                     for (packet, plan) in &plans {
                         let info = KernelLaunchInfo::from_spec(

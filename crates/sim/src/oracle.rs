@@ -191,6 +191,7 @@ impl FlatShadow {
 impl ShadowMem for FlatShadow {
     fn release(&mut self, c: ChipletId) {
         let l2 = &mut self.l2[c.index()];
+        // chiplet-check: allow(hash-iter) — `dirty` is a Vec drained in insertion order
         for line in l2.dirty.drain(..) {
             if let Some(e) = l2.slab.get_mut(line) {
                 if e.dirty {
@@ -272,6 +273,7 @@ impl ShadowMem for FlatShadow {
         *g = (*g).max(kernel);
         // The coarse directory invalidates every remote copy; the writer
         // keeps a clean up-to-date copy.
+        // chiplet-check: allow(hash-iter) — iterates the outer per-chiplet Vec, in index order
         for (i, l2) in self.l2.iter_mut().enumerate() {
             if i == c.index() {
                 l2.slab.insert(
@@ -339,6 +341,8 @@ impl HashShadow {
 
 impl ShadowMem for HashShadow {
     fn release(&mut self, c: ChipletId) {
+        // chiplet-check: allow(hash-iter) — frozen reference shadow; the flush is a
+        // commutative max-merge, so hash order cannot reach any observable output
         for (line, e) in self.l2[c.index()].iter_mut() {
             if e.dirty {
                 let g = self.global.entry(*line).or_insert(0);
@@ -404,6 +408,7 @@ impl ShadowMem for HashShadow {
         self.truth.insert(line, (kernel, prev));
         let g = self.global.entry(line).or_insert(0);
         *g = (*g).max(kernel);
+        // chiplet-check: allow(hash-iter) — iterates the outer per-chiplet Vec, in index order
         for (i, l2) in self.l2.iter_mut().enumerate() {
             if i == c.index() {
                 l2.insert(
@@ -637,6 +642,7 @@ impl ShadowMem for BoundedShadow {
         advance_truth(self.truth.get_mut(line), kernel);
         let g = self.global.get_mut(line);
         *g = (*g).max(kernel);
+        // chiplet-check: allow(hash-iter) — iterates the outer per-chiplet Vec, in index order
         for (i, l2) in self.l2.iter_mut().enumerate() {
             if i == c.index() {
                 l2.insert(
@@ -836,6 +842,7 @@ fn check_inner<S: ShadowMem>(
                     }
                 }
                 ProtocolKind::CpElide => {
+                    // chiplet-check: allow(no-panic) — constructed for this protocol above
                     let cp = cp.as_mut().expect("CPElide oracle carries a CP");
                     let info = KernelLaunchInfo::from_spec(
                         &packet.spec,

@@ -118,9 +118,18 @@ fn parse_pattern(tokens: &[&str], line: usize) -> Result<AccessPattern, ParseSpe
 }
 
 struct PendingKernel {
-    builder: Option<KernelBuilder>,
+    builder: KernelBuilder,
     name: String,
     accesses: usize,
+}
+
+impl PendingKernel {
+    /// Applies a consuming [`KernelBuilder`] step in place (the builder
+    /// methods take `self` by value).
+    fn update(&mut self, f: impl FnOnce(KernelBuilder) -> KernelBuilder) {
+        let b = std::mem::replace(&mut self.builder, KernelSpec::builder(""));
+        self.builder = f(b);
+    }
 }
 
 /// Parses a workload specification (see the module docs for the format).
@@ -146,7 +155,7 @@ pub fn parse_workload(text: &str) -> Result<Workload, ParseSpecError> {
         if k.accesses == 0 {
             return Err(err(0, format!("kernel `{}` accesses no arrays", k.name)));
         }
-        let spec = k.builder.expect("builder present until finished").build();
+        let spec = k.builder.build();
         kernels.insert(k.name, Arc::new(spec));
         Ok(())
     };
@@ -198,7 +207,7 @@ pub fn parse_workload(text: &str) -> Result<Workload, ParseSpecError> {
                     .get(1)
                     .ok_or_else(|| err(line_no, "kernel requires a name"))?;
                 current = Some(PendingKernel {
-                    builder: Some(KernelSpec::builder(*kname)),
+                    builder: KernelSpec::builder(*kname),
                     name: kname.to_string(),
                     accesses: 0,
                 });
@@ -210,18 +219,31 @@ pub fn parse_workload(text: &str) -> Result<Workload, ParseSpecError> {
                 let v = tokens
                     .get(1)
                     .ok_or_else(|| err(line_no, "directive requires a value"))?;
-                let b = k.builder.take().expect("builder present");
-                k.builder = Some(match tokens[0] {
-                    "wgs" => b.wg_count(
-                        v.parse()
-                            .map_err(|_| err(line_no, format!("invalid wgs `{v}`")))?,
-                    ),
-                    "compute" => b.compute_per_line(parse_f64(v, line_no)?),
-                    "lds" => b.lds_per_line(parse_f64(v, line_no)?),
-                    "l1" => b.l1_hit_rate(parse_f64(v, line_no)?),
-                    "mlp" => b.mlp(parse_f64(v, line_no)?),
+                match tokens[0] {
+                    "wgs" => {
+                        let n = v
+                            .parse()
+                            .map_err(|_| err(line_no, format!("invalid wgs `{v}`")))?;
+                        k.update(|b| b.wg_count(n));
+                    }
+                    "compute" => {
+                        let x = parse_f64(v, line_no)?;
+                        k.update(|b| b.compute_per_line(x));
+                    }
+                    "lds" => {
+                        let x = parse_f64(v, line_no)?;
+                        k.update(|b| b.lds_per_line(x));
+                    }
+                    "l1" => {
+                        let x = parse_f64(v, line_no)?;
+                        k.update(|b| b.l1_hit_rate(x));
+                    }
+                    "mlp" => {
+                        let x = parse_f64(v, line_no)?;
+                        k.update(|b| b.mlp(x));
+                    }
                     _ => unreachable!("matched above"),
-                });
+                }
             }
             "load" | "store" | "loadstore" => {
                 let k = current
@@ -239,8 +261,7 @@ pub fn parse_workload(text: &str) -> Result<Workload, ParseSpecError> {
                     _ => TouchKind::LoadStore,
                 };
                 let pattern = parse_pattern(&tokens[2..], line_no)?;
-                let b = k.builder.take().expect("builder present");
-                k.builder = Some(b.array(id, touch, pattern));
+                k.update(|b| b.array(id, touch, pattern));
                 k.accesses += 1;
             }
             "sequence" => {

@@ -13,6 +13,9 @@ cargo fmt --all --check
 echo "== clippy =="
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "== chiplet-check lint (determinism/soundness rules) =="
+cargo run --release -p chiplet-check -- --workspace
+
 echo "== build (release) =="
 cargo build --workspace --release
 
@@ -29,6 +32,12 @@ CPELIDE_SMOKE=1 CPELIDE_TRACE=results/trace.json \
   cargo run --release -p cpelide-bench --bin probe
 grep -q '"traceEvents"' results/trace.json
 grep -q 'cpelide_kernel_cycles_bucket' results/probe.prom
+
+echo "== CCT model check (exhaustive, N = 2..4) =="
+# BFS over every reachable Chiplet Coherence Table state; violations or an
+# invalid census fail the run.
+cargo run --release -p chiplet-check -- --model-check
+[ "$(grep -c '"violations": 0' results/CHECK_model.json)" -eq 3 ]
 
 echo "== bench runner (fixed iterations) =="
 CHIPLET_BENCH_ITERS=3 CHIPLET_BENCH_WARMUP=1 cargo bench --workspace
