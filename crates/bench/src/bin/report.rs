@@ -1,0 +1,74 @@
+//! Regenerates the paper-vs-measured blocks of EXPERIMENTS.md from
+//! `results/campaign.json` (see `cpelide_bench::report` for the block
+//! definitions and marker syntax).
+//!
+//! Usage:
+//! - `cargo run --release -p cpelide-bench --bin report` — rewrite the
+//!   generated blocks in place.
+//! - `cargo run --release -p cpelide-bench --bin report -- --check` — exit
+//!   1 if the committed document is out of sync with the committed
+//!   campaign results (the CI docs-drift gate), touching nothing.
+//!
+//! Environment: `CPELIDE_RESULTS_DIR` locates `campaign.json`;
+//! `CPELIDE_EXPERIMENTS` overrides the EXPERIMENTS.md path (tests).
+//! Exit codes: 0 in sync / regenerated, 1 drift detected, 2 usage or I/O.
+
+use chiplet_harness::json;
+use cpelide_bench::report::{campaign_path, experiments_path, generate_blocks, splice};
+
+fn fail(msg: &str) -> ! {
+    eprintln!("report: {msg}");
+    std::process::exit(2);
+}
+
+fn main() {
+    let check = std::env::args().skip(1).any(|a| a == "--check");
+
+    let campaign_file = campaign_path();
+    let campaign_text = std::fs::read_to_string(&campaign_file).unwrap_or_else(|e| {
+        fail(&format!(
+            "cannot read {} ({e}); run `--bin campaign` first",
+            campaign_file.display()
+        ))
+    });
+    let campaign = json::parse(&campaign_text).unwrap_or_else(|e| {
+        fail(&format!(
+            "{} is not valid JSON: {e}",
+            campaign_file.display()
+        ))
+    });
+    let blocks = generate_blocks(&campaign).unwrap_or_else(|e| fail(&e));
+
+    let doc_path = experiments_path();
+    let doc = std::fs::read_to_string(&doc_path)
+        .unwrap_or_else(|e| fail(&format!("cannot read {} ({e})", doc_path.display())));
+    let updated = splice(&doc, &blocks).unwrap_or_else(|e| fail(&e));
+
+    if check {
+        if updated == doc {
+            println!(
+                "report: {} is in sync with {}",
+                doc_path.display(),
+                campaign_file.display()
+            );
+        } else {
+            eprintln!(
+                "report: {} is OUT OF SYNC with {}; \
+                 run `cargo run --release -p cpelide-bench --bin report` and commit",
+                doc_path.display(),
+                campaign_file.display()
+            );
+            std::process::exit(1);
+        }
+    } else if updated == doc {
+        println!("report: {} already up to date", doc_path.display());
+    } else {
+        std::fs::write(&doc_path, &updated)
+            .unwrap_or_else(|e| fail(&format!("cannot write {} ({e})", doc_path.display())));
+        println!(
+            "report: regenerated {} block(s) in {}",
+            blocks.len(),
+            doc_path.display()
+        );
+    }
+}

@@ -1,0 +1,557 @@
+//! The campaign runner: the paper's full evaluation sweep as one flat
+//! list of independent (workload, protocol, chiplet-count) cells, fanned
+//! out across the `chiplet_harness::fleet` pool with content-hash result
+//! caching.
+//!
+//! This module replaces the serial per-figure loops for sweep-shaped
+//! work: `--bin campaign` enumerates every cell, runs them across
+//! `CPELIDE_JOBS` workers (cache hits are parsed instead of re-simulated)
+//! and writes `results/campaign.json` — the single machine-readable
+//! source of truth the `report` binary regenerates EXPERIMENTS.md from.
+//!
+//! Determinism contract: the cell list, each cell's metrics, the summary
+//! and the rendered report are all independent of the worker count and of
+//! which cells came from the cache. The fleet commits results in
+//! submission order; cached cells round-trip through the same
+//! parse→render path as fresh ones; and the report deliberately carries
+//! no wall-clock, worker-count or cache-hit fields (those go to stdout).
+
+use crate::results_dir;
+use chiplet_coherence::ProtocolKind;
+use chiplet_harness::fleet::{self, DiskCache, Fingerprint};
+use chiplet_harness::json::{self, Json};
+use chiplet_sim::config::SimConfig;
+use chiplet_sim::experiments::Cell;
+use chiplet_sim::metrics::{geomean, RunHistograms};
+use chiplet_workloads::{ReuseClass, Workload};
+
+/// Schema tag stamped into `campaign.json`; bump on layout changes so the
+/// report generator can refuse documents it does not understand.
+pub const SCHEMA: &str = "cpelide-campaign-v1";
+
+/// Manually-bumped model revision folded into every cell fingerprint.
+/// The per-cell fingerprint already covers the workload definition and
+/// the full `SimConfig`, but not the simulator *code*; bump this whenever
+/// engine behavior changes — i.e. exactly when the golden snapshots under
+/// `tests/golden/` are re-blessed — so stale cached cells are invalidated
+/// with the same stroke.
+pub const MODEL_REVISION: &str = "golden-r3";
+
+/// The protocols every sweep cell set covers (Figure 8/9/10 order).
+pub const PROTOCOLS: [ProtocolKind; 3] = [
+    ProtocolKind::Baseline,
+    ProtocolKind::CpElide,
+    ProtocolKind::Hmg,
+];
+
+/// Which suite a cell belongs to (the summary aggregates them separately).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SuiteTag {
+    /// The 24-application Table II suite.
+    Main,
+    /// The §VI multi-stream suite.
+    MultiStream,
+}
+
+impl SuiteTag {
+    /// The tag as it appears in `campaign.json`.
+    pub fn label(self) -> &'static str {
+        match self {
+            SuiteTag::Main => "main",
+            SuiteTag::MultiStream => "multistream",
+        }
+    }
+}
+
+/// One enumerated campaign cell: a simulator cell plus its suite tag.
+#[derive(Debug, Clone)]
+pub struct CellSpec {
+    /// The (workload, protocol, chiplets) simulator cell.
+    pub cell: Cell,
+    /// Which suite the cell aggregates under.
+    pub suite: SuiteTag,
+}
+
+impl CellSpec {
+    fn new(workload: &Workload, protocol: ProtocolKind, chiplets: usize, suite: SuiteTag) -> Self {
+        CellSpec {
+            cell: Cell::new(workload.clone(), protocol, chiplets),
+            suite,
+        }
+    }
+
+    /// The cell's content fingerprint: workload definition, protocol,
+    /// chiplet count, the complete Table 1 `SimConfig` it resolves to,
+    /// plus [`SCHEMA`] and [`MODEL_REVISION`]. Two cells share a cache
+    /// entry only when every simulation input is identical.
+    pub fn fingerprint(&self) -> String {
+        Fingerprint::new()
+            .push_str(SCHEMA)
+            .push_str(MODEL_REVISION)
+            .push_str(self.suite.label())
+            .push_str(&format!("{:?}", self.cell.workload))
+            .push_str(self.cell.protocol.label())
+            .push_u64(self.cell.chiplets as u64)
+            .push_str(&format!(
+                "{:?}",
+                SimConfig::table1(self.cell.chiplets, self.cell.protocol)
+            ))
+            .hex()
+    }
+
+    /// `workload:protocol:chiplets`, the identity used by
+    /// `CPELIDE_FAIL_CELL` and in progress/error messages.
+    pub fn id(&self) -> String {
+        format!(
+            "{}:{}:{}",
+            self.cell.workload.name(),
+            self.cell.protocol.label(),
+            self.cell.chiplets
+        )
+    }
+}
+
+/// Enumerates the full campaign: the Table II suite under every protocol
+/// at every Figure 8 chiplet count, the Figure 2 monolithic comparison at
+/// 4 chiplets, and the §VI multi-stream suite at 4 chiplets. Honors
+/// `CPELIDE_SMOKE` through the same suite/chiplet shrinking as the figure
+/// binaries, so smoke campaigns stay CI-cheap.
+pub fn cells() -> Vec<CellSpec> {
+    let suite = crate::effective_suite();
+    let counts = crate::pick(vec![2usize, 4, 6, 7], vec![2, 4]);
+    let mut out = Vec::new();
+    for &chiplets in &counts {
+        for w in &suite {
+            for p in PROTOCOLS {
+                out.push(CellSpec::new(w, p, chiplets, SuiteTag::Main));
+            }
+        }
+    }
+    for w in &suite {
+        out.push(CellSpec::new(
+            w,
+            ProtocolKind::Monolithic,
+            4,
+            SuiteTag::Main,
+        ));
+    }
+    for w in &crate::effective_multistream_suite() {
+        for p in PROTOCOLS {
+            out.push(CellSpec::new(w, p, 4, SuiteTag::MultiStream));
+        }
+    }
+    out
+}
+
+/// The campaign cache honoring the environment: `results/cache/` under
+/// the results dir, or `None` when `CPELIDE_CACHE=0`.
+pub fn cache_from_env() -> Option<DiskCache> {
+    if std::env::var("CPELIDE_CACHE").is_ok_and(|v| v == "0") {
+        return None;
+    }
+    Some(DiskCache::new(results_dir().join("cache")))
+}
+
+/// The `CPELIDE_FAIL_CELL` test hook: a cell id to deliberately panic on,
+/// exercising the fleet's poison containment end to end.
+pub fn fail_cell_from_env() -> Option<String> {
+    std::env::var("CPELIDE_FAIL_CELL")
+        .ok()
+        .filter(|v| !v.is_empty())
+}
+
+/// What one cell job hands back to the reducer.
+struct CellOutcome {
+    /// The cell's metrics (parsed from the rendered form, so cached and
+    /// fresh cells are bit-for-bit interchangeable).
+    metrics: Json,
+    /// Distributions, only when the cell was actually simulated.
+    hist: Option<RunHistograms>,
+}
+
+/// Everything a campaign run produces.
+pub struct CampaignOutcome {
+    /// The validated `campaign.json` document.
+    pub report: Json,
+    /// Cells simulated this run.
+    pub simulated: usize,
+    /// Cells served from the cache.
+    pub cached: usize,
+    /// Cells whose job panicked.
+    pub failed: usize,
+    /// Distributions merged over every *simulated* cell, in submission
+    /// order (stdout diagnostics; deliberately absent from the report).
+    pub hist: RunHistograms,
+}
+
+/// Runs the campaign: fans `specs` out across `workers` fleet threads,
+/// consults `cache` per cell, and reduces the results — in submission
+/// order — into the `campaign.json` document plus run statistics.
+/// `fail_cell` poisons the matching job (test hook). Failed cells land in
+/// the report as `"failed": true` entries and suppress the summary.
+pub fn run(
+    specs: &[CellSpec],
+    workers: usize,
+    cache: Option<&DiskCache>,
+    fail_cell: Option<&str>,
+) -> CampaignOutcome {
+    let outcomes = fleet::parallel_map(specs, workers, |spec| {
+        if fail_cell.is_some_and(|id| id == spec.id()) {
+            panic!("CPELIDE_FAIL_CELL poisoned cell {}", spec.id());
+        }
+        let key = spec.fingerprint();
+        if let Some(hit) = cache.and_then(|c| c.load(&key)) {
+            // A corrupt cache entry falls through to re-simulation.
+            if let Ok(metrics) = json::parse(&hit) {
+                return CellOutcome {
+                    metrics,
+                    hist: None,
+                };
+            }
+        }
+        let m = spec.cell.run();
+        let rendered = m.to_json().render();
+        if let Some(c) = cache {
+            // A read-only cache dir only costs re-simulation next run.
+            let _ = c.store(&key, &rendered);
+        }
+        let metrics = json::parse(&rendered)
+            .unwrap_or_else(|e| panic!("cell {} rendered invalid JSON: {e}", spec.id()));
+        CellOutcome {
+            metrics,
+            hist: Some(m.hist),
+        }
+    });
+
+    let mut simulated = 0usize;
+    let mut cached = 0usize;
+    let mut failed = 0usize;
+    let mut hist = RunHistograms::new();
+    let mut rows: Vec<Json> = Vec::with_capacity(specs.len());
+    let mut parsed: Vec<Option<Json>> = Vec::with_capacity(specs.len());
+    for (spec, outcome) in specs.iter().zip(outcomes) {
+        let mut row = Json::object()
+            .with("workload", spec.cell.workload.name())
+            .with("class", spec.cell.workload.class().to_string())
+            .with("suite", spec.suite.label())
+            .with("protocol", spec.cell.protocol.label())
+            .with("chiplets", spec.cell.chiplets)
+            .with("fingerprint", spec.fingerprint());
+        match outcome {
+            Ok(cell) => {
+                match &cell.hist {
+                    Some(h) => {
+                        simulated += 1;
+                        hist.merge(h);
+                    }
+                    None => cached += 1,
+                }
+                parsed.push(Some(cell.metrics.clone()));
+                row.set("metrics", cell.metrics);
+            }
+            Err(e) => {
+                failed += 1;
+                parsed.push(None);
+                row.set("failed", true).set("error", e.message.as_str());
+            }
+        }
+        rows.push(row);
+    }
+
+    let summary = if failed == 0 {
+        summarize(specs, &parsed)
+    } else {
+        Json::object().with("incomplete", true)
+    };
+    let report = Json::object()
+        .with("schema", SCHEMA)
+        .with("model_revision", MODEL_REVISION)
+        .with("mode", if crate::smoke() { "smoke" } else { "full" })
+        .with("cells", Json::Arr(rows))
+        .with("summary", summary);
+    CampaignOutcome {
+        report,
+        simulated,
+        cached,
+        failed,
+        hist,
+    }
+}
+
+/// A metric extracted from one cell's parsed JSON.
+fn num(metrics: &Json, key: &str) -> f64 {
+    metrics.get(key).and_then(Json::as_f64).unwrap_or(f64::NAN)
+}
+
+fn total_flits(metrics: &Json) -> f64 {
+    let t = metrics.get("traffic").unwrap_or(&Json::Null);
+    num(t, "l1_l2_flits") + num(t, "l2_l3_flits") + num(t, "remote_flits")
+}
+
+fn l2l3_flits(metrics: &Json) -> f64 {
+    num(metrics.get("traffic").unwrap_or(&Json::Null), "l2_l3_flits")
+}
+
+/// Derives the headline summary from the parsed cell metrics. Pure
+/// arithmetic over already-committed values, so it inherits the cells'
+/// worker-count independence.
+fn summarize(specs: &[CellSpec], parsed: &[Option<Json>]) -> Json {
+    let find = |suite: SuiteTag, workload: &str, protocol: ProtocolKind, chiplets: usize| {
+        specs
+            .iter()
+            .zip(parsed)
+            .find(|(s, _)| {
+                s.suite == suite
+                    && s.cell.workload.name() == workload
+                    && s.cell.protocol == protocol
+                    && s.cell.chiplets == chiplets
+            })
+            .and_then(|(_, m)| m.as_ref())
+    };
+    let main_workloads: Vec<(&str, ReuseClass)> = {
+        let mut seen = Vec::new();
+        for s in specs.iter().filter(|s| s.suite == SuiteTag::Main) {
+            let entry = (s.cell.workload.name(), s.cell.workload.class());
+            if !seen.contains(&entry) {
+                seen.push(entry);
+            }
+        }
+        seen
+    };
+    let counts: Vec<usize> = {
+        let mut seen = Vec::new();
+        for s in specs.iter().filter(|s| s.suite == SuiteTag::Main) {
+            if s.cell.protocol != ProtocolKind::Monolithic && !seen.contains(&s.cell.chiplets) {
+                seen.push(s.cell.chiplets);
+            }
+        }
+        seen
+    };
+
+    // Figure 2: baseline-vs-monolithic loss at 4 chiplets.
+    let losses: Vec<f64> = main_workloads
+        .iter()
+        .filter_map(|&(w, _)| {
+            let base = find(SuiteTag::Main, w, ProtocolKind::Baseline, 4)?;
+            let mono = find(SuiteTag::Main, w, ProtocolKind::Monolithic, 4)?;
+            Some(num(base, "cycles") / num(mono, "cycles") - 1.0)
+        })
+        .collect();
+    let fig2 = Json::object()
+        .with(
+            "avg_loss",
+            losses.iter().sum::<f64>() / losses.len().max(1) as f64,
+        )
+        .with(
+            "min_loss",
+            losses.iter().copied().fold(f64::INFINITY, f64::min),
+        )
+        .with("max_loss", losses.iter().copied().fold(0.0, f64::max));
+
+    // Figure 8: per-chiplet-count speedup geomeans.
+    let mut fig8 = Vec::new();
+    for &chiplets in &counts {
+        let trip = |w: &str| {
+            Some((
+                num(
+                    find(SuiteTag::Main, w, ProtocolKind::Baseline, chiplets)?,
+                    "cycles",
+                ),
+                num(
+                    find(SuiteTag::Main, w, ProtocolKind::CpElide, chiplets)?,
+                    "cycles",
+                ),
+                num(
+                    find(SuiteTag::Main, w, ProtocolKind::Hmg, chiplets)?,
+                    "cycles",
+                ),
+            ))
+        };
+        let trips: Vec<(ReuseClass, (f64, f64, f64))> = main_workloads
+            .iter()
+            .filter_map(|&(w, class)| Some((class, trip(w)?)))
+            .collect();
+        let cpe = geomean(trips.iter().map(|(_, (b, c, _))| b / c));
+        let hmg = geomean(trips.iter().map(|(_, (b, _, h))| b / h));
+        let reuse = geomean(
+            trips
+                .iter()
+                .filter(|(class, _)| *class == ReuseClass::ModerateHigh)
+                .map(|(_, (b, c, _))| b / c),
+        );
+        let low_min = trips
+            .iter()
+            .filter(|(class, _)| *class == ReuseClass::Low)
+            .map(|(_, (b, c, _))| b / c)
+            .fold(f64::INFINITY, f64::min);
+        fig8.push(
+            Json::object()
+                .with("chiplets", chiplets)
+                .with("cpelide_vs_baseline", cpe)
+                .with("hmg_vs_baseline", hmg)
+                .with("cpelide_vs_hmg", cpe / hmg)
+                .with("cpelide_vs_baseline_reuse", reuse)
+                .with(
+                    "low_reuse_min_speedup",
+                    if low_min.is_finite() { low_min } else { 1.0 },
+                ),
+        );
+    }
+
+    // Figures 9/10: energy and traffic ratios at 4 chiplets.
+    let ratios = |f: &dyn Fn(&Json) -> f64| -> (f64, f64, f64) {
+        let per: Vec<(f64, f64, f64)> = main_workloads
+            .iter()
+            .filter_map(|&(w, _)| {
+                let b = f(find(SuiteTag::Main, w, ProtocolKind::Baseline, 4)?);
+                let c = f(find(SuiteTag::Main, w, ProtocolKind::CpElide, 4)?);
+                let h = f(find(SuiteTag::Main, w, ProtocolKind::Hmg, 4)?);
+                Some((c / b, c / h, h / b))
+            })
+            .collect();
+        (
+            geomean(per.iter().map(|r| r.0)),
+            geomean(per.iter().map(|r| r.1)),
+            geomean(per.iter().map(|r| r.2)),
+        )
+    };
+    let (e_cb, e_ch, e_hb) = ratios(&|m| num(m, "energy_total_uj"));
+    let (t_cb, t_ch, t_hb) = ratios(&total_flits);
+    let (_, l2l3_ch, _) = ratios(&l2l3_flits);
+
+    // §III-A occupancy over the CPElide cells at 4 chiplets.
+    let (mut max_live, mut evictions) = (0.0f64, 0.0f64);
+    for &(w, _) in &main_workloads {
+        if let Some(t) =
+            find(SuiteTag::Main, w, ProtocolKind::CpElide, 4).and_then(|m| m.get("table"))
+        {
+            max_live = max_live.max(num(t, "max_live_entries"));
+            evictions += num(t, "evictions");
+        }
+    }
+
+    // §VI multi-stream: CPElide vs HMG at 4 chiplets.
+    let ms_workloads: Vec<&str> = {
+        let mut seen = Vec::new();
+        for s in specs.iter().filter(|s| s.suite == SuiteTag::MultiStream) {
+            if !seen.contains(&s.cell.workload.name()) {
+                seen.push(s.cell.workload.name());
+            }
+        }
+        seen
+    };
+    let ms: Vec<f64> = ms_workloads
+        .iter()
+        .filter_map(|&w| {
+            let c = find(SuiteTag::MultiStream, w, ProtocolKind::CpElide, 4)?;
+            let h = find(SuiteTag::MultiStream, w, ProtocolKind::Hmg, 4)?;
+            Some(num(h, "cycles") / num(c, "cycles"))
+        })
+        .collect();
+
+    Json::object()
+        .with("fig2", fig2)
+        .with("fig8", Json::Arr(fig8))
+        .with(
+            "energy",
+            Json::object()
+                .with("cpelide_vs_baseline", e_cb)
+                .with("cpelide_vs_hmg", e_ch)
+                .with("hmg_vs_baseline", e_hb),
+        )
+        .with(
+            "traffic",
+            Json::object()
+                .with("cpelide_vs_baseline", t_cb)
+                .with("cpelide_vs_hmg", t_ch)
+                .with("hmg_vs_baseline", t_hb)
+                .with("l2l3_cpelide_vs_hmg", l2l3_ch),
+        )
+        .with(
+            "occupancy",
+            Json::object()
+                .with("max_live_entries", max_live)
+                .with("evictions", evictions),
+        )
+        .with(
+            "multistream",
+            Json::object()
+                .with("workloads", ms.len())
+                .with("cpelide_vs_hmg", geomean(ms.iter().copied())),
+        )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn enumeration_covers_every_suite_protocol_and_count() {
+        // Outside smoke mode env the full enumeration is in effect only
+        // when CPELIDE_SMOKE is unset; assert the structural invariants
+        // that hold either way.
+        let specs = cells();
+        assert!(!specs.is_empty());
+        assert!(specs
+            .iter()
+            .any(|s| s.cell.protocol == ProtocolKind::Monolithic && s.cell.chiplets == 4));
+        assert!(specs.iter().any(|s| s.suite == SuiteTag::MultiStream));
+        // Every main-suite workload appears under all three protocols at
+        // every enumerated count.
+        let counts: Vec<usize> = {
+            let mut seen = Vec::new();
+            for s in &specs {
+                if s.suite == SuiteTag::Main
+                    && s.cell.protocol != ProtocolKind::Monolithic
+                    && !seen.contains(&s.cell.chiplets)
+                {
+                    seen.push(s.cell.chiplets);
+                }
+            }
+            seen
+        };
+        for &c in &counts {
+            for p in PROTOCOLS {
+                let n = specs
+                    .iter()
+                    .filter(|s| {
+                        s.suite == SuiteTag::Main && s.cell.protocol == p && s.cell.chiplets == c
+                    })
+                    .count();
+                assert!(n > 0, "no {p:?} cells at {c} chiplets");
+            }
+        }
+    }
+
+    #[test]
+    fn fingerprints_differ_across_every_cell_axis() {
+        let w = chiplet_workloads::lookup("square").unwrap_or_else(|e| panic!("{e}"));
+        let base = CellSpec::new(&w, ProtocolKind::CpElide, 4, SuiteTag::Main);
+        let by_protocol = CellSpec::new(&w, ProtocolKind::Hmg, 4, SuiteTag::Main);
+        let by_count = CellSpec::new(&w, ProtocolKind::CpElide, 2, SuiteTag::Main);
+        let by_suite = CellSpec::new(&w, ProtocolKind::CpElide, 4, SuiteTag::MultiStream);
+        let other = chiplet_workloads::lookup("btree").unwrap_or_else(|e| panic!("{e}"));
+        let by_workload = CellSpec::new(&other, ProtocolKind::CpElide, 4, SuiteTag::Main);
+        let prints = [
+            base.fingerprint(),
+            by_protocol.fingerprint(),
+            by_count.fingerprint(),
+            by_suite.fingerprint(),
+            by_workload.fingerprint(),
+        ];
+        for (i, a) in prints.iter().enumerate() {
+            assert_eq!(a, &prints[i], "fingerprints are stable");
+            for b in &prints[i + 1..] {
+                assert_ne!(a, b, "axes must separate cache keys");
+            }
+        }
+        assert_eq!(base.fingerprint(), base.clone().fingerprint());
+    }
+
+    #[test]
+    fn cell_ids_are_colon_joined() {
+        let w = chiplet_workloads::lookup("square").unwrap_or_else(|e| panic!("{e}"));
+        let spec = CellSpec::new(&w, ProtocolKind::Baseline, 7, SuiteTag::Main);
+        assert_eq!(spec.id(), "square:Baseline:7");
+    }
+}

@@ -1,14 +1,24 @@
 //! Shared reporting helpers for the figure-regeneration binaries and
 //! the wall-clock benches.
 //!
-//! Each paper artifact has a dedicated binary (`cargo run --release -p
-//! cpelide-bench --bin fig8`, etc.); `--bin all` regenerates everything.
-//! Every binary honours two environment variables:
+//! The sweep itself lives in [`campaign`] (`--bin campaign`): every
+//! (workload, protocol, chiplet-count) cell fanned out across the
+//! `chiplet_harness::fleet` worker pool with content-hash caching, writing
+//! `results/campaign.json`. [`report`] (`--bin report`) regenerates the
+//! paper-vs-measured tables in EXPERIMENTS.md from that document. Each
+//! paper artifact additionally keeps a dedicated narrow binary (`cargo run
+//! --release -p cpelide-bench --bin fig8`, etc.); `--bin all` regenerates
+//! everything. Every binary honours these environment variables:
 //!
 //! - `CPELIDE_SMOKE=1` shrinks the run to a tiny configuration (two
-//!   workloads, one chiplet count) so CI can smoke-run every artifact.
+//!   workloads, fewer chiplet counts) so CI can smoke-run every artifact.
 //! - `CPELIDE_RESULTS_DIR` redirects the JSON reports (default
 //!   `results/`).
+//! - `CPELIDE_JOBS` sets the fleet worker count (default: available
+//!   parallelism; forced to 1 under smoke). Reports are byte-identical
+//!   at every setting.
+//! - `CPELIDE_CACHE=0` disables the campaign's `results/cache/` result
+//!   cache.
 //!
 //! The `probe` binary additionally honours `CPELIDE_TRACE=<path>` (or the
 //! `--trace <path>` flag) to export a Chrome/Perfetto timeline of its
@@ -17,6 +27,9 @@
 // chiplet-check: allow-file(no-panic) — artifact writers abort by contract:
 // a malformed or unwritable report must kill the figure run loudly rather
 // than let a silent skip masquerade as regenerated results.
+
+pub mod campaign;
+pub mod report;
 
 use chiplet_harness::json::{self, Json};
 use chiplet_sim::experiments::Fig8Row;

@@ -1,0 +1,379 @@
+//! The docs generator: turns `results/campaign.json` into the
+//! paper-vs-measured blocks of EXPERIMENTS.md.
+//!
+//! Generated content lives between `<!-- generated: NAME -->` /
+//! `<!-- /generated: NAME -->` marker pairs; everything outside the
+//! markers (analysis, deviations, per-app spot checks) is hand-written
+//! and untouched. `--bin report` rewrites the blocks in place; `--bin
+//! report -- --check` fails when the committed document no longer matches
+//! the committed campaign results — the CI docs-drift gate.
+//!
+//! Verdicts are mechanical so they cannot editorialize: a measured delta
+//! within five percentage points of the paper's is a `match`; otherwise
+//! the verdict reports the sign agreement and whether the effect came out
+//! stronger or weaker than published.
+
+use crate::campaign::SCHEMA;
+use chiplet_harness::json::Json;
+use std::path::PathBuf;
+
+/// Tolerance (in absolute fractional delta, i.e. five percentage points)
+/// inside which a measured headline value counts as a `match`.
+pub const MATCH_TOLERANCE: f64 = 0.05;
+
+/// Where EXPERIMENTS.md lives: `CPELIDE_EXPERIMENTS` when set (tests), or
+/// the workspace copy next to this crate.
+pub fn experiments_path() -> PathBuf {
+    std::env::var_os("CPELIDE_EXPERIMENTS")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| {
+            PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+                .join("..")
+                .join("..")
+                .join("EXPERIMENTS.md")
+        })
+}
+
+/// Where the campaign report lives: `<results_dir>/campaign.json`.
+pub fn campaign_path() -> PathBuf {
+    crate::results_dir().join("campaign.json")
+}
+
+fn get<'a>(j: &'a Json, path: &[&str]) -> Result<&'a Json, String> {
+    let mut cur = j;
+    for key in path {
+        cur = cur
+            .get(key)
+            .ok_or_else(|| format!("campaign.json is missing `{}`", path.join(".")))?;
+    }
+    Ok(cur)
+}
+
+fn getf(j: &Json, path: &[&str]) -> Result<f64, String> {
+    get(j, path)?
+        .as_f64()
+        .ok_or_else(|| format!("campaign.json `{}` is not a number", path.join(".")))
+}
+
+/// `+13.3 %` — signed percentage with one decimal, from a fraction.
+fn pct(x: f64) -> String {
+    format!("{:+.1} %", x * 100.0)
+}
+
+/// `81 %` — unsigned whole percentage, from a fraction.
+fn pct0(x: f64) -> String {
+    format!("{:.0} %", x * 100.0)
+}
+
+fn verdict(paper: f64, measured: f64) -> &'static str {
+    if (measured - paper).abs() <= MATCH_TOLERANCE {
+        "match"
+    } else if paper.signum() != measured.signum() {
+        "opposite sign"
+    } else if measured.abs() > paper.abs() {
+        "same sign, stronger"
+    } else {
+        "same sign, weaker"
+    }
+}
+
+/// Validates the document header and returns its summary object. Refuses
+/// unknown schemas and incomplete (failed-cell) campaigns.
+pub fn summary_of(campaign: &Json) -> Result<&Json, String> {
+    let schema = get(campaign, &["schema"])?
+        .as_str()
+        .unwrap_or("<not a string>");
+    if schema != SCHEMA {
+        return Err(format!(
+            "campaign.json has schema `{schema}`, this report generator expects `{SCHEMA}`"
+        ));
+    }
+    let summary = get(campaign, &["summary"])?;
+    if summary.get("incomplete").and_then(Json::as_bool) == Some(true) {
+        return Err("campaign.json is incomplete (failed cells); re-run the campaign".to_owned());
+    }
+    Ok(summary)
+}
+
+/// Generates every `(block name, markdown content)` pair from a parsed
+/// `campaign.json`.
+///
+/// # Errors
+///
+/// Returns a description of the first missing or mistyped field.
+pub fn generate_blocks(campaign: &Json) -> Result<Vec<(String, String)>, String> {
+    let summary = summary_of(campaign)?;
+    let fig8 = get(summary, &["fig8"])?
+        .as_arr()
+        .ok_or("campaign.json `summary.fig8` is not an array")?;
+    let at4 = fig8
+        .iter()
+        .find(|e| e.get("chiplets").and_then(Json::as_f64) == Some(4.0))
+        .ok_or("campaign.json has no fig8 entry for 4 chiplets")?;
+
+    let mut blocks = Vec::new();
+
+    // ---- headline table ------------------------------------------------
+    let perf = getf(at4, &["cpelide_vs_baseline"])? - 1.0;
+    let perf_reuse = getf(at4, &["cpelide_vs_baseline_reuse"])? - 1.0;
+    let perf_hmg = getf(at4, &["cpelide_vs_hmg"])? - 1.0;
+    let low_min = getf(at4, &["low_reuse_min_speedup"])?;
+    let e_base = getf(summary, &["energy", "cpelide_vs_baseline"])? - 1.0;
+    let e_hmg = getf(summary, &["energy", "cpelide_vs_hmg"])? - 1.0;
+    let t_base = getf(summary, &["traffic", "cpelide_vs_baseline"])? - 1.0;
+    let t_hmg = getf(summary, &["traffic", "cpelide_vs_hmg"])? - 1.0;
+    let l2l3 = getf(summary, &["traffic", "l2l3_cpelide_vs_hmg"])? - 1.0;
+    let rows: [(&str, f64, f64); 8] = [
+        ("CPElide performance vs Baseline", 0.13, perf),
+        (
+            "CPElide vs Baseline, moderate/high-reuse apps",
+            0.17,
+            perf_reuse,
+        ),
+        ("CPElide performance vs HMG", 0.19, perf_hmg),
+        ("CPElide energy vs Baseline", -0.14, e_base),
+        ("CPElide energy vs HMG", -0.11, e_hmg),
+        ("CPElide traffic vs Baseline", -0.14, t_base),
+        ("CPElide traffic vs HMG", -0.17, t_hmg),
+        ("CPElide L2-L3 traffic vs HMG", -0.37, l2l3),
+    ];
+    let mut table = String::from("| Metric | Paper | Measured | Verdict |\n|---|---|---|---|\n");
+    for (metric, paper, measured) in rows {
+        table.push_str(&format!(
+            "| {metric} | {} | **{}** | {} |\n",
+            pct(paper),
+            pct(measured),
+            verdict(paper, measured)
+        ));
+    }
+    let low_ok = low_min >= 0.97;
+    table.push_str(&format!(
+        "| CPElide never hurts low-reuse apps | yes | {} (min {low_min:.2}×) | {} |",
+        if low_ok { "yes" } else { "no" },
+        if low_ok { "match" } else { "opposite sign" }
+    ));
+    blocks.push(("headline".to_owned(), table));
+
+    // ---- Figure 2 ------------------------------------------------------
+    let avg = getf(summary, &["fig2", "avg_loss"])?;
+    let min = getf(summary, &["fig2", "min_loss"])?;
+    let max = getf(summary, &["fig2", "max_loss"])?;
+    blocks.push((
+        "fig2".to_owned(),
+        format!(
+            "Paper: 54 % average performance loss (prior work: 29–45 %). Measured:\n\
+             **{} average**, per-app spread {}–{}.",
+            pct0(avg),
+            pct0(min),
+            pct0(max)
+        ),
+    ));
+
+    // ---- Figure 8 chiplet-count trend ----------------------------------
+    let trend = |key: &str| -> Result<String, String> {
+        let parts: Result<Vec<String>, String> = fig8
+            .iter()
+            .map(|e| {
+                Ok(format!(
+                    "{} ({})",
+                    pct(getf(e, &[key])? - 1.0),
+                    getf(e, &["chiplets"])? as u64
+                ))
+            })
+            .collect();
+        Ok(parts?.join(", "))
+    };
+    blocks.push((
+        "fig8-trend".to_owned(),
+        format!(
+            "Chiplet-count trend, geomean over the suite — CPElide vs Baseline:\n\
+             measured {}; CPElide vs HMG: {}. The paper\n\
+             reports the Baseline gap roughly flat (13 % at 4, 17 % at 7).",
+            trend("cpelide_vs_baseline")?,
+            trend("cpelide_vs_hmg")?
+        ),
+    ));
+
+    // ---- §III-A table occupancy ----------------------------------------
+    let live = getf(summary, &["occupancy", "max_live_entries"])? as u64;
+    let evictions = getf(summary, &["occupancy", "evictions"])? as u64;
+    blocks.push((
+        "occupancy".to_owned(),
+        format!(
+            "Paper: workloads use up to 11 live entries and never overflow the\n\
+             64-entry table. Measured: maximum **{live} live entries** across the\n\
+             suite, {evictions} capacity evictions."
+        ),
+    ));
+
+    // ---- §VI multi-stream ----------------------------------------------
+    let ms = getf(summary, &["multistream", "cpelide_vs_hmg"])? - 1.0;
+    let ms_n = getf(summary, &["multistream", "workloads"])? as u64;
+    blocks.push((
+        "multistream".to_owned(),
+        format!(
+            "Paper: CPElide outperforms HMG by ~12 % on multi-stream workloads\n\
+             (`streams` + multi-stream extensions of Table II apps). Measured:\n\
+             **{}** geomean over a {ms_n}-workload multi-stream suite.",
+            pct(ms)
+        ),
+    ));
+
+    Ok(blocks)
+}
+
+/// Splices each block between its marker pair in `doc`, leaving the
+/// markers and all hand-written text intact.
+///
+/// # Errors
+///
+/// Returns an error naming the first block whose markers are missing or
+/// out of order — a deleted marker would otherwise silently orphan the
+/// block.
+pub fn splice(doc: &str, blocks: &[(String, String)]) -> Result<String, String> {
+    let mut out = doc.to_owned();
+    for (name, content) in blocks {
+        let open = format!("<!-- generated: {name} -->");
+        let close = format!("<!-- /generated: {name} -->");
+        let start = out
+            .find(&open)
+            .ok_or_else(|| format!("EXPERIMENTS.md is missing the `{open}` marker"))?
+            + open.len();
+        let end = out[start..]
+            .find(&close)
+            .ok_or_else(|| format!("EXPERIMENTS.md is missing the `{close}` marker"))?
+            + start;
+        out.replace_range(start..end, &format!("\n{content}\n"));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fig8_entry(chiplets: u64) -> Json {
+        Json::object()
+            .with("chiplets", chiplets)
+            .with("cpelide_vs_baseline", 1.133)
+            .with("hmg_vs_baseline", 1.037)
+            .with("cpelide_vs_hmg", 1.092)
+            .with("cpelide_vs_baseline_reuse", 1.173)
+            .with("low_reuse_min_speedup", 0.98)
+    }
+
+    fn sample_campaign() -> Json {
+        Json::object()
+            .with("schema", SCHEMA)
+            .with("model_revision", "test")
+            .with("mode", "full")
+            .with("cells", Json::Arr(vec![]))
+            .with(
+                "summary",
+                Json::object()
+                    .with(
+                        "fig2",
+                        Json::object()
+                            .with("avg_loss", 0.81)
+                            .with("min_loss", 0.03)
+                            .with("max_loss", 1.59),
+                    )
+                    .with("fig8", Json::Arr(vec![fig8_entry(2), fig8_entry(4)]))
+                    .with(
+                        "energy",
+                        Json::object()
+                            .with("cpelide_vs_baseline", 0.66)
+                            .with("cpelide_vs_hmg", 0.84)
+                            .with("hmg_vs_baseline", 0.79),
+                    )
+                    .with(
+                        "traffic",
+                        Json::object()
+                            .with("cpelide_vs_baseline", 0.76)
+                            .with("cpelide_vs_hmg", 0.92)
+                            .with("hmg_vs_baseline", 0.83)
+                            .with("l2l3_cpelide_vs_hmg", 0.51),
+                    )
+                    .with(
+                        "occupancy",
+                        Json::object()
+                            .with("max_live_entries", 7u64)
+                            .with("evictions", 0u64),
+                    )
+                    .with(
+                        "multistream",
+                        Json::object()
+                            .with("workloads", 4u64)
+                            .with("cpelide_vs_hmg", 1.078),
+                    ),
+            )
+    }
+
+    #[test]
+    fn verdicts_are_mechanical() {
+        assert_eq!(verdict(0.13, 0.133), "match");
+        assert_eq!(verdict(0.19, 0.092), "same sign, weaker");
+        assert_eq!(verdict(-0.14, -0.34), "same sign, stronger");
+        assert_eq!(verdict(-0.11, -0.16), "match");
+        assert_eq!(verdict(0.10, -0.10), "opposite sign");
+    }
+
+    #[test]
+    fn blocks_render_expected_values() {
+        let blocks = generate_blocks(&sample_campaign()).expect("generates");
+        let names: Vec<&str> = blocks.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(
+            names,
+            ["headline", "fig2", "fig8-trend", "occupancy", "multistream"]
+        );
+        let headline = &blocks[0].1;
+        assert!(headline.contains("**+13.3 %** | match"), "{headline}");
+        assert!(headline.contains("**+9.2 %** | same sign, weaker"));
+        assert!(headline.contains("min 0.98×) | match"));
+        assert!(blocks[1].1.contains("**81 % average**"));
+        assert!(blocks[2].1.contains("+13.3 % (4)"));
+        assert!(blocks[3].1.contains("**7 live entries**"));
+        assert!(blocks[4].1.contains("**+7.8 %**"));
+    }
+
+    #[test]
+    fn generate_refuses_wrong_schema_and_incomplete_runs() {
+        let wrong = sample_campaign().with("schema", "other-v9");
+        assert!(generate_blocks(&wrong).is_err());
+        let incomplete = sample_campaign().with("summary", Json::object().with("incomplete", true));
+        assert!(generate_blocks(&incomplete).is_err());
+    }
+
+    #[test]
+    fn splice_replaces_only_marked_regions() {
+        let doc = "intro\n<!-- generated: a -->\nstale\n<!-- /generated: a -->\nmiddle\n\
+                   <!-- generated: b -->old<!-- /generated: b -->\ntail\n";
+        let blocks = vec![
+            ("a".to_owned(), "fresh A".to_owned()),
+            ("b".to_owned(), "fresh B".to_owned()),
+        ];
+        let out = splice(doc, &blocks).expect("splices");
+        assert!(out.contains("intro\n<!-- generated: a -->\nfresh A\n<!-- /generated: a -->"));
+        assert!(out.contains("<!-- generated: b -->\nfresh B\n<!-- /generated: b -->"));
+        assert!(out.contains("middle"), "hand-written text survives");
+        assert!(!out.contains("stale"));
+        // Idempotent: splicing the same blocks again changes nothing.
+        assert_eq!(splice(&out, &blocks).expect("re-splices"), out);
+    }
+
+    #[test]
+    fn splice_errors_on_missing_markers() {
+        let err =
+            splice("no markers here", &[("a".to_owned(), "x".to_owned())]).expect_err("must fail");
+        assert!(err.contains("generated: a"), "{err}");
+    }
+
+    #[test]
+    fn generated_blocks_splice_into_the_committed_doc() {
+        // The real EXPERIMENTS.md must carry a marker pair for every block
+        // the generator emits, in splice-able positions.
+        let doc = std::fs::read_to_string(experiments_path()).expect("EXPERIMENTS.md readable");
+        let blocks = generate_blocks(&sample_campaign()).expect("generates");
+        splice(&doc, &blocks).expect("all markers present in EXPERIMENTS.md");
+    }
+}

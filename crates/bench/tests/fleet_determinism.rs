@@ -1,0 +1,130 @@
+//! End-to-end determinism tests for the `campaign` binary: the rendered
+//! `campaign.json` must be byte-identical at any `CPELIDE_JOBS` setting,
+//! must match the committed golden snapshot (re-bless with
+//! `CPELIDE_BLESS=1` and bump `campaign::MODEL_REVISION` when the model
+//! intentionally changes), and a poisoned job must be contained by the
+//! fleet — every other cell completes, the failure lands in the report,
+//! and the run exits nonzero.
+
+use chiplet_harness::json::{self, Json};
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+fn tmp(sub: &str) -> PathBuf {
+    let p = Path::new(env!("CARGO_TARGET_TMPDIR"))
+        .join("fleet_determinism")
+        .join(sub);
+    let _ = std::fs::remove_dir_all(&p);
+    std::fs::create_dir_all(&p).expect("create tmp results dir");
+    p
+}
+
+/// Runs the campaign binary in smoke mode with the cache disabled, so
+/// every cell actually simulates and worker scheduling is exercised.
+fn run_campaign(results: &Path, jobs: &str, fail_cell: Option<&str>) -> Output {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_campaign"));
+    cmd.env("CPELIDE_SMOKE", "1")
+        .env("CPELIDE_RESULTS_DIR", results)
+        .env("CPELIDE_JOBS", jobs)
+        .env("CPELIDE_CACHE", "0")
+        .env_remove("CPELIDE_FAIL_CELL");
+    if let Some(id) = fail_cell {
+        cmd.env("CPELIDE_FAIL_CELL", id);
+    }
+    cmd.output().expect("run the campaign binary")
+}
+
+fn report_text(dir: &Path) -> String {
+    std::fs::read_to_string(dir.join("campaign.json")).expect("campaign.json written")
+}
+
+#[test]
+fn campaign_json_is_byte_identical_across_worker_counts_and_matches_golden() {
+    let d1 = tmp("jobs1");
+    let d8 = tmp("jobs8");
+    let o1 = run_campaign(&d1, "1", None);
+    assert!(
+        o1.status.success(),
+        "jobs=1 campaign failed:\n{}",
+        String::from_utf8_lossy(&o1.stderr)
+    );
+    let o8 = run_campaign(&d8, "8", None);
+    assert!(
+        o8.status.success(),
+        "jobs=8 campaign failed:\n{}",
+        String::from_utf8_lossy(&o8.stderr)
+    );
+
+    let j1 = report_text(&d1);
+    let j8 = report_text(&d8);
+    assert!(
+        j1 == j8,
+        "campaign.json differs between CPELIDE_JOBS=1 and CPELIDE_JOBS=8"
+    );
+
+    let golden = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden/campaign_smoke.json");
+    if std::env::var("CPELIDE_BLESS").is_ok_and(|v| v == "1") {
+        let dir = golden.parent().expect("golden dir");
+        std::fs::create_dir_all(dir).expect("create golden dir");
+        std::fs::write(&golden, &j1).expect("bless golden snapshot");
+        return;
+    }
+    let want = std::fs::read_to_string(&golden)
+        .expect("golden snapshot missing; create it with CPELIDE_BLESS=1");
+    assert!(
+        j1 == want,
+        "smoke campaign drifted from tests/golden/campaign_smoke.json; if the \
+         model change is intentional, re-bless with CPELIDE_BLESS=1 and bump \
+         campaign::MODEL_REVISION"
+    );
+}
+
+#[test]
+fn poisoned_cell_is_contained_and_fails_the_run() {
+    // `btree` is one of the two cheapest-to-simulate suite members, so it
+    // is always present in the smoke enumeration.
+    let dir = tmp("poison");
+    let out = run_campaign(&dir, "4", Some("btree:Baseline:2"));
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "a failed cell must fail the run; stdout:\n{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+
+    let doc = json::parse(&report_text(&dir)).expect("campaign.json parses");
+    let cells = doc
+        .get("cells")
+        .and_then(Json::as_arr)
+        .expect("cells array");
+    let failed: Vec<&Json> = cells
+        .iter()
+        .filter(|c| c.get("failed").and_then(Json::as_bool) == Some(true))
+        .collect();
+    assert_eq!(failed.len(), 1, "exactly the poisoned cell fails");
+    assert_eq!(
+        failed[0].get("workload").and_then(Json::as_str),
+        Some("btree")
+    );
+    assert_eq!(
+        failed[0].get("protocol").and_then(Json::as_str),
+        Some("Baseline")
+    );
+    assert!(
+        failed[0]
+            .get("error")
+            .and_then(Json::as_str)
+            .is_some_and(|e| e.contains("poisoned")),
+        "the panic message is preserved"
+    );
+    // Every other cell still completed — the panic was contained.
+    let completed = cells.iter().filter(|c| c.get("metrics").is_some()).count();
+    assert_eq!(completed, cells.len() - 1);
+    // An incomplete campaign must not publish a summary.
+    assert_eq!(
+        doc.get("summary")
+            .and_then(|s| s.get("incomplete"))
+            .and_then(Json::as_bool),
+        Some(true)
+    );
+}

@@ -86,6 +86,14 @@ pub const RULES: &[RuleInfo] = &[
         summary: "TODO/FIXME/XXX/HACK markers must carry an owner or ticket, \
                   e.g. TODO(#12)",
     },
+    RuleInfo {
+        id: "fleet-capture",
+        scope: "whole workspace",
+        summary: "no shared-mutable-state captures (Rc/RefCell/Mutex/RwLock, \
+                  .lock()/.borrow_mut()) inside fleet parallel_map job \
+                  arguments — job execution order is unspecified, only the \
+                  result order is deterministic",
+    },
 ];
 
 /// One diagnostic.
@@ -475,6 +483,54 @@ pub fn lint_source(rel_path: &str, src: &str) -> Vec<Finding> {
             }
         }
 
+        // --- fleet-capture ---------------------------------------------
+        // At a `parallel_map(...)`/`parallel_map_ok(...)` call site, scan
+        // the balanced argument list (which contains the job closure) for
+        // shared-mutable-state constructs. Definitions (`fn parallel_map`)
+        // are skipped; type positions outside the call are not scanned.
+        if lx
+            .ident(i)
+            .is_some_and(|id| matches!(id, "parallel_map" | "parallel_map_ok"))
+            && lx.is_punct(i + 1, "(")
+            && !(i >= 1 && lx.is_ident(i - 1, "fn"))
+        {
+            let mut depth = 1usize;
+            let mut j = i + 2;
+            while j < lx.tokens.len() && depth > 0 {
+                if lx.is_punct(j, "(") {
+                    depth += 1;
+                } else if lx.is_punct(j, ")") {
+                    depth -= 1;
+                } else if let Some(id @ ("Rc" | "RefCell" | "Mutex" | "RwLock")) = lx.ident(j) {
+                    push(
+                        "fleet-capture",
+                        lx.tokens[j].line,
+                        format!(
+                            "`{id}` inside a fleet job; jobs must be pure \
+                             functions of their item (execution order is \
+                             unspecified, only result order is deterministic)"
+                        ),
+                    );
+                } else if j >= 1
+                    && lx.is_punct(j - 1, ".")
+                    && lx.is_punct(j + 1, "(")
+                    && matches!(lx.ident(j), Some("lock" | "borrow_mut"))
+                {
+                    let m = lx.ident(j).unwrap_or_default();
+                    push(
+                        "fleet-capture",
+                        lx.tokens[j].line,
+                        format!(
+                            "`.{m}()` inside a fleet job; jobs must not \
+                             share mutable state (execution order is \
+                             unspecified)"
+                        ),
+                    );
+                }
+                j += 1;
+            }
+        }
+
         // --- banned-import ---------------------------------------------
         if let Some(id @ ("rand" | "proptest" | "criterion")) = lx.ident(i) {
             let used = lx.is_punct(i + 1, "::")
@@ -633,6 +689,32 @@ mod tests {
     fn unwrap_or_variants_not_flagged() {
         let src = "fn f(x: Option<u32>) -> u32 { x.unwrap_or(0).max(x.unwrap_or_default()) }";
         assert!(lint_source("crates/mem/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn fleet_capture_flags_shared_state_only_inside_job_args() {
+        let src = "use std::rc::Rc;\n\
+                   fn f(items: &[u32], seen: Rc<Vec<u32>>) {\n\
+                   parallel_map(items, 4, |v| {\n\
+                   let shared = Rc::clone(&seen);\n\
+                   shared.lock();\n\
+                   });\n\
+                   }";
+        let f = lint_source("crates/harness/src/x.rs", src);
+        let fleet: Vec<_> = f.iter().filter(|f| f.rule == "fleet-capture").collect();
+        assert_eq!(fleet.len(), 2, "{f:?}");
+        assert_eq!(fleet[0].line, 4, "Rc inside the call args");
+        assert_eq!(fleet[1].line, 5, ".lock() inside the call args");
+    }
+
+    #[test]
+    fn fleet_capture_skips_definitions_and_pure_jobs() {
+        // The definition itself mentions Mutex internally — not a call site.
+        let def = "pub fn parallel_map(items: &[u32]) { let m = Mutex::new(0); m.lock(); }";
+        assert!(lint_source("crates/harness/src/x.rs", def).is_empty());
+        // A pure job closure is fine.
+        let pure = "fn f(items: &[u32]) { parallel_map_ok(items, 4, |v| v * 2); }";
+        assert!(lint_source("crates/harness/src/x.rs", pure).is_empty());
     }
 
     #[test]

@@ -16,7 +16,7 @@ pub fn workspace_root() -> PathBuf {
     p.canonicalize().unwrap_or(p)
 }
 
-/// All `.rs` files under `root`, sorted, skipping [`SKIP_DIRS`].
+/// All `.rs` files under `root`, sorted, skipping `SKIP_DIRS`.
 pub fn rust_files(root: &Path) -> io::Result<Vec<PathBuf>> {
     let mut out = Vec::new();
     let mut stack = vec![root.to_path_buf()];

@@ -15,6 +15,7 @@ use std::process::Command;
 /// way `lint_tree` sorts its findings.
 const EXPECTED: &[(&str, &str, u32)] = &[
     ("crates/harness/src/banned_import.rs", "banned-import", 3),
+    ("crates/harness/src/fleet_capture.rs", "fleet-capture", 7),
     ("crates/mem/src/no_panic.rs", "no-panic", 4),
     ("crates/obs/src/stale_todo.rs", "stale-todo", 4),
     ("crates/sim/src/hash_iter.rs", "hash-iter", 7),

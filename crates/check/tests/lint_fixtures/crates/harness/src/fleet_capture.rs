@@ -1,0 +1,10 @@
+//! chiplet-check fixture: `fleet-capture` must fire on line 7.
+
+use std::rc::Rc;
+
+pub fn tally(items: &[u32], seen: Rc<Vec<u32>>) -> Vec<u32> {
+    parallel_map(items, 4, |v| {
+        let shared = Rc::clone(&seen);
+        shared.len() as u32 + v
+    })
+}

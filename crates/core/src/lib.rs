@@ -38,6 +38,7 @@
 //! let d1 = cp.launch_kernel(&k1);
 //! assert!(d1.acquires.is_empty() && d1.releases.is_empty());
 //! ```
+#![warn(missing_docs)]
 
 pub mod api;
 pub mod coarsen;

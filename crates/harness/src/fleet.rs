@@ -1,0 +1,403 @@
+//! Deterministic host-side fan-out: a zero-dependency work-stealing
+//! thread pool with ordered result commit, plus the content-hash
+//! fingerprint and on-disk result cache the campaign runner builds on.
+//!
+//! The fleet parallelizes *independent* jobs on the host — simulator runs,
+//! never simulated state. Three properties make it safe to drop into a
+//! byte-identical-output pipeline (DESIGN.md §11):
+//!
+//! 1. **Ordered commit.** [`parallel_map`] writes each job's result into a
+//!    slot keyed by submission index and hands the slots back in
+//!    submission order, so output is independent of completion order and
+//!    therefore of the worker count: `CPELIDE_JOBS=1` and `=8` produce
+//!    identical result vectors.
+//! 2. **Work stealing.** Jobs are striped round-robin across per-worker
+//!    deques; a worker drains its own deque LIFO and steals FIFO from its
+//!    neighbours when empty, so a few heavyweight jobs (Gaussian's 510
+//!    kernels) cannot strand the rest of the fleet behind one thread.
+//!    Stealing affects only *when* a job runs, never where its result
+//!    lands.
+//! 3. **Poison containment.** A panicking job is caught and reported as
+//!    that job's [`JobFailure`]; the other workers keep draining, the pool
+//!    always joins, and the caller decides whether a failed cell is fatal.
+//!
+//! Jobs must not capture shared mutable state (`Rc`, `RefCell`, `Mutex`,
+//! ...): result order is fixed but *execution* order is not, so any
+//! cross-job mutation would be a determinism hole. The `fleet-capture`
+//! lint in `chiplet-check` enforces this at fleet call sites.
+//!
+//! [`Fingerprint`] (FNV-1a, 64-bit) and [`DiskCache`] support the
+//! campaign runner's incremental re-runs: a cell whose config+code
+//! fingerprint already has a cached result is not re-simulated.
+
+use std::collections::VecDeque;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// How many fleet workers to use: `CPELIDE_JOBS` when set (clamped to at
+/// least 1), else 1 under `CPELIDE_SMOKE=1` (smoke runs must be cheap and
+/// boringly reproducible), else the host's available parallelism.
+pub fn workers() -> usize {
+    if let Some(v) = std::env::var_os("CPELIDE_JOBS") {
+        return v
+            .to_string_lossy()
+            .trim()
+            .parse::<usize>()
+            .map(|n| n.max(1))
+            .unwrap_or(1);
+    }
+    if std::env::var_os("CPELIDE_SMOKE").is_some_and(|v| v == "1") {
+        return 1;
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// One job's panic, caught by the pool: the submission index of the job
+/// and the stringified panic payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobFailure {
+    /// Submission index of the job that panicked.
+    pub index: usize,
+    /// The panic payload (message for `&str`/`String` payloads).
+    pub message: String,
+}
+
+impl std::fmt::Display for JobFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "job {} panicked: {}", self.index, self.message)
+    }
+}
+
+fn payload_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "job panicked with a non-string payload".to_owned()
+    }
+}
+
+fn run_caught<T>(f: impl FnOnce() -> T) -> Result<T, String> {
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(f)).map_err(payload_message)
+}
+
+/// Maps `f` over `items` on `workers` threads, committing results in
+/// submission order: slot `i` of the returned vector always holds item
+/// `i`'s outcome, whatever order the jobs finished in. A panicking job
+/// yields `Err(JobFailure)` in its slot; every other job still runs.
+///
+/// With `workers <= 1` (or a single item) the map runs inline on the
+/// caller's thread — the serial reference path the determinism tests
+/// compare against.
+pub fn parallel_map<I, T, F>(items: &[I], workers: usize, f: F) -> Vec<Result<T, JobFailure>>
+where
+    I: Sync,
+    T: Send,
+    F: Fn(&I) -> T + Sync,
+{
+    let fail = |i: usize, message: String| JobFailure { index: i, message };
+    if workers <= 1 || items.len() <= 1 {
+        return items
+            .iter()
+            .enumerate()
+            .map(|(i, item)| run_caught(|| f(item)).map_err(|m| fail(i, m)))
+            .collect();
+    }
+    let n = workers.min(items.len());
+
+    // Stripe job indices round-robin across per-worker deques. The initial
+    // distribution is deterministic; only the stealing order is not, and
+    // stealing moves work, never results.
+    let deques: Vec<Mutex<VecDeque<usize>>> = (0..n).map(|_| Mutex::new(VecDeque::new())).collect();
+    for i in 0..items.len() {
+        lock_clean(&deques[i % n]).push_back(i);
+    }
+
+    let mut slots: Vec<Option<Result<T, JobFailure>>> = (0..items.len()).map(|_| None).collect();
+    let committed = Mutex::new(&mut slots);
+    let live = AtomicUsize::new(items.len());
+
+    std::thread::scope(|s| {
+        for w in 0..n {
+            let deques = &deques;
+            let committed = &committed;
+            let live = &live;
+            let f = &f;
+            s.spawn(move || {
+                while live.load(Ordering::Acquire) > 0 {
+                    // Own deque first (LIFO: cache-warm tail), then steal
+                    // FIFO from the neighbours in ring order.
+                    let job = lock_clean(&deques[w]).pop_back().or_else(|| {
+                        (1..n).find_map(|d| lock_clean(&deques[(w + d) % n]).pop_front())
+                    });
+                    let Some(i) = job else {
+                        // All deques empty: every job is claimed, nothing
+                        // left to steal — this worker is done even if
+                        // others are still executing.
+                        break;
+                    };
+                    let outcome = run_caught(|| f(&items[i])).map_err(|m| JobFailure {
+                        index: i,
+                        message: m,
+                    });
+                    lock_clean(committed)[i] = Some(outcome);
+                    live.fetch_sub(1, Ordering::Release);
+                }
+            });
+        }
+    });
+
+    slots
+        .into_iter()
+        .enumerate()
+        .map(|(i, slot)| {
+            slot.unwrap_or_else(|| {
+                // Unreachable: every index is pushed exactly once and every
+                // pop commits. Kept as a defensive failure, not a panic.
+                Err(fail(i, "job was never executed (pool bug)".to_owned()))
+            })
+        })
+        .collect()
+}
+
+/// [`parallel_map`] for infallible jobs: propagates the first caught job
+/// panic to the caller once the whole pool has joined.
+///
+/// # Panics
+///
+/// Panics with the first failed job's message if any job panicked.
+pub fn parallel_map_ok<I, T, F>(items: &[I], workers: usize, f: F) -> Vec<T>
+where
+    I: Sync,
+    T: Send,
+    F: Fn(&I) -> T + Sync,
+{
+    parallel_map(items, workers, f)
+        .into_iter()
+        .map(|r| r.unwrap_or_else(|e| panic!("{e}")))
+        .collect()
+}
+
+/// Locks a mutex, treating poisoning as recoverable: jobs run under
+/// `catch_unwind`, so a poisoned lock can only mean a panic *between*
+/// jobs, where the protected state is still a plain committed value.
+fn lock_clean<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+// ------------------------------------------------------------ fingerprint
+
+/// A 64-bit FNV-1a content hash with a final [`crate::rng::mix64`]
+/// avalanche, for cache keys: stable across platforms, processes and
+/// releases (no `DefaultHasher` randomization).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fingerprint(u64);
+
+const FNV_OFFSET: u64 = 0xcbf29ce484222325;
+const FNV_PRIME: u64 = 0x100000001b3;
+
+impl Fingerprint {
+    /// An empty fingerprint (the FNV offset basis).
+    pub fn new() -> Self {
+        Fingerprint(FNV_OFFSET)
+    }
+
+    /// Folds raw bytes into the hash.
+    pub fn push_bytes(mut self, bytes: &[u8]) -> Self {
+        for &b in bytes {
+            self.0 = (self.0 ^ b as u64).wrapping_mul(FNV_PRIME);
+        }
+        self
+    }
+
+    /// Folds a string (length-prefixed, so `"ab" + "c"` ≠ `"a" + "bc"`).
+    pub fn push_str(self, s: &str) -> Self {
+        self.push_u64(s.len() as u64).push_bytes(s.as_bytes())
+    }
+
+    /// Folds a `u64`.
+    pub fn push_u64(self, v: u64) -> Self {
+        self.push_bytes(&v.to_le_bytes())
+    }
+
+    /// Folds an `f64` by bit pattern (exact, not rounded).
+    pub fn push_f64(self, v: f64) -> Self {
+        self.push_u64(v.to_bits())
+    }
+
+    /// The finished 64-bit digest (avalanched so near-identical inputs
+    /// land far apart).
+    pub fn finish(self) -> u64 {
+        crate::rng::mix64(self.0)
+    }
+
+    /// The digest as a fixed-width lowercase hex string (cache file stem).
+    pub fn hex(self) -> String {
+        format!("{:016x}", self.finish())
+    }
+}
+
+impl Default for Fingerprint {
+    fn default() -> Self {
+        Fingerprint::new()
+    }
+}
+
+// ------------------------------------------------------------- disk cache
+
+/// A content-addressed result cache: one file per key under a directory,
+/// written atomically enough for a single-process campaign (rename-free;
+/// fleet jobs never share a key because every cell's fingerprint is
+/// unique).
+#[derive(Debug, Clone)]
+pub struct DiskCache {
+    dir: PathBuf,
+}
+
+impl DiskCache {
+    /// A cache rooted at `dir` (created lazily on first store).
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        DiskCache { dir: dir.into() }
+    }
+
+    /// The cache directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn path(&self, key: &str) -> PathBuf {
+        self.dir.join(format!("{key}.json"))
+    }
+
+    /// The cached value for `key`, if present and readable.
+    pub fn load(&self, key: &str) -> Option<String> {
+        std::fs::read_to_string(self.path(key)).ok()
+    }
+
+    /// Stores `value` under `key`, creating the cache directory on demand.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error when the directory or file cannot
+    /// be written.
+    pub fn store(&self, key: &str, value: &str) -> std::io::Result<()> {
+        std::fs::create_dir_all(&self.dir)?;
+        std::fs::write(self.path(key), value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_commit_in_submission_order() {
+        let items: Vec<u64> = (0..100).collect();
+        // Skew the work so late items finish first under any real pool.
+        let f = |&v: &u64| {
+            let mut acc = v;
+            for _ in 0..(100 - v) * 500 {
+                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(1);
+            }
+            (v, acc)
+        };
+        let serial = parallel_map(&items, 1, f);
+        for w in [2, 4, 8] {
+            let par = parallel_map(&items, w, f);
+            assert_eq!(par.len(), serial.len());
+            for (i, (a, b)) in par.iter().zip(&serial).enumerate() {
+                assert_eq!(a, b, "slot {i} differs at {w} workers");
+            }
+        }
+    }
+
+    #[test]
+    fn worker_count_does_not_change_output() {
+        let items: Vec<u32> = (0..37).collect();
+        let serial: Vec<u32> = parallel_map_ok(&items, 1, |&v| v * v);
+        let wide: Vec<u32> = parallel_map_ok(&items, 16, |&v| v * v);
+        assert_eq!(serial, wide);
+    }
+
+    #[test]
+    fn empty_and_single_item_maps() {
+        let empty: Vec<Result<u32, JobFailure>> = parallel_map(&[], 4, |_: &u32| 1);
+        assert!(empty.is_empty());
+        let one = parallel_map(&[7u32], 4, |&v| v + 1);
+        assert_eq!(one[0].as_ref().ok(), Some(&8));
+    }
+
+    #[test]
+    fn panicking_job_is_contained_and_reported() {
+        let items: Vec<u32> = (0..8).collect();
+        let out = parallel_map(&items, 4, |&v| {
+            if v == 3 {
+                panic!("cell 3 is poisoned");
+            }
+            v * 10
+        });
+        for (i, r) in out.iter().enumerate() {
+            if i == 3 {
+                let e = r.as_ref().expect_err("slot 3 failed");
+                assert_eq!(e.index, 3);
+                assert!(e.message.contains("poisoned"), "{e}");
+            } else {
+                assert_eq!(r.as_ref().ok(), Some(&(i as u32 * 10)), "slot {i} ran");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn parallel_map_ok_propagates_job_panics() {
+        let items = [1u32, 2, 3];
+        let _: Vec<u32> = parallel_map_ok(&items, 2, |&v| {
+            if v == 2 {
+                panic!("boom");
+            }
+            v
+        });
+    }
+
+    #[test]
+    fn workers_env_contract() {
+        // Can't mutate the environment safely in a threaded test binary;
+        // assert the pure bound instead: workers() is always >= 1.
+        assert!(workers() >= 1);
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_order_sensitive() {
+        let a = Fingerprint::new().push_str("square").push_u64(4).finish();
+        let b = Fingerprint::new().push_str("square").push_u64(4).finish();
+        assert_eq!(a, b, "same input, same digest");
+        let c = Fingerprint::new().push_u64(4).push_str("square").finish();
+        assert_ne!(a, c, "order matters");
+        let d = Fingerprint::new().push_str("squar").push_str("e4").finish();
+        assert_ne!(a, d, "length prefix separates field boundaries");
+        assert_eq!(Fingerprint::new().push_str("x").hex().len(), 16);
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_floats_exactly() {
+        let a = Fingerprint::new().push_f64(0.1).finish();
+        let b = Fingerprint::new().push_f64(0.1 + f64::EPSILON).finish();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn disk_cache_round_trips() {
+        let dir = std::env::temp_dir().join(format!("fleet-cache-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = DiskCache::new(&dir);
+        let key = Fingerprint::new().push_str("cell").hex();
+        assert_eq!(cache.load(&key), None, "cold cache misses");
+        cache.store(&key, "{\"x\": 1}\n").expect("store");
+        assert_eq!(cache.load(&key).as_deref(), Some("{\"x\": 1}\n"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

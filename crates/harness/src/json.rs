@@ -1,9 +1,14 @@
-//! A tiny JSON writer and validator — enough for the bench runner and
-//! observability exports without pulling in serde.
+//! A tiny JSON writer, parser and validator — enough for the bench
+//! runner, campaign cache and observability exports without pulling in
+//! serde.
 //!
 //! The writer builds objects/arrays of scalars and nested values; the
 //! validator is a strict recursive-descent checker used by smoke tests to
-//! assert that emitted files are well-formed.
+//! assert that emitted files are well-formed; [`parse`] reads a document
+//! back into a [`Json`] tree (the campaign runner and report generator
+//! consume their own cached artifacts through it). Numbers round-trip
+//! exactly: the writer's `{n}` form is Rust's shortest-roundtrip `f64`
+//! display, so `parse(render(x)) == x` for every finite value.
 
 use std::fmt::Write as _;
 
@@ -53,6 +58,47 @@ impl Json {
         self.write(&mut out, 0);
         out.push('\n');
         out
+    }
+
+    /// The value of `key` on an object (`None` for other variants or a
+    /// missing key).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The numeric value, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The string value, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The element list, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The boolean value, if this is `true` or `false`.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
     }
 
     fn write(&self, out: &mut String, indent: usize) {
@@ -184,6 +230,156 @@ pub fn validate(text: &str) -> Result<(), String> {
         return Err(format!("trailing content at byte {pos}"));
     }
     Ok(())
+}
+
+/// Parses one well-formed JSON document into a [`Json`] tree. Object keys
+/// keep their document order, so `parse(x.render()).render() == x.render()`.
+///
+/// # Errors
+///
+/// Returns a description (with byte offset) of the first syntax error.
+pub fn parse(text: &str) -> Result<Json, String> {
+    let bytes = text.as_bytes();
+    let mut pos = 0usize;
+    skip_ws(bytes, &mut pos);
+    let value = read_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing content at byte {pos}"));
+    }
+    Ok(value)
+}
+
+fn read_value(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    match b.get(*pos) {
+        None => Err("unexpected end of input".to_owned()),
+        Some(b'{') => {
+            *pos += 1;
+            skip_ws(b, pos);
+            let mut fields = Vec::new();
+            if b.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Json::Obj(fields));
+            }
+            loop {
+                skip_ws(b, pos);
+                let key = read_string(b, pos)?;
+                skip_ws(b, pos);
+                if b.get(*pos) != Some(&b':') {
+                    return Err(format!("expected ':' at byte {pos}", pos = *pos));
+                }
+                *pos += 1;
+                skip_ws(b, pos);
+                fields.push((key, read_value(b, pos)?));
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Json::Obj(fields));
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at byte {pos}", pos = *pos)),
+                }
+            }
+        }
+        Some(b'[') => {
+            *pos += 1;
+            skip_ws(b, pos);
+            let mut items = Vec::new();
+            if b.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            loop {
+                skip_ws(b, pos);
+                items.push(read_value(b, pos)?);
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Json::Arr(items));
+                    }
+                    _ => return Err(format!("expected ',' or ']' at byte {pos}", pos = *pos)),
+                }
+            }
+        }
+        Some(b'"') => read_string(b, pos).map(Json::Str),
+        Some(b't') => parse_literal(b, pos, b"true").map(|()| Json::Bool(true)),
+        Some(b'f') => parse_literal(b, pos, b"false").map(|()| Json::Bool(false)),
+        Some(b'n') => parse_literal(b, pos, b"null").map(|()| Json::Null),
+        Some(c) if c.is_ascii_digit() || *c == b'-' => {
+            let start = *pos;
+            parse_number(b, pos)?;
+            let span = std::str::from_utf8(&b[start..*pos])
+                .map_err(|_| format!("bad number at byte {start}"))?;
+            span.parse::<f64>()
+                .map(Json::Num)
+                .map_err(|_| format!("bad number at byte {start}"))
+        }
+        Some(c) => Err(format!("unexpected byte {c:?} at {pos}", pos = *pos)),
+    }
+}
+
+fn read_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+    let start = *pos;
+    parse_string(b, pos)?;
+    // The validated span (minus the quotes) is UTF-8 by construction —
+    // `b` came from a &str — so only escapes need decoding.
+    let raw = std::str::from_utf8(&b[start + 1..*pos - 1])
+        .map_err(|_| format!("invalid UTF-8 in string at byte {start}"))?;
+    if !raw.contains('\\') {
+        return Ok(raw.to_owned());
+    }
+    let mut out = String::with_capacity(raw.len());
+    let mut chars = raw.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('"') => out.push('"'),
+            Some('\\') => out.push('\\'),
+            Some('/') => out.push('/'),
+            Some('b') => out.push('\u{8}'),
+            Some('f') => out.push('\u{c}'),
+            Some('n') => out.push('\n'),
+            Some('r') => out.push('\r'),
+            Some('t') => out.push('\t'),
+            Some('u') => {
+                let hex: String = chars.by_ref().take(4).collect();
+                let cp = u32::from_str_radix(&hex, 16)
+                    .map_err(|_| format!("bad \\u escape in string at byte {start}"))?;
+                let decoded = if (0xd800..0xdc00).contains(&cp) {
+                    // High surrogate: require a trailing low surrogate.
+                    let mut rest = chars.clone();
+                    let pair: String = rest.by_ref().take(6).collect();
+                    let low = pair
+                        .strip_prefix("\\u")
+                        .and_then(|h| u32::from_str_radix(h, 16).ok())
+                        .filter(|lo| (0xdc00..0xe000).contains(lo));
+                    match low {
+                        Some(lo) => {
+                            chars = rest;
+                            0x10000 + ((cp - 0xd800) << 10) + (lo - 0xdc00)
+                        }
+                        None => {
+                            return Err(format!("unpaired surrogate in string at byte {start}"))
+                        }
+                    }
+                } else {
+                    cp
+                };
+                out.push(
+                    char::from_u32(decoded)
+                        .ok_or_else(|| format!("bad \\u escape in string at byte {start}"))?,
+                );
+            }
+            _ => return Err(format!("bad escape in string at byte {start}")),
+        }
+    }
+    Ok(out)
 }
 
 fn skip_ws(b: &[u8], pos: &mut usize) {
@@ -378,6 +574,58 @@ mod tests {
             r#""é\n""#,
         ] {
             validate(ok).unwrap_or_else(|e| panic!("{ok}: {e}"));
+        }
+    }
+
+    #[test]
+    fn parse_round_trips_writer_output() {
+        let j = Json::object()
+            .with("name", "bench \"x\"\n\t\\")
+            .with("iters", 100u64)
+            .with("median_ns", 12.5)
+            .with("tiny", 1.0000000000000002e-3)
+            .with("neg", -7i64)
+            .with("ok", true)
+            .with("missing", Json::Null)
+            .with(
+                "nested",
+                Json::object().with("empty_arr", Json::Arr(vec![])),
+            )
+            .with(
+                "values",
+                Json::Arr(vec![Json::Num(1.0), Json::Null, Json::Str("s".into())]),
+            );
+        let text = j.render();
+        let parsed = parse(&text).expect("writer output parses");
+        assert_eq!(parsed, j, "tree round-trips");
+        assert_eq!(parsed.render(), text, "bytes round-trip");
+    }
+
+    #[test]
+    fn parse_decodes_escapes_and_surrogates() {
+        let parsed = parse(r#""a\u0041\u00e9\ud83d\ude00\u000a""#).expect("escapes");
+        assert_eq!(parsed.as_str(), Some("aAé😀\n"));
+        assert!(parse(r#""\ud83d""#).is_err(), "unpaired surrogate rejected");
+    }
+
+    #[test]
+    fn accessors_select_by_variant() {
+        let j = parse(r#"{"n": 2.5, "s": "x", "a": [1], "b": false}"#).expect("parses");
+        assert_eq!(j.get("n").and_then(Json::as_f64), Some(2.5));
+        assert_eq!(j.get("s").and_then(Json::as_str), Some("x"));
+        assert_eq!(
+            j.get("a").and_then(Json::as_arr).map(<[Json]>::len),
+            Some(1)
+        );
+        assert_eq!(j.get("b").and_then(Json::as_bool), Some(false));
+        assert_eq!(j.get("zzz"), None);
+        assert_eq!(j.get("n").and_then(Json::as_str), None);
+    }
+
+    #[test]
+    fn parse_rejects_what_validate_rejects() {
+        for bad in ["", "{", "[1,]", "{\"a\":}", "tru", "{} extra", "\"\\q\""] {
+            assert!(parse(bad).is_err(), "accepted malformed: {bad}");
         }
     }
 

@@ -8,12 +8,18 @@
 //!   xoshiro256** stream generator, stable across platforms and releases.
 //! * [`prop`] replaces `proptest` — seedable generators, configurable
 //!   case counts, shrink-by-halving, and `prop_assert!`-style macros.
-//! * [`bench`] replaces `criterion` — a warmup+iterations wall-clock
+//! * [`mod@bench`] replaces `criterion` — a warmup+iterations wall-clock
 //!   runner reporting median/p95 and writing JSON into `results/`.
 //!
 //! [`obs`] adds the structured instrumentation layer (counters, event
 //! logs, spans) the simulator threads through kernel boundaries, and
 //! [`json`] is the tiny writer/validator the other modules share.
+//!
+//! [`fleet`] is the host-side fan-out layer: a deterministic
+//! work-stealing `parallel_map` with ordered result commit, plus the
+//! content-hash [`fleet::Fingerprint`] and [`fleet::DiskCache`] that back
+//! the campaign runner's incremental sweeps. Only this crate spawns
+//! threads — simulation-path crates stay thread-free by lint.
 //!
 //! The deeper tracing subsystem — the Perfetto timeline [`trace::Tracer`],
 //! the CCT [`trace::TransitionAuditor`], and log2 [`trace::Histogram`]
@@ -21,7 +27,10 @@
 //! re-exported here as [`trace`] so downstream crates reach the whole
 //! toolkit through this facade.
 
+#![warn(missing_docs)]
+
 pub mod bench;
+pub mod fleet;
 pub mod json;
 pub mod obs;
 pub mod prop;
@@ -30,6 +39,7 @@ pub mod rng;
 pub use chiplet_obs as trace;
 
 pub use bench::{BenchConfig, BenchRunner, BenchStats};
+pub use fleet::{parallel_map, parallel_map_ok, DiskCache, Fingerprint, JobFailure};
 pub use json::Json;
 pub use obs::{Counter, Event, EventLog, Span};
 pub use prop::{check, PropConfig, PropResult};

@@ -4,7 +4,7 @@
 //! A property test pairs a *generator* — a closure producing a random
 //! input from a [`Xoshiro256`] stream and a `size` budget — with a
 //! *property* — a closure returning `Ok(())` or a failure message (built
-//! with the [`prop_assert!`] family, which early-return `Err` instead of
+//! with the [`crate::prop_assert!`] family, which early-return `Err` instead of
 //! panicking so the runner can shrink).
 //!
 //! On failure the runner shrinks by **halving the size budget**: the

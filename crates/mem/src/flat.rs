@@ -19,7 +19,7 @@
 //!   invalidation (the acquire in every shadow L2) from a map clear into a
 //!   single increment.
 //!
-//! Both are keyed by any [`DenseAddr`](crate::addr::DenseAddr) — the
+//! Both are keyed by any [`DenseAddr`] — the
 //! line/page newtypes expose their dense indices through that trait — and
 //! both tolerate sparse or low-addressed keys (unit tests like to use page
 //! 0) by re-basing their backing storage on demand.

@@ -13,7 +13,7 @@
 //!   cache-friendly storage behind the per-access hot paths.
 //! * [`page`] — first-touch page placement, which decides each page's *home*
 //!   chiplet (L3 bank + HBM partition).
-//! * [`array`] — data-structure (array) declarations and access modes, the
+//! * [`mod@array`] — data-structure (array) declarations and access modes, the
 //!   granularity at which CPElide tracks coherence state.
 //!
 //! # Example

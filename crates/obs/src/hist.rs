@@ -77,6 +77,20 @@ impl Histogram {
         self.observe(v);
     }
 
+    /// Folds another histogram's observations into this one: bucket
+    /// counts add pairwise, `count`/`sum` accumulate, `max` takes the
+    /// larger. Merging is commutative bucket-wise, but `sum` is a float —
+    /// fold in a fixed order (the fleet commits results in submission
+    /// order) when byte-identical output matters.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (mine, theirs) in self.buckets.iter_mut().zip(&other.buckets) {
+            *mine += theirs;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+    }
+
     /// Number of observations.
     pub fn count(&self) -> u64 {
         self.count
@@ -297,6 +311,28 @@ mod tests {
         assert!(out.contains("cpelide_stall_cycles_sum{workload=\"square\"} 4"));
         assert!(out.contains("cpelide_stall_cycles_count{workload=\"square\"} 2"));
         assert!(out.contains("cpelide_stall_cycles_p50"));
+    }
+
+    #[test]
+    fn merge_equals_observing_the_union() {
+        let mut a = Histogram::new("m");
+        let mut b = Histogram::new("m");
+        let mut union = Histogram::new("m");
+        for v in [0u64, 1, 5, 9] {
+            a.observe(v);
+            union.observe(v);
+        }
+        for v in [2u64, 5, 1 << 40] {
+            b.observe(v);
+            union.observe(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, union);
+
+        let empty = Histogram::new("m");
+        let before = a.clone();
+        a.merge(&empty);
+        assert_eq!(a, before, "merging an empty histogram is a no-op");
     }
 
     #[test]

@@ -177,7 +177,7 @@ pub struct SimConfig {
     /// global CP. The driver lacks the CP's scheduling view, so every
     /// launch pays a host round trip to fetch WG placement before it can
     /// decide — latency the paper cites as the reason the CP is the right
-    /// place ([28], [79], [140]).
+    /// place (the paper's citations \[28\], \[79\], \[140\]).
     pub driver_managed: bool,
     /// Record a per-kernel-boundary event log (plus the memory system's
     /// per-operation log) into [`crate::metrics::RunMetrics::events`]. Off

@@ -1,15 +1,17 @@
 //! Experiment runners regenerating every figure and table of the paper's
 //! evaluation (see DESIGN.md §5 for the experiment index).
 //!
-//! The thread pool below parallelizes *independent* simulator runs on the
-//! host; no simulated state crosses threads and results are joined by
-//! index, so determinism of each run is untouched.
-// chiplet-check: allow-file(sim-thread) — host-side fan-out of independent runs
+//! All fan-out goes through `chiplet_harness::fleet` — this crate never
+//! spawns a thread itself, which keeps the whole simulation path
+//! thread-free (the `sim-thread` lint enforces it). Each [`Cell`] is an
+//! independent simulator run; the fleet commits results in submission
+//! order, so every figure below is byte-identical across worker counts.
 
 use crate::config::SimConfig;
 use crate::engine::Simulator;
 use crate::metrics::{geomean, RunMetrics};
 use chiplet_coherence::ProtocolKind;
+use chiplet_harness::fleet;
 use chiplet_workloads::{ReuseClass, Workload};
 
 /// Runs one (workload, protocol, chiplets) cell.
@@ -17,32 +19,52 @@ pub fn run_one(workload: &Workload, protocol: ProtocolKind, chiplets: usize) -> 
     Simulator::new(SimConfig::table1(chiplets, protocol)).run(workload)
 }
 
-/// Runs a closure over workloads in parallel, preserving order.
-fn par_map<T: Send>(workloads: &[Workload], f: impl Fn(&Workload) -> T + Sync) -> Vec<T> {
-    let threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4)
-        .min(workloads.len().max(1));
-    let mut out: Vec<Option<T>> = (0..workloads.len()).map(|_| None).collect();
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    let slots = std::sync::Mutex::new(&mut out);
-    std::thread::scope(|s| {
-        for _ in 0..threads {
-            s.spawn(|| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if i >= workloads.len() {
-                    break;
-                }
-                let r = f(&workloads[i]);
-                // chiplet-check: allow(no-panic) — poisoned lock means a worker died
-                slots.lock().expect("no panics while mapping")[i] = Some(r);
-            });
+/// One independent unit of the evaluation sweep: a (workload, protocol,
+/// chiplet-count) triple under the paper's Table 1 configuration. Cells
+/// are `Send + Sync`, so the fleet can execute them on any worker; each
+/// run builds its own simulator, so no simulated state crosses threads.
+#[derive(Debug, Clone)]
+pub struct Cell {
+    /// The workload to run.
+    pub workload: Workload,
+    /// The coherence protocol under test.
+    pub protocol: ProtocolKind,
+    /// Number of chiplets.
+    pub chiplets: usize,
+}
+
+impl Cell {
+    /// A cell under the Table 1 configuration.
+    pub fn new(workload: Workload, protocol: ProtocolKind, chiplets: usize) -> Self {
+        Cell {
+            workload,
+            protocol,
+            chiplets,
         }
-    });
-    out.into_iter()
-        // chiplet-check: allow(no-panic) — every index is claimed exactly once
-        .map(|t| t.expect("all slots filled"))
-        .collect()
+    }
+
+    /// Runs the cell to completion (the fleet's `Send`-safe entry point).
+    pub fn run(&self) -> RunMetrics {
+        run_one(&self.workload, self.protocol, self.chiplets)
+    }
+}
+
+// Cells travel to fleet workers and their metrics travel back; lock that
+// in at compile time so a future !Send field fails here, not in a bin.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Cell>();
+    assert_send_sync::<RunMetrics>();
+};
+
+/// Runs every cell on the fleet; results come back in submission order.
+pub fn run_cells(cells: &[Cell]) -> Vec<RunMetrics> {
+    fleet::parallel_map_ok(cells, fleet::workers(), Cell::run)
+}
+
+/// Maps a closure over workloads on the fleet, preserving order.
+fn par_map<T: Send>(workloads: &[Workload], f: impl Fn(&Workload) -> T + Sync) -> Vec<T> {
+    fleet::parallel_map_ok(workloads, fleet::workers(), f)
 }
 
 // ---------------------------------------------------------------- Figure 2
@@ -62,14 +84,24 @@ pub struct Fig2Row {
 /// inter-kernel L2 reuse in a 4-chiplet GPU vs an equivalent monolithic
 /// GPU (paper: 54 % average).
 pub fn fig2(workloads: &[Workload], chiplets: usize) -> (Vec<Fig2Row>, f64) {
-    let rows = par_map(workloads, |w| {
-        let base = run_one(w, ProtocolKind::Baseline, chiplets);
-        let mono = run_one(w, ProtocolKind::Monolithic, chiplets);
-        Fig2Row {
+    let cells: Vec<Cell> = workloads
+        .iter()
+        .flat_map(|w| {
+            [
+                Cell::new(w.clone(), ProtocolKind::Baseline, chiplets),
+                Cell::new(w.clone(), ProtocolKind::Monolithic, chiplets),
+            ]
+        })
+        .collect();
+    let metrics = run_cells(&cells);
+    let rows: Vec<Fig2Row> = workloads
+        .iter()
+        .zip(metrics.chunks_exact(2))
+        .map(|(w, pair)| Fig2Row {
             workload: w.name().to_owned(),
-            loss: base.cycles / mono.cycles - 1.0,
-        }
-    });
+            loss: pair[0].cycles / pair[1].cycles - 1.0,
+        })
+        .collect();
     let avg = rows.iter().map(|r| r.loss).sum::<f64>() / rows.len().max(1) as f64;
     (rows, avg)
 }
@@ -104,17 +136,15 @@ pub struct Fig8Summary {
 
 /// Figure 8: CPElide and HMG normalized to Baseline for one chiplet count.
 pub fn fig8(workloads: &[Workload], chiplets: usize) -> (Vec<Fig8Row>, Fig8Summary) {
-    let rows = par_map(workloads, |w| {
-        let base = run_one(w, ProtocolKind::Baseline, chiplets);
-        let cpe = run_one(w, ProtocolKind::CpElide, chiplets);
-        let hmg = run_one(w, ProtocolKind::Hmg, chiplets);
-        Fig8Row {
-            workload: w.name().to_owned(),
-            class: w.class(),
-            cpelide: cpe.speedup_over(&base),
-            hmg: hmg.speedup_over(&base),
-        }
-    });
+    let rows: Vec<Fig8Row> = protocol_triples(workloads, chiplets)
+        .into_iter()
+        .map(|t| Fig8Row {
+            workload: t.workload,
+            class: t.class,
+            cpelide: t.cpelide.speedup_over(&t.baseline),
+            hmg: t.hmg.speedup_over(&t.baseline),
+        })
+        .collect();
     let summary = Fig8Summary {
         cpelide_vs_baseline: geomean(rows.iter().map(|r| r.cpelide)),
         hmg_vs_baseline: geomean(rows.iter().map(|r| r.hmg)),
@@ -145,15 +175,34 @@ pub struct ProtocolTriple {
     pub hmg: RunMetrics,
 }
 
-/// Runs Baseline/CPElide/HMG for every workload (input to Figures 9/10).
+/// Runs Baseline/CPElide/HMG for every workload (input to Figures 8/9/10),
+/// fanning the individual cells out across the fleet.
 pub fn protocol_triples(workloads: &[Workload], chiplets: usize) -> Vec<ProtocolTriple> {
-    par_map(workloads, |w| ProtocolTriple {
-        workload: w.name().to_owned(),
-        class: w.class(),
-        baseline: run_one(w, ProtocolKind::Baseline, chiplets),
-        cpelide: run_one(w, ProtocolKind::CpElide, chiplets),
-        hmg: run_one(w, ProtocolKind::Hmg, chiplets),
-    })
+    const PROTOCOLS: [ProtocolKind; 3] = [
+        ProtocolKind::Baseline,
+        ProtocolKind::CpElide,
+        ProtocolKind::Hmg,
+    ];
+    let cells: Vec<Cell> = workloads
+        .iter()
+        .flat_map(|w| PROTOCOLS.map(|p| Cell::new(w.clone(), p, chiplets)))
+        .collect();
+    let mut metrics = run_cells(&cells).into_iter();
+    let mut triples = Vec::with_capacity(workloads.len());
+    for w in workloads {
+        if let (Some(baseline), Some(cpelide), Some(hmg)) =
+            (metrics.next(), metrics.next(), metrics.next())
+        {
+            triples.push(ProtocolTriple {
+                workload: w.name().to_owned(),
+                class: w.class(),
+                baseline,
+                cpelide,
+                hmg,
+            });
+        }
+    }
+    triples
 }
 
 /// Figure 9 summary: average energy of CPElide and HMG relative to

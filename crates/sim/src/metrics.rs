@@ -122,6 +122,22 @@ impl RunHistograms {
         o
     }
 
+    /// Folds another run's distributions into this one, histogram by
+    /// histogram (see [`Histogram::merge`]). The campaign runner uses this
+    /// to aggregate per-cell distributions across a sweep; fold in
+    /// submission order when byte-stable output matters, since `sum` is a
+    /// float accumulator.
+    pub fn merge(&mut self, other: &RunHistograms) {
+        self.kernel_cycles.merge(&other.kernel_cycles);
+        self.boundary_stall_cycles
+            .merge(&other.boundary_stall_cycles);
+        self.boundary_flushed_lines
+            .merge(&other.boundary_flushed_lines);
+        self.boundary_invalidated_lines
+            .merge(&other.boundary_invalidated_lines);
+        self.link_busy_permille.merge(&other.link_busy_permille);
+    }
+
     /// Appends Prometheus text exposition for every histogram.
     pub fn prometheus_text(&self, labels: &str, out: &mut String) {
         for (h, help) in self.all() {

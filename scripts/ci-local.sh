@@ -16,6 +16,9 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== chiplet-check lint (determinism/soundness rules) =="
 cargo run --release -p chiplet-check -- --workspace
 
+echo "== rustdoc (warnings are errors) =="
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps
+
 echo "== build (release) =="
 cargo build --workspace --release
 
@@ -24,6 +27,20 @@ cargo test --workspace --release -q
 
 echo "== smoke-run every figure binary =="
 CPELIDE_SMOKE=1 cargo run --release -p cpelide-bench --bin all
+
+echo "== campaign determinism smoke (CPELIDE_JOBS=1 vs 8) =="
+# The fleet's core contract: campaign.json is byte-identical at any
+# worker count. Cache disabled so every cell actually simulates.
+CPELIDE_SMOKE=1 CPELIDE_CACHE=0 CPELIDE_JOBS=1 \
+  CPELIDE_RESULTS_DIR=results/jobs1 \
+  cargo run --release -p cpelide-bench --bin campaign
+CPELIDE_SMOKE=1 CPELIDE_CACHE=0 CPELIDE_JOBS=8 \
+  CPELIDE_RESULTS_DIR=results/jobs8 \
+  cargo run --release -p cpelide-bench --bin campaign
+cmp results/jobs1/campaign.json results/jobs8/campaign.json
+
+echo "== docs drift gate (EXPERIMENTS.md vs committed campaign.json) =="
+cargo run --release -p cpelide-bench --bin report -- --check
 
 echo "== smoke-run probe with Perfetto trace export =="
 # write_trace validates span balance and JSON well-formedness before the
