@@ -19,10 +19,12 @@ use chiplet_harness::bench::BenchRunner;
 use chiplet_harness::json::Json;
 use chiplet_mem::addr::{ChipletId, PageAddr};
 use chiplet_mem::page::PageTable;
+use chiplet_sim::config::EngineCore;
 use chiplet_sim::oracle::{check_coherence_with, ShadowKind};
 use chiplet_sim::{SimConfig, Simulator};
 use chiplet_workloads::Workload;
 use std::collections::HashMap;
+use std::time::Instant;
 
 /// The fixed probe sweep: the `probe` binary's workload at the paper's
 /// default chiplet count, over the three protocol families.
@@ -131,6 +133,80 @@ fn bench_placement(r: &mut BenchRunner) -> f64 {
     )
 }
 
+/// Times one campaign cell under the given engine core, returning the
+/// wall milliseconds and the rendered metrics (for the cross-core
+/// byte-identity tripwire).
+fn run_cell_with(spec: &cpelide_bench::campaign::CellSpec, core: EngineCore) -> (f64, String) {
+    let mut cfg = SimConfig::table1(spec.cell.chiplets, spec.cell.protocol);
+    cfg.engine_core = core;
+    let t = Instant::now();
+    let metrics = Simulator::new(cfg).run(&spec.cell.workload);
+    let ms = t.elapsed().as_secs_f64() * 1e3;
+    (ms, metrics.to_json().render())
+}
+
+/// The `cells_per_sec` campaign-grid section: every campaign cell (the
+/// same grid `--bin campaign` fans out, honouring `CPELIDE_SMOKE`) is run
+/// once through the event-driven core and once through the retained
+/// per-line reference core. The reference core *is* the pre-rework engine,
+/// so `speedup_aggregate` — a ratio of the two cores' grid throughputs on
+/// the same machine — measures the engine rework's payoff robustly to CPU
+/// differences, exactly like the flat-vs-hashmap sections. Each cell's
+/// metrics must render byte-identically under both cores; a mismatch
+/// aborts the bench.
+fn bench_campaign_grid() -> Json {
+    let specs = cpelide_bench::campaign::cells();
+    let mut grid: Vec<Json> = Vec::new();
+    let mut wall_ms = [0.0f64; 2]; // [event, scan]
+    let mut best = (String::new(), 0.0f64);
+    for spec in &specs {
+        let (event_ms, event_metrics) = run_cell_with(spec, EngineCore::EventDriven);
+        let (scan_ms, scan_metrics) = run_cell_with(spec, EngineCore::ReferenceScan);
+        assert_eq!(
+            event_metrics,
+            scan_metrics,
+            "cell {}: engine cores must produce byte-identical metrics",
+            spec.id()
+        );
+        let speedup = scan_ms / event_ms;
+        if speedup > best.1 {
+            best = (spec.id(), speedup);
+        }
+        wall_ms[0] += event_ms;
+        wall_ms[1] += scan_ms;
+        grid.push(
+            Json::object()
+                .with("id", spec.id())
+                .with("event_ms", event_ms)
+                .with("scan_ms", scan_ms)
+                .with("speedup", speedup),
+        );
+    }
+    let cells = specs.len() as f64;
+    let cps_event = cells / (wall_ms[0] / 1e3);
+    let cps_scan = cells / (wall_ms[1] / 1e3);
+    println!(
+        "campaign grid: {} cells, {:.2} cells/s event vs {:.2} cells/s scan \
+         ({:.2}x aggregate, best cell {} at {:.1}x)",
+        specs.len(),
+        cps_event,
+        cps_scan,
+        cps_event / cps_scan,
+        best.0,
+        best.1
+    );
+    Json::object()
+        .with("cells", cells)
+        .with("cells_per_sec_event", cps_event)
+        .with("cells_per_sec_scan", cps_scan)
+        .with("speedup_aggregate", cps_event / cps_scan)
+        .with(
+            "speedup_best",
+            Json::object().with("id", best.0).with("speedup", best.1),
+        )
+        .with("grid", grid)
+}
+
 /// Ratio of the two named benchmarks' medians: how many times faster
 /// `fast` ran than `slow`.
 fn speedup_of(r: &BenchRunner, fast: &str, slow: &str) -> f64 {
@@ -150,18 +226,23 @@ fn main() {
     bench_engine(&mut runner, &workloads);
     let oracle_speedup = bench_oracle(&mut runner, &workloads);
     let placement_speedup = bench_placement(&mut runner);
+    let campaign_grid = bench_campaign_grid();
     print!("{}", runner.report());
     println!(
         "speedup: oracle replay flat vs hashmap {oracle_speedup:.2}x, \
          placement flat vs hashmap {placement_speedup:.2}x"
     );
 
-    let report = runner.to_json().with(
-        "speedup",
-        Json::object()
-            .with("oracle_replay_flat_vs_hashmap", oracle_speedup)
-            .with("placement_flat_vs_hashmap", placement_speedup),
-    );
+    let report = runner
+        .to_json()
+        .with("smoke", cpelide_bench::smoke())
+        .with(
+            "speedup",
+            Json::object()
+                .with("oracle_replay_flat_vs_hashmap", oracle_speedup)
+                .with("placement_flat_vs_hashmap", placement_speedup),
+        )
+        .with("campaign_grid", campaign_grid);
     let path = cpelide_bench::write_report("BENCH_hotpath", &report);
     println!("wrote {}", path.display());
 }

@@ -29,6 +29,7 @@
 // than let a silent skip masquerade as regenerated results.
 
 pub mod campaign;
+pub mod perfgate;
 pub mod report;
 
 use chiplet_harness::json::{self, Json};
@@ -73,11 +74,33 @@ pub fn pick<T>(full: Vec<T>, tiny: Vec<T>) -> Vec<T> {
     }
 }
 
+/// The cargo workspace root, resolved at compile time from this crate's
+/// manifest directory (`crates/bench` → two levels up).
+pub fn workspace_root() -> PathBuf {
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest
+        .parent()
+        .and_then(std::path::Path::parent)
+        .map(std::path::Path::to_path_buf)
+        .unwrap_or(manifest)
+}
+
 /// Where JSON reports land: `CPELIDE_RESULTS_DIR`, default `results/`.
+///
+/// Relative paths (including the default) are resolved against the
+/// *workspace root*, not the process cwd: `cargo bench` and `cargo test`
+/// run their binaries with the package directory as cwd, and a cwd-relative
+/// default would scatter stray `crates/*/results/` directories. Absolute
+/// paths are honoured verbatim.
 pub fn results_dir() -> PathBuf {
-    std::env::var_os("CPELIDE_RESULTS_DIR")
+    let raw = std::env::var_os("CPELIDE_RESULTS_DIR")
         .map(PathBuf::from)
-        .unwrap_or_else(|| PathBuf::from("results"))
+        .unwrap_or_else(|| PathBuf::from("results"));
+    if raw.is_absolute() {
+        raw
+    } else {
+        workspace_root().join(raw)
+    }
 }
 
 /// Validates `report` and writes it to `<results_dir>/<artifact>.json`,
@@ -193,6 +216,24 @@ mod tests {
         let hi = s.find("moderate-high").unwrap();
         let lo = s.find("low inter-kernel").unwrap();
         assert!(hi < lo);
+    }
+
+    #[test]
+    fn workspace_root_holds_the_workspace_manifest() {
+        assert!(workspace_root().join("Cargo.toml").is_file());
+        assert!(workspace_root().join("crates/bench/Cargo.toml").is_file());
+    }
+
+    #[test]
+    fn default_results_dir_is_workspace_rooted() {
+        // `cargo bench`/`cargo test` run binaries with the package dir as
+        // cwd; the default must still land in the workspace's results/.
+        if std::env::var_os("CPELIDE_RESULTS_DIR").is_some() {
+            return; // honour an explicit override in the environment
+        }
+        let d = results_dir();
+        assert!(d.is_absolute());
+        assert_eq!(d, workspace_root().join("results"));
     }
 
     #[test]

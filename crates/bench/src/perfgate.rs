@@ -1,0 +1,250 @@
+//! The CI perf-regression gate: compares a freshly-benched
+//! `BENCH_hotpath.json` against the committed `BENCH_baseline.json` and
+//! fails when a tracked speedup ratio regresses beyond a tolerance factor.
+//!
+//! Everything gated is a *ratio of two timings from the same run on the
+//! same machine* — the campaign grid's event-core vs reference-core
+//! throughput and the two flat-vs-hashmap replay speedups — never an
+//! absolute wall-clock number. Absolute times vary wildly across runners;
+//! a ratio-of-ratios check (`fresh_ratio ≥ baseline_ratio / TOLERANCE`)
+//! only trips when the *relative* payoff of the fast path erodes, which is
+//! exactly what a perf regression in the reworked code looks like.
+//!
+//! Re-blessing: `CPELIDE_BLESS_BENCH=1 cargo run --release -p
+//! cpelide-bench --bin report -- --perf-check` rewrites the baseline from
+//! the fresh report (run the smoke bench first). Commit the result
+//! together with the change that legitimately moved the numbers.
+
+use chiplet_harness::json::Json;
+
+/// Schema tag stamped into `BENCH_baseline.json`.
+pub const BASELINE_SCHEMA: &str = "cpelide-bench-baseline-v1";
+
+/// How far a gated ratio may fall below the committed baseline before the
+/// gate fails. Ratios are wall-clock-noise-resistant but not noise-free
+/// (both sides of a ratio wander a few percent per run); 1.5× headroom
+/// passes benign jitter and still catches the failure modes that matter —
+/// an accidentally disabled fast path collapses its ratio to ~1.
+pub const TOLERANCE: f64 = 1.5;
+
+/// The gated numbers, extracted from either report flavour.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GateRatios {
+    /// Whether the source run was `CPELIDE_SMOKE=1`.
+    pub smoke: bool,
+    /// Campaign-grid cell count (context only, not gated).
+    pub cells: f64,
+    /// Campaign-grid event-core throughput, cells/sec (context only).
+    pub cells_per_sec_event: f64,
+    /// Campaign grid: event-core vs reference-core throughput ratio.
+    pub campaign_grid_event_vs_scan: f64,
+    /// Oracle replay: flat shadow vs retained `HashMap` shadow.
+    pub oracle_replay_flat_vs_hashmap: f64,
+    /// First-touch placement: flat table vs `HashMap`.
+    pub placement_flat_vs_hashmap: f64,
+}
+
+fn need(doc: &Json, path: &[&str]) -> Result<f64, String> {
+    let mut cur = doc;
+    for key in path {
+        cur = cur
+            .get(key)
+            .ok_or_else(|| format!("missing `{}`", path.join(".")))?;
+    }
+    cur.as_f64()
+        .ok_or_else(|| format!("`{}` is not a number", path.join(".")))
+}
+
+/// Extracts the gated ratios from a `BENCH_hotpath.json` document.
+pub fn ratios_from_hotpath(doc: &Json) -> Result<GateRatios, String> {
+    Ok(GateRatios {
+        smoke: doc.get("smoke").and_then(Json::as_bool).unwrap_or(false),
+        cells: need(doc, &["campaign_grid", "cells"])?,
+        cells_per_sec_event: need(doc, &["campaign_grid", "cells_per_sec_event"])?,
+        campaign_grid_event_vs_scan: need(doc, &["campaign_grid", "speedup_aggregate"])?,
+        oracle_replay_flat_vs_hashmap: need(doc, &["speedup", "oracle_replay_flat_vs_hashmap"])?,
+        placement_flat_vs_hashmap: need(doc, &["speedup", "placement_flat_vs_hashmap"])?,
+    })
+}
+
+/// Extracts the gated ratios from a `BENCH_baseline.json` document.
+pub fn ratios_from_baseline(doc: &Json) -> Result<GateRatios, String> {
+    let schema = doc.get("schema").and_then(Json::as_str).unwrap_or("");
+    if schema != BASELINE_SCHEMA {
+        return Err(format!(
+            "baseline schema is {schema:?}, expected {BASELINE_SCHEMA:?}; \
+             re-bless with CPELIDE_BLESS_BENCH=1"
+        ));
+    }
+    Ok(GateRatios {
+        smoke: doc.get("smoke").and_then(Json::as_bool).unwrap_or(false),
+        cells: need(doc, &["campaign_grid_cells"])?,
+        cells_per_sec_event: need(doc, &["cells_per_sec_event"])?,
+        campaign_grid_event_vs_scan: need(doc, &["speedup", "campaign_grid_event_vs_scan"])?,
+        oracle_replay_flat_vs_hashmap: need(doc, &["speedup", "oracle_replay_flat_vs_hashmap"])?,
+        placement_flat_vs_hashmap: need(doc, &["speedup", "placement_flat_vs_hashmap"])?,
+    })
+}
+
+/// Renders a fresh set of ratios as the committed baseline document.
+pub fn baseline_doc(r: &GateRatios) -> Json {
+    Json::object()
+        .with("schema", BASELINE_SCHEMA)
+        .with("smoke", r.smoke)
+        .with("campaign_grid_cells", r.cells)
+        .with("cells_per_sec_event", r.cells_per_sec_event)
+        .with(
+            "speedup",
+            Json::object()
+                .with("campaign_grid_event_vs_scan", r.campaign_grid_event_vs_scan)
+                .with(
+                    "oracle_replay_flat_vs_hashmap",
+                    r.oracle_replay_flat_vs_hashmap,
+                )
+                .with("placement_flat_vs_hashmap", r.placement_flat_vs_hashmap),
+        )
+}
+
+/// Compares fresh ratios against the baseline. Returns one message per
+/// failed check; an empty vector means the gate passes.
+pub fn check(fresh: &GateRatios, baseline: &GateRatios, tolerance: f64) -> Vec<String> {
+    let mut failures = Vec::new();
+    if fresh.smoke != baseline.smoke {
+        failures.push(format!(
+            "mode mismatch: fresh report smoke={} but baseline smoke={} \
+             (run the bench in the baseline's mode, or re-bless)",
+            fresh.smoke, baseline.smoke
+        ));
+        return failures;
+    }
+    let mut gate = |name: &str, fresh_v: f64, base_v: f64| {
+        let floor = base_v / tolerance;
+        // A NaN ratio (corrupt report) must fail, not slip past a `<`.
+        if fresh_v < floor || fresh_v.is_nan() {
+            failures.push(format!(
+                "{name}: {fresh_v:.2}x fell below {floor:.2}x \
+                 (baseline {base_v:.2}x / tolerance {tolerance})"
+            ));
+        }
+    };
+    gate(
+        "campaign_grid cells_per_sec event-vs-scan",
+        fresh.campaign_grid_event_vs_scan,
+        baseline.campaign_grid_event_vs_scan,
+    );
+    gate(
+        "oracle replay flat-vs-hashmap",
+        fresh.oracle_replay_flat_vs_hashmap,
+        baseline.oracle_replay_flat_vs_hashmap,
+    );
+    gate(
+        "placement flat-vs-hashmap",
+        fresh.placement_flat_vs_hashmap,
+        baseline.placement_flat_vs_hashmap,
+    );
+    failures
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chiplet_harness::json;
+
+    fn ratios() -> GateRatios {
+        GateRatios {
+            smoke: true,
+            cells: 20.0,
+            cells_per_sec_event: 23.0,
+            campaign_grid_event_vs_scan: 1.5,
+            oracle_replay_flat_vs_hashmap: 4.0,
+            placement_flat_vs_hashmap: 13.0,
+        }
+    }
+
+    #[test]
+    fn identical_ratios_pass() {
+        assert!(check(&ratios(), &ratios(), TOLERANCE).is_empty());
+    }
+
+    #[test]
+    fn jitter_within_tolerance_passes() {
+        let mut fresh = ratios();
+        fresh.campaign_grid_event_vs_scan = 1.2; // 1.5/1.5 = 1.0 floor
+        fresh.oracle_replay_flat_vs_hashmap = 3.0;
+        assert!(check(&fresh, &ratios(), TOLERANCE).is_empty());
+    }
+
+    #[test]
+    fn collapsed_fast_path_fails() {
+        let mut fresh = ratios();
+        fresh.campaign_grid_event_vs_scan = 0.9; // below the 1.0 floor
+        let failures = check(&fresh, &ratios(), TOLERANCE);
+        assert_eq!(failures.len(), 1);
+        assert!(failures[0].contains("campaign_grid"), "{failures:?}");
+    }
+
+    #[test]
+    fn every_gated_ratio_is_checked() {
+        let mut fresh = ratios();
+        fresh.campaign_grid_event_vs_scan = 0.1;
+        fresh.oracle_replay_flat_vs_hashmap = 0.1;
+        fresh.placement_flat_vs_hashmap = 0.1;
+        assert_eq!(check(&fresh, &ratios(), TOLERANCE).len(), 3);
+    }
+
+    #[test]
+    fn nan_fresh_ratio_fails_not_passes() {
+        let mut fresh = ratios();
+        fresh.placement_flat_vs_hashmap = f64::NAN;
+        assert_eq!(check(&fresh, &ratios(), TOLERANCE).len(), 1);
+    }
+
+    #[test]
+    fn mode_mismatch_fails_without_ratio_checks() {
+        let mut fresh = ratios();
+        fresh.smoke = false;
+        let failures = check(&fresh, &ratios(), TOLERANCE);
+        assert_eq!(failures.len(), 1);
+        assert!(failures[0].contains("mode mismatch"), "{failures:?}");
+    }
+
+    #[test]
+    fn baseline_doc_round_trips() {
+        let r = ratios();
+        let doc = baseline_doc(&r);
+        let parsed = json::parse(&doc.render()).unwrap();
+        assert_eq!(ratios_from_baseline(&parsed).unwrap(), r);
+    }
+
+    #[test]
+    fn baseline_without_schema_is_rejected() {
+        let doc = Json::object().with("smoke", true);
+        assert!(ratios_from_baseline(&doc).unwrap_err().contains("schema"));
+    }
+
+    #[test]
+    fn hotpath_extraction_reads_real_layout() {
+        let doc = Json::object()
+            .with("smoke", true)
+            .with(
+                "speedup",
+                Json::object()
+                    .with("oracle_replay_flat_vs_hashmap", 4.0)
+                    .with("placement_flat_vs_hashmap", 13.0),
+            )
+            .with(
+                "campaign_grid",
+                Json::object()
+                    .with("cells", 20.0)
+                    .with("cells_per_sec_event", 23.0)
+                    .with("speedup_aggregate", 1.5),
+            );
+        assert_eq!(ratios_from_hotpath(&doc).unwrap(), ratios());
+    }
+
+    #[test]
+    fn missing_section_gives_actionable_error() {
+        let err = ratios_from_hotpath(&Json::object()).unwrap_err();
+        assert!(err.contains("campaign_grid"), "{err}");
+    }
+}

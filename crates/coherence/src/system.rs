@@ -11,11 +11,12 @@
 use crate::config::{MemConfig, ProtocolKind};
 use chiplet_harness::obs::EventLog;
 use chiplet_mem::addr::{ChipletId, LineAddr};
-use chiplet_mem::cache::{CacheGeometry, CacheStats, SetAssocCache, WritePolicy};
+use chiplet_mem::cache::{AccessOutcome, CacheCore, CacheGeometry, CacheStats, WritePolicy};
 use chiplet_mem::directory::{CoarseDirectory, DirectoryStats};
 use chiplet_mem::hbm::Hbm;
+use chiplet_mem::line_state::LineStateTable;
 use chiplet_mem::page::FirstTouchPlacement;
-use chiplet_mem::LINE_BYTES;
+use chiplet_mem::{SetAssocCache, LINE_BYTES};
 use chiplet_noc::traffic::{FlitCounter, TrafficClass};
 
 /// The service point of one access, mapped to latency by the simulator.
@@ -82,15 +83,25 @@ pub struct AcquireCost {
 }
 
 /// The simulated memory system for one protocol configuration.
+///
+/// Generic over the cache implementation so identical traces can be run
+/// through the event-driven [`SetAssocCache`] (the default) and the
+/// reference [`chiplet_mem::ScanCache`] and compared bit-for-bit.
 #[derive(Debug, Clone)]
-pub struct MemorySystem {
+pub struct MemorySystem<C: CacheCore = SetAssocCache> {
     kind: ProtocolKind,
     config: MemConfig,
-    l2: Vec<SetAssocCache>,
-    l3: SetAssocCache,
+    l2: Vec<C>,
+    l3: C,
     placement: FirstTouchPlacement,
     hbm: Hbm,
     dirs: Vec<CoarseDirectory>,
+    /// Superset sharer/dirty masks per line, maintained only for the HMG
+    /// protocol family (the only protocols that ever ask "who else holds
+    /// this line?"). Lets the write-back owner probe and future elision
+    /// entry points iterate candidate chiplets by popcount instead of
+    /// probing every L2.
+    line_state: LineStateTable,
     traffic: FlitCounter,
     dir_remote_invalidations: u64,
     /// Per-operation synchronization event log (disabled by default so the
@@ -99,13 +110,27 @@ pub struct MemorySystem {
 }
 
 impl MemorySystem {
-    /// Builds the memory system for `kind` with geometry `config`.
+    /// Builds the memory system for `kind` with geometry `config`, using
+    /// the default event-driven cache core.
     ///
     /// # Panics
     ///
     /// Panics if the geometry is inconsistent, or if `kind` is
     /// [`ProtocolKind::Monolithic`] with more than one chiplet.
     pub fn new(kind: ProtocolKind, config: MemConfig) -> Self {
+        MemorySystem::with_core(kind, config)
+    }
+}
+
+impl<C: CacheCore> MemorySystem<C> {
+    /// Builds the memory system for `kind` with geometry `config` on an
+    /// explicit cache core `C`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is inconsistent, or if `kind` is
+    /// [`ProtocolKind::Monolithic`] with more than one chiplet.
+    pub fn with_core(kind: ProtocolKind, config: MemConfig) -> Self {
         if kind == ProtocolKind::Monolithic {
             assert_eq!(
                 config.num_chiplets, 1,
@@ -138,12 +163,13 @@ impl MemorySystem {
             kind,
             config,
             l2: (0..config.num_chiplets)
-                .map(|_| SetAssocCache::new(l2_geom, l2_policy))
+                .map(|_| C::new(l2_geom, l2_policy))
                 .collect(),
-            l3: SetAssocCache::new(l3_geom, WritePolicy::WriteBack),
+            l3: C::new(l3_geom, WritePolicy::WriteBack),
             placement: FirstTouchPlacement::new(),
             hbm: Hbm::new(config.num_chiplets),
             dirs,
+            line_state: LineStateTable::new(),
             traffic: FlitCounter::new(),
             dir_remote_invalidations: 0,
             events: EventLog::disabled(),
@@ -280,6 +306,59 @@ impl MemorySystem {
         remote
     }
 
+    /// L2 access for the HMG family: performs the read and keeps the
+    /// line-state masks a superset of true residency (fills add the sharer
+    /// bit, evictions — dirty or clean — remove the victim's bits).
+    fn l2_read(&mut self, c: ChipletId, line: LineAddr) -> AccessOutcome {
+        let out = self.l2[c.index()].read(line);
+        if let Some(v) = out.writeback {
+            self.line_state.remove_sharer(v, c);
+        }
+        if let Some(v) = out.clean_eviction {
+            self.line_state.remove_sharer(v, c);
+        }
+        if !out.hit {
+            self.line_state.add_sharer(line, c);
+        }
+        out
+    }
+
+    /// L2 store for the HMG family; under write-back the line's dirty mask
+    /// bit is set so later owner probes can find it without a full scan.
+    fn l2_write(&mut self, c: ChipletId, line: LineAddr) -> AccessOutcome {
+        let out = self.l2[c.index()].write(line);
+        if let Some(v) = out.writeback {
+            self.line_state.remove_sharer(v, c);
+        }
+        if let Some(v) = out.clean_eviction {
+            self.line_state.remove_sharer(v, c);
+        }
+        if self.kind == ProtocolKind::HmgWriteBack {
+            self.line_state.mark_dirty(line, c);
+        } else {
+            self.line_state.add_sharer(line, c);
+        }
+        out
+    }
+
+    /// Targeted L2 invalidation for the HMG family, with mask maintenance.
+    fn l2_invalidate_line(&mut self, c: ChipletId, line: LineAddr) -> Option<bool> {
+        let r = self.l2[c.index()].invalidate_line(line);
+        if r.is_some() {
+            self.line_state.remove_sharer(line, c);
+        }
+        r
+    }
+
+    /// Targeted L2 writeback for the HMG family, with mask maintenance.
+    fn l2_flush_line(&mut self, c: ChipletId, line: LineAddr) -> bool {
+        let r = self.l2[c.index()].flush_line(line);
+        if r {
+            self.line_state.clear_dirty(line, c);
+        }
+        r
+    }
+
     /// Registers `sharer` in `home`'s directory, invalidating displaced
     /// regions at their sharers (HMG only). Home-local fills are served
     /// under the home's own bank and are not tracked; directory capacity is
@@ -305,7 +384,7 @@ impl MemorySystem {
                 }
                 for i in 0..ev.lines {
                     let l = ev.first_line.step(i);
-                    if let Some(was_dirty) = self.l2[s.index()].invalidate_line(l) {
+                    if let Some(was_dirty) = self.l2_invalidate_line(s, l) {
                         if was_dirty && writeback {
                             self.writeback_line(s, l);
                         }
@@ -358,7 +437,7 @@ impl MemorySystem {
     }
 
     fn read_hmg(&mut self, c: ChipletId, line: LineAddr) -> CostClass {
-        let out = self.l2[c.index()].read(line);
+        let out = self.l2_read(c, line);
         let home = self.home_of(line, c);
         if out.hit {
             return CostClass::L2Hit;
@@ -378,7 +457,7 @@ impl MemorySystem {
         // filled on the way back - contending with the home's local data.
         self.traffic.record_read_transaction(TrafficClass::Remote);
         self.dir_record(home, line, c);
-        if self.l2[home.index()].read(line).hit {
+        if self.l2_read(home, line).hit {
             return CostClass::L2RemoteHit;
         }
         if self.l3_read(line, home) {
@@ -389,7 +468,7 @@ impl MemorySystem {
     }
 
     fn read_hmg_wb(&mut self, c: ChipletId, line: LineAddr) -> CostClass {
-        let out = self.l2[c.index()].read(line);
+        let out = self.l2_read(c, line);
         let home = self.home_of(line, c);
         if out.hit {
             return CostClass::L2Hit;
@@ -403,13 +482,17 @@ impl MemorySystem {
             self.traffic.record_read_transaction(TrafficClass::Remote);
         }
         // Another chiplet may own the line dirty: forward from the owner,
-        // flushing its copy to the LLC on the way (3-hop transaction).
-        let owner = (0..self.config.num_chiplets)
-            .map(|i| ChipletId::new(i as u8))
+        // flushing its copy to the LLC on the way (3-hop transaction). The
+        // line-state dirty mask narrows the probe to candidate chiplets in
+        // ascending order (a superset, so each candidate is verified with a
+        // real probe — same outcome as scanning every L2).
+        let owner = self
+            .line_state
+            .dirty_candidates(line)
             .find(|&o| o != c && self.l2[o.index()].probe_dirty(line));
         self.dir_record(home, line, c);
         if let Some(o) = owner {
-            self.l2[o.index()].flush_line(line);
+            self.l2_flush_line(o, line);
             self.writeback_line(o, line);
             self.l3.read(line); // now present and clean downstream
             return CostClass::OwnerForward;
@@ -458,7 +541,7 @@ impl MemorySystem {
         let remote = home != c;
         // Write-through: keep a clean local copy, push the store to the
         // home node's LLC bank.
-        self.l2[c.index()].write(line);
+        self.l2_write(c, line);
         self.traffic.record_write_transaction(TrafficClass::L2ToL3);
         if remote {
             self.traffic.record_write_transaction(TrafficClass::Remote);
@@ -467,7 +550,7 @@ impl MemorySystem {
         self.invalidate_other_sharers(home, line, c);
         // The home chiplet's own (untracked) copy must not go stale.
         if remote {
-            self.l2[home.index()].invalidate_line(line);
+            self.l2_invalidate_line(home, line);
         }
         self.dir_record(home, line, c);
         CostClass::StoreThrough { remote }
@@ -482,13 +565,13 @@ impl MemorySystem {
         if remote {
             self.traffic.record_control(TrafficClass::Remote);
         }
-        let out = self.l2[c.index()].write(line);
+        let out = self.l2_write(c, line);
         if let Some(victim) = out.writeback {
             self.writeback_line(c, victim);
         }
         self.invalidate_other_sharers(home, line, c);
         if remote {
-            self.l2[home.index()].invalidate_line(line);
+            self.l2_invalidate_line(home, line);
         }
         self.dir_record(home, line, c);
         CostClass::StoreOwned { remote }
@@ -508,7 +591,7 @@ impl MemorySystem {
                 self.traffic.record_control(TrafficClass::Remote);
                 self.dir_remote_invalidations += 1;
             }
-            if let Some(was_dirty) = self.l2[s.index()].invalidate_line(line) {
+            if let Some(was_dirty) = self.l2_invalidate_line(s, line) {
                 if was_dirty && self.kind == ProtocolKind::HmgWriteBack {
                     self.writeback_line(s, line);
                 }
@@ -521,8 +604,12 @@ impl MemorySystem {
     /// retaining clean copies. Writebacks are routed to each line's home.
     pub fn release(&mut self, c: ChipletId) -> ReleaseCost {
         let lines = self.l2[c.index()].flush_dirty_lines();
+        let track = self.kind.is_hmg();
         let mut cost = ReleaseCost::default();
         for line in lines {
+            if track {
+                self.line_state.clear_dirty(line, c);
+            }
             if self.writeback_line(c, line) {
                 cost.remote_lines += 1;
             } else {
@@ -545,6 +632,9 @@ impl MemorySystem {
     pub fn acquire(&mut self, c: ChipletId) -> AcquireCost {
         let flush = self.release(c);
         let inv = self.l2[c.index()].invalidate_all();
+        if self.kind.is_hmg() {
+            self.line_state.clear_chiplet(c);
+        }
         debug_assert_eq!(inv.dirty_dropped, 0, "flush must precede invalidate");
         self.events.record(
             "l2_acquire",

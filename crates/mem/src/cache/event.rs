@@ -1,0 +1,746 @@
+//! The event-driven struct-of-arrays cache core.
+//!
+//! [`SetAssocCache`] is behaviourally identical to [`ScanCache`] (same
+//! hits, same LRU victims, same writeback order, same stats) but its bulk
+//! release/acquire operations cost O(touched lines), not O(capacity):
+//!
+//! * **SoA way metadata with a dense residency index** — `tags` and `lru`
+//!   live in parallel `Vec`s indexed by flat way slot (`set * ways +
+//!   way`), and a [`FlatMap`] keyed by the line's dense index maps each
+//!   resident line straight to its slot. A hit is one epoch-checked array
+//!   load — no tag walk at all — and trace replay's sequential line
+//!   streams make those loads prefetch-friendly. Working sets far larger
+//!   than the cache would make that index big and useless (miss-dominated
+//!   streams barely consult it), so it retires permanently once the
+//!   touched band outgrows [`INDEX_SLOT_BUDGET`]× the slot count and
+//!   lookups fall back to a tag scan over the set's live-way mask.
+//! * **Per-set valid bitmasks with epoch-tagged validity** — each set's
+//!   validity is one `u64` word (bit per way), meaningful only while
+//!   `set_epoch[s] == epoch`. `invalidate_all` (an acquire) bumps `epoch`:
+//!   every line is dropped in O(1) instead of clearing 131k `valid`
+//!   flags, and a set lazily re-stamps itself on its next fill. Victim
+//!   selection on a non-full set is `trailing_zeros(!mask)` — the same
+//!   first-invalid-way answer the reference scan produces.
+//! * **Dirty-word bitmaps with a pending queue** — dirtiness is one bit per
+//!   way slot, packed 64 slots to a `u64` word; each word carries its own
+//!   epoch tag so acquires also clear dirtiness in O(1). The first time a
+//!   bit is set in a word after a drain, the word index is pushed onto
+//!   `pending` (`queued_gen` guards against duplicates). A boundary drain
+//!   then visits only pending words — sorted ascending and walked with
+//!   `trailing_zeros`, which reproduces the reference scan's ascending
+//!   way-index writeback order bit-for-bit.
+//!
+//! [`ScanCache`]: super::ScanCache
+
+use super::{
+    AccessOutcome, CacheCore, CacheGeometry, CacheStats, FlushOutcome, InvalidateOutcome,
+    WritePolicy,
+};
+use crate::addr::LineAddr;
+use crate::flat::FlatMap;
+
+/// Residency-index budget, in multiples of the cache's way-slot count.
+/// While the touched line band fits the budget, hits cost one epoch-checked
+/// load; past it the index retires to the per-set tag scan.
+const INDEX_SLOT_BUDGET: usize = 2;
+
+/// The event-driven set-associative cache with LRU replacement (the
+/// default core used by the simulator).
+///
+/// # Example
+///
+/// ```
+/// use chiplet_mem::cache::{CacheGeometry, SetAssocCache, WritePolicy};
+/// use chiplet_mem::addr::LineAddr;
+///
+/// let geom = CacheGeometry::new(4096, 64, 2)?; // 32 sets x 2 ways
+/// let mut c = SetAssocCache::new(geom, WritePolicy::WriteBack);
+/// assert!(!c.read(LineAddr::new(7)).hit); // cold miss fills
+/// assert!(c.read(LineAddr::new(7)).hit);  // now hits
+/// # Ok::<(), chiplet_mem::cache::GeometryError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct SetAssocCache {
+    geom: CacheGeometry,
+    policy: WritePolicy,
+    /// `sets - 1` when the set count is a power of two (every Table I
+    /// geometry), letting the hot path mask instead of divide; `u64::MAX`
+    /// flags the modulo fallback.
+    set_mask: u64,
+    /// Full line index per way slot; the set is implied by position.
+    tags: Vec<u64>,
+    /// LRU stamp per way slot; larger is more recently used.
+    lru: Vec<u64>,
+    /// Valid bits per set, one bit per way. A set's word is meaningful iff
+    /// `set_epoch[s] == epoch`; stale words read as all-invalid and are
+    /// re-stamped lazily on the set's next fill.
+    valid_bits: Vec<u64>,
+    set_epoch: Vec<u32>,
+    /// Dense residency index: line → `epoch << 32 | (way slot + 1)`. An
+    /// entry is live iff its high word equals `epoch`, so acquires orphan
+    /// the whole index in O(1). Exact, not a superset: fills write it,
+    /// evictions and targeted invalidations erase it.
+    where_is: FlatMap<LineAddr, u64>,
+    /// Whether the residency index is still maintained. The index spans the
+    /// touched line band, so a working set far larger than the cache would
+    /// make it both huge and useless (misses dominate). Once the band
+    /// outgrows [`INDEX_SLOT_BUDGET`]× the slot count the index is retired
+    /// for good and lookups fall back to a popcount-driven tag scan of the
+    /// line's set. The switch depends only on the access stream, so results
+    /// stay deterministic.
+    index_live: bool,
+    /// Dirty bits, 64 way slots per word. A word's contents are meaningful
+    /// iff `dirty_word_epoch[w] == epoch`; otherwise the word is stale and
+    /// reads as all-clean.
+    dirty_words: Vec<u64>,
+    dirty_word_epoch: Vec<u32>,
+    /// Word indices with at least one dirty bit set since the last drain,
+    /// in first-dirtied order (sorted at drain time).
+    pending: Vec<u32>,
+    /// A word is already on `pending` iff `queued_gen[w] == drain_gen`.
+    queued_gen: Vec<u32>,
+    epoch: u32,
+    drain_gen: u32,
+    tick: u64,
+    valid_count: u64,
+    dirty_count: u64,
+    stats: CacheStats,
+}
+
+impl SetAssocCache {
+    /// Creates an empty cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry's associativity exceeds 64: validity is one
+    /// `u64` mask per set. Every Table I geometry is ≤32 ways; use
+    /// [`ScanCache`](super::ScanCache) for wider experiments.
+    pub fn new(geom: CacheGeometry, policy: WritePolicy) -> Self {
+        // chiplet-check: allow(no-panic) — construction-time geometry guard
+        assert!(
+            geom.ways() <= 64,
+            "SetAssocCache supports at most 64 ways; got {}",
+            geom.ways()
+        );
+        let slots = geom.total_lines() as usize;
+        let words = slots.div_ceil(64);
+        let sets = geom.sets();
+        SetAssocCache {
+            geom,
+            policy,
+            set_mask: if sets.is_power_of_two() {
+                sets - 1
+            } else {
+                u64::MAX
+            },
+            tags: vec![0; slots],
+            lru: vec![0; slots],
+            valid_bits: vec![0; sets as usize],
+            set_epoch: vec![0; sets as usize],
+            where_is: FlatMap::new(0),
+            index_live: true,
+            dirty_words: vec![0; words],
+            dirty_word_epoch: vec![0; words],
+            pending: Vec::new(),
+            queued_gen: vec![0; words],
+            epoch: 1,
+            drain_gen: 1,
+            tick: 0,
+            valid_count: 0,
+            dirty_count: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// The cache's geometry.
+    pub fn geometry(&self) -> CacheGeometry {
+        self.geom
+    }
+
+    /// The cache's write policy.
+    pub fn policy(&self) -> WritePolicy {
+        self.policy
+    }
+
+    /// Number of valid lines currently resident.
+    pub fn valid_lines(&self) -> u64 {
+        self.valid_count
+    }
+
+    /// Number of dirty lines currently resident.
+    pub fn dirty_lines(&self) -> u64 {
+        self.dirty_count
+    }
+
+    /// Event counters.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Resets the event counters (contents are preserved).
+    pub fn reset_stats(&mut self) {
+        self.stats = CacheStats::default();
+    }
+
+    #[inline]
+    fn set_index(&self, line: LineAddr) -> usize {
+        let set = if self.set_mask != u64::MAX {
+            line.get() & self.set_mask
+        } else {
+            line.get() % self.geom.sets()
+        };
+        set as usize
+    }
+
+    /// The set's valid-way mask, reading stale-epoch words as empty.
+    #[inline]
+    fn live_mask(&self, s: usize) -> u64 {
+        if self.set_epoch[s] == self.epoch {
+            self.valid_bits[s]
+        } else {
+            0
+        }
+    }
+
+    /// Stamps the set into the current epoch, clearing a stale mask.
+    #[inline]
+    fn normalize_set(&mut self, s: usize) {
+        if self.set_epoch[s] != self.epoch {
+            self.set_epoch[s] = self.epoch;
+            self.valid_bits[s] = 0;
+        }
+    }
+
+    #[inline]
+    fn dirty_bit(&self, i: usize) -> bool {
+        let w = i / 64;
+        self.dirty_word_epoch[w] == self.epoch && (self.dirty_words[w] >> (i % 64)) & 1 == 1
+    }
+
+    /// Sets the dirty bit for a way slot (which must currently read clean)
+    /// and queues its word for the next drain. Does not touch
+    /// `dirty_count` — callers keep the counter to mirror the reference
+    /// control flow exactly.
+    #[inline]
+    fn set_dirty_bit(&mut self, i: usize) {
+        let w = i / 64;
+        if self.dirty_word_epoch[w] != self.epoch {
+            // Stale word from a pre-acquire epoch: its bits are garbage.
+            self.dirty_words[w] = 0;
+            self.dirty_word_epoch[w] = self.epoch;
+        }
+        self.dirty_words[w] |= 1u64 << (i % 64);
+        if self.queued_gen[w] != self.drain_gen {
+            self.queued_gen[w] = self.drain_gen;
+            self.pending.push(w as u32);
+        }
+    }
+
+    #[inline]
+    fn clear_dirty_bit(&mut self, i: usize) {
+        let w = i / 64;
+        if self.dirty_word_epoch[w] == self.epoch {
+            self.dirty_words[w] &= !(1u64 << (i % 64));
+        }
+    }
+
+    /// Starts a fresh drain generation: the pending queue is empty and
+    /// every word may be queued again.
+    fn bump_drain_gen(&mut self) {
+        self.pending.clear();
+        if self.drain_gen == u32::MAX {
+            self.queued_gen.fill(0);
+            self.drain_gen = 1;
+        } else {
+            self.drain_gen += 1;
+        }
+    }
+
+    /// True if the line is resident (does not update LRU or stats).
+    pub fn probe(&self, line: LineAddr) -> bool {
+        self.find_way(line).is_some()
+    }
+
+    /// True if the line is resident and dirty.
+    pub fn probe_dirty(&self, line: LineAddr) -> bool {
+        self.find_way(line).is_some_and(|i| self.dirty_bit(i))
+    }
+
+    /// Way slot holding `line`, if resident: one epoch-checked load from
+    /// the dense residency index while it is live, otherwise a tag scan of
+    /// the set's live ways (lowest set bit first, early-exit on match).
+    #[inline]
+    fn find_way(&self, line: LineAddr) -> Option<usize> {
+        if self.index_live {
+            let e = self.where_is.get(line);
+            return if (e >> 32) as u32 == self.epoch {
+                Some((e as u32 as usize) - 1)
+            } else {
+                None
+            };
+        }
+        let s = self.set_index(line);
+        let mut m = self.live_mask(s);
+        let base = s * self.geom.ways() as usize;
+        let t = line.get();
+        while m != 0 {
+            let w = m.trailing_zeros() as usize;
+            if self.tags[base + w] == t {
+                return Some(base + w);
+            }
+            m &= m - 1;
+        }
+        None
+    }
+
+    /// Retires the residency index once the touched band outgrows its
+    /// budget; from then on lookups tag-scan. One-way and deterministic.
+    #[inline]
+    fn audit_index_budget(&mut self) {
+        if self.where_is.allocated_slots() > INDEX_SLOT_BUDGET * self.tags.len() {
+            self.index_live = false;
+            self.where_is = FlatMap::new(0);
+        }
+    }
+
+    fn touch(&mut self, line: LineAddr, write: bool) -> AccessOutcome {
+        self.tick += 1;
+        let tick = self.tick;
+        let make_dirty = write && self.policy == WritePolicy::WriteBack;
+
+        // Locate the line. While the residency index is live this is one
+        // epoch-checked load; once retired, a single merged pass over the
+        // set's live ways checks tags *and* records the LRU victim a miss
+        // would pick, so miss-dominated streams pay one sweep, not two.
+        let s = self.set_index(line);
+        let ways = self.geom.ways() as usize;
+        let base = s * ways;
+        let mut hit_way = None;
+        let mut scanned_victim = base;
+        if self.index_live {
+            hit_way = self.find_way(line);
+        } else {
+            let mut m = self.live_mask(s);
+            let t = line.get();
+            let mut best = u64::MAX;
+            while m != 0 {
+                let w = m.trailing_zeros() as usize;
+                if self.tags[base + w] == t {
+                    hit_way = Some(base + w);
+                    break;
+                }
+                let l = self.lru[base + w];
+                if l < best {
+                    best = l;
+                    scanned_victim = base + w;
+                }
+                m &= m - 1;
+            }
+        }
+
+        // Hit path.
+        if let Some(i) = hit_way {
+            self.lru[i] = tick;
+            if make_dirty && !self.dirty_bit(i) {
+                self.set_dirty_bit(i);
+                self.dirty_count += 1;
+            }
+            return AccessOutcome {
+                hit: true,
+                writeback: None,
+                clean_eviction: None,
+            };
+        }
+
+        // Miss: allocate (both policies write-allocate, per Table I).
+        // Victim = first way with the minimal key, matching the reference's
+        // `min_by_key(|w| if valid { lru + 1 } else { 0 })` tie-break: any
+        // invalid way keys to 0, so the first zero bit of the valid mask
+        // wins; only a full set falls back to the first-minimal LRU sweep
+        // (already performed above when the index is retired — ascending
+        // ways with a strict `<` keep the same first-minimal answer).
+        self.normalize_set(s);
+        let mask = self.valid_bits[s];
+        let full = if ways == 64 {
+            !0u64
+        } else {
+            (1u64 << ways) - 1
+        };
+        let victim_full = mask == full;
+        let victim = if !victim_full {
+            base + (!mask).trailing_zeros() as usize
+        } else if !self.index_live {
+            scanned_victim
+        } else {
+            let lrus = &self.lru[base..base + ways];
+            let mut v = 0usize;
+            let mut best = lrus[0];
+            for (w, &l) in lrus.iter().enumerate().skip(1) {
+                if l < best {
+                    v = w;
+                    best = l;
+                }
+            }
+            base + v
+        };
+
+        let mut writeback = None;
+        let mut clean_eviction = None;
+        if victim_full {
+            let evicted = LineAddr::new(self.tags[victim]);
+            if self.index_live {
+                *self.where_is.get_mut(evicted) = 0;
+            }
+            if self.dirty_bit(victim) {
+                writeback = Some(evicted);
+                self.clear_dirty_bit(victim);
+                self.dirty_count -= 1;
+                self.stats.capacity_writebacks += 1;
+            } else {
+                clean_eviction = Some(evicted);
+            }
+            self.stats.evictions += 1;
+            self.valid_count -= 1;
+        }
+        self.tags[victim] = line.get();
+        self.valid_bits[s] |= 1u64 << (victim - base);
+        if self.index_live {
+            *self.where_is.get_mut(line) = (u64::from(self.epoch) << 32) | (victim as u64 + 1);
+            self.audit_index_budget();
+        }
+        self.lru[victim] = tick;
+        self.valid_count += 1;
+        if make_dirty {
+            self.set_dirty_bit(victim);
+            self.dirty_count += 1;
+        }
+        self.stats.fills += 1;
+
+        AccessOutcome {
+            hit: false,
+            writeback,
+            clean_eviction,
+        }
+    }
+
+    /// Performs a read access.
+    pub fn read(&mut self, line: LineAddr) -> AccessOutcome {
+        self.stats.reads += 1;
+        let out = self.touch(line, false);
+        if out.hit {
+            self.stats.read_hits += 1;
+        }
+        out
+    }
+
+    /// Performs a write access. Under [`WritePolicy::WriteBack`] the line
+    /// becomes dirty; under [`WritePolicy::WriteThrough`] it is allocated
+    /// clean (the store is propagated downstream by the caller).
+    pub fn write(&mut self, line: LineAddr) -> AccessOutcome {
+        self.stats.writes += 1;
+        let out = self.touch(line, true);
+        if out.hit {
+            self.stats.write_hits += 1;
+        }
+        out
+    }
+
+    /// Writes back every dirty line (an implicit *release*). Lines remain
+    /// valid but clean. Visits only words dirtied since the last drain.
+    pub fn flush_dirty(&mut self) -> FlushOutcome {
+        let flushed = self.dirty_count;
+        for k in 0..self.pending.len() {
+            let w = self.pending[k] as usize;
+            if self.dirty_word_epoch[w] == self.epoch {
+                self.dirty_words[w] = 0;
+            }
+        }
+        self.bump_drain_gen();
+        self.dirty_count = 0;
+        self.stats.flush_writebacks += flushed;
+        self.stats.bulk_flushes += 1;
+        FlushOutcome {
+            lines_written_back: flushed,
+        }
+    }
+
+    /// Drops every line (an implicit *acquire*) in O(1) via an epoch bump.
+    pub fn invalidate_all(&mut self) -> InvalidateOutcome {
+        let invalidated = self.valid_count;
+        let dirty = self.dirty_count;
+        if self.epoch == u32::MAX {
+            self.set_epoch.fill(0);
+            self.dirty_word_epoch.fill(0);
+            self.where_is.clear();
+            self.epoch = 1;
+        } else {
+            self.epoch += 1;
+        }
+        self.bump_drain_gen();
+        self.valid_count = 0;
+        self.dirty_count = 0;
+        self.stats.invalidated += invalidated;
+        self.stats.bulk_invalidates += 1;
+        InvalidateOutcome {
+            lines_invalidated: invalidated,
+            dirty_dropped: dirty,
+        }
+    }
+
+    /// Writes back every dirty line like [`flush_dirty`](Self::flush_dirty),
+    /// additionally returning the flushed line addresses. Pending words are
+    /// sorted and their bits walked with `trailing_zeros`, so lines come
+    /// out in ascending way-index order — byte-identical to the reference
+    /// scan's order.
+    pub fn flush_dirty_lines(&mut self) -> Vec<LineAddr> {
+        let mut lines = Vec::with_capacity(self.dirty_count as usize);
+        let mut pending = std::mem::take(&mut self.pending);
+        pending.sort_unstable();
+        for &word in &pending {
+            let w = word as usize;
+            if self.dirty_word_epoch[w] != self.epoch {
+                continue;
+            }
+            let mut bits = self.dirty_words[w];
+            while bits != 0 {
+                let b = bits.trailing_zeros() as usize;
+                lines.push(LineAddr::new(self.tags[w * 64 + b]));
+                bits &= bits - 1;
+            }
+            self.dirty_words[w] = 0;
+        }
+        self.pending = pending;
+        self.bump_drain_gen();
+        debug_assert_eq!(lines.len() as u64, self.dirty_count);
+        self.dirty_count = 0;
+        self.stats.flush_writebacks += lines.len() as u64;
+        self.stats.bulk_flushes += 1;
+        lines
+    }
+
+    /// Drops one line if present. Returns `Some(was_dirty)` if it was
+    /// resident. Used by the HMG directory when a sharer must be invalidated.
+    pub fn invalidate_line(&mut self, line: LineAddr) -> Option<bool> {
+        let i = self.find_way(line)?;
+        let was_dirty = self.dirty_bit(i);
+        let ways = self.geom.ways() as usize;
+        // A found way implies its set is stamped into the current epoch.
+        self.valid_bits[i / ways] &= !(1u64 << (i % ways));
+        if self.index_live {
+            *self.where_is.get_mut(line) = 0;
+        }
+        self.valid_count -= 1;
+        if was_dirty {
+            self.clear_dirty_bit(i);
+            self.dirty_count -= 1;
+        }
+        self.stats.invalidated += 1;
+        Some(was_dirty)
+    }
+
+    /// Writes back one line if present and dirty; the line stays valid.
+    /// Returns true if a writeback occurred.
+    pub fn flush_line(&mut self, line: LineAddr) -> bool {
+        match self.find_way(line) {
+            Some(i) if self.dirty_bit(i) => {
+                self.clear_dirty_bit(i);
+                self.dirty_count -= 1;
+                self.stats.flush_writebacks += 1;
+                true
+            }
+            _ => false,
+        }
+    }
+}
+
+impl CacheCore for SetAssocCache {
+    fn new(geom: CacheGeometry, policy: WritePolicy) -> Self {
+        SetAssocCache::new(geom, policy)
+    }
+    fn geometry(&self) -> CacheGeometry {
+        self.geometry()
+    }
+    fn policy(&self) -> WritePolicy {
+        self.policy()
+    }
+    fn valid_lines(&self) -> u64 {
+        self.valid_lines()
+    }
+    fn dirty_lines(&self) -> u64 {
+        self.dirty_lines()
+    }
+    fn stats(&self) -> CacheStats {
+        self.stats()
+    }
+    fn reset_stats(&mut self) {
+        self.reset_stats();
+    }
+    fn probe(&self, line: LineAddr) -> bool {
+        self.probe(line)
+    }
+    fn probe_dirty(&self, line: LineAddr) -> bool {
+        self.probe_dirty(line)
+    }
+    fn read(&mut self, line: LineAddr) -> AccessOutcome {
+        self.read(line)
+    }
+    fn write(&mut self, line: LineAddr) -> AccessOutcome {
+        self.write(line)
+    }
+    fn flush_dirty(&mut self) -> FlushOutcome {
+        self.flush_dirty()
+    }
+    fn invalidate_all(&mut self) -> InvalidateOutcome {
+        self.invalidate_all()
+    }
+    fn flush_dirty_lines(&mut self) -> Vec<LineAddr> {
+        self.flush_dirty_lines()
+    }
+    fn invalidate_line(&mut self, line: LineAddr) -> Option<bool> {
+        self.invalidate_line(line)
+    }
+    fn flush_line(&mut self, line: LineAddr) -> bool {
+        self.flush_line(line)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::ScanCache;
+    use super::*;
+
+    fn small(policy: WritePolicy) -> SetAssocCache {
+        // 2 sets x 2 ways, 64 B lines.
+        SetAssocCache::new(CacheGeometry::new(256, 64, 2).unwrap(), policy)
+    }
+
+    #[test]
+    fn cold_miss_then_hit() {
+        let mut c = small(WritePolicy::WriteBack);
+        assert!(!c.read(LineAddr::new(0)).hit);
+        assert!(c.read(LineAddr::new(0)).hit);
+        assert_eq!(c.stats().reads, 2);
+        assert_eq!(c.stats().read_hits, 1);
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut c = small(WritePolicy::WriteBack);
+        c.read(LineAddr::new(0));
+        c.read(LineAddr::new(2));
+        c.read(LineAddr::new(0)); // 0 is now MRU
+        let out = c.read(LineAddr::new(4)); // evicts 2
+        assert_eq!(out.clean_eviction, Some(LineAddr::new(2)));
+        assert!(c.probe(LineAddr::new(0)));
+        assert!(!c.probe(LineAddr::new(2)));
+    }
+
+    #[test]
+    fn drain_preserves_reference_order() {
+        // Dirty lines queued out of way order must still drain in ascending
+        // way-index order (the scan order the goldens depend on).
+        let geom = CacheGeometry::new(4096, 64, 4).unwrap(); // 16 sets x 4 ways
+        let mut ev = SetAssocCache::new(geom, WritePolicy::WriteBack);
+        let mut sc = ScanCache::new(geom, WritePolicy::WriteBack);
+        // Touch sets high-to-low, several ways per set.
+        for line in [49u64, 17, 33, 1, 50, 2, 18, 15, 47, 31, 63] {
+            ev.write(LineAddr::new(line));
+            sc.write(LineAddr::new(line));
+        }
+        assert_eq!(ev.flush_dirty_lines(), sc.flush_dirty_lines());
+    }
+
+    #[test]
+    fn invalidate_all_is_epoch_bump() {
+        let mut c = small(WritePolicy::WriteBack);
+        c.write(LineAddr::new(0));
+        c.read(LineAddr::new(1));
+        let out = c.invalidate_all();
+        assert_eq!(out.lines_invalidated, 2);
+        assert_eq!(out.dirty_dropped, 1);
+        assert_eq!(c.valid_lines(), 0);
+        assert!(!c.probe(LineAddr::new(0)));
+        // The slot is reusable and the stale dirty bit must not leak into
+        // the new epoch.
+        c.read(LineAddr::new(0));
+        assert_eq!(c.dirty_lines(), 0);
+        assert!(c.flush_dirty_lines().is_empty());
+    }
+
+    #[test]
+    fn stale_dirty_word_does_not_leak_across_epochs() {
+        let mut c = small(WritePolicy::WriteBack);
+        c.write(LineAddr::new(0)); // dirty bit in word 0
+        c.invalidate_all();
+        c.read(LineAddr::new(0)); // same slot refilled clean
+        assert!(!c.probe_dirty(LineAddr::new(0)));
+        assert_eq!(c.flush_dirty(), FlushOutcome::default());
+    }
+
+    #[test]
+    fn requeue_after_drain_generations() {
+        let mut c = small(WritePolicy::WriteBack);
+        c.write(LineAddr::new(0));
+        assert_eq!(c.flush_dirty_lines(), vec![LineAddr::new(0)]);
+        // Same word must be queueable again in the next generation.
+        c.write(LineAddr::new(0));
+        assert_eq!(c.flush_dirty_lines(), vec![LineAddr::new(0)]);
+        assert!(c.flush_dirty_lines().is_empty());
+    }
+
+    #[test]
+    fn flush_line_and_invalidate_line_update_queue_state() {
+        let mut c = small(WritePolicy::WriteBack);
+        c.write(LineAddr::new(0));
+        c.write(LineAddr::new(1));
+        assert!(c.flush_line(LineAddr::new(0)));
+        assert_eq!(c.invalidate_line(LineAddr::new(1)), Some(true));
+        // Both dirty bits are gone; drain sees an empty (but queued) word.
+        assert!(c.flush_dirty_lines().is_empty());
+    }
+
+    /// Differential fuzz against the reference scan implementation: every
+    /// observable (outcomes, probes, counts, drain order, stats) must match
+    /// on a mixed op stream with evictions, bulk ops and line ops.
+    #[test]
+    fn matches_scan_cache_on_random_op_stream() {
+        for (seed, policy) in [
+            (0x9e3779b97f4a7c15u64, WritePolicy::WriteBack),
+            (0xdeadbeefcafef00du64, WritePolicy::WriteBack),
+            (0x0123456789abcdefu64, WritePolicy::WriteThrough),
+        ] {
+            let geom = CacheGeometry::new(8192, 64, 4).unwrap(); // 32 sets x 4 ways
+            let mut ev = SetAssocCache::new(geom, policy);
+            let mut sc = ScanCache::new(geom, policy);
+            let mut x = seed;
+            let mut rng = move || {
+                // xorshift64* — deterministic, dependency-free.
+                x ^= x >> 12;
+                x ^= x << 25;
+                x ^= x >> 27;
+                x.wrapping_mul(0x2545f4914f6cdd1d)
+            };
+            for _ in 0..20_000 {
+                let r = rng();
+                let line = LineAddr::new(r >> 32 & 0x1ff); // 512-line footprint
+                match r % 100 {
+                    0..=44 => assert_eq!(ev.read(line), sc.read(line)),
+                    45..=84 => assert_eq!(ev.write(line), sc.write(line)),
+                    85..=88 => assert_eq!(ev.flush_line(line), sc.flush_line(line)),
+                    89..=92 => assert_eq!(ev.invalidate_line(line), sc.invalidate_line(line)),
+                    93..=95 => assert_eq!(ev.flush_dirty_lines(), sc.flush_dirty_lines()),
+                    96..=97 => assert_eq!(ev.flush_dirty(), sc.flush_dirty()),
+                    98 => assert_eq!(ev.invalidate_all(), sc.invalidate_all()),
+                    _ => {
+                        assert_eq!(ev.probe(line), sc.probe(line));
+                        assert_eq!(ev.probe_dirty(line), sc.probe_dirty(line));
+                    }
+                }
+                assert_eq!(ev.valid_lines(), sc.valid_lines());
+                assert_eq!(ev.dirty_lines(), sc.dirty_lines());
+            }
+            assert_eq!(ev.stats(), sc.stats());
+            assert_eq!(ev.flush_dirty_lines(), sc.flush_dirty_lines());
+        }
+    }
+}

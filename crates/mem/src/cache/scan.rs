@@ -1,181 +1,22 @@
-//! Functional set-associative cache with LRU replacement.
+//! The frozen per-line *scan* cache: the pre-rework reference
+//! implementation of [`CacheCore`].
 //!
-//! This models the GPU L2 (per chiplet) and L3 (shared LLC) caches at cache
-//! line granularity. It is *functional*: it tracks which lines are present
-//! and dirty so that hit/miss/writeback event counts are exact, while timing
-//! is accounted for separately by the simulator's latency model.
+//! Every bulk operation here walks the full way array — `flush_dirty`,
+//! `flush_dirty_lines` and `invalidate_all` are O(total lines) regardless
+//! of how many lines are actually dirty or valid. That made Baseline's
+//! per-boundary `bulk_sync_all` the simulation wall-clock bottleneck and
+//! is exactly what the event-driven [`SetAssocCache`] replaces. The scan
+//! implementation stays because it *is* the specification: differential
+//! tests replay identical traces through both cores and demand
+//! byte-identical metrics.
 //!
-//! Three operations matter for implicit synchronization:
-//!
-//! * [`SetAssocCache::flush_dirty`] — a *release*: write back every dirty
-//!   line. Following the paper's baseline protocol, a full-line writeback
-//!   leaves a **clean copy** in the cache ("the cache retains a clean copy of
-//!   the line and transitions to a shared state").
-//! * [`SetAssocCache::invalidate_all`] — an *acquire*: drop every line.
-//! * [`SetAssocCache::invalidate_line`] / [`SetAssocCache::flush_line`] —
-//!   targeted variants used by the HMG directory on sharer invalidations.
+//! [`SetAssocCache`]: super::SetAssocCache
 
+use super::{
+    AccessOutcome, CacheCore, CacheGeometry, CacheStats, FlushOutcome, InvalidateOutcome,
+    WritePolicy,
+};
 use crate::addr::LineAddr;
-use std::error::Error;
-use std::fmt;
-
-/// Write policy for a cache level.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub enum WritePolicy {
-    /// Write-back with write-allocate (the paper's baseline L2, Table I).
-    WriteBack,
-    /// Write-through with write-allocate: stores update the cache but are
-    /// immediately propagated downstream and the line is never dirty
-    /// (HMG's L2 variant used in the paper's evaluation).
-    WriteThrough,
-}
-
-/// Error returned when a [`CacheGeometry`] is internally inconsistent.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct GeometryError {
-    message: String,
-}
-
-impl fmt::Display for GeometryError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "invalid cache geometry: {}", self.message)
-    }
-}
-
-impl Error for GeometryError {}
-
-/// Size/shape of a set-associative cache.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub struct CacheGeometry {
-    capacity_bytes: u64,
-    line_bytes: u64,
-    ways: u32,
-    sets: u64,
-}
-
-impl CacheGeometry {
-    /// Derives the set count from capacity, line size and associativity.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`GeometryError`] if any parameter is zero or the capacity is
-    /// not an exact multiple of `line_bytes * ways`.
-    pub fn new(capacity_bytes: u64, line_bytes: u64, ways: u32) -> Result<Self, GeometryError> {
-        if capacity_bytes == 0 || line_bytes == 0 || ways == 0 {
-            return Err(GeometryError {
-                message: "capacity, line size and ways must be non-zero".to_owned(),
-            });
-        }
-        let row = line_bytes * u64::from(ways);
-        if !capacity_bytes.is_multiple_of(row) {
-            return Err(GeometryError {
-                message: format!(
-                    "capacity {capacity_bytes} is not a multiple of line_bytes*ways = {row}"
-                ),
-            });
-        }
-        Ok(CacheGeometry {
-            capacity_bytes,
-            line_bytes,
-            ways,
-            sets: capacity_bytes / row,
-        })
-    }
-
-    /// Total capacity in bytes.
-    pub fn capacity_bytes(self) -> u64 {
-        self.capacity_bytes
-    }
-
-    /// Line size in bytes.
-    pub fn line_bytes(self) -> u64 {
-        self.line_bytes
-    }
-
-    /// Associativity.
-    pub fn ways(self) -> u32 {
-        self.ways
-    }
-
-    /// Number of sets.
-    pub fn sets(self) -> u64 {
-        self.sets
-    }
-
-    /// Total line slots (`sets * ways`).
-    pub fn total_lines(self) -> u64 {
-        self.sets * u64::from(self.ways)
-    }
-}
-
-/// Monotonically growing event counters for one cache.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct CacheStats {
-    /// Read accesses observed.
-    pub reads: u64,
-    /// Write accesses observed.
-    pub writes: u64,
-    /// Read accesses that hit.
-    pub read_hits: u64,
-    /// Write accesses that hit.
-    pub write_hits: u64,
-    /// Lines filled (allocated) on misses.
-    pub fills: u64,
-    /// Valid lines evicted to make room for fills.
-    pub evictions: u64,
-    /// Dirty lines written back due to capacity evictions.
-    pub capacity_writebacks: u64,
-    /// Dirty lines written back by explicit flush operations (releases).
-    pub flush_writebacks: u64,
-    /// Lines dropped by explicit invalidations (acquires).
-    pub invalidated: u64,
-    /// Whole-cache flush operations performed (bulk releases).
-    pub bulk_flushes: u64,
-    /// Whole-cache invalidate operations performed (bulk acquires).
-    pub bulk_invalidates: u64,
-}
-
-impl CacheStats {
-    /// Total accesses.
-    pub fn accesses(&self) -> u64 {
-        self.reads + self.writes
-    }
-
-    /// Total hits.
-    pub fn hits(&self) -> u64 {
-        self.read_hits + self.write_hits
-    }
-
-    /// Total misses.
-    pub fn misses(&self) -> u64 {
-        self.accesses() - self.hits()
-    }
-
-    /// Hit rate in `[0, 1]`; zero if no accesses were made.
-    pub fn hit_rate(&self) -> f64 {
-        if self.accesses() == 0 {
-            0.0
-        } else {
-            self.hits() as f64 / self.accesses() as f64
-        }
-    }
-}
-
-impl std::ops::AddAssign for CacheStats {
-    fn add_assign(&mut self, rhs: CacheStats) {
-        self.reads += rhs.reads;
-        self.writes += rhs.writes;
-        self.read_hits += rhs.read_hits;
-        self.write_hits += rhs.write_hits;
-        self.fills += rhs.fills;
-        self.evictions += rhs.evictions;
-        self.capacity_writebacks += rhs.capacity_writebacks;
-        self.flush_writebacks += rhs.flush_writebacks;
-        self.invalidated += rhs.invalidated;
-        self.bulk_flushes += rhs.bulk_flushes;
-        self.bulk_invalidates += rhs.bulk_invalidates;
-    }
-}
 
 #[derive(Debug, Clone, Copy)]
 struct Way {
@@ -194,50 +35,23 @@ const EMPTY_WAY: Way = Way {
     lru: 0,
 };
 
-/// Result of a single read or write access.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct AccessOutcome {
-    /// Whether the line was already present.
-    pub hit: bool,
-    /// Dirty line evicted by the fill, which must be written back downstream.
-    pub writeback: Option<LineAddr>,
-    /// Clean valid line evicted by the fill (dropped silently).
-    pub clean_eviction: Option<LineAddr>,
-}
-
-/// Result of [`SetAssocCache::flush_dirty`].
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct FlushOutcome {
-    /// Number of dirty lines written back. The lines remain valid (clean).
-    pub lines_written_back: u64,
-}
-
-/// Result of [`SetAssocCache::invalidate_all`].
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct InvalidateOutcome {
-    /// Valid lines dropped.
-    pub lines_invalidated: u64,
-    /// Of those, lines that were dirty (lost unless flushed first — callers
-    /// implementing a correct protocol flush before invalidating).
-    pub dirty_dropped: u64,
-}
-
-/// A functional set-associative cache with LRU replacement.
+/// A functional set-associative cache with LRU replacement whose bulk
+/// operations scan every way (the behavioural reference).
 ///
 /// # Example
 ///
 /// ```
-/// use chiplet_mem::cache::{CacheGeometry, SetAssocCache, WritePolicy};
+/// use chiplet_mem::cache::{CacheGeometry, ScanCache, WritePolicy};
 /// use chiplet_mem::addr::LineAddr;
 ///
 /// let geom = CacheGeometry::new(4096, 64, 2)?; // 32 sets x 2 ways
-/// let mut c = SetAssocCache::new(geom, WritePolicy::WriteBack);
+/// let mut c = ScanCache::new(geom, WritePolicy::WriteBack);
 /// assert!(!c.read(LineAddr::new(7)).hit); // cold miss fills
 /// assert!(c.read(LineAddr::new(7)).hit);  // now hits
 /// # Ok::<(), chiplet_mem::cache::GeometryError>(())
 /// ```
 #[derive(Debug, Clone)]
-pub struct SetAssocCache {
+pub struct ScanCache {
     geom: CacheGeometry,
     policy: WritePolicy,
     ways: Vec<Way>,
@@ -247,10 +61,10 @@ pub struct SetAssocCache {
     stats: CacheStats,
 }
 
-impl SetAssocCache {
+impl ScanCache {
     /// Creates an empty cache.
     pub fn new(geom: CacheGeometry, policy: WritePolicy) -> Self {
-        SetAssocCache {
+        ScanCache {
             geom,
             policy,
             ways: vec![EMPTY_WAY; geom.total_lines() as usize],
@@ -292,8 +106,8 @@ impl SetAssocCache {
     }
 
     fn set_slice(&self, line: LineAddr) -> std::ops::Range<usize> {
-        let set = (line.get() % self.geom.sets) as usize;
-        let w = self.geom.ways as usize;
+        let set = (line.get() % self.geom.sets()) as usize;
+        let w = self.geom.ways() as usize;
         set * w..(set + 1) * w
     }
 
@@ -439,7 +253,9 @@ impl SetAssocCache {
 
     /// Writes back every dirty line like [`flush_dirty`](Self::flush_dirty),
     /// additionally returning the flushed line addresses so the caller can
-    /// route each writeback to its home node.
+    /// route each writeback to its home node. Lines are reported in
+    /// ascending way-index order (the scan order) — the order contract the
+    /// event-driven core must reproduce.
     pub fn flush_dirty_lines(&mut self) -> Vec<LineAddr> {
         let mut lines = Vec::with_capacity(self.dirty_count as usize);
         for w in &mut self.ways {
@@ -490,13 +306,64 @@ impl SetAssocCache {
     }
 }
 
+impl CacheCore for ScanCache {
+    fn new(geom: CacheGeometry, policy: WritePolicy) -> Self {
+        ScanCache::new(geom, policy)
+    }
+    fn geometry(&self) -> CacheGeometry {
+        self.geometry()
+    }
+    fn policy(&self) -> WritePolicy {
+        self.policy()
+    }
+    fn valid_lines(&self) -> u64 {
+        self.valid_lines()
+    }
+    fn dirty_lines(&self) -> u64 {
+        self.dirty_lines()
+    }
+    fn stats(&self) -> CacheStats {
+        self.stats()
+    }
+    fn reset_stats(&mut self) {
+        self.reset_stats();
+    }
+    fn probe(&self, line: LineAddr) -> bool {
+        self.probe(line)
+    }
+    fn probe_dirty(&self, line: LineAddr) -> bool {
+        self.probe_dirty(line)
+    }
+    fn read(&mut self, line: LineAddr) -> AccessOutcome {
+        self.read(line)
+    }
+    fn write(&mut self, line: LineAddr) -> AccessOutcome {
+        self.write(line)
+    }
+    fn flush_dirty(&mut self) -> FlushOutcome {
+        self.flush_dirty()
+    }
+    fn invalidate_all(&mut self) -> InvalidateOutcome {
+        self.invalidate_all()
+    }
+    fn flush_dirty_lines(&mut self) -> Vec<LineAddr> {
+        self.flush_dirty_lines()
+    }
+    fn invalidate_line(&mut self, line: LineAddr) -> Option<bool> {
+        self.invalidate_line(line)
+    }
+    fn flush_line(&mut self, line: LineAddr) -> bool {
+        self.flush_line(line)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    fn small(policy: WritePolicy) -> SetAssocCache {
+    fn small(policy: WritePolicy) -> ScanCache {
         // 2 sets x 2 ways, 64 B lines.
-        SetAssocCache::new(CacheGeometry::new(256, 64, 2).unwrap(), policy)
+        ScanCache::new(CacheGeometry::new(256, 64, 2).unwrap(), policy)
     }
 
     #[test]

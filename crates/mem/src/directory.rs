@@ -13,9 +13,9 @@
 use crate::addr::{ChipletId, LineAddr};
 use std::fmt;
 
-/// A set of chiplets sharing a region, stored as a bitmask (up to 16).
+/// A set of chiplets sharing a region, stored as a bitmask word (up to 64).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
-pub struct SharerSet(u16);
+pub struct SharerSet(u64);
 
 impl SharerSet {
     /// The empty set.
@@ -51,11 +51,19 @@ impl SharerSet {
         self.0 == 0
     }
 
-    /// Iterates over members in ascending chiplet order.
+    /// Iterates over members in ascending chiplet order. Popcount-driven:
+    /// each step isolates the lowest set bit with `trailing_zeros`, so the
+    /// cost is proportional to the member count, not the mask width.
     pub fn iter(self) -> impl Iterator<Item = ChipletId> {
-        (0..16u8)
-            .filter(move |i| self.0 & (1 << i) != 0)
-            .map(ChipletId::new)
+        let mut bits = self.0;
+        std::iter::from_fn(move || {
+            if bits == 0 {
+                return None;
+            }
+            let i = bits.trailing_zeros() as u8;
+            bits &= bits - 1;
+            Some(ChipletId::new(i))
+        })
     }
 }
 

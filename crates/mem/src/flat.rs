@@ -108,6 +108,13 @@ impl<K: DenseAddr, V: Copy> FlatMap<K, V> {
         self.slots.len()
     }
 
+    /// Mutable iteration over every allocated slot (never-touched keys have
+    /// no slot and are skipped). Used for bulk transforms such as clearing
+    /// one chiplet's bit from every line-state mask on an acquire.
+    pub fn values_mut(&mut self) -> impl Iterator<Item = &mut V> {
+        self.slots.iter_mut()
+    }
+
     #[cold]
     fn ensure(&mut self, index: u64) -> usize {
         if self.slots.is_empty() {

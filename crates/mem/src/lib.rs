@@ -4,9 +4,14 @@
 //! shared by every other crate in the workspace:
 //!
 //! * [`addr`] — byte/line/page address newtypes and the [`ChipletId`] type.
-//! * [`cache`] — a functional set-associative cache with LRU replacement,
+//! * [`cache`] — functional set-associative caches with LRU replacement,
 //!   write-back / write-through policies, and the bulk flush / invalidate
-//!   operations GPU implicit synchronization is built from.
+//!   operations GPU implicit synchronization is built from. The
+//!   event-driven [`SetAssocCache`] and the reference [`cache::ScanCache`]
+//!   are interchangeable behind the [`cache::CacheCore`] trait.
+//! * [`line_state`] — the per-line sharer/dirty bitmask table that lets the
+//!   HMG write-back protocol find a line's dirty owner without probing
+//!   every chiplet's L2.
 //! * [`directory`] — the coarse-grained (4-lines-per-entry) L2 coherence
 //!   directory used by the HMG comparison protocol.
 //! * [`flat`] — dense-index flat maps and epoch-versioned slabs, the
@@ -35,11 +40,13 @@ pub mod cache;
 pub mod directory;
 pub mod flat;
 pub mod hbm;
+pub mod line_state;
 pub mod page;
 
 pub use addr::{Addr, ChipletId, DenseAddr, LineAddr, PageAddr, LINE_BYTES, PAGE_BYTES};
 pub use array::{AccessMode, ArrayDecl, ArrayId};
-pub use cache::{CacheGeometry, CacheStats, SetAssocCache, WritePolicy};
+pub use cache::{CacheCore, CacheGeometry, CacheStats, ScanCache, SetAssocCache, WritePolicy};
 pub use directory::{CoarseDirectory, DirectoryStats};
 pub use flat::{EpochSlab, FlatMap};
+pub use line_state::LineStateTable;
 pub use page::{FirstTouchPlacement, PageTable};

@@ -11,7 +11,7 @@
 //! bandwidth-limited dirty-line drains, CP round trips — are serialized
 //! with execution, exactly the overhead CPElide exists to elide.
 
-use crate::config::SimConfig;
+use crate::config::{EngineCore, SimConfig};
 use crate::metrics::{RunHistograms, RunMetrics, SyncCounters};
 use chiplet_coherence::{MemorySystem, ProtocolKind};
 use chiplet_energy::EnergyCounts;
@@ -21,6 +21,8 @@ use chiplet_gpu::stream::{KernelPacket, SoftwareQueue};
 use chiplet_gpu::trace::TraceGenerator;
 use chiplet_harness::obs::EventLog;
 use chiplet_mem::addr::ChipletId;
+use chiplet_mem::cache::CacheCore;
+use chiplet_mem::{ScanCache, SetAssocCache};
 use chiplet_noc::link::LinkUtilization;
 use chiplet_obs::Tracer;
 use chiplet_workloads::Workload;
@@ -49,11 +51,23 @@ impl Simulator {
         &self.config
     }
 
-    /// Runs `workload` to completion and reports metrics.
+    /// Runs `workload` to completion and reports metrics, on the cache
+    /// core selected by [`SimConfig::engine_core`].
     pub fn run(&self, workload: &Workload) -> RunMetrics {
+        match self.config.engine_core {
+            EngineCore::EventDriven => self.run_with::<SetAssocCache>(workload),
+            EngineCore::ReferenceScan => self.run_with::<ScanCache>(workload),
+        }
+    }
+
+    /// Runs `workload` to completion on an explicit cache core `C`. Both
+    /// cores produce byte-identical [`RunMetrics`] (enforced by the golden
+    /// snapshots and the engine differential test); the event-driven core
+    /// is the fast one.
+    pub fn run_with<C: CacheCore>(&self, workload: &Workload) -> RunMetrics {
         let cfg = &self.config;
         let n = cfg.num_chiplets;
-        let mut mem = MemorySystem::new(cfg.protocol, cfg.mem);
+        let mut mem = MemorySystem::<C>::with_core(cfg.protocol, cfg.mem);
         if cfg.record_events {
             mem.enable_event_log();
         }

@@ -2,33 +2,36 @@
 # Runs the exact checks .github/workflows/ci.yml runs, locally and fully
 # offline. The workspace is hermetic (zero external crates), so this needs
 # nothing but a Rust toolchain with rustfmt and clippy.
+#
+# Every `== marker ==` below carries the exact `name:` of the ci.yml step
+# it mirrors; tests/ci_parity.rs asserts the two never drift.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 export CARGO_NET_OFFLINE=true
 
-echo "== fmt =="
+echo "== Format =="
 cargo fmt --all --check
 
-echo "== clippy =="
+echo "== Clippy =="
 cargo clippy --workspace --all-targets -- -D warnings
 
 echo "== chiplet-check lint (determinism/soundness rules) =="
 cargo run --release -p chiplet-check -- --workspace
 
-echo "== rustdoc (warnings are errors) =="
+echo "== Rustdoc (warnings are errors) =="
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps
 
-echo "== build (release) =="
+echo "== Build (release, offline) =="
 cargo build --workspace --release
 
-echo "== test (release) =="
+echo "== Test (release, offline) =="
 cargo test --workspace --release -q
 
-echo "== smoke-run every figure binary =="
+echo "== Smoke-run every figure binary =="
 CPELIDE_SMOKE=1 cargo run --release -p cpelide-bench --bin all
 
-echo "== campaign determinism smoke (CPELIDE_JOBS=1 vs 8) =="
+echo "== Campaign determinism smoke (CPELIDE_JOBS=1 vs 8) =="
 # The fleet's core contract: campaign.json is byte-identical at any
 # worker count. Cache disabled so every cell actually simulates.
 CPELIDE_SMOKE=1 CPELIDE_CACHE=0 CPELIDE_JOBS=1 \
@@ -39,10 +42,10 @@ CPELIDE_SMOKE=1 CPELIDE_CACHE=0 CPELIDE_JOBS=8 \
   cargo run --release -p cpelide-bench --bin campaign
 cmp results/jobs1/campaign.json results/jobs8/campaign.json
 
-echo "== docs drift gate (EXPERIMENTS.md vs committed campaign.json) =="
+echo "== Docs drift gate (EXPERIMENTS.md vs committed campaign.json) =="
 cargo run --release -p cpelide-bench --bin report -- --check
 
-echo "== smoke-run probe with Perfetto trace export =="
+echo "== Smoke-run probe with Perfetto trace export =="
 # write_trace validates span balance and JSON well-formedness before the
 # file lands; the greps assert the artifacts exist and are non-trivial.
 CPELIDE_SMOKE=1 CPELIDE_TRACE=results/trace.json \
@@ -50,24 +53,29 @@ CPELIDE_SMOKE=1 CPELIDE_TRACE=results/trace.json \
 grep -q '"traceEvents"' results/trace.json
 grep -q 'cpelide_kernel_cycles_bucket' results/probe.prom
 
-echo "== CCT model check (exhaustive, N = 2..4) =="
+echo "== CCT model check (exhaustive, N = 2..4, validated census) =="
 # BFS over every reachable Chiplet Coherence Table state; violations or an
 # invalid census fail the run.
 cargo run --release -p chiplet-check -- --model-check
 [ "$(grep -c '"violations": 0' results/CHECK_model.json)" -eq 3 ]
 
-echo "== bench runner (fixed iterations) =="
+echo "== Bench runner (fixed iterations, JSON report) =="
 CHIPLET_BENCH_ITERS=3 CHIPLET_BENCH_WARMUP=1 cargo bench --workspace
 
-echo "== hotpath bench smoke (validated BENCH_hotpath.json) =="
-# write_report schema-validates the document before it lands; the greps
-# assert the flat-vs-hashmap speedup section made it into the artifact.
-# CPELIDE_RESULTS_DIR is absolute because `cargo bench` runs the bench
-# binary with the package directory as cwd, not the workspace root.
+echo "== Hotpath bench smoke (validated BENCH_hotpath.json) =="
+# write_report schema-validates the document and resolves relative results
+# paths against the workspace root (no CPELIDE_RESULTS_DIR workaround);
+# the greps assert the speedup sections made it into the artifact.
 CPELIDE_SMOKE=1 CHIPLET_BENCH_ITERS=3 CHIPLET_BENCH_WARMUP=1 \
-  CPELIDE_RESULTS_DIR="$PWD/results" \
   cargo bench -p cpelide-bench --bench hotpath
 grep -q '"oracle_replay_flat_vs_hashmap"' results/BENCH_hotpath.json
 grep -q '"placement_flat_vs_hashmap"' results/BENCH_hotpath.json
+grep -q '"cells_per_sec_event"' results/BENCH_hotpath.json
+
+echo "== Perf gate (BENCH_hotpath vs committed baseline) =="
+# Ratio-of-ratios regression gate against results/BENCH_baseline.json;
+# re-bless with CPELIDE_BLESS_BENCH=1 when a change legitimately moves
+# the gated speedups.
+cargo run --release -p cpelide-bench --bin report -- --perf-check
 
 echo "ci-local: all checks passed"

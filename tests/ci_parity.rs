@@ -1,0 +1,119 @@
+//! CI parity gate: every named `run:` step in `.github/workflows/ci.yml`
+//! must have a `== step name ==` counterpart in `scripts/ci-local.sh`, so
+//! the local script and the hosted workflow can never drift apart.
+//!
+//! Steps that are runner infrastructure — `uses:` actions (checkout,
+//! cache, artifact upload) and the toolchain bootstrap — have no local
+//! counterpart and are exempt.
+
+use std::path::PathBuf;
+
+/// Named `run:` steps that are runner infrastructure with no local
+/// equivalent (a developer machine already has the toolchain).
+const RUN_STEP_EXEMPTIONS: &[&str] = &["Install toolchain components", "Toolchain fingerprint"];
+
+fn workspace_file(rel: &str) -> String {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join(rel);
+    std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("cannot read {} ({e})", path.display()))
+}
+
+/// Extracts the names of all `run:` steps from the workflow. A step is a
+/// `- name:` list item; it counts as a `run:` step unless a `uses:` key
+/// appears among its own keys (before the next `- ` item at the same
+/// indentation).
+fn named_run_steps(workflow: &str) -> Vec<String> {
+    let mut steps = Vec::new();
+    let mut current: Option<(String, bool)> = None; // (name, saw_uses)
+    for line in workflow.lines() {
+        let trimmed = line.trim_start();
+        if let Some(rest) = trimmed.strip_prefix("- name:") {
+            if let Some((name, saw_uses)) = current.take() {
+                if !saw_uses {
+                    steps.push(name);
+                }
+            }
+            current = Some((rest.trim().to_string(), false));
+        } else if trimmed.starts_with("- uses:") {
+            // Anonymous `uses:` step (e.g. checkout) — closes the
+            // previous named step.
+            if let Some((name, saw_uses)) = current.take() {
+                if !saw_uses {
+                    steps.push(name);
+                }
+            }
+        } else if trimmed.starts_with("uses:") {
+            if let Some((_, saw_uses)) = current.as_mut() {
+                *saw_uses = true;
+            }
+        }
+    }
+    if let Some((name, saw_uses)) = current {
+        if !saw_uses {
+            steps.push(name);
+        }
+    }
+    steps
+}
+
+#[test]
+fn every_named_ci_step_has_a_local_counterpart() {
+    let workflow = workspace_file(".github/workflows/ci.yml");
+    let local = workspace_file("scripts/ci-local.sh");
+
+    let steps = named_run_steps(&workflow);
+    assert!(
+        steps.len() >= 10,
+        "expected to parse at least 10 named run: steps from ci.yml, got {} — \
+         did the workflow layout change?",
+        steps.len()
+    );
+
+    let mut missing = Vec::new();
+    for step in &steps {
+        if RUN_STEP_EXEMPTIONS.contains(&step.as_str()) {
+            continue;
+        }
+        let marker = format!("== {step} ==");
+        if !local.contains(&marker) {
+            missing.push(marker);
+        }
+    }
+    assert!(
+        missing.is_empty(),
+        "ci.yml steps with no `== marker ==` in scripts/ci-local.sh:\n  {}",
+        missing.join("\n  ")
+    );
+}
+
+#[test]
+fn exemptions_still_exist_in_the_workflow() {
+    // A stale exemption list would silently widen the gate; every entry
+    // must still name a real step.
+    let workflow = workspace_file(".github/workflows/ci.yml");
+    let steps = named_run_steps(&workflow);
+    for exempt in RUN_STEP_EXEMPTIONS {
+        assert!(
+            steps.iter().any(|s| s == exempt),
+            "exempted step {exempt:?} no longer exists in ci.yml — drop it \
+             from RUN_STEP_EXEMPTIONS"
+        );
+    }
+}
+
+#[test]
+fn uses_steps_are_skipped() {
+    let workflow = "\
+jobs:
+  j:
+    steps:
+      - uses: actions/checkout@v4
+      - name: Cache stuff
+        uses: actions/cache@v4
+        with:
+          path: target
+      - name: Real step
+        run: cargo test
+";
+    assert_eq!(named_run_steps(workflow), vec!["Real step".to_string()]);
+}

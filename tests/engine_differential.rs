@@ -1,0 +1,155 @@
+//! Differential gate for the event-driven engine core: every registered
+//! workload, under every protocol and a spread of chiplet counts, must
+//! produce **byte-identical** `RunMetrics` JSON whether the simulator runs
+//! on the event-driven struct-of-arrays core or the frozen per-line
+//! reference core. The reference core defines the behavioural contract;
+//! any divergence is a bug in the rework, never a tolerable drift.
+//!
+//! Debug builds prune the grid to the two cheapest-to-simulate workloads
+//! so the tier-1 `cargo test -q` pass stays fast; release runs (CI's
+//! `cargo test --release`) cover the full suite.
+
+use chiplet_coherence::ProtocolKind;
+use chiplet_mem::addr::LineAddr;
+use chiplet_mem::cache::{CacheGeometry, ScanCache, SetAssocCache, WritePolicy};
+use chiplet_sim::config::EngineCore;
+use chiplet_sim::{SimConfig, Simulator};
+use chiplet_workloads::Workload;
+
+const PROTOCOLS: [ProtocolKind; 3] = [
+    ProtocolKind::Baseline,
+    ProtocolKind::Hmg,
+    ProtocolKind::CpElide,
+];
+const CHIPLET_COUNTS: [usize; 3] = [2, 4, 7];
+
+/// Every registered workload: the paper suite plus the multi-stream
+/// variants. Debug builds keep only the two cheapest members (simulation
+/// cost scales with kernels × footprint).
+fn grid_workloads() -> Vec<Workload> {
+    let mut all = chiplet_workloads::suite();
+    all.extend(chiplet_workloads::multi_stream_suite());
+    if cfg!(debug_assertions) {
+        all.sort_by_key(|w| w.kernel_count() as u64 * w.footprint_bytes());
+        all.truncate(2);
+    }
+    all
+}
+
+fn metrics_json(
+    workload: &Workload,
+    protocol: ProtocolKind,
+    chiplets: usize,
+    core: EngineCore,
+) -> String {
+    let mut cfg = SimConfig::table1(chiplets, protocol);
+    cfg.engine_core = core;
+    Simulator::new(cfg).run(workload).to_json().render()
+}
+
+#[test]
+fn event_core_matches_reference_scan_on_the_full_grid() {
+    let workloads = grid_workloads();
+    assert!(!workloads.is_empty());
+    for w in &workloads {
+        for &p in &PROTOCOLS {
+            for &n in &CHIPLET_COUNTS {
+                let event = metrics_json(w, p, n, EngineCore::EventDriven);
+                let scan = metrics_json(w, p, n, EngineCore::ReferenceScan);
+                assert_eq!(
+                    event,
+                    scan,
+                    "{}:{p}:{n}: event-driven core diverged from the reference scan",
+                    w.name()
+                );
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Drain-set property: a batched boundary drain must visit exactly the line
+// set the per-line reference walk visits — no line skipped (stale pending
+// bookkeeping), no line revisited (epoch leak across invalidate_all).
+// ---------------------------------------------------------------------------
+
+/// Deterministic xorshift64* stream, the same generator the in-crate fuzz
+/// tests use, so failures replay exactly.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+}
+
+#[test]
+fn batched_drains_visit_exactly_the_reference_walk_line_set() {
+    let geom = CacheGeometry::new(16 * 1024, 128, 4).expect("valid geometry");
+    for seed in [3u64, 77, 2024] {
+        let mut rng = Rng(seed);
+        let mut event = SetAssocCache::new(geom, WritePolicy::WriteBack);
+        let mut scan = ScanCache::new(geom, WritePolicy::WriteBack);
+        let ops = if cfg!(debug_assertions) {
+            4_000
+        } else {
+            20_000
+        };
+        for step in 0..ops {
+            let r = rng.next();
+            // A skewed band keeps sets contended so evictions, epochs and
+            // re-dirtying all actually happen.
+            let line = LineAddr::new(r % 600);
+            match r % 101 {
+                0..=59 => {
+                    event.write(line);
+                    scan.write(line);
+                }
+                60..=89 => {
+                    event.read(line);
+                    scan.read(line);
+                }
+                90..=93 => {
+                    // The batched boundary drain under test.
+                    let e = event.flush_dirty_lines();
+                    let s = scan.flush_dirty_lines();
+                    assert_eq!(e, s, "seed {seed} step {step}: drained line sets diverged");
+                }
+                94..=96 => {
+                    assert_eq!(
+                        event.invalidate_all().lines_invalidated,
+                        scan.invalidate_all().lines_invalidated,
+                        "seed {seed} step {step}: invalidate_all diverged"
+                    );
+                }
+                97..=98 => {
+                    assert_eq!(
+                        event.invalidate_line(line),
+                        scan.invalidate_line(line),
+                        "seed {seed} step {step}: invalidate_line diverged"
+                    );
+                }
+                _ => {
+                    assert_eq!(
+                        event.flush_line(line),
+                        scan.flush_line(line),
+                        "seed {seed} step {step}: flush_line diverged"
+                    );
+                }
+            }
+        }
+        // Terminal drain: whatever is still dirty must agree too.
+        assert_eq!(
+            event.flush_dirty_lines(),
+            scan.flush_dirty_lines(),
+            "seed {seed}: terminal drain diverged"
+        );
+        assert_eq!(event.dirty_lines(), 0);
+        assert_eq!(scan.dirty_lines(), 0);
+    }
+}
