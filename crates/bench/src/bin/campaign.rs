@@ -2,9 +2,16 @@
 //! chiplet-count) cell of the paper's figures — across the
 //! `chiplet_harness::fleet` worker pool, and writes
 //! `results/campaign.json`, the machine-readable source of truth the
-//! `report` binary regenerates EXPERIMENTS.md from.
+//! `report` binary regenerates EXPERIMENTS.md from, plus the host
+//! telemetry artifacts `results/campaign.prom` (Prometheus exposition)
+//! and `results/campaign.trace.json` (wall-clock Perfetto fleet trace).
 //!
-//! Usage: `cargo run --release -p cpelide-bench --bin campaign`
+//! Usage: `cargo run --release -p cpelide-bench --bin campaign [-- --progress]`
+//!
+//! Flags:
+//! - `--progress`  print a done/total ticker to stderr after every cell
+//!   (also `CPELIDE_PROGRESS=1`). stdout and every artifact stay
+//!   byte-identical with the ticker on or off.
 //!
 //! Environment:
 //! - `CPELIDE_JOBS=<n>`   worker threads (default: available parallelism;
@@ -19,10 +26,13 @@
 
 use chiplet_harness::fleet;
 use cpelide_bench::campaign;
-use cpelide_bench::write_report;
+use cpelide_bench::telemetry;
+use cpelide_bench::{results_dir, write_report, write_text, write_trace};
 
 fn main() {
     let start = std::time::Instant::now();
+    let progress = std::env::args().skip(1).any(|a| a == "--progress")
+        || std::env::var("CPELIDE_PROGRESS").is_ok_and(|v| v == "1");
     let specs = campaign::cells();
     let workers = fleet::workers();
     let cache = campaign::cache_from_env();
@@ -38,8 +48,18 @@ fn main() {
         }
     );
 
-    let outcome = campaign::run(&specs, workers, cache.as_ref(), fail_cell.as_deref());
+    let outcome = campaign::run(
+        &specs,
+        workers,
+        cache.as_ref(),
+        fail_cell.as_deref(),
+        progress,
+    );
     let path = write_report("campaign", &outcome.report);
+    let prom_path = write_text("campaign.prom", &telemetry::campaign_prom(&outcome));
+    let trace = telemetry::host_trace(&specs, &outcome);
+    let trace_path = results_dir().join("campaign.trace.json");
+    write_trace(&trace, &trace_path);
 
     println!(
         "cells: {} simulated, {} cached, {} failed in {:.1}s",
@@ -54,9 +74,23 @@ fn main() {
         println!("  {}", outcome.hist.boundary_stall_cycles);
         println!("  {}", outcome.hist.boundary_flushed_lines);
     }
+    let t = &outcome.telemetry;
+    println!(
+        "fleet: {} jobs on {} worker(s), {} stolen, wall p50/p99 {}/{} us",
+        t.jobs,
+        t.workers,
+        t.stolen_total(),
+        t.job_latency_us.p50(),
+        t.job_latency_us.p99(),
+    );
     println!("report: {}", path.display());
+    println!("telemetry: {}", prom_path.display());
+    println!("host trace: {}", trace_path.display());
 
     if outcome.failed > 0 {
+        for f in &outcome.failures {
+            eprintln!("campaign: failed cell: {f}");
+        }
         eprintln!("campaign incomplete: {} cell(s) failed", outcome.failed);
         std::process::exit(1);
     }

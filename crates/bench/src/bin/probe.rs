@@ -68,7 +68,9 @@ fn main() {
         "uJ"
     );
     let mut runs = Vec::new();
-    let mut prom = String::new();
+    // One shared writer across protocols so each `# HELP`/`# TYPE` header
+    // appears exactly once per metric family in probe.prom.
+    let mut prom = chiplet_harness::trace::PromText::new();
     for p in [
         ProtocolKind::Baseline,
         ProtocolKind::CpElide,
@@ -142,7 +144,7 @@ fn main() {
                 path.display()
             );
         }
-        prom.push_str(&m.metrics_text());
+        m.metrics_text_into(&mut prom);
         runs.push(m.to_json());
     }
 
@@ -153,6 +155,6 @@ fn main() {
         .with("runs", runs);
     let path = write_report("probe", &report);
     println!("report: {}", path.display());
-    let prom_path = write_text("probe.prom", &prom);
+    let prom_path = write_text("probe.prom", &prom.finish());
     println!("metrics: {}", prom_path.display());
 }

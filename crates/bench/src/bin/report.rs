@@ -8,6 +8,11 @@
 //! - `cargo run --release -p cpelide-bench --bin report -- --check` — exit
 //!   1 if the committed document is out of sync with the committed
 //!   campaign results (the CI docs-drift gate), touching nothing.
+//! - `cargo run --release -p cpelide-bench --bin report -- --obs` — print
+//!   the host-observability summary (phase breakdown, cache counters,
+//!   fleet utilization) from `results/campaign.prom` to stdout. Nothing
+//!   is written: the fleet half is wall-clock and host-specific, so it
+//!   never lands in EXPERIMENTS.md.
 //! - `cargo run --release -p cpelide-bench --bin report -- --perf-check` —
 //!   the CI perf-regression gate: compare the fresh
 //!   `results/BENCH_hotpath.json` (run the hotpath bench first) against
@@ -24,7 +29,9 @@
 
 use chiplet_harness::json;
 use cpelide_bench::perfgate;
-use cpelide_bench::report::{campaign_path, experiments_path, generate_blocks, splice};
+use cpelide_bench::report::{
+    campaign_path, experiments_path, generate_blocks, obs_section, splice,
+};
 
 fn fail(msg: &str) -> ! {
     eprintln!("report: {msg}");
@@ -96,6 +103,18 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.iter().any(|a| a == "--perf-check") {
         perf_check();
+    }
+    if args.iter().any(|a| a == "--obs") {
+        let prom_path = cpelide_bench::results_dir().join("campaign.prom");
+        let prom = std::fs::read_to_string(&prom_path).unwrap_or_else(|e| {
+            fail(&format!(
+                "cannot read {} ({e}); run `--bin campaign` first",
+                prom_path.display()
+            ))
+        });
+        let section = obs_section(&prom).unwrap_or_else(|e| fail(&e));
+        print!("{section}");
+        std::process::exit(0);
     }
     let check = args.iter().any(|a| a == "--check");
 

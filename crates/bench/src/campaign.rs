@@ -18,12 +18,16 @@
 
 use crate::results_dir;
 use chiplet_coherence::ProtocolKind;
-use chiplet_harness::fleet::{self, DiskCache, Fingerprint};
+use chiplet_harness::fleet::{
+    self, CacheCounts, DiskCache, Fingerprint, FleetTelemetry, JobFailure,
+};
 use chiplet_harness::json::{self, Json};
 use chiplet_sim::config::SimConfig;
 use chiplet_sim::experiments::Cell;
 use chiplet_sim::metrics::{geomean, RunHistograms};
+use chiplet_sim::phase::PhaseProfile;
 use chiplet_workloads::{ReuseClass, Workload};
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Schema tag stamped into `campaign.json`; bump on layout changes so the
 /// report generator can refuse documents it does not understand.
@@ -167,6 +171,9 @@ struct CellOutcome {
     metrics: Json,
     /// Distributions, only when the cell was actually simulated.
     hist: Option<RunHistograms>,
+    /// Phase breakdown, only when the cell was actually simulated (the
+    /// cached JSON deliberately does not carry it).
+    phases: Option<PhaseProfile>,
 }
 
 /// Everything a campaign run produces.
@@ -182,6 +189,82 @@ pub struct CampaignOutcome {
     /// Distributions merged over every *simulated* cell, in submission
     /// order (stdout diagnostics; deliberately absent from the report).
     pub hist: RunHistograms,
+    /// Phase breakdown merged over every *simulated* cell, in submission
+    /// order. Deterministic for a given cell list and cache state.
+    pub phases: PhaseProfile,
+    /// Host-side fleet telemetry: worker counters, wall-clock latencies,
+    /// the per-job execution log. Wall fields are non-deterministic.
+    pub telemetry: FleetTelemetry,
+    /// Cache hit/miss/corrupt counters for this run (all zero when the
+    /// cache was disabled).
+    pub cache_counts: CacheCounts,
+    /// The failed jobs, labelled with their cell ids, in submission order.
+    pub failures: Vec<JobFailure>,
+    /// Per cell, in submission order: was it served from the cache?
+    pub cell_cached: Vec<bool>,
+}
+
+/// Live counters behind the `--progress` stderr ticker: shared by the
+/// fleet jobs via plain atomics (the `fleet-capture` lint bans lock-based
+/// sharing inside job closures, and the ticker must never perturb
+/// results). Ticks go to stderr only, so stdout and every artifact stay
+/// byte-identical with the ticker on or off.
+struct ProgressTicker {
+    enabled: bool,
+    total: usize,
+    done: AtomicUsize,
+    hits: AtomicUsize,
+    failed: AtomicUsize,
+}
+
+impl ProgressTicker {
+    fn new(enabled: bool, total: usize) -> Self {
+        ProgressTicker {
+            enabled,
+            total,
+            done: AtomicUsize::new(0),
+            hits: AtomicUsize::new(0),
+            failed: AtomicUsize::new(0),
+        }
+    }
+
+    fn guard(&self) -> ProgressGuard<'_> {
+        ProgressGuard {
+            ticker: self,
+            ok: false,
+            hit: false,
+        }
+    }
+}
+
+/// Per-job RAII tick: counts the job on drop, so a panicking cell still
+/// registers (as a failure) when its stack unwinds through the fleet's
+/// `catch_unwind`.
+struct ProgressGuard<'a> {
+    ticker: &'a ProgressTicker,
+    ok: bool,
+    hit: bool,
+}
+
+impl Drop for ProgressGuard<'_> {
+    fn drop(&mut self) {
+        let t = self.ticker;
+        let done = t.done.fetch_add(1, Ordering::Relaxed) + 1;
+        if self.hit {
+            t.hits.fetch_add(1, Ordering::Relaxed);
+        }
+        if !self.ok {
+            t.failed.fetch_add(1, Ordering::Relaxed);
+        }
+        if t.enabled {
+            eprintln!(
+                "campaign: {done}/{} cells ({} cache hits, {} failed)",
+                t.total,
+                t.hits.load(Ordering::Relaxed),
+                t.failed.load(Ordering::Relaxed),
+            );
+        }
+    }
 }
 
 /// Runs the campaign: fans `specs` out across `workers` fleet threads,
@@ -189,44 +272,69 @@ pub struct CampaignOutcome {
 /// order — into the `campaign.json` document plus run statistics.
 /// `fail_cell` poisons the matching job (test hook). Failed cells land in
 /// the report as `"failed": true` entries and suppress the summary.
+/// `progress` turns on a stderr-only done/total ticker; it never touches
+/// stdout or the artifacts.
 pub fn run(
     specs: &[CellSpec],
     workers: usize,
     cache: Option<&DiskCache>,
     fail_cell: Option<&str>,
+    progress: bool,
 ) -> CampaignOutcome {
-    let outcomes = fleet::parallel_map(specs, workers, |spec| {
-        if fail_cell.is_some_and(|id| id == spec.id()) {
-            panic!("CPELIDE_FAIL_CELL poisoned cell {}", spec.id());
-        }
-        let key = spec.fingerprint();
-        if let Some(hit) = cache.and_then(|c| c.load(&key)) {
-            // A corrupt cache entry falls through to re-simulation.
-            if let Ok(metrics) = json::parse(&hit) {
-                return CellOutcome {
-                    metrics,
-                    hist: None,
-                };
+    let ticker = ProgressTicker::new(progress, specs.len());
+    let (outcomes, telemetry) = fleet::parallel_map_telemetry(
+        specs,
+        workers,
+        |spec| spec.id(),
+        |spec| {
+            let mut tick = ticker.guard();
+            if fail_cell.is_some_and(|id| id == spec.id()) {
+                panic!("CPELIDE_FAIL_CELL poisoned cell {}", spec.id());
             }
-        }
-        let m = spec.cell.run();
-        let rendered = m.to_json().render();
-        if let Some(c) = cache {
-            // A read-only cache dir only costs re-simulation next run.
-            let _ = c.store(&key, &rendered);
-        }
-        let metrics = json::parse(&rendered)
-            .unwrap_or_else(|e| panic!("cell {} rendered invalid JSON: {e}", spec.id()));
-        CellOutcome {
-            metrics,
-            hist: Some(m.hist),
-        }
-    });
+            let key = spec.fingerprint();
+            if let Some(hit) = cache.and_then(|c| c.load(&key)) {
+                // A corrupt cache entry falls through to re-simulation.
+                match json::parse(&hit) {
+                    Ok(metrics) => {
+                        tick.hit = true;
+                        tick.ok = true;
+                        return CellOutcome {
+                            metrics,
+                            hist: None,
+                            phases: None,
+                        };
+                    }
+                    Err(_) => {
+                        if let Some(c) = cache {
+                            c.note_corrupt();
+                        }
+                    }
+                }
+            }
+            let m = spec.cell.run();
+            let rendered = m.to_json().render();
+            if let Some(c) = cache {
+                // A read-only cache dir only costs re-simulation next run.
+                let _ = c.store(&key, &rendered);
+            }
+            let metrics = json::parse(&rendered)
+                .unwrap_or_else(|e| panic!("cell {} rendered invalid JSON: {e}", spec.id()));
+            tick.ok = true;
+            CellOutcome {
+                metrics,
+                hist: Some(m.hist),
+                phases: Some(m.phases),
+            }
+        },
+    );
 
     let mut simulated = 0usize;
     let mut cached = 0usize;
     let mut failed = 0usize;
     let mut hist = RunHistograms::new();
+    let mut phases = PhaseProfile::new();
+    let mut failures: Vec<JobFailure> = Vec::new();
+    let mut cell_cached: Vec<bool> = Vec::with_capacity(specs.len());
     let mut rows: Vec<Json> = Vec::with_capacity(specs.len());
     let mut parsed: Vec<Option<Json>> = Vec::with_capacity(specs.len());
     for (spec, outcome) in specs.iter().zip(outcomes) {
@@ -246,13 +354,19 @@ pub fn run(
                     }
                     None => cached += 1,
                 }
+                cell_cached.push(cell.hist.is_none());
+                if let Some(p) = &cell.phases {
+                    phases.merge(p);
+                }
                 parsed.push(Some(cell.metrics.clone()));
                 row.set("metrics", cell.metrics);
             }
             Err(e) => {
                 failed += 1;
+                cell_cached.push(false);
                 parsed.push(None);
                 row.set("failed", true).set("error", e.message.as_str());
+                failures.push(e);
             }
         }
         rows.push(row);
@@ -275,6 +389,11 @@ pub fn run(
         cached,
         failed,
         hist,
+        phases,
+        telemetry,
+        cache_counts: cache.map(DiskCache::counts).unwrap_or_default(),
+        failures,
+        cell_cached,
     }
 }
 

@@ -31,6 +31,7 @@
 pub mod campaign;
 pub mod perfgate;
 pub mod report;
+pub mod telemetry;
 
 use chiplet_harness::json::{self, Json};
 use chiplet_sim::experiments::Fig8Row;

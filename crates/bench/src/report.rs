@@ -222,6 +222,95 @@ pub fn generate_blocks(campaign: &Json) -> Result<Vec<(String, String)>, String>
     Ok(blocks)
 }
 
+/// Renders the `report --obs` summary from a `campaign.prom` exposition:
+/// the per-phase cycle breakdown, the cache counters, and the wall-clock
+/// fleet utilization table. Printed to stdout only — never spliced into
+/// EXPERIMENTS.md, since the fleet section is host-specific.
+///
+/// # Errors
+///
+/// Returns an error when the exposition is malformed or missing the
+/// campaign metric families.
+pub fn obs_section(prom: &str) -> Result<String, String> {
+    let samples =
+        chiplet_harness::trace::prom::parse(prom).map_err(|e| format!("campaign.prom: {e}"))?;
+    let find = |name: &str, label: &str| -> Option<f64> {
+        samples
+            .iter()
+            .find(|s| s.name == name && s.labels.contains(label))
+            .map(|s| s.value)
+    };
+    let need = |name: &str, label: &str| -> Result<f64, String> {
+        find(name, label).ok_or_else(|| {
+            format!("campaign.prom is missing `{name}{{{label}}}`; re-run `--bin campaign`")
+        })
+    };
+
+    let mut out = String::new();
+    out.push_str("Campaign cells\n");
+    for state in ["simulated", "cached", "failed"] {
+        let n = need("cpelide_campaign_cells", &format!("state=\"{state}\""))?;
+        out.push_str(&format!("  {state:<10} {n:>8.0}\n"));
+    }
+    out.push_str(&format!(
+        "  cache      {:.0} hit / {:.0} miss / {:.0} corrupt (hit rate {:.0} %)\n",
+        need("cpelide_campaign_cache_lookups", "result=\"hit\"")?,
+        need("cpelide_campaign_cache_lookups", "result=\"miss\"")?,
+        need("cpelide_campaign_cache_lookups", "result=\"corrupt\"")?,
+        need("cpelide_campaign_cache_hit_rate", "")? * 100.0,
+    ));
+
+    out.push('\n');
+    out.push_str("Engine phase breakdown (simulated cells, deterministic)\n");
+    out.push_str(&format!(
+        "  {:<16} {:>16} {:>12} {:>7}\n",
+        "phase", "cycles", "ops", "share"
+    ));
+    out.push_str(&format!("  {}\n", crate::rule(54)));
+    for p in chiplet_sim::phase::SimPhase::ALL {
+        let labels = format!("phase=\"{}\"", p.label());
+        out.push_str(&format!(
+            "  {:<16} {:>16.0} {:>12.0} {:>6.1}%\n",
+            p.label(),
+            need("cpelide_campaign_phase_cycles", &labels)?,
+            need("cpelide_campaign_phase_ops", &labels)?,
+            need("cpelide_campaign_phase_fraction", &labels)? * 100.0,
+        ));
+    }
+
+    out.push('\n');
+    out.push_str("Fleet (wall clock, this host — not reproducible)\n");
+    let workers = need("cpelide_fleet_workers", "")? as usize;
+    out.push_str(&format!(
+        "  {} worker(s), {:.1} ms wall, {:.0} job(s) stolen\n",
+        workers,
+        need("cpelide_fleet_elapsed_us", "")? / 1000.0,
+        need("cpelide_fleet_jobs_stolen_total", "")?,
+    ));
+    if let (Some(p50), Some(p99)) = (
+        find("cpelide_fleet_job_wall_us_p50", ""),
+        find("cpelide_fleet_job_wall_us_p99", ""),
+    ) {
+        out.push_str(&format!("  job latency p50/p99: {p50:.0}/{p99:.0} us\n"));
+    }
+    out.push_str(&format!(
+        "  {:<8} {:>6} {:>7} {:>12}\n",
+        "worker", "jobs", "stolen", "utilization"
+    ));
+    out.push_str(&format!("  {}\n", crate::rule(36)));
+    for w in 0..workers {
+        let labels = format!("worker=\"{w}\"");
+        out.push_str(&format!(
+            "  {:<8} {:>6.0} {:>7.0} {:>11.1}%\n",
+            w,
+            need("cpelide_fleet_worker_jobs", &labels)?,
+            need("cpelide_fleet_worker_stolen", &labels)?,
+            need("cpelide_fleet_worker_utilization", &labels)? * 100.0,
+        ));
+    }
+    Ok(out)
+}
+
 /// Splices each block between its marker pair in `doc`, leaving the
 /// markers and all hand-written text intact.
 ///

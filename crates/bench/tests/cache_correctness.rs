@@ -60,7 +60,7 @@ fn mutating_one_workload_invalidates_exactly_its_cells() {
     let mut specs = specs_for(&alpha, 2);
     specs.extend(specs_for(&beta, 2));
 
-    let first = campaign::run(&specs, 2, Some(&cache), None);
+    let first = campaign::run(&specs, 2, Some(&cache), None, false);
     assert_eq!(first.failed, 0);
     assert_eq!(
         first.simulated,
@@ -69,7 +69,7 @@ fn mutating_one_workload_invalidates_exactly_its_cells() {
     );
     assert_eq!(first.cached, 0);
 
-    let second = campaign::run(&specs, 2, Some(&cache), None);
+    let second = campaign::run(&specs, 2, Some(&cache), None, false);
     assert_eq!(second.simulated, 0, "warm cache simulates nothing");
     assert_eq!(second.cached, specs.len());
     assert!(
@@ -81,7 +81,7 @@ fn mutating_one_workload_invalidates_exactly_its_cells() {
     let alpha2 = parse_workload(&ALPHA.replace("64KiB", "128KiB")).expect("mutated alpha parses");
     let mut mutated = specs_for(&alpha2, 2);
     mutated.extend(specs_for(&beta, 2));
-    let third = campaign::run(&mutated, 2, Some(&cache), None);
+    let third = campaign::run(&mutated, 2, Some(&cache), None, false);
     assert_eq!(
         third.simulated,
         PROTOCOLS.len(),
@@ -123,7 +123,7 @@ fn corrupt_cache_entries_fall_through_to_resimulation() {
     let beta = parse_workload(BETA).expect("beta spec parses");
     let specs = specs_for(&beta, 2);
 
-    let first = campaign::run(&specs, 1, Some(&cache), None);
+    let first = campaign::run(&specs, 1, Some(&cache), None, false);
     assert_eq!(first.simulated, specs.len());
 
     // Clobber one entry with garbage; the runner must re-simulate that
@@ -131,7 +131,7 @@ fn corrupt_cache_entries_fall_through_to_resimulation() {
     cache
         .store(&specs[0].fingerprint(), "not json at all")
         .expect("overwrite a cache entry");
-    let second = campaign::run(&specs, 1, Some(&cache), None);
+    let second = campaign::run(&specs, 1, Some(&cache), None, false);
     assert_eq!(second.simulated, 1, "the corrupt entry re-simulates");
     assert_eq!(second.cached, specs.len() - 1);
     assert!(

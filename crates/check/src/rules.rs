@@ -484,14 +484,17 @@ pub fn lint_source(rel_path: &str, src: &str) -> Vec<Finding> {
         }
 
         // --- fleet-capture ---------------------------------------------
-        // At a `parallel_map(...)`/`parallel_map_ok(...)` call site, scan
-        // the balanced argument list (which contains the job closure) for
+        // At a `parallel_map(...)`/`parallel_map_ok(...)`/
+        // `parallel_map_telemetry(...)` call site, scan the balanced
+        // argument list (which contains the job closure) for
         // shared-mutable-state constructs. Definitions (`fn parallel_map`)
         // are skipped; type positions outside the call are not scanned.
-        if lx
-            .ident(i)
-            .is_some_and(|id| matches!(id, "parallel_map" | "parallel_map_ok"))
-            && lx.is_punct(i + 1, "(")
+        if lx.ident(i).is_some_and(|id| {
+            matches!(
+                id,
+                "parallel_map" | "parallel_map_ok" | "parallel_map_telemetry"
+            )
+        }) && lx.is_punct(i + 1, "(")
             && !(i >= 1 && lx.is_ident(i - 1, "fn"))
         {
             let mut depth = 1usize;

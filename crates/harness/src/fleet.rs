@@ -30,10 +30,12 @@
 //! campaign runner's incremental re-runs: a cell whose config+code
 //! fingerprint already has a cached result is not re-simulated.
 
+use chiplet_obs::Histogram;
 use std::collections::VecDeque;
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
+use std::time::Instant;
 
 /// How many fleet workers to use: `CPELIDE_JOBS` when set (clamped to at
 /// least 1), else 1 under `CPELIDE_SMOKE=1` (smoke runs must be cheap and
@@ -55,20 +57,157 @@ pub fn workers() -> usize {
         .unwrap_or(1)
 }
 
-/// One job's panic, caught by the pool: the submission index of the job
-/// and the stringified panic payload.
+/// One job's panic, caught by the pool: the submission index of the job,
+/// a caller-supplied label (the campaign passes the cell id, so failures
+/// read `square:Baseline:4` rather than an opaque number), and the
+/// stringified panic payload.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct JobFailure {
     /// Submission index of the job that panicked.
     pub index: usize,
+    /// Caller-supplied job label (empty when the caller provided none).
+    pub label: String,
     /// The panic payload (message for `&str`/`String` payloads).
     pub message: String,
 }
 
 impl std::fmt::Display for JobFailure {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "job {} panicked: {}", self.index, self.message)
+        if self.label.is_empty() {
+            write!(f, "job {} panicked: {}", self.index, self.message)
+        } else {
+            write!(
+                f,
+                "job {} ({}) panicked: {}",
+                self.index, self.label, self.message
+            )
+        }
     }
+}
+
+/// What one fleet worker observed over a [`parallel_map_telemetry`] run.
+/// Wall-clock fields (`busy_us`, latency buckets) are host measurements
+/// and therefore non-deterministic; the job counters are not deterministic
+/// either once stealing is in play — only their sums across workers are.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkerTelemetry {
+    /// Jobs this worker executed (own-deque pops plus steals).
+    pub executed: u64,
+    /// Of those, jobs stolen from a neighbour's deque.
+    pub stolen: u64,
+    /// Wall microseconds spent inside job bodies.
+    pub busy_us: u64,
+    /// Own-deque depth sampled before each pop.
+    pub queue_depth: Histogram,
+    /// Per-job wall-clock latency in microseconds.
+    pub latency_us: Histogram,
+}
+
+impl WorkerTelemetry {
+    fn new() -> Self {
+        WorkerTelemetry {
+            executed: 0,
+            stolen: 0,
+            busy_us: 0,
+            queue_depth: Histogram::new("queue_depth"),
+            latency_us: Histogram::new("job_wall_us"),
+        }
+    }
+}
+
+/// One job's host-side execution record: which worker ran it, when
+/// (microseconds since the pool started), and for how long. The campaign
+/// turns these into the host Perfetto trace's per-worker spans.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JobRecord {
+    /// Submission index of the job.
+    pub index: usize,
+    /// Worker that executed it.
+    pub worker: usize,
+    /// True when the job was stolen from another worker's deque.
+    pub stolen: bool,
+    /// Start offset from pool launch, wall microseconds.
+    pub start_us: u64,
+    /// Job body duration, wall microseconds.
+    pub dur_us: u64,
+}
+
+/// Host-side telemetry for one [`parallel_map_telemetry`] run.
+///
+/// Determinism contract: `workers` and `jobs` (and therefore the sum of
+/// `executed` across `per_worker`) are independent of scheduling; every
+/// wall-clock or steal-dependent field varies run to run and must stay
+/// out of byte-stable artifacts — the campaign segregates them behind a
+/// marker in `campaign.prom`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetTelemetry {
+    /// Worker threads the pool ran (1 for the inline serial path).
+    pub workers: usize,
+    /// Jobs submitted (== sum of `executed` over `per_worker`).
+    pub jobs: u64,
+    /// Wall microseconds from pool launch to full join.
+    pub elapsed_us: u64,
+    /// Per-worker counters, indexed by worker id.
+    pub per_worker: Vec<WorkerTelemetry>,
+    /// All workers' per-job latencies, merged in worker-id order.
+    pub job_latency_us: Histogram,
+    /// All workers' queue-depth samples, merged in worker-id order.
+    pub queue_depth: Histogram,
+    /// Every job's execution record, sorted by submission index.
+    pub jobs_log: Vec<JobRecord>,
+}
+
+impl FleetTelemetry {
+    fn new(workers: usize, jobs: u64) -> Self {
+        FleetTelemetry {
+            workers,
+            jobs,
+            elapsed_us: 0,
+            per_worker: Vec::new(),
+            job_latency_us: Histogram::new("job_wall_us"),
+            queue_depth: Histogram::new("queue_depth"),
+            jobs_log: Vec::new(),
+        }
+    }
+
+    fn absorb(&mut self, worker: WorkerTelemetry, mut log: Vec<JobRecord>) {
+        self.job_latency_us.merge(&worker.latency_us);
+        self.queue_depth.merge(&worker.queue_depth);
+        self.per_worker.push(worker);
+        self.jobs_log.append(&mut log);
+    }
+
+    fn seal(&mut self, epoch: Instant) {
+        self.elapsed_us = as_micros(epoch.elapsed());
+        self.jobs_log.sort_by_key(|r| r.index);
+    }
+
+    /// Total jobs executed across all workers (equals [`Self::jobs`]).
+    pub fn executed_total(&self) -> u64 {
+        self.per_worker.iter().map(|w| w.executed).sum()
+    }
+
+    /// Total jobs that ran on a worker other than the one they were
+    /// striped to.
+    pub fn stolen_total(&self) -> u64 {
+        self.per_worker.iter().map(|w| w.stolen).sum()
+    }
+
+    /// Fraction of the pool's lifetime worker `w` spent inside job bodies
+    /// (0.0 when the pool finished too fast to measure).
+    pub fn utilization(&self, w: usize) -> f64 {
+        if self.elapsed_us == 0 {
+            return 0.0;
+        }
+        self.per_worker
+            .get(w)
+            .map(|t| t.busy_us as f64 / self.elapsed_us as f64)
+            .unwrap_or(0.0)
+    }
+}
+
+fn as_micros(d: std::time::Duration) -> u64 {
+    u64::try_from(d.as_micros()).unwrap_or(u64::MAX)
 }
 
 fn payload_message(payload: Box<dyn std::any::Any + Send>) -> String {
@@ -99,13 +238,66 @@ where
     T: Send,
     F: Fn(&I) -> T + Sync,
 {
-    let fail = |i: usize, message: String| JobFailure { index: i, message };
+    parallel_map_telemetry(items, workers, |_| String::new(), f).0
+}
+
+/// [`parallel_map`] that also reports what the pool did: per-worker
+/// executed/stolen counters, wall-clock job latencies, queue-depth
+/// samples, and a per-job execution log ([`FleetTelemetry`]). The result
+/// vector is byte-for-byte the one [`parallel_map`] returns; telemetry is
+/// a host-side side channel only.
+///
+/// `label` names a job for failure reports: a panicking job's
+/// [`JobFailure`] carries `label(&items[i])`, so the campaign's failures
+/// read `square:Baseline:4` instead of a bare index.
+pub fn parallel_map_telemetry<I, T, F, L>(
+    items: &[I],
+    workers: usize,
+    label: L,
+    f: F,
+) -> (Vec<Result<T, JobFailure>>, FleetTelemetry)
+where
+    I: Sync,
+    T: Send,
+    F: Fn(&I) -> T + Sync,
+    L: Fn(&I) -> String + Sync,
+{
+    let epoch = Instant::now();
+    let fail = |i: usize, message: String| JobFailure {
+        index: i,
+        label: label(&items[i]),
+        message,
+    };
     if workers <= 1 || items.len() <= 1 {
-        return items
+        let mut telem = FleetTelemetry::new(1, items.len() as u64);
+        let mut me = WorkerTelemetry::new();
+        let mut log = Vec::with_capacity(items.len());
+        let out = items
             .iter()
             .enumerate()
-            .map(|(i, item)| run_caught(|| f(item)).map_err(|m| fail(i, m)))
+            .map(|(i, item)| {
+                // Serial "queue" is the not-yet-run suffix, current job
+                // included — the analogue of the deque length before pop.
+                me.queue_depth.observe((items.len() - i) as u64);
+                let start_us = as_micros(epoch.elapsed());
+                let r = run_caught(|| f(item)).map_err(|m| fail(i, m));
+                let dur_us = as_micros(epoch.elapsed()).saturating_sub(start_us);
+                me.executed += 1;
+                me.busy_us += dur_us;
+                me.latency_us.observe(dur_us);
+                log.push(JobRecord {
+                    index: i,
+                    worker: 0,
+                    stolen: false,
+                    start_us,
+                    dur_us,
+                });
+                r
+            })
             .collect();
+        telem.absorb(me, log);
+        telem.seal(epoch);
+        return (out, telem);
     }
     let n = workers.min(items.len());
 
@@ -121,17 +313,28 @@ where
     let committed = Mutex::new(&mut slots);
     let live = AtomicUsize::new(items.len());
 
-    std::thread::scope(|s| {
+    let mut telem = FleetTelemetry::new(n, items.len() as u64);
+    let per_worker = std::thread::scope(|s| {
+        let mut handles = Vec::with_capacity(n);
         for w in 0..n {
             let deques = &deques;
             let committed = &committed;
             let live = &live;
             let f = &f;
-            s.spawn(move || {
+            let label = &label;
+            handles.push(s.spawn(move || {
+                let mut me = WorkerTelemetry::new();
+                let mut log = Vec::new();
                 while live.load(Ordering::Acquire) > 0 {
                     // Own deque first (LIFO: cache-warm tail), then steal
                     // FIFO from the neighbours in ring order.
-                    let job = lock_clean(&deques[w]).pop_back().or_else(|| {
+                    let (own_len, own_job) = {
+                        let mut own = lock_clean(&deques[w]);
+                        (own.len(), own.pop_back())
+                    };
+                    me.queue_depth.observe(own_len as u64);
+                    let stolen = own_job.is_none();
+                    let job = own_job.or_else(|| {
                         (1..n).find_map(|d| lock_clean(&deques[(w + d) % n]).pop_front())
                     });
                     let Some(i) = job else {
@@ -140,18 +343,47 @@ where
                         // others are still executing.
                         break;
                     };
+                    let start_us = as_micros(epoch.elapsed());
                     let outcome = run_caught(|| f(&items[i])).map_err(|m| JobFailure {
                         index: i,
+                        label: label(&items[i]),
                         message: m,
+                    });
+                    let dur_us = as_micros(epoch.elapsed()).saturating_sub(start_us);
+                    me.executed += 1;
+                    me.stolen += u64::from(stolen);
+                    me.busy_us += dur_us;
+                    me.latency_us.observe(dur_us);
+                    log.push(JobRecord {
+                        index: i,
+                        worker: w,
+                        stolen,
+                        start_us,
+                        dur_us,
                     });
                     lock_clean(committed)[i] = Some(outcome);
                     live.fetch_sub(1, Ordering::Release);
                 }
-            });
+                (me, log)
+            }));
         }
+        handles
+            .into_iter()
+            .map(|h| {
+                h.join().unwrap_or_else(|_| {
+                    // Unreachable: job panics are caught inside the worker
+                    // loop. An empty record keeps the pool's report sound.
+                    (WorkerTelemetry::new(), Vec::new())
+                })
+            })
+            .collect::<Vec<_>>()
     });
+    for (me, log) in per_worker {
+        telem.absorb(me, log);
+    }
+    telem.seal(epoch);
 
-    slots
+    let out = slots
         .into_iter()
         .enumerate()
         .map(|(i, slot)| {
@@ -161,7 +393,8 @@ where
                 Err(fail(i, "job was never executed (pool bug)".to_owned()))
             })
         })
-        .collect()
+        .collect();
+    (out, telem)
 }
 
 /// [`parallel_map`] for infallible jobs: propagates the first caught job
@@ -253,15 +486,68 @@ impl Default for Fingerprint {
 /// written atomically enough for a single-process campaign (rename-free;
 /// fleet jobs never share a key because every cell's fingerprint is
 /// unique).
-#[derive(Debug, Clone)]
+///
+/// The cache keeps hit/miss/corrupt counters (atomics, so fleet jobs can
+/// share one cache by reference); read them back with [`Self::counts`].
+/// Counter totals depend only on the lookup set, not on scheduling, so
+/// they are safe to publish in byte-stable artifacts.
+#[derive(Debug)]
 pub struct DiskCache {
     dir: PathBuf,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    corrupt: AtomicU64,
+}
+
+impl Clone for DiskCache {
+    fn clone(&self) -> Self {
+        DiskCache {
+            dir: self.dir.clone(),
+            hits: AtomicU64::new(self.hits.load(Ordering::Relaxed)),
+            misses: AtomicU64::new(self.misses.load(Ordering::Relaxed)),
+            corrupt: AtomicU64::new(self.corrupt.load(Ordering::Relaxed)),
+        }
+    }
+}
+
+/// A snapshot of a [`DiskCache`]'s lookup counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheCounts {
+    /// Lookups that found a readable file.
+    pub hits: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+    /// Hits the caller later reported unusable via
+    /// [`DiskCache::note_corrupt`] (present but failed to parse).
+    pub corrupt: u64,
+}
+
+impl CacheCounts {
+    /// Total lookups observed.
+    pub fn lookups(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Fraction of lookups that produced a *usable* cached value
+    /// (corrupt hits count against the rate); 0.0 with no lookups.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.lookups();
+        if total == 0 {
+            return 0.0;
+        }
+        self.hits.saturating_sub(self.corrupt) as f64 / total as f64
+    }
 }
 
 impl DiskCache {
     /// A cache rooted at `dir` (created lazily on first store).
     pub fn new(dir: impl Into<PathBuf>) -> Self {
-        DiskCache { dir: dir.into() }
+        DiskCache {
+            dir: dir.into(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            corrupt: AtomicU64::new(0),
+        }
     }
 
     /// The cache directory.
@@ -273,9 +559,30 @@ impl DiskCache {
         self.dir.join(format!("{key}.json"))
     }
 
-    /// The cached value for `key`, if present and readable.
+    /// The cached value for `key`, if present and readable. Counts the
+    /// lookup as a hit or miss.
     pub fn load(&self, key: &str) -> Option<String> {
-        std::fs::read_to_string(self.path(key)).ok()
+        let got = std::fs::read_to_string(self.path(key)).ok();
+        match got {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        got
+    }
+
+    /// Marks one prior hit as unusable: the file existed but its contents
+    /// failed to parse, so the caller fell back to recomputing.
+    pub fn note_corrupt(&self) {
+        self.corrupt.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A snapshot of the hit/miss/corrupt counters.
+    pub fn counts(&self) -> CacheCounts {
+        CacheCounts {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            corrupt: self.corrupt.load(Ordering::Relaxed),
+        }
     }
 
     /// Stores `value` under `key`, creating the cache directory on demand.
@@ -387,6 +694,94 @@ mod tests {
         let a = Fingerprint::new().push_f64(0.1).finish();
         let b = Fingerprint::new().push_f64(0.1 + f64::EPSILON).finish();
         assert_ne!(a, b);
+    }
+
+    #[test]
+    fn telemetry_counts_every_job_exactly_once() {
+        let items: Vec<u64> = (0..50).collect();
+        for w in [1, 2, 8] {
+            let (out, telem) =
+                parallel_map_telemetry(&items, w, |v| format!("job-{v}"), |&v| v + 1);
+            assert_eq!(out.len(), items.len());
+            assert_eq!(telem.jobs, items.len() as u64);
+            assert_eq!(telem.executed_total(), items.len() as u64, "{w} workers");
+            assert!(telem.stolen_total() <= telem.executed_total());
+            assert_eq!(telem.workers, w.min(items.len()));
+            assert_eq!(telem.per_worker.len(), telem.workers);
+            assert_eq!(telem.job_latency_us.count(), items.len() as u64);
+            // The jobs log covers every submission index exactly once,
+            // sorted, and each record's worker actually exists.
+            assert_eq!(telem.jobs_log.len(), items.len());
+            for (i, rec) in telem.jobs_log.iter().enumerate() {
+                assert_eq!(rec.index, i);
+                assert!(rec.worker < telem.workers);
+            }
+            let logged_steals = telem.jobs_log.iter().filter(|r| r.stolen).count() as u64;
+            assert_eq!(logged_steals, telem.stolen_total());
+        }
+    }
+
+    #[test]
+    fn telemetry_result_vector_matches_parallel_map() {
+        let items: Vec<u32> = (0..23).collect();
+        let plain = parallel_map(&items, 4, |&v| v * 3);
+        let (with_telem, _) = parallel_map_telemetry(&items, 4, |_| String::new(), |&v| v * 3);
+        assert_eq!(plain, with_telem);
+    }
+
+    #[test]
+    fn job_failure_carries_the_label() {
+        let items: Vec<u32> = (0..6).collect();
+        let (out, _) = parallel_map_telemetry(
+            &items,
+            3,
+            |&v| format!("cell:{v}"),
+            |&v| {
+                if v == 4 {
+                    panic!("poisoned");
+                }
+                v
+            },
+        );
+        let e = out[4].as_ref().expect_err("slot 4 failed");
+        assert_eq!(e.label, "cell:4");
+        assert_eq!(format!("{e}"), "job 4 (cell:4) panicked: poisoned");
+        // The unlabelled path keeps the historical rendering.
+        let bare = JobFailure {
+            index: 2,
+            label: String::new(),
+            message: "boom".to_owned(),
+        };
+        assert_eq!(format!("{bare}"), "job 2 panicked: boom");
+    }
+
+    #[test]
+    fn disk_cache_counts_hits_misses_and_corruption() {
+        let dir = std::env::temp_dir().join(format!("fleet-counts-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = DiskCache::new(&dir);
+        assert_eq!(cache.counts(), CacheCounts::default());
+        assert!(cache.load("absent").is_none());
+        cache.store("present", "data").expect("store");
+        assert!(cache.load("present").is_some());
+        assert!(cache.load("present").is_some());
+        cache.note_corrupt();
+        let c = cache.counts();
+        assert_eq!((c.hits, c.misses, c.corrupt), (2, 1, 1));
+        assert_eq!(c.lookups(), 3);
+        assert!((c.hit_rate() - 1.0 / 3.0).abs() < 1e-12);
+        // Clones snapshot the counters rather than sharing them.
+        let snap = cache.clone();
+        assert!(cache.load("absent-again").is_none());
+        assert_eq!(snap.counts().misses, 1);
+        assert_eq!(cache.counts().misses, 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn empty_cache_counts_have_zero_rate() {
+        assert_eq!(CacheCounts::default().hit_rate(), 0.0);
+        assert_eq!(CacheCounts::default().lookups(), 0);
     }
 
     #[test]

@@ -39,7 +39,10 @@ pub mod rng;
 pub use chiplet_obs as trace;
 
 pub use bench::{BenchConfig, BenchRunner, BenchStats};
-pub use fleet::{parallel_map, parallel_map_ok, DiskCache, Fingerprint, JobFailure};
+pub use fleet::{
+    parallel_map, parallel_map_ok, parallel_map_telemetry, CacheCounts, DiskCache, Fingerprint,
+    FleetTelemetry, JobFailure, JobRecord, WorkerTelemetry,
+};
 pub use json::Json;
 pub use obs::{Counter, Event, EventLog, Span};
 pub use prop::{check, PropConfig, PropResult};

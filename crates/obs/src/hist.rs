@@ -7,6 +7,7 @@
 //! Percentiles are bucket-upper-bound estimates (clamped to the observed
 //! maximum), which keeps them deterministic and platform-stable.
 
+use crate::prom::PromText;
 use std::fmt;
 
 /// Number of buckets: value 0 plus one bucket per power of two up to
@@ -157,34 +158,38 @@ impl Histogram {
     /// `out`: cumulative `_bucket{le=...}` samples (populated prefix plus
     /// `+Inf`), `_sum`, `_count`, and percentile gauges. `labels` is an
     /// already-rendered label set like `workload="square"` (may be empty).
-    pub fn prometheus_text(&self, prefix: &str, labels: &str, help: &str, out: &mut String) {
+    /// Rendering one histogram under several label sets through the same
+    /// [`PromText`] stays valid exposition: the family's `# HELP`/`# TYPE`
+    /// pair is emitted only once.
+    pub fn prometheus_text(&self, prefix: &str, labels: &str, help: &str, out: &mut PromText) {
         let fq = format!("{prefix}_{}", self.name);
         let sep = if labels.is_empty() { "" } else { "," };
-        out.push_str(&format!("# HELP {fq} {help}\n# TYPE {fq} histogram\n"));
+        out.header(&fq, "histogram", help);
         let top = self
             .buckets
             .iter()
             .rposition(|&n| n > 0)
             .map(|i| i + 1)
             .unwrap_or(1);
+        let bucket = format!("{fq}_bucket");
         let mut cumulative = 0u64;
         for i in 0..top {
             cumulative += self.buckets[i];
-            out.push_str(&format!(
-                "{fq}_bucket{{{labels}{sep}le=\"{}\"}} {cumulative}\n",
-                Self::bucket_upper(i)
-            ));
+            out.sample(
+                &bucket,
+                &format!("{labels}{sep}le=\"{}\"", Self::bucket_upper(i)),
+                cumulative,
+            );
         }
-        out.push_str(&format!(
-            "{fq}_bucket{{{labels}{sep}le=\"+Inf\"}} {}\n",
-            self.count
-        ));
+        out.sample(&bucket, &format!("{labels}{sep}le=\"+Inf\""), self.count);
         let mut sum = String::new();
         crate::push_num(&mut sum, self.sum);
-        out.push_str(&format!("{fq}_sum{{{labels}}} {sum}\n"));
-        out.push_str(&format!("{fq}_count{{{labels}}} {}\n", self.count));
+        out.sample(&format!("{fq}_sum"), labels, sum);
+        out.sample(&format!("{fq}_count"), labels, self.count);
         for (q, v) in [(50, self.p50()), (90, self.p90()), (99, self.p99())] {
-            out.push_str(&format!("{fq}_p{q}{{{labels}}} {v}\n"));
+            let name = format!("{fq}_p{q}");
+            out.header(&name, "gauge", "bucket-upper-bound percentile estimate");
+            out.sample(&name, labels, v);
         }
     }
 }
@@ -297,13 +302,14 @@ mod tests {
         let mut h = Histogram::new("stall_cycles");
         h.observe(1);
         h.observe(3);
-        let mut out = String::new();
+        let mut prom = PromText::new();
         h.prometheus_text(
             "cpelide",
             "workload=\"square\"",
             "boundary stalls",
-            &mut out,
+            &mut prom,
         );
+        let out = prom.finish();
         assert!(out.contains("# TYPE cpelide_stall_cycles histogram"));
         assert!(out.contains("cpelide_stall_cycles_bucket{workload=\"square\",le=\"1\"} 1"));
         assert!(out.contains("cpelide_stall_cycles_bucket{workload=\"square\",le=\"3\"} 2"));
@@ -311,6 +317,34 @@ mod tests {
         assert!(out.contains("cpelide_stall_cycles_sum{workload=\"square\"} 4"));
         assert!(out.contains("cpelide_stall_cycles_count{workload=\"square\"} 2"));
         assert!(out.contains("cpelide_stall_cycles_p50"));
+    }
+
+    #[test]
+    fn prometheus_headers_dedupe_across_label_sets() {
+        // The regression the PromText writer exists to fix: one metric
+        // family rendered under several label sets must announce its
+        // HELP/TYPE pair exactly once, or the exposition is invalid.
+        let mut a = Histogram::new("stall_cycles");
+        a.observe(2);
+        let mut b = Histogram::new("stall_cycles");
+        b.observe(9);
+        let mut prom = PromText::new();
+        a.prometheus_text(
+            "cpelide",
+            "workload=\"square\"",
+            "boundary stalls",
+            &mut prom,
+        );
+        b.prometheus_text("cpelide", "workload=\"bfs\"", "boundary stalls", &mut prom);
+        let out = prom.finish();
+        assert_eq!(
+            out.matches("# TYPE cpelide_stall_cycles histogram").count(),
+            1
+        );
+        assert_eq!(out.matches("# HELP cpelide_stall_cycles ").count(), 1);
+        assert!(out.contains("cpelide_stall_cycles_count{workload=\"square\"} 1"));
+        assert!(out.contains("cpelide_stall_cycles_count{workload=\"bfs\"} 1"));
+        crate::prom::parse(&out).expect("deduped exposition validates");
     }
 
     #[test]

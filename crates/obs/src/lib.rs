@@ -15,6 +15,10 @@
 //!   release builds.
 //! * [`hist`] — log2-bucketed [`Histogram`] metrics (count/sum/max plus
 //!   p50/p90/p99 estimates) with a Prometheus-style text exposition.
+//! * [`prom`] — the Prometheus text-exposition writer ([`PromText`], which
+//!   emits `# HELP`/`# TYPE` once per metric family) and validating parser
+//!   the histogram exposition and the campaign's host-telemetry artifact
+//!   are built on.
 //!
 //! The crate is deliberately dependency-free — `chiplet-harness` re-exports
 //! it (as `chiplet_harness::trace`) so downstream crates can reach the
@@ -23,11 +27,13 @@
 
 pub mod audit;
 pub mod hist;
+pub mod prom;
 pub mod timeline;
 
 pub use audit::{AuditError, Residency, Transition, TransitionAuditor};
 pub use hist::Histogram;
-pub use timeline::{Phase, TraceEvent, Tracer};
+pub use prom::{PromSample, PromText};
+pub use timeline::{ClockDomain, Phase, TraceEvent, Tracer};
 
 /// Escapes `s` for embedding inside a JSON string literal.
 pub(crate) fn escape_json(out: &mut String, s: &str) {

@@ -1,0 +1,260 @@
+//! Prometheus text-format exposition: a writer that emits `# HELP` /
+//! `# TYPE` headers exactly once per metric family, and a validating
+//! parser for round-trip checks.
+//!
+//! The text format allows a metric family's `HELP`/`TYPE` lines at most
+//! once per exposition, even when the family is rendered with many label
+//! sets (one per workload, per worker, per phase, ...). [`PromText`]
+//! tracks which families have been announced so repeated renders of the
+//! same metric — the campaign writes one histogram per run, the probe one
+//! gauge set per protocol — stay valid. [`parse`] is the inverse: it
+//! checks well-formedness and the once-per-family header rule, and hands
+//! back the samples for report rendering.
+
+use std::fmt::Write as _;
+
+/// An exposition under construction. Append families with [`header`] /
+/// [`sample`] (or the [`gauge`]/[`counter`] shorthands), then take the
+/// text with [`finish`].
+///
+/// [`header`]: PromText::header
+/// [`sample`]: PromText::sample
+/// [`gauge`]: PromText::gauge
+/// [`counter`]: PromText::counter
+/// [`finish`]: PromText::finish
+#[derive(Debug, Clone, Default)]
+pub struct PromText {
+    out: String,
+    seen: Vec<String>,
+}
+
+impl PromText {
+    /// An empty exposition.
+    pub fn new() -> Self {
+        PromText::default()
+    }
+
+    /// Appends a free-form comment line (`# text`). Comments carry no
+    /// samples; use them to delimit sections of the exposition.
+    pub fn comment(&mut self, text: &str) {
+        let _ = writeln!(self.out, "# {text}");
+    }
+
+    /// Announces metric family `fq` (`kind` is `gauge`, `counter` or
+    /// `histogram`) — the `# HELP`/`# TYPE` pair is written only the first
+    /// time a family is announced, which is what makes rendering one
+    /// family under many label sets valid exposition.
+    pub fn header(&mut self, fq: &str, kind: &str, help: &str) {
+        if self.seen.iter().any(|s| s == fq) {
+            return;
+        }
+        self.seen.push(fq.to_owned());
+        let _ = writeln!(self.out, "# HELP {fq} {help}");
+        let _ = writeln!(self.out, "# TYPE {fq} {kind}");
+    }
+
+    /// Appends one sample line: `fq{labels} value` (braces omitted when
+    /// `labels` is empty). `labels` is an already-rendered label set like
+    /// `worker="3"`.
+    pub fn sample(&mut self, fq: &str, labels: &str, value: impl std::fmt::Display) {
+        if labels.is_empty() {
+            let _ = writeln!(self.out, "{fq} {value}");
+        } else {
+            let _ = writeln!(self.out, "{fq}{{{labels}}} {value}");
+        }
+    }
+
+    /// Header + sample for a gauge in one call.
+    pub fn gauge(&mut self, fq: &str, help: &str, labels: &str, value: impl std::fmt::Display) {
+        self.header(fq, "gauge", help);
+        self.sample(fq, labels, value);
+    }
+
+    /// Header + sample for a counter in one call.
+    pub fn counter(&mut self, fq: &str, help: &str, labels: &str, value: u64) {
+        self.header(fq, "counter", help);
+        self.sample(fq, labels, value);
+    }
+
+    /// The exposition rendered so far.
+    pub fn as_str(&self) -> &str {
+        &self.out
+    }
+
+    /// Consumes the builder, returning the exposition text.
+    pub fn finish(self) -> String {
+        self.out
+    }
+}
+
+/// One parsed sample line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PromSample {
+    /// Fully-qualified metric name (including `_bucket`/`_sum` suffixes).
+    pub name: String,
+    /// The raw label set between the braces (empty when absent).
+    pub labels: String,
+    /// The sample value.
+    pub value: f64,
+}
+
+fn valid_name(name: &str) -> bool {
+    !name.is_empty()
+        && name
+            .chars()
+            .next()
+            .is_some_and(|c| c.is_ascii_alphabetic() || c == '_' || c == ':')
+        && name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+/// Parses and validates a Prometheus text exposition: every sample line
+/// must be `name{labels} value` with a well-formed name and a numeric
+/// value, and each metric family may carry at most one `# HELP` and one
+/// `# TYPE` line (the rule [`PromText`] exists to uphold). Returns the
+/// samples in document order.
+///
+/// # Errors
+///
+/// Returns a `line N: reason` message for the first violation.
+pub fn parse(text: &str) -> Result<Vec<PromSample>, String> {
+    let mut samples = Vec::new();
+    let mut helps: Vec<String> = Vec::new();
+    let mut types: Vec<String> = Vec::new();
+    for (ln, raw) in text.lines().enumerate() {
+        let n = ln + 1;
+        let line = raw.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('#') {
+            let rest = rest.trim_start();
+            for (kw, seen) in [("HELP", &mut helps), ("TYPE", &mut types)] {
+                if let Some(decl) = rest.strip_prefix(kw) {
+                    let name = decl.split_whitespace().next().unwrap_or("");
+                    if !valid_name(name) {
+                        return Err(format!("line {n}: # {kw} with invalid metric name"));
+                    }
+                    if seen.iter().any(|s| s == name) {
+                        return Err(format!(
+                            "line {n}: duplicate # {kw} for metric {name} (headers must \
+                             appear once per family)"
+                        ));
+                    }
+                    seen.push(name.to_owned());
+                }
+            }
+            continue;
+        }
+        // `name{labels} value` or `name value`.
+        let (name_part, rest) = match line.find('{') {
+            Some(open) => {
+                let close = line
+                    .rfind('}')
+                    .ok_or_else(|| format!("line {n}: unclosed label braces"))?;
+                if close < open {
+                    return Err(format!("line {n}: malformed label braces"));
+                }
+                samples.push(PromSample {
+                    name: line[..open].to_owned(),
+                    labels: line[open + 1..close].to_owned(),
+                    value: 0.0,
+                });
+                (&line[..open], &line[close + 1..])
+            }
+            None => {
+                let mut it = line.splitn(2, char::is_whitespace);
+                let name = it.next().unwrap_or("");
+                samples.push(PromSample {
+                    name: name.to_owned(),
+                    labels: String::new(),
+                    value: 0.0,
+                });
+                (name, it.next().unwrap_or(""))
+            }
+        };
+        if !valid_name(name_part) {
+            return Err(format!("line {n}: invalid metric name {name_part:?}"));
+        }
+        let value_str = rest.trim();
+        let value = match value_str {
+            "+Inf" => f64::INFINITY,
+            "-Inf" => f64::NEG_INFINITY,
+            "NaN" => f64::NAN,
+            v => v
+                .parse::<f64>()
+                .map_err(|_| format!("line {n}: non-numeric sample value {v:?}"))?,
+        };
+        if let Some(last) = samples.last_mut() {
+            last.value = value;
+        }
+    }
+    Ok(samples)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn headers_are_emitted_once_per_family() {
+        let mut p = PromText::new();
+        p.gauge("x_total", "things", "phase=\"a\"", 1);
+        p.gauge("x_total", "things", "phase=\"b\"", 2);
+        let text = p.finish();
+        assert_eq!(text.matches("# HELP x_total").count(), 1);
+        assert_eq!(text.matches("# TYPE x_total").count(), 1);
+        assert!(text.contains("x_total{phase=\"a\"} 1"));
+        assert!(text.contains("x_total{phase=\"b\"} 2"));
+    }
+
+    #[test]
+    fn unlabelled_samples_omit_braces() {
+        let mut p = PromText::new();
+        p.counter("n", "count", "", 7);
+        assert!(p.as_str().contains("\nn 7\n"));
+        assert!(!p.as_str().contains("n{}"));
+    }
+
+    #[test]
+    fn parse_round_trips_writer_output() {
+        let mut p = PromText::new();
+        p.comment("a section");
+        p.gauge("a", "help a", "k=\"v\"", 1.5);
+        p.counter("b_total", "help b", "", 3);
+        p.gauge("a", "help a", "k=\"w\"", 2.5);
+        let samples = parse(p.as_str()).expect("writer output parses");
+        assert_eq!(samples.len(), 3);
+        assert_eq!(samples[0].name, "a");
+        assert_eq!(samples[0].labels, "k=\"v\"");
+        assert!((samples[0].value - 1.5).abs() < 1e-12);
+        assert_eq!(samples[1].name, "b_total");
+        assert_eq!(samples[1].labels, "");
+        assert_eq!(samples[2].labels, "k=\"w\"");
+    }
+
+    #[test]
+    fn parse_rejects_duplicate_headers() {
+        let bad = "# TYPE x gauge\nx 1\n# TYPE x gauge\nx 2\n";
+        let err = parse(bad).expect_err("duplicate TYPE is invalid");
+        assert!(err.contains("duplicate # TYPE"), "{err}");
+        let bad_help = "# HELP x a\n# HELP x b\n";
+        assert!(parse(bad_help).is_err());
+    }
+
+    #[test]
+    fn parse_rejects_malformed_lines() {
+        assert!(parse("1bad 3\n").is_err(), "name must not start with digit");
+        assert!(parse("x{k=\"v\" 3\n").is_err(), "unclosed braces");
+        assert!(parse("x notanumber\n").is_err(), "non-numeric value");
+    }
+
+    #[test]
+    fn parse_accepts_inf_and_special_values() {
+        let samples = parse("x{le=\"+Inf\"} 4\ny +Inf\nz NaN\n").expect("valid");
+        assert_eq!(samples[0].labels, "le=\"+Inf\"");
+        assert!(samples[1].value.is_infinite());
+        assert!(samples[2].value.is_nan());
+    }
+}

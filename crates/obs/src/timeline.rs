@@ -62,6 +62,36 @@ pub struct TraceEvent {
     pub args: Vec<(&'static str, f64)>,
 }
 
+/// Which clock a tracer's `ts`/`dur` microseconds are measured on.
+///
+/// The simulator stamps events in *simulated* microseconds (cycles
+/// through the configured clock) — deterministic, byte-identical across
+/// hosts. The campaign's host-side fleet trace stamps events in *wall*
+/// microseconds measured on the machine running the sweep —
+/// non-deterministic by nature. The domain is recorded in the exported
+/// JSON (`otherData.clockDomain`) so a trace can never be mistaken for
+/// the other kind. This enum is pure metadata: reading an actual wall
+/// clock stays confined to harness/bench code (the `wall-clock` lint
+/// keeps it out of sim-path crates, including this one).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum ClockDomain {
+    /// Timestamps are simulated microseconds (the default).
+    #[default]
+    SimMicros,
+    /// Timestamps are host wall-clock microseconds.
+    WallMicros,
+}
+
+impl ClockDomain {
+    /// The label stamped into the exported JSON.
+    pub fn label(self) -> &'static str {
+        match self {
+            ClockDomain::SimMicros => "sim",
+            ClockDomain::WallMicros => "wall",
+        }
+    }
+}
+
 /// A timeline tracer. Disabled tracers drop events at zero cost, so the
 /// simulator can call record methods unconditionally.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -70,10 +100,11 @@ pub struct Tracer {
     process_names: Vec<(u32, String)>,
     thread_names: Vec<(u32, u32, String)>,
     enabled: bool,
+    clock: ClockDomain,
 }
 
 impl Tracer {
-    /// Creates an enabled tracer.
+    /// Creates an enabled tracer on the simulated clock.
     pub fn new() -> Self {
         Tracer {
             enabled: true,
@@ -81,9 +112,24 @@ impl Tracer {
         }
     }
 
+    /// Creates an enabled tracer whose timestamps are host wall-clock
+    /// microseconds (the campaign's fleet trace).
+    pub fn new_wall() -> Self {
+        Tracer {
+            enabled: true,
+            clock: ClockDomain::WallMicros,
+            ..Tracer::default()
+        }
+    }
+
     /// Creates a disabled tracer; all record calls are no-ops.
     pub fn disabled() -> Self {
         Tracer::default()
+    }
+
+    /// Which clock this tracer's timestamps are measured on.
+    pub fn clock(&self) -> ClockDomain {
+        self.clock
     }
 
     /// Whether this tracer records events.
@@ -267,8 +313,9 @@ impl Tracer {
     }
 
     /// Renders the trace as Chrome/Perfetto trace-event JSON:
-    /// `{"traceEvents": [...]}`, with `M` metadata events naming the
-    /// process and thread tracks first.
+    /// `{"traceEvents": [...], "otherData": {...}}`, with `M` metadata
+    /// events naming the process and thread tracks first and the clock
+    /// domain recorded in `otherData`.
     pub fn to_chrome_json(&self) -> String {
         let mut out = String::with_capacity(64 + self.events.len() * 96);
         out.push_str("{\"traceEvents\":[");
@@ -319,7 +366,9 @@ impl Tracer {
             }
             out.push('}');
         }
-        out.push_str("]}");
+        out.push_str("],\"otherData\":{\"clockDomain\":\"");
+        out.push_str(self.clock.label());
+        out.push_str("\"}}");
         out
     }
 }
@@ -361,7 +410,26 @@ mod tests {
         t.name_process(0, "chiplet 0");
         assert!(t.is_empty());
         assert!(!t.is_enabled());
-        assert_eq!(t.to_chrome_json(), "{\"traceEvents\":[]}");
+        assert_eq!(
+            t.to_chrome_json(),
+            "{\"traceEvents\":[],\"otherData\":{\"clockDomain\":\"sim\"}}"
+        );
+    }
+
+    #[test]
+    fn clock_domain_is_stamped_into_the_export() {
+        let sim = Tracer::new();
+        assert_eq!(sim.clock(), ClockDomain::SimMicros);
+        assert!(sim.to_chrome_json().contains("\"clockDomain\":\"sim\""));
+
+        let mut wall = Tracer::new_wall();
+        assert_eq!(wall.clock(), ClockDomain::WallMicros);
+        assert!(wall.is_enabled());
+        wall.complete("cell", "cell", 0.0, 5.0, 0, 1, vec![]);
+        let json = wall.to_chrome_json();
+        assert!(json.contains("\"clockDomain\":\"wall\""));
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(wall.balanced().is_ok());
     }
 
     #[test]

@@ -13,6 +13,7 @@
 
 use crate::config::{EngineCore, SimConfig};
 use crate::metrics::{RunHistograms, RunMetrics, SyncCounters};
+use crate::phase::{PhaseProfile, SimPhase};
 use chiplet_coherence::{MemorySystem, ProtocolKind};
 use chiplet_energy::EnergyCounts;
 use chiplet_gpu::dispatch::{DispatchPlan, StaticPartitionScheduler};
@@ -103,6 +104,7 @@ impl Simulator {
         let mut first_kernel = true;
         let mut hist = RunHistograms::new();
         let mut link_util = LinkUtilization::new();
+        let mut phases = PhaseProfile::new();
 
         // Timeline tracks: one process per chiplet, plus pseudo-processes
         // for the global CP (sync decisions) and the inter-chiplet link
@@ -149,7 +151,12 @@ impl Simulator {
             let round_inval = sync.invalidated_lines;
             let t0 = exec_cycles + sync_cycles;
             let round_remote_before = mem.traffic().remote_bytes();
+            let round_ops = sync_ops;
             let mut round_sync = 0.0f64;
+            // The CP-decision share of round_sync (exposed CP processing
+            // and driver round trips), split out for the phase profile.
+            let mut round_cp = 0.0f64;
+            let mut round_cp_ops = 0u64;
             match cfg.protocol {
                 ProtocolKind::Baseline if !first_kernel => {
                     // Conservative whole-GPU implicit acquire+release.
@@ -196,6 +203,7 @@ impl Simulator {
                             n,
                         );
                         let decision = cp.launch_kernel(&info);
+                        round_cp_ops += 1;
                         if decision.is_elided() {
                             tracer.instant(
                                 "sync_elided",
@@ -209,13 +217,17 @@ impl Simulator {
                         if first_kernel {
                             // The 2+6 µs CP processing is exposed only for
                             // the very first kernel (paper §IV-B).
-                            round_sync += cfg.us_to_cycles(decision.cp_latency_us);
+                            let cyc = cfg.us_to_cycles(decision.cp_latency_us);
+                            round_sync += cyc;
+                            round_cp += cyc;
                         }
                         if cfg.driver_managed {
                             // §VI ablation: the driver must synchronously
                             // fetch the CP's WG placement before deciding —
                             // an exposed host round trip on every launch.
-                            round_sync += cfg.us_to_cycles(cfg.driver_round_trip_us());
+                            let cyc = cfg.us_to_cycles(cfg.driver_round_trip_us());
+                            round_sync += cyc;
+                            round_cp += cyc;
                         }
                         let mut op_max = 0.0f64;
                         for &c in &decision.acquires {
@@ -272,6 +284,13 @@ impl Simulator {
                 _ => {}
             }
             round_sync *= f64::from(cfg.sync_replication);
+            round_cp *= f64::from(cfg.sync_replication);
+            phases.record(SimPhase::CpDecision, round_cp, round_cp_ops);
+            phases.record(
+                SimPhase::BoundaryDrain,
+                round_sync - round_cp,
+                sync_ops - round_ops,
+            );
             let delta_flushed = flushed_lines - round_flushed;
             let delta_inval = sync.invalidated_lines - round_inval;
             evlog.record(
@@ -303,6 +322,7 @@ impl Simulator {
             // ---- Execution phase ----
             let exec_start = t0 + round_sync;
             let mut round_exec = 0.0f64;
+            let mut round_events = 0u64;
             for (packet, plan) in &plans {
                 let spec = &packet.spec;
                 let mut packet_time = 0.0f64;
@@ -317,6 +337,7 @@ impl Simulator {
                     let mut lat = 0.0f64;
                     let mut l1_acc = 0.0f64;
                     let events = trace.len() as u64;
+                    round_events += events;
                     let dir_remote_invals_before = mem.dir_remote_invalidations();
                     for ev in &trace {
                         counts.l1d_accesses += 1;
@@ -388,6 +409,12 @@ impl Simulator {
                 hist.link_busy_permille.observe(0);
             }
 
+            phases.record(SimPhase::AccessReplay, round_exec, round_events);
+            phases.record(
+                SimPhase::Placement,
+                cfg.us_to_cycles(LAUNCH_OVERHEAD_US),
+                plans.len() as u64,
+            );
             exec_cycles += round_exec + cfg.us_to_cycles(LAUNCH_OVERHEAD_US);
             sync_cycles += round_sync;
             kernels_run += plans.len() as u64;
@@ -399,6 +426,7 @@ impl Simulator {
         // "elides all flushes and invalidations except the final ones".
         let t_final = exec_cycles + sync_cycles;
         let final_remote_before = mem.traffic().remote_bytes();
+        let final_ops_before = sync_ops;
         let mut final_max = 0.0f64;
         let mut drained_lines = 0u64;
         for c in ChipletId::all(n) {
@@ -424,6 +452,7 @@ impl Simulator {
             }
         }
         sync_cycles += final_max;
+        phases.record(SimPhase::FinalDrain, final_max, sync_ops - final_ops_before);
         hist.boundary_stall_cycles.observe_f64(final_max);
         hist.boundary_flushed_lines.observe(drained_lines);
         let final_link_bytes = mem.traffic().remote_bytes() - final_remote_before;
@@ -488,6 +517,7 @@ impl Simulator {
             sync,
             events: evlog,
             hist,
+            phases,
             link_util,
             audit,
             trace: tracer,
@@ -761,6 +791,50 @@ mod tests {
             "irregular writes leave remote-homed dirty lines to drain"
         );
         assert!(bfs.link_util.utilization(bfs.cycles as u64) > 0.0);
+    }
+
+    #[test]
+    fn phase_profile_accounts_for_every_cycle() {
+        use crate::phase::SimPhase;
+        for protocol in [
+            ProtocolKind::Baseline,
+            ProtocolKind::CpElide,
+            ProtocolKind::Hmg,
+        ] {
+            let m = run("square", protocol, 4);
+            let total = m.phases.total_cycles();
+            assert!(
+                (total - m.cycles).abs() <= 1e-6 * m.cycles.max(1.0),
+                "{protocol:?}: phases sum to {total}, run reports {}",
+                m.cycles
+            );
+            // Placement: one fixed overhead per round, one op per kernel.
+            assert_eq!(m.phases.get(SimPhase::Placement).ops, m.kernels);
+            assert!(m.phases.get(SimPhase::AccessReplay).cycles > 0.0);
+            assert!(m.phases.get(SimPhase::AccessReplay).ops > 0);
+        }
+    }
+
+    #[test]
+    fn phase_profile_separates_protocol_costs() {
+        let base = run("square", ProtocolKind::Baseline, 4);
+        let cpe = run("square", ProtocolKind::CpElide, 4);
+        // Only CPElide makes CP decisions; one per kernel launch.
+        assert_eq!(base.phases.get(SimPhase::CpDecision).ops, 0);
+        assert_eq!(cpe.phases.get(SimPhase::CpDecision).ops, cpe.kernels);
+        // The baseline drains at every boundary; square's CPElide run
+        // elides all of them, leaving only the final drain.
+        assert!(
+            base.phases.get(SimPhase::BoundaryDrain).cycles
+                > cpe.phases.get(SimPhase::BoundaryDrain).cycles
+        );
+        assert_eq!(cpe.phases.get(SimPhase::FinalDrain).ops, 4);
+        assert!(cpe.phases.get(SimPhase::FinalDrain).cycles > 0.0);
+        // The boundary-drain ops counter tracks the sync-op ledger minus
+        // the final drain.
+        let base_boundary_ops = base.phases.get(SimPhase::BoundaryDrain).ops;
+        let base_final_ops = base.phases.get(SimPhase::FinalDrain).ops;
+        assert_eq!(base_boundary_ops + base_final_ops, base.sync_ops);
     }
 
     #[test]

@@ -21,7 +21,9 @@ pub mod engine;
 pub mod experiments;
 pub mod metrics;
 pub mod oracle;
+pub mod phase;
 
 pub use config::{LatencyModel, SimConfig, SyncCostModel};
 pub use engine::Simulator;
 pub use metrics::RunMetrics;
+pub use phase::{PhaseProfile, PhaseStat, SimPhase};

@@ -1,6 +1,7 @@
 //! Run metrics: what one (workload, protocol, chiplet-count) simulation
 //! produces.
 
+use crate::phase::PhaseProfile;
 use chiplet_coherence::ProtocolKind;
 use chiplet_energy::{EnergyBreakdown, EnergyCounts};
 use chiplet_harness::json::Json;
@@ -8,7 +9,7 @@ use chiplet_harness::obs::EventLog;
 use chiplet_mem::cache::CacheStats;
 use chiplet_noc::link::LinkUtilization;
 use chiplet_noc::traffic::FlitCounter;
-use chiplet_obs::{Histogram, Tracer, TransitionAuditor};
+use chiplet_obs::{Histogram, PromText, Tracer, TransitionAuditor};
 use cpelide::table::TableStats;
 use std::fmt;
 
@@ -139,7 +140,7 @@ impl RunHistograms {
     }
 
     /// Appends Prometheus text exposition for every histogram.
-    pub fn prometheus_text(&self, labels: &str, out: &mut String) {
+    pub fn prometheus_text(&self, labels: &str, out: &mut PromText) {
         for (h, help) in self.all() {
             h.prometheus_text("cpelide", labels, help, out);
         }
@@ -205,6 +206,11 @@ pub struct RunMetrics {
     /// Sim-cycle-stamped timeline for Chrome/Perfetto export (disabled and
     /// empty unless the run was configured with `record_trace`).
     pub trace: Tracer,
+    /// Where the run's simulated cycles went, by engine pipeline phase.
+    /// Deliberately NOT part of [`Self::to_json`]: the golden snapshots
+    /// pin that format. Exposed via [`Self::metrics_text`] /
+    /// [`Self::stats_text`] and the campaign's `campaign.prom`.
+    pub phases: PhaseProfile,
 }
 
 impl RunMetrics {
@@ -482,6 +488,18 @@ impl RunMetrics {
             ),
             "inter-chiplet link busy fraction",
         );
+        for (p, st) in self.phases.entries() {
+            line(
+                &format!("phase.{}.cycles", p.label()),
+                format!("{:.0}", st.cycles),
+                "cycles attributed to the phase",
+            );
+            line(
+                &format!("phase.{}.ops", p.label()),
+                st.ops.to_string(),
+                p.ops_unit(),
+            );
+        }
         if let Some(a) = &self.audit {
             line(
                 "cct.audit.transitions",
@@ -527,50 +545,66 @@ impl RunMetrics {
     /// Renders Prometheus-style text exposition for scrape-friendly
     /// consumption by the bench binaries: scalar gauges plus the full
     /// log2-bucketed histograms, all labelled with workload and protocol.
+    ///
+    /// One run per exposition; to combine several runs (or several
+    /// protocols) into a single valid document, append each with
+    /// [`Self::metrics_text_into`] on a shared [`PromText`] so the
+    /// `# HELP`/`# TYPE` headers stay once-per-family.
     pub fn metrics_text(&self) -> String {
+        let mut out = PromText::new();
+        self.metrics_text_into(&mut out);
+        out.finish()
+    }
+
+    /// Appends this run's exposition to a shared [`PromText`] writer.
+    pub fn metrics_text_into(&self, out: &mut PromText) {
         let labels = format!(
             "workload=\"{}\",protocol=\"{}\",chiplets=\"{}\"",
             self.workload,
             self.protocol.label(),
             self.equivalent_chiplets
         );
-        let mut s = String::new();
-        let mut gauge = |name: &str, help: &str, value: String| {
-            s.push_str(&format!(
-                "# HELP cpelide_{name} {help}\n# TYPE cpelide_{name} gauge\ncpelide_{name}{{{labels}}} {value}\n"
-            ));
+        let gauge = |out: &mut PromText, name: &str, help: &str, value: String| {
+            out.gauge(&format!("cpelide_{name}"), help, &labels, value);
         };
         gauge(
+            out,
             "cycles",
             "total simulated GPU cycles",
             format!("{:.0}", self.cycles),
         );
         gauge(
+            out,
             "exec_cycles",
             "kernel execution cycles",
             format!("{:.0}", self.exec_cycles),
         );
         gauge(
+            out,
             "sync_cycles",
             "implicit-synchronization cycles",
             format!("{:.0}", self.sync_cycles),
         );
         gauge(
+            out,
             "kernels",
             "dynamic kernels executed",
             self.kernels.to_string(),
         );
         gauge(
+            out,
             "sync_ops",
             "bulk L2 acquires+releases performed",
             self.sync_ops.to_string(),
         );
         gauge(
+            out,
             "l2_hit_rate",
             "aggregate L2 hit rate",
             format!("{:.6}", self.l2_hit_rate()),
         );
         gauge(
+            out,
             "link_utilization",
             "inter-chiplet link busy fraction",
             format!(
@@ -579,24 +613,41 @@ impl RunMetrics {
             ),
         );
         gauge(
+            out,
             "energy_uj",
             "memory-subsystem energy in microjoules",
             format!("{:.3}", self.energy.total() / 1e6),
         );
         if let Some(a) = &self.audit {
             gauge(
+                out,
                 "cct_audit_transitions",
                 "CCT state transitions checked",
                 a.transitions().to_string(),
             );
             gauge(
+                out,
                 "cct_audit_violations",
                 "illegal CCT transitions observed",
                 a.violations().to_string(),
             );
         }
-        self.hist.prometheus_text(&labels, &mut s);
-        s
+        for (p, st) in self.phases.entries() {
+            let phase_labels = format!("{labels},phase=\"{}\"", p.label());
+            out.gauge(
+                "cpelide_phase_cycles",
+                "simulated cycles attributed to an engine pipeline phase",
+                &phase_labels,
+                format!("{:.0}", st.cycles),
+            );
+            out.gauge(
+                "cpelide_phase_ops",
+                "operations attributed to an engine pipeline phase",
+                &phase_labels,
+                st.ops.to_string(),
+            );
+        }
+        self.hist.prometheus_text(&labels, out);
     }
 }
 
@@ -665,6 +716,7 @@ mod tests {
             link_util: LinkUtilization::new(),
             audit: None,
             trace: Tracer::disabled(),
+            phases: PhaseProfile::default(),
         }
     }
 
@@ -768,6 +820,8 @@ mod tests {
             .record(0, 0, 0, 0b00, 0, 0b01) // NP --LocalRead--> Valid
             .expect("legal transition");
         m.audit = Some(audit);
+        m.phases
+            .record(crate::phase::SimPhase::AccessReplay, 80.0, 9);
         let t = m.metrics_text();
         for needle in [
             "# TYPE cpelide_cycles gauge",
@@ -776,9 +830,30 @@ mod tests {
             "cpelide_kernel_cycles_count{",
             "cpelide_cct_audit_violations{",
             "cpelide_link_utilization{",
+            "cpelide_phase_cycles{workload=\"square\",protocol=\"Baseline\",chiplets=\"4\",phase=\"access_replay\"} 80",
+            "cpelide_phase_ops{",
         ] {
             assert!(t.contains(needle), "missing {needle:?} in:\n{t}");
         }
+        chiplet_obs::prom::parse(&t).expect("single-run exposition is valid");
+    }
+
+    #[test]
+    fn metrics_text_into_shares_headers_across_runs() {
+        let mut a = metrics("square", 123.0);
+        a.hist.kernel_cycles.observe(500);
+        let mut b = metrics("square", 99.0);
+        b.protocol = ProtocolKind::CpElide;
+        b.hist.kernel_cycles.observe(300);
+        let mut out = PromText::new();
+        a.metrics_text_into(&mut out);
+        b.metrics_text_into(&mut out);
+        let t = out.finish();
+        assert_eq!(t.matches("# HELP cpelide_cycles ").count(), 1);
+        assert_eq!(t.matches("# TYPE cpelide_kernel_cycles ").count(), 1);
+        assert!(t.contains("protocol=\"Baseline\""));
+        assert!(t.contains("protocol=\"CPElide\""));
+        chiplet_obs::prom::parse(&t).expect("combined exposition is valid");
     }
 
     #[test]
