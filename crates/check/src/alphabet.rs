@@ -1,0 +1,345 @@
+//! The model checker's action alphabet over the CCT, parameterized by
+//! system size, array count, and raciness — shared by the BFS and DPOR
+//! engines.
+//!
+//! Each [`Action`] is one kernel-boundary launch built from labeled
+//! structures over a set of disjoint arrays. The race-free core follows
+//! the paper's data-race-free contract (per launch, a structure's
+//! per-chiplet ranges are disjoint partitions, a single writer, or
+//! concurrent readers); the *racy* extension adds launches where two
+//! streams' chiplets write overlapping ranges of the same array between
+//! boundaries — the input class ROADMAP item 4's concurrent streams
+//! produce, which the CCT must survive conservatively (never elide its
+//! way into a lost update) even though DRF semantics no longer hold.
+//!
+//! The alphabet also carries the *static* half of the DPOR independence
+//! relation: [`Action::arrays_touched`] is a bitmask of the arrays a
+//! launch labels, and two actions can only commute when those masks are
+//! disjoint ([`statically_independent`]). The dynamic half — both
+//! launches must be fully elided, because a generated acquire/release is
+//! a whole-L2 operation that rewrites *every* array's rows — lives in
+//! the explorer (`dpor`).
+
+use chiplet_mem::addr::ChipletId;
+use chiplet_mem::addr::LINES_PER_PAGE;
+use chiplet_mem::array::AccessMode;
+use cpelide::api::KernelLaunchInfo;
+use std::ops::Range;
+
+/// `(span, mode, per-chiplet ranges)` of one labeled structure.
+pub type StructureSpec = (Range<u64>, AccessMode, Vec<Option<Range<u64>>>);
+
+/// One launch from the action alphabet.
+#[derive(Debug, Clone)]
+pub struct Action {
+    /// Human-readable label used in violation reports.
+    pub name: String,
+    /// One [`StructureSpec`] per labeled structure.
+    pub structures: Vec<StructureSpec>,
+    /// Bitmask of the arrays this launch labels (bit `i` = array `i`) —
+    /// the static half of the DPOR independence relation.
+    pub arrays_touched: u64,
+    /// True if this action's per-chiplet ranges race (overlapping writer
+    /// ranges) — only generated when the spec asks for a racy alphabet.
+    pub racy: bool,
+}
+
+impl Action {
+    /// Builds the launch info for an `n`-chiplet system.
+    pub fn launch(&self, n: usize) -> KernelLaunchInfo {
+        let scheduled = (0..n)
+            .filter(|&j| self.structures.iter().any(|(_, _, rs)| rs[j].is_some()))
+            .map(|j| ChipletId::new(j as u8));
+        let mut b = KernelLaunchInfo::builder(0, scheduled);
+        for (span, mode, ranges) in &self.structures {
+            b = b.structure(span.start, span.end, *mode, ranges.clone());
+        }
+        b.build()
+    }
+}
+
+/// What alphabet to generate: system size, disjoint array count, and
+/// whether to include the racy two-stream variants.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AlphabetSpec {
+    /// Chiplet count of the checked system.
+    pub chiplets: usize,
+    /// Number of disjoint arrays (each `chiplets` pages long, so partition
+    /// slices stay page-aligned).
+    pub arrays: usize,
+    /// Include the racy overlapping-writer actions.
+    pub racy: bool,
+}
+
+impl AlphabetSpec {
+    /// The race-free alphabet the BFS census has always used.
+    pub fn race_free(chiplets: usize, arrays: usize) -> Self {
+        AlphabetSpec {
+            chiplets,
+            arrays,
+            racy: false,
+        }
+    }
+
+    /// The alphabet extended with racy two-stream actions.
+    pub fn racy(chiplets: usize, arrays: usize) -> Self {
+        AlphabetSpec {
+            chiplets,
+            arrays,
+            racy: true,
+        }
+    }
+
+    /// Compact label for census output, e.g. `n=6 arrays=3 racy`.
+    pub fn label(&self) -> String {
+        format!(
+            "n={} arrays={}{}",
+            self.chiplets,
+            self.arrays,
+            if self.racy { " racy" } else { "" }
+        )
+    }
+}
+
+/// Upper-case letter naming array `ai` (`A`, `B`, `C`, …).
+fn array_letter(ai: usize) -> char {
+    (b'A' + ai as u8) as char
+}
+
+/// Base line of array `ai`: arrays are spaced far apart so their spans,
+/// page homes, and coarsened unions can never collide.
+fn array_base(ai: usize) -> u64 {
+    ai as u64 * 1024 * LINES_PER_PAGE
+}
+
+/// Page-aligned slice `j` of the array at `base`.
+fn slice(base: u64, j: usize) -> Range<u64> {
+    base + j as u64 * LINES_PER_PAGE..base + (j as u64 + 1) * LINES_PER_PAGE
+}
+
+/// True when two actions touch disjoint array sets — the *static* half
+/// of the independence relation. Statically independent actions still
+/// conflict dynamically whenever either one generates synchronization
+/// (whole-L2 flushes/invalidates rewrite every array's rows).
+pub fn statically_independent(a: &Action, b: &Action) -> bool {
+    a.arrays_touched & b.arrays_touched == 0
+}
+
+/// Builds the complete action alphabet for `spec`.
+///
+/// Per array: partitioned write/read, concurrent shared read, and
+/// whole-array read/write by each of the two representative chiplets
+/// (full-array actions are confined to two representatives: at `n = 2`
+/// that is every chiplet; at `n ≥ 3` the remaining chiplets are symmetric
+/// bystanders that still traverse every Figure 6 edge, keeping the
+/// reachable range/home lattice tractable). Cross-array: a partitioned
+/// write and a shared read labeling *every* array in one launch, which
+/// exercise the whole-cache side-effect coupling between arrays. Racy
+/// (when `spec.racy`): per array, a two-stream overlapping write (both
+/// representatives write the full span) and a skewed variant (one stream
+/// writes the full span while the other writes the upper half).
+pub fn build(spec: &AlphabetSpec) -> Vec<Action> {
+    let n = spec.chiplets;
+    let span = |ai: usize| {
+        let base = array_base(ai);
+        base..base + n as u64 * LINES_PER_PAGE
+    };
+    let mut actions = Vec::new();
+    for ai in 0..spec.arrays {
+        let base = array_base(ai);
+        let bit = 1u64 << ai;
+        let name = |op: &str| format!("{op}-{}", array_letter(ai));
+        let partition: Vec<Option<Range<u64>>> = (0..n).map(|j| Some(slice(base, j))).collect();
+        // Concurrent whole-array readers, restricted to the two
+        // representative chiplets: letting every chiplet track full-array
+        // ranges makes the reachable range/home lattice explode
+        // combinatorially at n ≥ 3 without reaching new transition kinds.
+        let all_full: Vec<Option<Range<u64>>> = (0..n).map(|j| (j < 2).then(|| span(ai))).collect();
+        actions.push(Action {
+            name: name("part-write"),
+            structures: vec![(span(ai), AccessMode::ReadWrite, partition.clone())],
+            arrays_touched: bit,
+            racy: false,
+        });
+        actions.push(Action {
+            name: name("part-read"),
+            structures: vec![(span(ai), AccessMode::ReadOnly, partition)],
+            arrays_touched: bit,
+            racy: false,
+        });
+        actions.push(Action {
+            name: name("shared-read"),
+            structures: vec![(span(ai), AccessMode::ReadOnly, all_full)],
+            arrays_touched: bit,
+            racy: false,
+        });
+        for j in 0..n.min(2) {
+            let solo: Vec<Option<Range<u64>>> =
+                (0..n).map(|k| (k == j).then(|| span(ai))).collect();
+            actions.push(Action {
+                name: format!("{}-c{j}", name("full-write")),
+                structures: vec![(span(ai), AccessMode::ReadWrite, solo.clone())],
+                arrays_touched: bit,
+                racy: false,
+            });
+            actions.push(Action {
+                name: format!("{}-c{j}", name("full-read")),
+                structures: vec![(span(ai), AccessMode::ReadOnly, solo)],
+                arrays_touched: bit,
+                racy: false,
+            });
+        }
+        if spec.racy {
+            // Two streams write the same array between boundaries: both
+            // representatives label overlapping ReadWrite ranges in one
+            // launch. Not DRF — the CCT cannot make the data race safe —
+            // but its *metadata* must stay conservative: both writers end
+            // up Dirty on overlapping ranges, and every later boundary
+            // must flush/invalidate them before anyone else looks.
+            let both_full: Vec<Option<Range<u64>>> =
+                (0..n).map(|j| (j < 2).then(|| span(ai))).collect();
+            actions.push(Action {
+                name: name("racy-write"),
+                structures: vec![(span(ai), AccessMode::ReadWrite, both_full)],
+                arrays_touched: bit,
+                racy: true,
+            });
+            // Skewed overlap: stream 0 writes the whole array while
+            // stream 1 writes only the upper half — asymmetric tracked
+            // ranges and home claims, racy only on the overlap.
+            let upper = base + (n as u64 / 2) * LINES_PER_PAGE..span(ai).end;
+            let skew: Vec<Option<Range<u64>>> = (0..n)
+                .map(|j| match j {
+                    0 => Some(span(ai)),
+                    1 => Some(upper.clone()),
+                    _ => None,
+                })
+                .collect();
+            actions.push(Action {
+                name: name("racy-skew"),
+                structures: vec![(span(ai), AccessMode::ReadWrite, skew)],
+                arrays_touched: bit,
+                racy: true,
+            });
+        }
+    }
+    // Multi-structure launches exercise the whole-cache side-effect paths
+    // (a release/acquire generated for one structure flushes the others).
+    let every_array: String = (0..spec.arrays).map(array_letter).collect();
+    let all_mask = (1u64 << spec.arrays) - 1;
+    let partition_of = |ai: usize| -> Vec<Option<Range<u64>>> {
+        (0..n).map(|j| Some(slice(array_base(ai), j))).collect()
+    };
+    actions.push(Action {
+        name: format!("part-write-{every_array}"),
+        structures: (0..spec.arrays)
+            .map(|ai| (span(ai), AccessMode::ReadWrite, partition_of(ai)))
+            .collect(),
+        arrays_touched: all_mask,
+        racy: false,
+    });
+    actions.push(Action {
+        name: format!("shared-read-{every_array}"),
+        structures: (0..spec.arrays)
+            .map(|ai| {
+                let all: Vec<Option<Range<u64>>> =
+                    (0..n).map(|j| (j < 2).then(|| span(ai))).collect();
+                (span(ai), AccessMode::ReadOnly, all)
+            })
+            .collect(),
+        arrays_touched: all_mask,
+        racy: false,
+    });
+    assert!(
+        actions.len() <= 64,
+        "alphabet must fit a u64 sleep-set mask"
+    );
+    actions
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpelide::api::ranges_overlap;
+
+    #[test]
+    fn race_free_alphabet_is_race_free() {
+        for n in 2..=4 {
+            for arrays in 1..=3 {
+                for a in build(&AlphabetSpec::race_free(n, arrays)) {
+                    assert!(!a.racy);
+                    for (_, mode, rs) in &a.structures {
+                        if *mode != AccessMode::ReadWrite {
+                            continue;
+                        }
+                        for j in 0..rs.len() {
+                            for k in j + 1..rs.len() {
+                                if let (Some(a), Some(b)) = (&rs[j], &rs[k]) {
+                                    assert!(!ranges_overlap(a, b), "racy write action {a:?}/{b:?}");
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn racy_alphabet_contains_overlapping_writers() {
+        let actions = build(&AlphabetSpec::racy(4, 2));
+        let racy: Vec<_> = actions.iter().filter(|a| a.racy).collect();
+        assert_eq!(racy.len(), 4, "two racy variants per array");
+        for a in racy {
+            let (_, mode, rs) = &a.structures[0];
+            assert_eq!(*mode, AccessMode::ReadWrite);
+            let (r0, r1) = (rs[0].as_ref().unwrap(), rs[1].as_ref().unwrap());
+            assert!(ranges_overlap(r0, r1), "{}: writers must overlap", a.name);
+        }
+    }
+
+    #[test]
+    fn alphabet_sizes() {
+        // 7 per-array actions + 2 cross-array composites, +2 racy per array.
+        assert_eq!(build(&AlphabetSpec::race_free(4, 2)).len(), 16);
+        assert_eq!(build(&AlphabetSpec::race_free(4, 3)).len(), 23);
+        assert_eq!(build(&AlphabetSpec::racy(6, 3)).len(), 29);
+    }
+
+    #[test]
+    fn static_independence_is_array_disjointness() {
+        let actions = build(&AlphabetSpec::racy(4, 2));
+        let by_name = |n: &str| actions.iter().find(|a| a.name == n).unwrap();
+        assert!(statically_independent(
+            by_name("part-write-A"),
+            by_name("part-read-B")
+        ));
+        assert!(!statically_independent(
+            by_name("part-write-A"),
+            by_name("racy-write-A")
+        ));
+        // Cross-array composites conflict with everything.
+        for a in &actions {
+            assert!(!statically_independent(a, by_name("part-write-AB")));
+        }
+    }
+
+    #[test]
+    fn arrays_are_disjoint_and_page_aligned() {
+        let actions = build(&AlphabetSpec::race_free(3, 3));
+        let mut spans: Vec<Range<u64>> = Vec::new();
+        for a in &actions {
+            for (span, _, _) in &a.structures {
+                assert_eq!(span.start % LINES_PER_PAGE, 0);
+                if !spans.contains(span) {
+                    spans.push(span.clone());
+                }
+            }
+        }
+        for i in 0..spans.len() {
+            for j in i + 1..spans.len() {
+                assert!(!ranges_overlap(&spans[i], &spans[j]));
+            }
+        }
+    }
+}

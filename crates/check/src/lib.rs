@@ -11,15 +11,22 @@
 //!   banned external crates, no unowned to-do markers. Diagnostics carry
 //!   `file:line` spans and honor `// chiplet-check: allow(<rule>)`
 //!   pragmas; see [`rules::RULES`] for the catalogue.
-//! - [`model`]: an exhaustive BFS *model checker* that drives the real
-//!   [`cpelide::table::ChipletCoherenceTable`] through every state
-//!   reachable under a race-free action alphabet (N ∈ {2,3,4} chiplets ×
-//!   2 arrays), asserting the paper's Figure 6 safety invariants on every
-//!   transition and cross-validating against `chiplet_obs::audit`.
+//! - [`model`] + [`dpor`]: two *model-checking* engines behind one
+//!   [`model::Explorer`] seam, both driving the real
+//!   [`cpelide::table::ChipletCoherenceTable`] through the states
+//!   reachable under a parameterized action alphabet ([`alphabet`]) and
+//!   asserting the paper's Figure 6 safety invariants on every
+//!   transition, cross-validated against `chiplet_obs::audit`. The
+//!   exhaustive BFS covers N ∈ {2,3,4} chiplets × 2 race-free arrays;
+//!   the DPOR engine (sleep sets over an elision-derived independence
+//!   relation) pushes the census to N = 6 chiplets × 3 arrays including
+//!   the racy two-stream alphabet.
 //!
 //! The lexer ([`lexer`]) is a minimal hand-rolled Rust scanner: the
 //! workspace stays free of `syn`/`proc-macro2` like every other crate.
 
+pub mod alphabet;
+pub mod dpor;
 pub mod lexer;
 pub mod model;
 pub mod rules;

@@ -1,16 +1,23 @@
 //! The `chiplet-check` CLI.
 //!
 //! ```text
-//! cargo run --release -p chiplet-check -- --workspace     # lint the tree
-//! cargo run --release -p chiplet-check -- --model-check   # CCT exhaustive check
-//! cargo run --release -p chiplet-check                    # both
+//! cargo run --release -p chiplet-check -- --workspace            # lint the tree
+//! cargo run --release -p chiplet-check -- --model-check          # full census (both engines)
+//! cargo run --release -p chiplet-check -- --model-check --engine dpor
+//! cargo run --release -p chiplet-check -- --model-check --check  # census drift gate
+//! cargo run --release -p chiplet-check                           # lint + census
 //! ```
 //!
-//! Exits 0 when clean, 1 on any finding or invariant violation, 2 on
-//! usage or I/O errors. `--json` prints the lint report as validated JSON
-//! instead of human-readable lines; the model checker always writes its
-//! census to `results/CHECK_model.json` (override the directory with
-//! `CPELIDE_RESULTS_DIR`).
+//! Exits 0 when clean, 1 on any finding, invariant violation, or census
+//! drift, 2 on usage or I/O errors. `--json` prints the lint report as
+//! validated JSON instead of human-readable lines; the model checker
+//! writes its census to `results/CHECK_model.json` (override the
+//! directory with `CPELIDE_RESULTS_DIR`). `--engine {bfs,dpor}` restricts
+//! the census plan to one engine and prints without writing (a partial
+//! census must never overwrite the committed artifact); `--check`
+//! regenerates the full census and fails if it differs byte-for-byte
+//! from the committed artifact instead of overwriting it (the two flags
+//! are mutually exclusive).
 
 use chiplet_check::model;
 use chiplet_check::rules::RULES;
@@ -18,13 +25,15 @@ use chiplet_check::walk;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-const USAGE: &str = "usage: chiplet-check [--workspace] [--model-check] [--json] \
-                     [--root <dir>] [--rules]";
+const USAGE: &str = "usage: chiplet-check [--workspace] [--model-check] \
+                     [--engine bfs|dpor] [--check] [--json] [--root <dir>] [--rules]";
 
 fn main() -> ExitCode {
     let mut lint = false;
     let mut model_check = false;
     let mut json = false;
+    let mut drift_check = false;
+    let mut engine: Option<String> = None;
     let mut root: Option<PathBuf> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -32,6 +41,18 @@ fn main() -> ExitCode {
             "--workspace" => lint = true,
             "--model-check" => model_check = true,
             "--json" => json = true,
+            "--check" => drift_check = true,
+            "--engine" => match args.next().as_deref() {
+                Some(e @ ("bfs" | "dpor")) => engine = Some(e.to_string()),
+                Some(other) => {
+                    eprintln!("unknown engine `{other}` (expected bfs or dpor)\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+                None => {
+                    eprintln!("--engine needs a name (bfs or dpor)\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
             "--root" => match args.next() {
                 Some(dir) => root = Some(PathBuf::from(dir)),
                 None => {
@@ -54,6 +75,10 @@ fn main() -> ExitCode {
     if !lint && !model_check {
         lint = true;
         model_check = true;
+    }
+    if drift_check && engine.is_some() {
+        eprintln!("--check compares the full census; it cannot be combined with --engine\n{USAGE}");
+        return ExitCode::from(2);
     }
 
     let mut failed = false;
@@ -88,21 +113,29 @@ fn main() -> ExitCode {
     }
 
     if model_check {
-        let bounds = [2usize, 3, 4];
-        let (censuses, census) = model::run(&bounds);
+        let (censuses, census) = model::run(engine.as_deref());
         for c in &censuses {
             println!(
-                "model-check n={}: {} states, {} transitions ({} actions), \
-                 depth {}, {} fully elided, {} acquires, {} releases, \
-                 {} violation(s)",
+                "model-check [{}] n={} arrays={}{}: {} states, {} transitions \
+                 ({} actions), depth {}{}, {} fully elided, {} acquires, \
+                 {} releases, {} sleep-set prune(s), {} violation(s)",
+                c.engine,
                 c.chiplets,
+                c.arrays,
+                if c.racy { " racy" } else { "" },
                 c.states,
                 c.transitions,
                 c.actions,
                 c.max_depth,
+                if c.depth_cap > 0 {
+                    format!(" (cap {})", c.depth_cap)
+                } else {
+                    String::new()
+                },
                 c.elided_transitions,
                 c.acquires_issued,
                 c.releases_issued,
+                c.sleep_skips + c.node_prunes,
                 c.violation_count
             );
             for v in &c.violations {
@@ -118,16 +151,43 @@ fn main() -> ExitCode {
         let dir = std::env::var_os("CPELIDE_RESULTS_DIR")
             .map(PathBuf::from)
             .unwrap_or_else(|| walk::workspace_root().join("results"));
-        if let Err(e) = std::fs::create_dir_all(&dir) {
-            eprintln!("chiplet-check: cannot create {}: {e}", dir.display());
-            return ExitCode::from(2);
-        }
         let path = dir.join("CHECK_model.json");
-        if let Err(e) = std::fs::write(&path, text) {
-            eprintln!("chiplet-check: cannot write {}: {e}", path.display());
-            return ExitCode::from(2);
+        if engine.is_some() {
+            // A single-engine run is a partial census: never overwrite
+            // the committed full artifact.
+            println!("model-check: partial census (--engine) not written");
+        } else if drift_check {
+            // Drift gate: the regenerated census must match the committed
+            // artifact byte-for-byte (re-bless by rerunning without
+            // --check and committing the result).
+            match std::fs::read_to_string(&path) {
+                Ok(committed) if committed == text => {
+                    println!("model-check: census matches {}", path.display());
+                }
+                Ok(_) => {
+                    eprintln!(
+                        "chiplet-check: census drift: regenerated census differs \
+                         from {}; rerun --model-check and commit the new artifact",
+                        path.display()
+                    );
+                    failed = true;
+                }
+                Err(e) => {
+                    eprintln!("chiplet-check: cannot read {}: {e}", path.display());
+                    return ExitCode::from(2);
+                }
+            }
+        } else {
+            if let Err(e) = std::fs::create_dir_all(&dir) {
+                eprintln!("chiplet-check: cannot create {}: {e}", dir.display());
+                return ExitCode::from(2);
+            }
+            if let Err(e) = std::fs::write(&path, text) {
+                eprintln!("chiplet-check: cannot write {}: {e}", path.display());
+                return ExitCode::from(2);
+            }
+            println!("model-check: census written to {}", path.display());
         }
-        println!("model-check: census written to {}", path.display());
     }
 
     if failed {

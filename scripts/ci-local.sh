@@ -67,11 +67,13 @@ CPELIDE_SMOKE=1 CPELIDE_TRACE=results/trace.json \
 grep -q '"traceEvents"' results/trace.json
 grep -q 'cpelide_kernel_cycles_bucket' results/probe.prom
 
-echo "== CCT model check (exhaustive, N = 2..4, validated census) =="
-# BFS over every reachable Chiplet Coherence Table state; violations or an
-# invalid census fail the run.
-cargo run --release -p chiplet-check -- --model-check
-[ "$(grep -c '"violations": 0' results/CHECK_model.json)" -eq 3 ]
+echo "== CCT model check (BFS N ≤ 4 + DPOR racy flagship, census drift gate) =="
+# Both engines over the Chiplet Coherence Table (exhaustive BFS and DPOR
+# race-free at N ∈ {2,3,4} × 2, plus the DPOR racy N = 6 × 3 flagship);
+# --check fails on violations, an invalid census, or any drift from the
+# committed results/CHECK_model.json.
+cargo run --release -p chiplet-check -- --model-check --check
+[ "$(grep -c '"violations": 0' results/CHECK_model.json)" -eq 7 ]
 
 echo "== Bench runner (fixed iterations, JSON report) =="
 CHIPLET_BENCH_ITERS=3 CHIPLET_BENCH_WARMUP=1 cargo bench --workspace
