@@ -10,9 +10,10 @@
 //!   campaign results (the CI docs-drift gate), touching nothing.
 //! - `cargo run --release -p cpelide-bench --bin report -- --obs` — print
 //!   the host-observability summary (phase breakdown, cache counters,
-//!   fleet utilization) from `results/campaign.prom` to stdout. Nothing
-//!   is written: the fleet half is wall-clock and host-specific, so it
-//!   never lands in EXPERIMENTS.md.
+//!   fleet utilization) from `results/campaign.prom` to stdout, plus the
+//!   elision-headroom summary when `results/CHECK_oracle.json` exists
+//!   (silently skipped otherwise). Nothing is written: the fleet half is
+//!   wall-clock and host-specific, so it never lands in EXPERIMENTS.md.
 //! - `cargo run --release -p cpelide-bench --bin report -- --perf-check` —
 //!   the CI perf-regression gate: compare the fresh
 //!   `results/BENCH_hotpath.json` (run the hotpath bench first) against
@@ -30,7 +31,7 @@
 use chiplet_harness::json;
 use cpelide_bench::perfgate;
 use cpelide_bench::report::{
-    campaign_path, experiments_path, generate_blocks, obs_section, splice,
+    campaign_path, experiments_path, generate_blocks, obs_section, oracle_headroom_section, splice,
 };
 
 fn fail(msg: &str) -> ! {
@@ -114,6 +115,18 @@ fn main() {
         });
         let section = obs_section(&prom).unwrap_or_else(|e| fail(&e));
         print!("{section}");
+        // The oracle census comes from chiplet-check, not the campaign:
+        // summarize it when present, stay silent when absent (the CI
+        // telemetry smoke runs --obs in a scratch results dir that only
+        // the campaign populated).
+        let oracle_path = cpelide_bench::results_dir().join("CHECK_oracle.json");
+        if let Ok(text) = std::fs::read_to_string(&oracle_path) {
+            let doc = json::parse(&text).unwrap_or_else(|e| {
+                fail(&format!("{} is not valid JSON: {e}", oracle_path.display()))
+            });
+            let section = oracle_headroom_section(&doc).unwrap_or_else(|e| fail(&e));
+            print!("\n{section}");
+        }
         std::process::exit(0);
     }
     let check = args.iter().any(|a| a == "--check");

@@ -39,7 +39,7 @@ pub const SCHEMA: &str = "cpelide-campaign-v1";
 /// engine behavior changes — i.e. exactly when the golden snapshots under
 /// `tests/golden/` are re-blessed — so stale cached cells are invalidated
 /// with the same stroke.
-pub const MODEL_REVISION: &str = "golden-r3";
+pub const MODEL_REVISION: &str = "golden-r4";
 
 /// The protocols every sweep cell set covers (Figure 8/9/10 order).
 pub const PROTOCOLS: [ProtocolKind; 3] = [

@@ -311,6 +311,112 @@ pub fn obs_section(prom: &str) -> Result<String, String> {
     Ok(out)
 }
 
+/// Renders the elision-headroom summary from the static oracle's census
+/// (`chiplet-check --oracle`, `results/CHECK_oracle.json`): per-protocol
+/// sync/elide totals aggregated over every workload × chiplet count, plus
+/// the largest CPElide headroom cells — boundaries the oracle proves
+/// elidable that the engine synced anyway. Stdout-only, like the rest of
+/// `--obs`; the census itself is drift-gated separately in CI.
+///
+/// # Errors
+///
+/// Returns an error naming the first field missing from the census (a
+/// hand-edited or truncated artifact), or an unknown protocol name.
+pub fn oracle_headroom_section(doc: &Json) -> Result<String, String> {
+    let miss = |what: &str| {
+        format!("CHECK_oracle.json is missing `{what}`; re-run `chiplet-check -- --oracle`")
+    };
+    let num = |j: &Json, key: &str| -> Result<f64, String> {
+        j.get(key).and_then(Json::as_f64).ok_or_else(|| miss(key))
+    };
+    let protocols: Vec<&str> = doc
+        .get("protocols")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| miss("protocols"))?
+        .iter()
+        .filter_map(Json::as_str)
+        .collect();
+    let workloads = doc
+        .get("workloads")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| miss("workloads"))?;
+
+    // Per-protocol running sums over every workload × chiplet-count cell:
+    // boundaries, synced, elided, headroom boundaries, headroom cycles.
+    let mut totals: Vec<(&str, [f64; 5])> = protocols.iter().map(|p| (*p, [0.0; 5])).collect();
+    let mut cpelide_cells: Vec<(String, u64, f64, f64)> = Vec::new();
+    for w in workloads {
+        let name = w
+            .get("workload")
+            .and_then(Json::as_str)
+            .ok_or_else(|| miss("workload"))?;
+        let cells = w
+            .get("differential")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| miss("differential"))?;
+        for c in cells {
+            let proto = c
+                .get("protocol")
+                .and_then(Json::as_str)
+                .ok_or_else(|| miss("protocol"))?;
+            let row = totals
+                .iter_mut()
+                .find(|(p, _)| *p == proto)
+                .ok_or_else(|| format!("CHECK_oracle.json names unknown protocol `{proto}`"))?;
+            let vals = [
+                num(c, "boundaries")?,
+                num(c, "synced")?,
+                num(c, "elided")?,
+                num(c, "headroom_boundaries")?,
+                num(c, "headroom_sync_cycles")?,
+            ];
+            for (t, v) in row.1.iter_mut().zip(vals) {
+                *t += v;
+            }
+            if proto == "CPElide" && vals[3] > 0.0 {
+                cpelide_cells.push((
+                    name.to_owned(),
+                    num(c, "chiplets")? as u64,
+                    vals[3],
+                    vals[4],
+                ));
+            }
+        }
+    }
+
+    let mut out = String::new();
+    out.push_str("Elision headroom (static oracle vs engine replay, CHECK_oracle.json)\n");
+    out.push_str(&format!(
+        "  {} workload(s), {:.0} soundness violation(s)\n",
+        workloads.len(),
+        num(doc, "soundness_violations")?,
+    ));
+    out.push_str(&format!(
+        "  {:<9} {:>10} {:>8} {:>8} {:>9} {:>14}\n",
+        "protocol", "boundaries", "synced", "elided", "headroom", "wasted cycles"
+    ));
+    out.push_str(&format!("  {}\n", crate::rule(63)));
+    for (p, [b, s, e, hb, hc]) in &totals {
+        out.push_str(&format!(
+            "  {p:<9} {b:>10.0} {s:>8.0} {e:>8.0} {hb:>9.0} {hc:>14.0}\n"
+        ));
+    }
+    cpelide_cells.sort_by(|a, b| {
+        b.3.total_cmp(&a.3)
+            .then_with(|| a.0.cmp(&b.0))
+            .then(a.1.cmp(&b.1))
+    });
+    if !cpelide_cells.is_empty() {
+        out.push_str("  largest CPElide headroom cells (provably elidable, still synced):\n");
+        for (name, n, hb, hc) in cpelide_cells.iter().take(3) {
+            out.push_str(&format!(
+                "    {name:<14} n={n}  {hb:>3.0} boundaries  {hc:>12.0} sync cycles\n"
+            ));
+        }
+    }
+    Ok(out)
+}
+
 /// Splices each block between its marker pair in `doc`, leaving the
 /// markers and all hand-written text intact.
 ///
@@ -455,6 +561,83 @@ mod tests {
         let err =
             splice("no markers here", &[("a".to_owned(), "x".to_owned())]).expect_err("must fail");
         assert!(err.contains("generated: a"), "{err}");
+    }
+
+    fn diff_cell(protocol: &str, chiplets: u64, synced: u64, headroom: u64, cycles: f64) -> Json {
+        Json::object()
+            .with("protocol", protocol)
+            .with("chiplets", chiplets)
+            .with("boundaries", 10u64)
+            .with("synced", synced)
+            .with("elided", 10 - synced)
+            .with("violations", 0u64)
+            .with("headroom_boundaries", headroom)
+            .with("headroom_sync_cycles", cycles)
+    }
+
+    fn sample_oracle_census() -> Json {
+        let w = |name: &str, cpelide_headroom: u64, cycles: f64| {
+            Json::object().with("workload", name).with(
+                "differential",
+                vec![
+                    diff_cell("Baseline", 2, 9, 9, 900.0),
+                    diff_cell("HMG", 2, 0, 0, 0.0),
+                    diff_cell("CPElide", 2, 3, cpelide_headroom, cycles),
+                ],
+            )
+        };
+        Json::object()
+            .with("soundness_violations", 0u64)
+            .with(
+                "protocols",
+                vec![Json::from("Baseline"), "HMG".into(), "CPElide".into()],
+            )
+            .with("workloads", vec![w("alpha", 2, 250.0), w("beta", 0, 0.0)])
+    }
+
+    #[test]
+    fn oracle_headroom_aggregates_per_protocol_and_ranks_cells() {
+        let out = oracle_headroom_section(&sample_oracle_census()).expect("renders");
+        assert!(
+            out.contains("2 workload(s), 0 soundness violation(s)"),
+            "{out}"
+        );
+        // Baseline: 2 workloads × 10 boundaries, 18 synced, 18 headroom.
+        assert!(out.contains("Baseline          20       18        2        18           1800"));
+        assert!(out.contains("HMG               20        0       20         0              0"));
+        assert!(out.contains("CPElide           20        6       14         2            250"));
+        // Only alpha has CPElide headroom; beta must not be listed.
+        assert!(out.contains("alpha          n=2    2 boundaries           250 sync cycles"));
+        assert!(!out.contains("beta           n="), "{out}");
+    }
+
+    #[test]
+    fn oracle_headroom_errors_name_the_missing_field() {
+        let truncated = sample_oracle_census().with("workloads", Json::Arr(vec![Json::object()]));
+        let err = oracle_headroom_section(&truncated).expect_err("must fail");
+        assert!(err.contains("`workload`"), "{err}");
+        let unknown = sample_oracle_census().with(
+            "workloads",
+            vec![Json::object()
+                .with("workload", "x")
+                .with("differential", vec![diff_cell("Mystery", 2, 0, 0, 0.0)])],
+        );
+        let err = oracle_headroom_section(&unknown).expect_err("must fail");
+        assert!(err.contains("Mystery"), "{err}");
+    }
+
+    #[test]
+    fn oracle_headroom_renders_the_committed_census() {
+        // The committed artifact must stay renderable — this is what
+        // `report -- --obs` prints in CI when the census is present.
+        let path = crate::results_dir().join("CHECK_oracle.json");
+        let Ok(text) = std::fs::read_to_string(&path) else {
+            return; // scratch results dir (CPELIDE_RESULTS_DIR) — nothing to check
+        };
+        let doc = chiplet_harness::json::parse(&text).expect("census parses");
+        let out = oracle_headroom_section(&doc).expect("renders");
+        assert!(out.contains("0 soundness violation(s)"), "{out}");
+        assert!(out.contains("Baseline"), "{out}");
     }
 
     #[test]

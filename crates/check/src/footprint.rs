@@ -1,0 +1,231 @@
+//! The abstract domain of the static elision oracle: page-granular
+//! interval sets over cache-line indices.
+//!
+//! The oracle reasons about kernel footprints from the address-range
+//! hints the software layer passes to the CP, so its conclusions are
+//! statements about what the *engine's metadata* must contain, not about
+//! one simulated trace. An [`IntervalSet`] is a sorted list of disjoint
+//! half-open line-index ranges; [`IntervalSet::page_widen`] rounds every
+//! range outward to page boundaries, mirroring `cpelide`'s
+//! `page_aligned()` widening of home claims (arrays are page-aligned
+//! allocations, so widening never crosses into a neighboring array). The
+//! oracle page-widens only its *may*-sets; must-sets stay line-granular
+//! (see `crate::oracle` on why).
+//!
+//! Exactness comes from `chiplet_gpu::trace::line_footprint`: partitioned
+//! / halo / slice / shared patterns generate exactly their hint range
+//! (`exact`, so may = must), while irregular patterns only bound the
+//! range (`may` only, must = ∅).
+
+use std::fmt;
+use std::ops::Range;
+
+/// Lines per page, re-exported for the oracle's widening.
+pub use chiplet_mem::addr::LINES_PER_PAGE;
+
+/// A set of cache-line indices stored as sorted, disjoint, non-empty
+/// half-open ranges.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct IntervalSet {
+    ranges: Vec<(u64, u64)>,
+}
+
+impl IntervalSet {
+    /// The empty set.
+    pub fn new() -> Self {
+        IntervalSet { ranges: Vec::new() }
+    }
+
+    /// A set holding one range (empty ranges yield the empty set).
+    pub fn from_range(r: Range<u64>) -> Self {
+        let mut s = IntervalSet::new();
+        s.insert(r);
+        s
+    }
+
+    /// True when no line is in the set.
+    pub fn is_empty(&self) -> bool {
+        self.ranges.is_empty()
+    }
+
+    /// Number of lines in the set.
+    pub fn len(&self) -> u64 {
+        self.ranges.iter().map(|&(s, e)| e - s).sum()
+    }
+
+    /// The disjoint ranges, in ascending order.
+    pub fn ranges(&self) -> &[(u64, u64)] {
+        &self.ranges
+    }
+
+    /// Removes every line.
+    pub fn clear(&mut self) {
+        self.ranges.clear();
+    }
+
+    /// Inserts `r`, merging with any overlapping or adjacent ranges.
+    pub fn insert(&mut self, r: Range<u64>) {
+        if r.start >= r.end {
+            return;
+        }
+        let (mut start, mut end) = (r.start, r.end);
+        // Find the insertion window: all existing ranges that overlap or
+        // touch [start, end) get merged into it.
+        let lo = self.ranges.partition_point(|&(_, e)| e < start);
+        let mut hi = lo;
+        while hi < self.ranges.len() && self.ranges[hi].0 <= end {
+            start = start.min(self.ranges[hi].0);
+            end = end.max(self.ranges[hi].1);
+            hi += 1;
+        }
+        self.ranges.splice(lo..hi, std::iter::once((start, end)));
+    }
+
+    /// Unions `other` into `self`.
+    pub fn union_with(&mut self, other: &IntervalSet) {
+        for &(s, e) in &other.ranges {
+            self.insert(s..e);
+        }
+    }
+
+    /// True when the sets share at least one line.
+    pub fn intersects(&self, other: &IntervalSet) -> bool {
+        self.first_overlap(other).is_some()
+    }
+
+    /// The first (lowest) overlapping range between the sets, if any —
+    /// the span oracle diagnostics cite.
+    pub fn first_overlap(&self, other: &IntervalSet) -> Option<(u64, u64)> {
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < self.ranges.len() && j < other.ranges.len() {
+            let (as_, ae) = self.ranges[i];
+            let (bs, be) = other.ranges[j];
+            let s = as_.max(bs);
+            let e = ae.min(be);
+            if s < e {
+                return Some((s, e));
+            }
+            if ae <= be {
+                i += 1;
+            } else {
+                j += 1;
+            }
+        }
+        None
+    }
+
+    /// The set of lines present in both sets.
+    pub fn intersection(&self, other: &IntervalSet) -> IntervalSet {
+        let mut out = IntervalSet::new();
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < self.ranges.len() && j < other.ranges.len() {
+            let (as_, ae) = self.ranges[i];
+            let (bs, be) = other.ranges[j];
+            let s = as_.max(bs);
+            let e = ae.min(be);
+            if s < e {
+                out.insert(s..e);
+            }
+            if ae <= be {
+                i += 1;
+            } else {
+                j += 1;
+            }
+        }
+        out
+    }
+
+    /// Widens every range outward to page boundaries — the granularity
+    /// the CCT tracks. A line footprint touching any line of a page
+    /// commits the whole page to the metadata.
+    pub fn page_widen(&self) -> IntervalSet {
+        let mut out = IntervalSet::new();
+        for &(s, e) in &self.ranges {
+            let ws = (s / LINES_PER_PAGE) * LINES_PER_PAGE;
+            let we = e.div_ceil(LINES_PER_PAGE) * LINES_PER_PAGE;
+            out.insert(ws..we);
+        }
+        out
+    }
+}
+
+impl fmt::Display for IntervalSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.ranges.is_empty() {
+            return write!(f, "∅");
+        }
+        for (idx, &(s, e)) in self.ranges.iter().enumerate() {
+            if idx > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{s}..{e}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(ranges: &[(u64, u64)]) -> IntervalSet {
+        let mut s = IntervalSet::new();
+        for &(a, b) in ranges {
+            s.insert(a..b);
+        }
+        s
+    }
+
+    #[test]
+    fn insert_merges_overlapping_and_adjacent() {
+        let mut s = IntervalSet::new();
+        s.insert(10..20);
+        s.insert(30..40);
+        s.insert(20..30); // bridges the two
+        assert_eq!(s.ranges(), &[(10, 40)]);
+        s.insert(5..12);
+        assert_eq!(s.ranges(), &[(5, 40)]);
+        s.insert(50..50); // empty: no-op
+        assert_eq!(s.ranges(), &[(5, 40)]);
+    }
+
+    #[test]
+    fn insert_keeps_disjoint_ranges_sorted() {
+        let s = set(&[(50, 60), (10, 20), (30, 40)]);
+        assert_eq!(s.ranges(), &[(10, 20), (30, 40), (50, 60)]);
+        assert_eq!(s.len(), 30);
+    }
+
+    #[test]
+    fn intersection_and_overlap() {
+        let a = set(&[(0, 10), (20, 30), (40, 50)]);
+        let b = set(&[(5, 25), (45, 60)]);
+        assert!(a.intersects(&b));
+        assert_eq!(a.first_overlap(&b), Some((5, 10)));
+        assert_eq!(a.intersection(&b).ranges(), &[(5, 10), (20, 25), (45, 50)]);
+        let c = set(&[(10, 20), (30, 40)]);
+        assert!(!a.intersects(&c));
+        assert_eq!(a.first_overlap(&c), None);
+        assert!(a.intersection(&c).is_empty());
+    }
+
+    #[test]
+    fn page_widen_rounds_outward() {
+        let p = LINES_PER_PAGE;
+        let s = set(&[(1, 2), (p + 3, p + 5), (3 * p, 3 * p + 1)]);
+        // First two ranges land in pages 0 and 1 (adjacent -> merged).
+        assert_eq!(s.page_widen().ranges(), &[(0, 2 * p), (3 * p, 4 * p)]);
+        // Widening is idempotent.
+        assert_eq!(s.page_widen().page_widen(), s.page_widen());
+    }
+
+    #[test]
+    fn union_and_clear() {
+        let mut a = set(&[(0, 5)]);
+        a.union_with(&set(&[(3, 8), (10, 12)]));
+        assert_eq!(a.ranges(), &[(0, 8), (10, 12)]);
+        a.clear();
+        assert!(a.is_empty());
+        assert_eq!(a.len(), 0);
+    }
+}

@@ -168,11 +168,40 @@ pub fn lex(src: &str) -> Lexed {
                 }
                 let word = &src[start..i];
                 // String-literal prefixes: r"", r#""#, b"", br"", c"", b''.
+                // A prefix only opens a literal when a quote actually
+                // follows (raw forms may put `#`s in between); `r#ident`
+                // is a raw identifier, and a stray `b#`/`c#` is no literal
+                // at all — treating either as a string would swallow real
+                // code until the next unrelated quote in the file.
                 let is_prefix = matches!(word, "r" | "b" | "br" | "rb" | "c" | "cr");
-                if is_prefix && (b.get(i) == Some(&b'"') || b.get(i) == Some(&b'#')) {
+                let opens_string = is_prefix
+                    && (b.get(i) == Some(&b'"')
+                        || (word.contains('r') && b.get(i) == Some(&b'#') && {
+                            let mut j = i;
+                            while b.get(j) == Some(&b'#') {
+                                j += 1;
+                            }
+                            b.get(j) == Some(&b'"')
+                        }));
+                if opens_string {
                     skip_raw_or_prefixed_string(b, &mut i, &mut line, word);
                 } else if word == "b" && b.get(i) == Some(&b'\'') {
                     skip_char(b, &mut i, &mut line);
+                } else if word == "r"
+                    && b.get(i) == Some(&b'#')
+                    && b.get(i + 1)
+                        .is_some_and(|&c| c.is_ascii_alphabetic() || c == b'_')
+                {
+                    // Raw identifier `r#name`: one identifier spelled `name`.
+                    i += 1;
+                    let ws = i;
+                    while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                        i += 1;
+                    }
+                    out.tokens.push(Token {
+                        line,
+                        tok: Tok::Ident(src[ws..i].to_owned()),
+                    });
                 } else {
                     out.tokens.push(Token {
                         line,
@@ -297,7 +326,9 @@ fn skip_raw_or_prefixed_string(b: &[u8], i: &mut usize, line: &mut u32, prefix: 
         *i += 1;
     }
     if b.get(*i) != Some(&b'"') {
-        return; // not a string after all (e.g. `r#ident`); already consumed
+        // Unreachable for input vetted by `lex` (which checks a quote
+        // follows the hashes), kept as a defensive bail-out.
+        return;
     }
     *i += 1;
     while *i < b.len() {
@@ -470,6 +501,114 @@ mod tests {
         assert!(!ids.contains(&"unwrap".to_owned()));
         assert!(!ids.contains(&"expect".to_owned()));
         assert_eq!(lex(src).comments.len(), 2);
+    }
+
+    #[test]
+    fn raw_strings_with_hashes_are_opaque_and_line_synced() {
+        // The `"#` on line 2 must not close the two-hash raw string, the
+        // `.unwrap()` inside must never become a token, and the code after
+        // the literal must keep exact line numbers.
+        let src = "let s = r##\"\n.unwrap() \"# still inside\n\"##; let tail = 1;\nlet t = r\"plain .expect( \";\nafter.unwrap();";
+        let lx = lex(src);
+        let ids: Vec<(&str, u32)> = lx
+            .tokens
+            .iter()
+            .filter_map(|t| match &t.tok {
+                Tok::Ident(s) => Some((s.as_str(), t.line)),
+                _ => None,
+            })
+            .collect();
+        assert!(ids.contains(&("tail", 3)), "{ids:?}");
+        assert!(ids.contains(&("after", 5)), "{ids:?}");
+        assert!(
+            ids.contains(&("unwrap", 5)),
+            "real unwrap survives: {ids:?}"
+        );
+        assert_eq!(
+            ids.iter().filter(|(s, _)| *s == "unwrap").count(),
+            1,
+            "the unwrap inside the raw string must stay hidden: {ids:?}"
+        );
+        assert!(!ids.iter().any(|(s, _)| *s == "expect"), "{ids:?}");
+    }
+
+    #[test]
+    fn raw_string_closing_hashes_are_counted_exactly() {
+        // `r#"x"##` is the literal `r#"x"#` followed by a stray `#`.
+        let lx = lex("r#\"x\"## y");
+        assert!(lx.is_punct(0, "#"), "{:?}", lx.tokens);
+        assert!(lx.is_ident(1, "y"), "{:?}", lx.tokens);
+    }
+
+    #[test]
+    fn raw_identifiers_lex_as_plain_identifiers() {
+        let lx = lex("let r#type = r#match.field;");
+        let ids = lex("let r#type = r#match.field;")
+            .tokens
+            .into_iter()
+            .filter_map(|t| match t.tok {
+                Tok::Ident(s) => Some(s),
+                _ => None,
+            })
+            .collect::<Vec<_>>();
+        assert_eq!(ids, ["let", "type", "match", "field"], "{:?}", lx.tokens);
+        // `r` as an ordinary identifier is untouched.
+        assert_eq!(idents("let r = 1; r + 2"), ["let", "r", "r"]);
+    }
+
+    #[test]
+    fn stray_prefix_hash_does_not_swallow_code() {
+        // `b#` / `c#` are not literals; before the opens-string check they
+        // were handed to the ordinary string scanner, which treated `#` as
+        // an opening quote and swallowed everything up to the next real
+        // quote — hiding `hidden.unwrap()` here.
+        let src = "let x = b # y;\nhidden.unwrap();\nlet s = \"lit\";";
+        let compact = "let x = b# y;\nhidden.unwrap();\nlet s = \"lit\";";
+        for s in [src, compact] {
+            let ids = idents(s);
+            assert!(ids.contains(&"hidden".to_owned()), "{s}: {ids:?}");
+            assert!(ids.contains(&"unwrap".to_owned()), "{s}: {ids:?}");
+        }
+    }
+
+    #[test]
+    fn nested_block_comments_close_correctly() {
+        // Pathological marker overlaps: `/*/` opens without closing,
+        // `*/*/` closes two levels back-to-back.
+        let lx = lex("/* a /*/ b */ */ after");
+        assert!(lx.is_ident(0, "after"), "{:?}", lx.tokens);
+        assert_eq!(lx.comments.len(), 1);
+
+        let lx = lex("/*/* x */*/ tail");
+        assert!(lx.is_ident(0, "tail"), "{:?}", lx.tokens);
+
+        // `/**/` is a complete (empty) comment, not an opener.
+        let lx = lex("/**/ y");
+        assert!(lx.is_ident(0, "y"), "{:?}", lx.tokens);
+
+        // An unterminated nested comment swallows the rest of the file
+        // (as rustc treats it) without losing the comment record.
+        let lx = lex("/* open /* deeper */ still open\nx.unwrap()");
+        assert!(lx.tokens.is_empty(), "{:?}", lx.tokens);
+        assert_eq!(lx.comments.len(), 1);
+    }
+
+    #[test]
+    fn nested_block_comments_keep_line_sync() {
+        let src = "/* l1\n /* l2\n l3 */\n l4 */ x = 1;\ny.unwrap();";
+        let lx = lex(src);
+        let x_line = lx
+            .tokens
+            .iter()
+            .find(|t| t.tok == Tok::Ident("x".into()))
+            .map(|t| t.line);
+        assert_eq!(x_line, Some(4), "{:?}", lx.tokens);
+        let y_line = lx
+            .tokens
+            .iter()
+            .find(|t| t.tok == Tok::Ident("y".into()))
+            .map(|t| t.line);
+        assert_eq!(y_line, Some(5), "{:?}", lx.tokens);
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! `chiplet-check`: zero-dependency static analysis for the CPElide
 //! workspace.
 //!
-//! Two engines behind one CLI (`cargo run -p chiplet-check`):
+//! Three engines behind one CLI (`cargo run -p chiplet-check`):
 //!
 //! - [`rules`] + [`walk`]: a token-scanner *linter* enforcing the
 //!   repo-specific determinism and soundness invariants that the dynamic
@@ -21,13 +21,22 @@
 //!   the DPOR engine (sleep sets over an elision-derived independence
 //!   relation) pushes the census to N = 6 chiplets × 3 arrays including
 //!   the racy two-stream alphabet.
+//! - [`oracle`] + [`footprint`]: a *static elision oracle* that
+//!   abstract-interprets every registered workload's kernel footprints
+//!   into a page-granular interval domain, classifies each kernel
+//!   boundary `MustSync`/`MayElide`/`Unknown` from the inter-kernel
+//!   dependence relation, and differentially replays the real engine
+//!   (event log in lockstep) to assert soundness — no `MustSync`
+//!   boundary was elided — and quantify elision headroom.
 //!
 //! The lexer ([`lexer`]) is a minimal hand-rolled Rust scanner: the
 //! workspace stays free of `syn`/`proc-macro2` like every other crate.
 
 pub mod alphabet;
 pub mod dpor;
+pub mod footprint;
 pub mod lexer;
 pub mod model;
+pub mod oracle;
 pub mod rules;
 pub mod walk;

@@ -94,6 +94,13 @@ pub const RULES: &[RuleInfo] = &[
                   arguments — job execution order is unspecified, only the \
                   result order is deterministic",
     },
+    RuleInfo {
+        id: "unused-allow",
+        scope: "whole workspace",
+        summary: "every allow pragma must suppress at least one finding \
+                  (dead pragmas rot into false documentation of a hazard \
+                  that no longer exists); not itself suppressible",
+    },
 ];
 
 /// One diagnostic.
@@ -163,12 +170,23 @@ pub fn classify(rel_path: &str) -> FileClass {
 
 // ------------------------------------------------------------- pragmas
 
+/// One parsed `allow(...)`/`allow-file(...)` entry, with a usage bit so
+/// the `unused-allow` rule can flag pragmas that suppress nothing.
+#[derive(Debug)]
+struct Allow {
+    /// Line of the pragma comment.
+    line: u32,
+    /// The rule id it names.
+    rule: String,
+    /// `allow-file(...)` vs `allow(...)`.
+    file_scope: bool,
+    /// Set once the pragma suppresses at least one finding.
+    used: bool,
+}
+
 #[derive(Debug, Default)]
 struct Pragmas {
-    /// (comment line, rule id) pairs from `allow(...)`.
-    line_allows: Vec<(u32, String)>,
-    /// Rule ids from `allow-file(...)`.
-    file_allows: Vec<String>,
+    allows: Vec<Allow>,
 }
 
 fn parse_pragmas(lx: &Lexed) -> Pragmas {
@@ -177,6 +195,13 @@ fn parse_pragmas(lx: &Lexed) -> Pragmas {
         let Some(pos) = c.text.find("chiplet-check:") else {
             continue;
         };
+        // Documentation that *quotes* a pragma (`// chiplet-check: ...`
+        // inside a doc comment or fenced example) nests a second `//`
+        // between the comment's own opening marker (the first two chars
+        // of `text`) and the pragma; that is prose about pragmas, not one.
+        if c.text[..pos].get(2..).is_some_and(|p| p.contains("//")) {
+            continue;
+        }
         let rest = &c.text[pos + "chiplet-check:".len()..];
         let rest = rest.trim_start();
         let (file_scope, rest) = if let Some(r) = rest.strip_prefix("allow-file(") {
@@ -194,33 +219,43 @@ fn parse_pragmas(lx: &Lexed) -> Pragmas {
             if rule.is_empty() {
                 continue;
             }
-            if file_scope {
-                p.file_allows.push(rule);
-            } else {
-                p.line_allows.push((c.line, rule));
-            }
+            p.allows.push(Allow {
+                line: c.line,
+                rule,
+                file_scope,
+                used: false,
+            });
         }
     }
     p
 }
 
 impl Pragmas {
-    /// True if a finding of `rule` at `line` is suppressed. `code_lines`
-    /// is the sorted set of lines holding at least one token: an `allow`
-    /// pragma covers its own line plus the next code line after it.
-    fn suppressed(&self, rule: &str, line: u32, code_lines: &[u32]) -> bool {
-        if self.file_allows.iter().any(|r| r == rule) {
-            return true;
+    /// True if a finding of `rule` at `line` is suppressed, marking every
+    /// pragma that matched as used. `code_lines` is the sorted set of
+    /// lines holding at least one token: an `allow` pragma covers its own
+    /// line plus the next code line after it; `allow-file` covers the
+    /// whole file. All matches are marked (no short-circuit) so a line
+    /// pragma shadowed by a file pragma is not misreported as unused.
+    fn suppressed(&mut self, rule: &str, line: u32, code_lines: &[u32]) -> bool {
+        let mut hit = false;
+        for a in &mut self.allows {
+            if a.rule != rule {
+                continue;
+            }
+            let matches = a.file_scope
+                || a.line == line
+                || (a.line < line
+                    && code_lines
+                        .iter()
+                        .find(|&&cl| cl > a.line)
+                        .is_some_and(|&first| first == line));
+            if matches {
+                a.used = true;
+                hit = true;
+            }
         }
-        self.line_allows.iter().any(|(l, r)| {
-            r == rule
-                && (*l == line
-                    || (*l < line
-                        && code_lines
-                            .iter()
-                            .find(|&&cl| cl > *l)
-                            .is_some_and(|&first| first == line)))
-        })
+        hit
     }
 }
 
@@ -345,7 +380,7 @@ fn path_seq(lx: &Lexed, i: usize, a: &str, b: &str) -> bool {
 pub fn lint_source(rel_path: &str, src: &str) -> Vec<Finding> {
     let class = classify(rel_path);
     let lx = lex(src);
-    let pragmas = parse_pragmas(&lx);
+    let mut pragmas = parse_pragmas(&lx);
     let regions = test_regions(&lx);
     let in_test = |ix: usize| regions.iter().any(|&(s, e)| ix >= s && ix < e);
 
@@ -594,6 +629,35 @@ pub fn lint_source(rel_path: &str, src: &str) -> Vec<Finding> {
         }
     }
 
+    // --- unused-allow ---------------------------------------------------
+    // Deliberately not suppressible: an `allow(unused-allow)` pragma could
+    // only ever justify itself, so it is reported like any other dead one.
+    for a in &pragmas.allows {
+        if a.used {
+            continue;
+        }
+        let scope = if a.file_scope { "allow-file" } else { "allow" };
+        let message = if RULES.iter().any(|r| r.id == a.rule) {
+            format!(
+                "`{scope}({})` suppresses no finding; delete the stale \
+                 pragma (or restore the justification it documented)",
+                a.rule
+            )
+        } else {
+            format!(
+                "`{scope}({})` names no known rule; see --rules for the \
+                 catalogue",
+                a.rule
+            )
+        };
+        findings.push(Finding {
+            rule: "unused-allow",
+            file: rel_path.to_owned(),
+            line: a.line,
+            message,
+        });
+    }
+
     findings.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
     findings
 }
@@ -755,11 +819,15 @@ mod tests {
         let above = "// chiplet-check: allow(no-panic) — checked by caller\n\
                      fn f(x: Option<u32>) -> u32 { x.unwrap() }";
         assert!(lint_source("crates/mem/src/x.rs", above).is_empty());
-        // A pragma does not leak past the next code line.
+        // A pragma does not leak past the next code line — the unwrap on
+        // line 3 still fires, and the pragma itself is now dead.
         let leak = "// chiplet-check: allow(no-panic)\n\
                     fn f(x: Option<u32>) -> u32 { x.unwrap_or(0) }\n\
                     fn g(x: Option<u32>) -> u32 { x.unwrap() }";
-        assert_eq!(lint_source("crates/mem/src/x.rs", leak).len(), 1);
+        let f = lint_source("crates/mem/src/x.rs", leak);
+        assert_eq!(f.len(), 2, "{f:?}");
+        assert_eq!((f[0].rule, f[0].line), ("unused-allow", 1));
+        assert_eq!((f[1].rule, f[1].line), ("no-panic", 3));
     }
 
     #[test]
@@ -767,6 +835,98 @@ mod tests {
         let src = "// chiplet-check: allow-file(no-panic) — CLI support crate\n\
                    fn f(x: Option<u32>) -> u32 { x.unwrap() }\n\
                    fn g(x: Option<u32>) -> u32 { x.expect(\"set\") }";
+        assert!(lint_source("crates/mem/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn raw_strings_and_nested_comments_hide_rule_triggers() {
+        // Rule triggers quoted inside a raw string or a nested block
+        // comment must not fire; the real unwrap after them must, at the
+        // correct (line-synced) span.
+        let src = "fn f() -> &'static str {\n\
+                   \x20   r#\"std::time::Instant::now() .unwrap() \"quoted\" TODO bare\"#\n\
+                   }\n\
+                   /* nested /* std::thread::spawn(std::env::var) */ .expect( */\n\
+                   fn g(x: Option<u32>) -> u32 { x.unwrap() }";
+        let f = lint_source("crates/sim/src/x.rs", src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!((f[0].rule, f[0].line), ("no-panic", 5));
+    }
+
+    #[test]
+    fn unused_allow_flags_dead_and_unknown_pragmas() {
+        // A pragma whose rule never fires on its covered line is dead.
+        let dead = "// chiplet-check: allow(no-panic) — nothing panics here\n\
+                    fn f(a: u32) -> u32 { a + 1 }";
+        let f = lint_source("crates/mem/src/x.rs", dead);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!((f[0].rule, f[0].line), ("unused-allow", 1));
+        assert!(
+            f[0].message.contains("suppresses no finding"),
+            "{}",
+            f[0].message
+        );
+
+        // An unknown rule id can never suppress anything; say so.
+        let unknown = "// chiplet-check: allow(no-painc)\n\
+                       fn f(x: Option<u32>) -> u32 { x.unwrap() }";
+        let f = lint_source("crates/mem/src/x.rs", unknown);
+        assert_eq!(f.len(), 2, "{f:?}");
+        assert_eq!(f[0].rule, "unused-allow");
+        assert!(f[0].message.contains("no known rule"), "{}", f[0].message);
+        assert_eq!(f[1].rule, "no-panic");
+
+        // A dead file-scope pragma is reported at its own line.
+        let dead_file = "// chiplet-check: allow-file(sim-thread)\n\
+                         fn f(a: u32) -> u32 { a }";
+        let f = lint_source("crates/sim/src/x.rs", dead_file);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(
+            f[0].message.contains("allow-file(sim-thread)"),
+            "{}",
+            f[0].message
+        );
+    }
+
+    #[test]
+    fn unused_allow_is_not_suppressible() {
+        // Both pragmas are dead, and the first cannot excuse the second.
+        let src = "// chiplet-check: allow(unused-allow)\n\
+                   // chiplet-check: allow(no-panic)\n\
+                   fn f(a: u32) -> u32 { a }";
+        let f = lint_source("crates/mem/src/x.rs", src);
+        assert_eq!(f.len(), 2, "{f:?}");
+        assert!(f.iter().all(|x| x.rule == "unused-allow"));
+    }
+
+    #[test]
+    fn live_pragmas_are_not_flagged_unused() {
+        // One pragma suppressing two same-line candidates is used once
+        // and silent; a file pragma used anywhere in the file is silent.
+        let line = "fn f(a: Option<u32>, b: Option<u32>) -> u32 \
+                    { a.unwrap() + b.unwrap() } // chiplet-check: allow(no-panic) — invariant";
+        assert!(lint_source("crates/mem/src/x.rs", line).is_empty());
+        let file = "// chiplet-check: allow-file(no-panic) — abort-by-contract crate\n\
+                    fn f(x: Option<u32>) -> u32 { x.unwrap() }\n\
+                    fn g(a: u32) -> u32 { a }";
+        assert!(lint_source("crates/mem/src/x.rs", file).is_empty());
+        // A line pragma shadowed by a live file pragma still counts as
+        // used (both match the same finding; neither is reported).
+        let shadowed = "// chiplet-check: allow-file(no-panic)\n\
+                        // chiplet-check: allow(no-panic)\n\
+                        fn f(x: Option<u32>) -> u32 { x.unwrap() }";
+        assert!(lint_source("crates/mem/src/x.rs", shadowed).is_empty());
+    }
+
+    #[test]
+    fn doc_quoted_pragma_examples_are_not_pragmas() {
+        // Prose quoting the pragma syntax (nested `//` as in this very
+        // module's docs) must not register as a dead pragma.
+        let src = "//! ```text\n\
+                   //! // chiplet-check: allow(no-panic) — why\n\
+                   //! ```\n\
+                   /// honors `// chiplet-check: allow(<rule>)` pragmas\n\
+                   pub fn f(a: u32) -> u32 { a }";
         assert!(lint_source("crates/mem/src/x.rs", src).is_empty());
     }
 

@@ -16,6 +16,7 @@ use std::process::Command;
 const EXPECTED: &[(&str, &str, u32)] = &[
     ("crates/harness/src/banned_import.rs", "banned-import", 3),
     ("crates/harness/src/fleet_capture.rs", "fleet-capture", 7),
+    ("crates/harness/src/unused_allow.rs", "unused-allow", 4),
     ("crates/mem/src/no_panic.rs", "no-panic", 4),
     ("crates/obs/src/stale_todo.rs", "stale-todo", 4),
     ("crates/sim/src/hash_iter.rs", "hash-iter", 7),

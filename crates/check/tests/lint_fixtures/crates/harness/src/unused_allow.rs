@@ -1,0 +1,7 @@
+//! Fixture: an allow pragma whose rule never fires on its covered line
+//! is dead documentation and must itself be reported.
+
+// chiplet-check: allow(no-panic) — nothing on the next line can panic
+pub fn add(a: u32, b: u32) -> u32 {
+    a.wrapping_add(b)
+}

@@ -138,8 +138,28 @@ pub struct ArrayAccess {
     pub sweeps: u32,
 }
 
+/// Where a kernel was defined: the source file and line of the builder
+/// call (captured via `#[track_caller]`) or the spec-text line (set
+/// explicitly by the workload-spec parser). Static-analysis diagnostics
+/// cite this span so a finding points at the kernel's definition, not at
+/// the analyzer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpecSpan {
+    /// Source file (a real path for builder-defined kernels, a synthetic
+    /// name like `<spec>` for parsed workload text).
+    pub file: String,
+    /// 1-based line number within `file`.
+    pub line: u32,
+}
+
+impl fmt::Display for SpecSpan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.file, self.line)
+    }
+}
+
 /// A kernel specification: the unit the CP schedules.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct KernelSpec {
     name: String,
     arrays: Vec<ArrayAccess>,
@@ -148,12 +168,34 @@ pub struct KernelSpec {
     lds_per_line: f64,
     l1_hit_rate: f64,
     mlp: f64,
+    span: SpecSpan,
+}
+
+/// Behavioral equality: the definition span is provenance, not semantics —
+/// two kernels built at different source lines but describing the same
+/// accesses compare equal.
+impl PartialEq for KernelSpec {
+    fn eq(&self, other: &Self) -> bool {
+        self.name == other.name
+            && self.arrays == other.arrays
+            && self.wg_count == other.wg_count
+            && self.compute_per_line == other.compute_per_line
+            && self.lds_per_line == other.lds_per_line
+            && self.l1_hit_rate == other.l1_hit_rate
+            && self.mlp == other.mlp
+    }
 }
 
 impl KernelSpec {
     /// Starts building a kernel named `name`.
+    #[track_caller]
     pub fn builder(name: impl Into<String>) -> KernelBuilder {
         KernelBuilder::new(name)
+    }
+
+    /// The kernel's definition site (builder call or spec-text line).
+    pub fn span(&self) -> &SpecSpan {
+        &self.span
     }
 
     /// The kernel's name.
@@ -238,12 +280,16 @@ pub struct KernelBuilder {
     lds_per_line: f64,
     l1_hit_rate: f64,
     mlp: f64,
+    span: SpecSpan,
 }
 
 impl KernelBuilder {
     /// Creates a builder with GPU-typical defaults: 1024 WGs, memory-bound
-    /// (no compute), no LDS, 50 % L1 hit rate, MLP of 32.
+    /// (no compute), no LDS, 50 % L1 hit rate, MLP of 32. The caller's
+    /// source location becomes the kernel's [`SpecSpan`].
+    #[track_caller]
     pub fn new(name: impl Into<String>) -> Self {
+        let loc = std::panic::Location::caller();
         KernelBuilder {
             name: name.into(),
             arrays: Vec::new(),
@@ -252,7 +298,21 @@ impl KernelBuilder {
             lds_per_line: 0.0,
             l1_hit_rate: 0.5,
             mlp: 32.0,
+            span: SpecSpan {
+                file: loc.file().to_owned(),
+                line: loc.line(),
+            },
         }
+    }
+
+    /// Overrides the captured definition span (used by the workload-spec
+    /// parser so diagnostics cite the spec text, not the parser).
+    pub fn span(mut self, file: impl Into<String>, line: u32) -> Self {
+        self.span = SpecSpan {
+            file: file.into(),
+            line,
+        };
+        self
     }
 
     /// Adds an array access; the mode label is implied by the touch kind.
@@ -342,6 +402,7 @@ impl KernelBuilder {
             lds_per_line: self.lds_per_line,
             l1_hit_rate: self.l1_hit_rate,
             mlp: self.mlp,
+            span: self.span,
         }
     }
 }

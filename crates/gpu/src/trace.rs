@@ -75,6 +75,90 @@ pub fn hint_lines(
     }
 }
 
+/// The statically derivable line footprint of one array access for one
+/// chiplet slot: the contiguous range the chiplet *may* touch, and whether
+/// the trace generator provably touches *exactly* that range.
+///
+/// Partitioned, halo, slice, and shared patterns are deterministic — the
+/// generated trace covers [`hint_lines`] line-for-line, so `exact` is
+/// true and the range doubles as the must-footprint. Irregular patterns
+/// sample a random subset of the hint range, so `exact` is false and the
+/// must-footprint is empty: static analysis may assume nothing beyond
+/// "every access lands inside `may`".
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LineFootprint {
+    /// Half-open global line-index range covering every possible access.
+    pub may: Range<u64>,
+    /// True when the trace touches exactly `may` (must = may).
+    pub exact: bool,
+}
+
+impl LineFootprint {
+    /// The must-footprint: `may` when exact, empty otherwise.
+    pub fn must(&self) -> Range<u64> {
+        if self.exact {
+            self.may.clone()
+        } else {
+            self.may.start..self.may.start
+        }
+    }
+}
+
+/// The static footprint of `pattern` for slice `slot` of `width` — the
+/// abstract-interpretation counterpart of [`TraceGenerator::lines_for`].
+/// Soundness (every generated access lands inside `may`) and exactness
+/// (non-irregular patterns cover `may` line-for-line) are pinned by the
+/// `footprint_*` tests below.
+pub fn line_footprint(
+    pattern: &AccessPattern,
+    decl: &ArrayDecl,
+    slot: usize,
+    width: usize,
+) -> LineFootprint {
+    LineFootprint {
+        may: hint_lines(pattern, decl, slot, width),
+        exact: !matches!(pattern, AccessPattern::Irregular { .. }),
+    }
+}
+
+/// One chiplet's static footprint on one array, as scheduled by a
+/// dispatch plan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FootprintEntry {
+    /// The chiplet executing this slice of the kernel.
+    pub chiplet: ChipletId,
+    /// The array touched.
+    pub array: ArrayId,
+    /// Load / store / load-store.
+    pub touch: TouchKind,
+    /// The may/must line range.
+    pub footprint: LineFootprint,
+}
+
+impl KernelSpec {
+    /// Static per-chiplet footprints for every array this kernel touches
+    /// under `plan` — one entry per (chiplet, array), in plan order. This
+    /// is the introspection surface the static elision oracle consumes:
+    /// it mirrors exactly how [`TraceGenerator::chiplet_trace`] maps plan
+    /// slots to line ranges.
+    pub fn line_footprints(&self, arrays: &ArrayTable, plan: &DispatchPlan) -> Vec<FootprintEntry> {
+        let width = plan.width();
+        let mut out = Vec::with_capacity(width * self.arrays().len());
+        for (slot, chiplet) in plan.chiplets().enumerate() {
+            for acc in self.arrays() {
+                let decl = arrays.get(acc.array);
+                out.push(FootprintEntry {
+                    chiplet,
+                    array: acc.array,
+                    touch: acc.touch,
+                    footprint: line_footprint(&acc.pattern, decl, slot, width),
+                });
+            }
+        }
+        out
+    }
+}
+
 /// Deterministic trace generator.
 #[derive(Debug, Clone, Copy)]
 pub struct TraceGenerator {
@@ -410,5 +494,115 @@ mod tests {
         assert!(g
             .chiplet_trace(&k, KernelId::new(0), &t, &plan, ChipletId::new(3))
             .is_empty());
+    }
+
+    /// Every pattern's generated trace stays inside the static `may`
+    /// footprint, and exact patterns cover it line-for-line — the
+    /// contract the elision oracle's abstract domain rests on.
+    #[test]
+    fn footprint_bounds_and_exactness_match_the_generator() {
+        let (t, a) = setup(64 * 200);
+        let decl = t.get(a);
+        let patterns = [
+            AccessPattern::Partitioned,
+            AccessPattern::PartitionedHalo { halo_lines: 3 },
+            AccessPattern::Shared,
+            AccessPattern::Slice {
+                start: 0.25,
+                end: 0.75,
+            },
+            AccessPattern::Irregular {
+                fraction: 0.5,
+                locality: 0.0,
+            },
+            AccessPattern::Irregular {
+                fraction: 0.5,
+                locality: 1.0,
+            },
+        ];
+        let g = TraceGenerator::new(7);
+        for pattern in &patterns {
+            for width in [1usize, 3, 4] {
+                for slot in 0..width {
+                    let fp = line_footprint(pattern, decl, slot, width);
+                    let lines = g.lines_for(
+                        pattern,
+                        decl,
+                        KernelId::new(1),
+                        ChipletId::new(slot as u8),
+                        slot,
+                        width,
+                    );
+                    for l in &lines {
+                        assert!(
+                            fp.may.contains(&l.get()),
+                            "{pattern:?} slot {slot}/{width}: line {} outside may {:?}",
+                            l.get(),
+                            fp.may
+                        );
+                    }
+                    if fp.exact {
+                        let mut got: Vec<u64> = lines.iter().map(|l| l.get()).collect();
+                        got.sort_unstable();
+                        got.dedup();
+                        let want: Vec<u64> = fp.may.clone().collect();
+                        assert_eq!(got, want, "{pattern:?} slot {slot}/{width} must be exact");
+                        assert_eq!(fp.must(), fp.may);
+                    } else {
+                        assert!(fp.must().is_empty(), "irregular must-footprint is empty");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn kernel_footprints_enumerate_plan_by_chiplet_and_array() {
+        let mut t = ArrayTable::new();
+        let a = t.alloc("a", 64 * 120);
+        let b = t.alloc("b", 64 * 120);
+        let k = KernelSpec::builder("k")
+            .wg_count(8)
+            .array(a, TouchKind::Load, AccessPattern::Partitioned)
+            .array(b, TouchKind::Store, AccessPattern::Shared)
+            .build();
+        let chiplets: Vec<ChipletId> = (0..3).map(ChipletId::new).collect();
+        let plan = StaticPartitionScheduler::new().plan(&k, &chiplets);
+        let fps = k.line_footprints(&t, &plan);
+        assert_eq!(fps.len(), 3 * 2);
+        // Partitioned slices tile the array; the shared store spans it on
+        // every chiplet.
+        let decl_a = t.get(a);
+        let mut covered = Vec::new();
+        for e in fps.iter().filter(|e| e.array == a) {
+            assert_eq!(e.touch, TouchKind::Load);
+            covered.extend(e.footprint.may.clone());
+        }
+        covered.sort_unstable();
+        assert_eq!(covered, decl_a.line_range().collect::<Vec<_>>());
+        for e in fps.iter().filter(|e| e.array == b) {
+            assert_eq!(e.footprint.may, t.get(b).line_range());
+            assert!(e.footprint.exact);
+        }
+    }
+
+    #[test]
+    fn builder_span_points_at_the_definition_site() {
+        let (t, a) = setup(64 * 4);
+        let _ = t;
+        let k = KernelSpec::builder("spanned")
+            .array(a, TouchKind::Load, AccessPattern::Partitioned)
+            .build();
+        assert!(
+            k.span().file.ends_with("trace.rs"),
+            "span file {} should be the caller",
+            k.span().file
+        );
+        assert!(k.span().line > 0);
+        let moved = KernelSpec::builder("spanned")
+            .array(a, TouchKind::Load, AccessPattern::Partitioned)
+            .build();
+        assert_eq!(k, moved, "spans are provenance, not identity");
+        assert_ne!(k.span().line, moved.span().line);
     }
 }

@@ -116,7 +116,6 @@ impl SetAssocCache {
     /// `u64` mask per set. Every Table I geometry is ≤32 ways; use
     /// [`ScanCache`](super::ScanCache) for wider experiments.
     pub fn new(geom: CacheGeometry, policy: WritePolicy) -> Self {
-        // chiplet-check: allow(no-panic) — construction-time geometry guard
         assert!(
             geom.ways() <= 64,
             "SetAssocCache supports at most 64 ways; got {}",

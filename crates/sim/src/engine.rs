@@ -138,7 +138,7 @@ impl Simulator {
             let plans: Vec<(KernelPacket, DispatchPlan)> = round
                 .into_iter()
                 .map(|p| {
-                    let chiplets = self.effective_binding(&p, &all_chiplets);
+                    let chiplets = effective_binding(&p, &all_chiplets, self.config.num_chiplets);
                     let plan = scheduler.plan(&p.spec, &chiplets);
                     (p, plan)
                 })
@@ -169,6 +169,13 @@ impl Simulator {
                     for (ci, a) in costs.iter().enumerate() {
                         flushed_lines += a.flush.total_lines();
                         sync.invalidated_lines += a.invalidated_lines;
+                        // Per-chiplet sync op for the elision oracle's
+                        // differential replay (a bulk op is a fused
+                        // release+acquire on `chiplet`).
+                        evlog.record(
+                            "bulk_sync",
+                            vec![("round", round_idx as f64), ("chiplet", ci as f64)],
+                        );
                         let cyc = cfg.sync.acquire_cycles(
                             a.flush.local_lines,
                             a.flush.remote_lines,
@@ -236,6 +243,10 @@ impl Simulator {
                             sync.invalidated_lines += a.invalidated_lines;
                             sync.acquires_performed += 1;
                             sync_ops += 1;
+                            evlog.record(
+                                "acquire",
+                                vec![("round", round_idx as f64), ("chiplet", c.index() as f64)],
+                            );
                             let cyc = cfg.sync.acquire_cycles(
                                 a.flush.local_lines,
                                 a.flush.remote_lines,
@@ -261,6 +272,10 @@ impl Simulator {
                             flushed_lines += r.total_lines();
                             sync.releases_performed += 1;
                             sync_ops += 1;
+                            evlog.record(
+                                "release",
+                                vec![("round", round_idx as f64), ("chiplet", c.index() as f64)],
+                            );
                             let cyc =
                                 cfg.sync
                                     .release_cycles(r.local_lines, r.remote_lines, &cfg.link);
@@ -436,6 +451,12 @@ impl Simulator {
                 sync.releases_performed += 1;
                 flushed_lines += r.total_lines();
                 drained_lines += r.total_lines();
+                // `round` is one past the last boundary: drain releases
+                // are end-of-program, not a kernel-boundary decision.
+                evlog.record(
+                    "release",
+                    vec![("round", round_idx as f64), ("chiplet", c.index() as f64)],
+                );
                 let cyc = cfg
                     .sync
                     .release_cycles(r.local_lines, r.remote_lines, &cfg.link);
@@ -523,28 +544,32 @@ impl Simulator {
             trace: tracer,
         }
     }
+}
 
-    /// Clamps a packet's stream binding to the simulated system, falling
-    /// back to all chiplets when the binding is absent or entirely out of
-    /// range (e.g. a 4-chiplet multi-stream workload run on 2 chiplets).
-    fn effective_binding(
-        &self,
-        packet: &KernelPacket,
-        all_chiplets: &[ChipletId],
-    ) -> Vec<ChipletId> {
-        match &packet.binding {
-            None => all_chiplets.to_vec(),
-            Some(b) => {
-                let clamped: Vec<ChipletId> = b
-                    .iter()
-                    .copied()
-                    .filter(|c| c.index() < self.config.num_chiplets)
-                    .collect();
-                if clamped.is_empty() {
-                    all_chiplets.to_vec()
-                } else {
-                    clamped
-                }
+/// Clamps a packet's stream binding to the simulated system, falling
+/// back to all chiplets when the binding is absent or entirely out of
+/// range (e.g. a 4-chiplet multi-stream workload run on 2 chiplets).
+///
+/// Public so static analysis (the elision oracle in `chiplet-check`) can
+/// reconstruct the engine's dispatch decisions exactly instead of
+/// maintaining a drifting mirror.
+pub fn effective_binding(
+    packet: &KernelPacket,
+    all_chiplets: &[ChipletId],
+    num_chiplets: usize,
+) -> Vec<ChipletId> {
+    match &packet.binding {
+        None => all_chiplets.to_vec(),
+        Some(b) => {
+            let clamped: Vec<ChipletId> = b
+                .iter()
+                .copied()
+                .filter(|c| c.index() < num_chiplets)
+                .collect();
+            if clamped.is_empty() {
+                all_chiplets.to_vec()
+            } else {
+                clamped
             }
         }
     }
@@ -684,6 +709,38 @@ mod tests {
         assert!(m.events.events().iter().any(|e| e.label == "final_drain"));
         // The memory system's per-operation log rides along.
         assert!(m.events.events().iter().any(|e| e.label == "l2_release"));
+        // Per-chiplet sync ops are logged individually, and their counts
+        // reconcile with the aggregate counters.
+        let acq = m
+            .events
+            .events()
+            .iter()
+            .filter(|e| e.label == "acquire")
+            .count() as u64;
+        let rel = m
+            .events
+            .events()
+            .iter()
+            .filter(|e| e.label == "release")
+            .count() as u64;
+        assert_eq!(acq, m.sync.acquires_performed);
+        assert_eq!(rel, m.sync.releases_performed);
+
+        // Baseline logs one fused bulk_sync per chiplet per non-first
+        // round, each carrying (round, chiplet) fields.
+        let mut bcfg = SimConfig::table1(4, ProtocolKind::Baseline);
+        bcfg.record_events = true;
+        let b = Simulator::new(bcfg).run(&w);
+        let bulk: Vec<_> = b
+            .events
+            .events()
+            .iter()
+            .filter(|e| e.label == "bulk_sync")
+            .collect();
+        assert_eq!(bulk.len() as u64, (b.kernels - 1) * 4);
+        assert!(bulk
+            .iter()
+            .all(|e| e.field("round").is_some() && e.field("chiplet").is_some()));
 
         // Default config records nothing.
         let quiet = run("square", ProtocolKind::CpElide, 4);

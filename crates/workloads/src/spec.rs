@@ -117,6 +117,11 @@ fn parse_pattern(tokens: &[&str], line: usize) -> Result<AccessPattern, ParseSpe
     }
 }
 
+/// The synthetic file name carried by kernels parsed from spec text;
+/// their [`chiplet_gpu::kernel::SpecSpan`] line numbers index into the
+/// text handed to [`parse_workload`].
+pub const SPEC_FILE: &str = "<workload-spec>";
+
 struct PendingKernel {
     builder: KernelBuilder,
     name: String,
@@ -207,7 +212,10 @@ pub fn parse_workload(text: &str) -> Result<Workload, ParseSpecError> {
                     .get(1)
                     .ok_or_else(|| err(line_no, "kernel requires a name"))?;
                 current = Some(PendingKernel {
-                    builder: KernelSpec::builder(*kname),
+                    // The span cites the spec text itself (the `kernel`
+                    // directive line), not this parser, so oracle
+                    // diagnostics point at the definition the user wrote.
+                    builder: KernelSpec::builder(*kname).span(SPEC_FILE, line_no as u32),
                     name: kname.to_string(),
                     accesses: 0,
                 });
@@ -419,6 +427,25 @@ sequence produce
         let spec = "\n# hi\nname z # trailing\narray a 64B\nkernel k\n load a shared\nsequence k\n";
         let w = parse_workload(spec).unwrap();
         assert_eq!(w.name(), "z");
+    }
+
+    #[test]
+    fn parsed_kernels_carry_spec_text_spans() {
+        let w = parse_workload(PIPELINE).unwrap();
+        let produce = &w.launches()[0].spec;
+        let transform = &w.launches()[1].spec;
+        assert_eq!(produce.span().file, SPEC_FILE);
+        assert_eq!(transform.span().file, SPEC_FILE);
+        // The spans index the `kernel` directive lines of the spec text.
+        let line_of = |name: &str| {
+            PIPELINE
+                .lines()
+                .position(|l| l.trim() == format!("kernel {name}"))
+                .map(|idx| idx as u32 + 1)
+                .expect("directive present")
+        };
+        assert_eq!(produce.span().line, line_of("produce"));
+        assert_eq!(transform.span().line, line_of("transform"));
     }
 
     #[test]

@@ -19,6 +19,15 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== chiplet-check lint (determinism/soundness rules) =="
 cargo run --release -p chiplet-check -- --workspace
 
+echo "== Elision oracle gate (workload dependence census, drift gate) =="
+# The static elision oracle classifies every kernel boundary of every
+# registered workload and differentially replays the engine across
+# {Baseline, HMG, CPElide} x N in {2,4,7}; any soundness violation
+# (MustSync boundary elided) fails the run, and --check fails on any
+# drift from the committed results/CHECK_oracle.json.
+cargo run --release -p chiplet-check -- --oracle --check
+grep -q '"soundness_violations": 0' results/CHECK_oracle.json
+
 echo "== Rustdoc (warnings are errors) =="
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps
 
