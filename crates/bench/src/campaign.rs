@@ -65,6 +65,16 @@ impl SuiteTag {
             SuiteTag::MultiStream => "multistream",
         }
     }
+
+    /// The inverse of [`SuiteTag::label`]: parses an externally-supplied
+    /// suite name (a daemon sweep request field) back into the tag.
+    pub fn parse(label: &str) -> Option<SuiteTag> {
+        match label {
+            "main" => Some(SuiteTag::Main),
+            "multistream" => Some(SuiteTag::MultiStream),
+            _ => None,
+        }
+    }
 }
 
 /// One enumerated campaign cell: a simulator cell plus its suite tag.
@@ -112,6 +122,31 @@ impl CellSpec {
             self.cell.protocol.label(),
             self.cell.chiplets
         )
+    }
+
+    /// Renders this cell's `campaign.json` row from its outcome: the
+    /// identity fields, the fingerprint, then either the parsed metrics
+    /// or the failure marker. The batch reducer and the daemon's
+    /// streaming responses both go through here, which is what makes
+    /// "served cells are byte-identical to batch cells" a structural
+    /// guarantee instead of a convention.
+    pub fn row(&self, outcome: Result<&Json, &str>) -> Json {
+        let mut row = Json::object()
+            .with("workload", self.cell.workload.name())
+            .with("class", self.cell.workload.class().to_string())
+            .with("suite", self.suite.label())
+            .with("protocol", self.cell.protocol.label())
+            .with("chiplets", self.cell.chiplets)
+            .with("fingerprint", self.fingerprint());
+        match outcome {
+            Ok(metrics) => {
+                row.set("metrics", metrics.clone());
+            }
+            Err(message) => {
+                row.set("failed", true).set("error", message);
+            }
+        }
+        row
     }
 }
 
@@ -164,16 +199,71 @@ pub fn fail_cell_from_env() -> Option<String> {
         .filter(|v| !v.is_empty())
 }
 
-/// What one cell job hands back to the reducer.
-struct CellOutcome {
+/// What one cell execution hands back: to the batch reducer, or to the
+/// daemon's scheduler.
+pub struct CellOutcome {
     /// The cell's metrics (parsed from the rendered form, so cached and
     /// fresh cells are bit-for-bit interchangeable).
-    metrics: Json,
+    pub metrics: Json,
     /// Distributions, only when the cell was actually simulated.
-    hist: Option<RunHistograms>,
+    pub hist: Option<RunHistograms>,
     /// Phase breakdown, only when the cell was actually simulated (the
     /// cached JSON deliberately does not carry it).
-    phases: Option<PhaseProfile>,
+    pub phases: Option<PhaseProfile>,
+}
+
+impl CellOutcome {
+    /// True when the cell came from the cache rather than a simulation
+    /// (cached outcomes carry no histograms or phase profile).
+    pub fn cached(&self) -> bool {
+        self.hist.is_none()
+    }
+}
+
+/// Executes one cell the way the campaign does: consult `cache` under the
+/// cell's content fingerprint, parse a hit (a corrupt entry is counted
+/// and falls through to re-simulation), otherwise simulate, store the
+/// rendered metrics, and re-parse them so cached and fresh cells travel
+/// the identical parse→render path. This is the single execution seam
+/// shared by the batch runner ([`run`]) and the campaign daemon — cache
+/// entries written by one are served, byte-for-byte, by the other.
+///
+/// # Panics
+///
+/// Panics if the simulated metrics render to invalid JSON (a simulator
+/// bug); under the fleet this is contained as a [`JobFailure`].
+pub fn execute_cell(spec: &CellSpec, cache: Option<&DiskCache>) -> CellOutcome {
+    let key = spec.fingerprint();
+    if let Some(hit) = cache.and_then(|c| c.load(&key)) {
+        // A corrupt cache entry falls through to re-simulation.
+        match json::parse(&hit) {
+            Ok(metrics) => {
+                return CellOutcome {
+                    metrics,
+                    hist: None,
+                    phases: None,
+                }
+            }
+            Err(_) => {
+                if let Some(c) = cache {
+                    c.note_corrupt();
+                }
+            }
+        }
+    }
+    let m = spec.cell.run();
+    let rendered = m.to_json().render();
+    if let Some(c) = cache {
+        // A read-only cache dir only costs re-simulation next run.
+        let _ = c.store(&key, &rendered);
+    }
+    let metrics = json::parse(&rendered)
+        .unwrap_or_else(|e| panic!("cell {} rendered invalid JSON: {e}", spec.id()));
+    CellOutcome {
+        metrics,
+        hist: Some(m.hist),
+        phases: Some(m.phases),
+    }
 }
 
 /// Everything a campaign run produces.
@@ -291,40 +381,10 @@ pub fn run(
             if fail_cell.is_some_and(|id| id == spec.id()) {
                 panic!("CPELIDE_FAIL_CELL poisoned cell {}", spec.id());
             }
-            let key = spec.fingerprint();
-            if let Some(hit) = cache.and_then(|c| c.load(&key)) {
-                // A corrupt cache entry falls through to re-simulation.
-                match json::parse(&hit) {
-                    Ok(metrics) => {
-                        tick.hit = true;
-                        tick.ok = true;
-                        return CellOutcome {
-                            metrics,
-                            hist: None,
-                            phases: None,
-                        };
-                    }
-                    Err(_) => {
-                        if let Some(c) = cache {
-                            c.note_corrupt();
-                        }
-                    }
-                }
-            }
-            let m = spec.cell.run();
-            let rendered = m.to_json().render();
-            if let Some(c) = cache {
-                // A read-only cache dir only costs re-simulation next run.
-                let _ = c.store(&key, &rendered);
-            }
-            let metrics = json::parse(&rendered)
-                .unwrap_or_else(|e| panic!("cell {} rendered invalid JSON: {e}", spec.id()));
+            let outcome = execute_cell(spec, cache);
+            tick.hit = outcome.cached();
             tick.ok = true;
-            CellOutcome {
-                metrics,
-                hist: Some(m.hist),
-                phases: Some(m.phases),
-            }
+            outcome
         },
     );
 
@@ -338,14 +398,7 @@ pub fn run(
     let mut rows: Vec<Json> = Vec::with_capacity(specs.len());
     let mut parsed: Vec<Option<Json>> = Vec::with_capacity(specs.len());
     for (spec, outcome) in specs.iter().zip(outcomes) {
-        let mut row = Json::object()
-            .with("workload", spec.cell.workload.name())
-            .with("class", spec.cell.workload.class().to_string())
-            .with("suite", spec.suite.label())
-            .with("protocol", spec.cell.protocol.label())
-            .with("chiplets", spec.cell.chiplets)
-            .with("fingerprint", spec.fingerprint());
-        match outcome {
+        let row = match outcome {
             Ok(cell) => {
                 match &cell.hist {
                     Some(h) => {
@@ -354,21 +407,22 @@ pub fn run(
                     }
                     None => cached += 1,
                 }
-                cell_cached.push(cell.hist.is_none());
+                cell_cached.push(cell.cached());
                 if let Some(p) = &cell.phases {
                     phases.merge(p);
                 }
                 parsed.push(Some(cell.metrics.clone()));
-                row.set("metrics", cell.metrics);
+                spec.row(Ok(&cell.metrics))
             }
             Err(e) => {
                 failed += 1;
                 cell_cached.push(false);
                 parsed.push(None);
-                row.set("failed", true).set("error", e.message.as_str());
+                let row = spec.row(Err(e.message.as_str()));
                 failures.push(e);
+                row
             }
-        }
+        };
         rows.push(row);
     }
 

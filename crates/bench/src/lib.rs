@@ -1,14 +1,25 @@
 //! Shared reporting helpers for the figure-regeneration binaries and
 //! the wall-clock benches.
 //!
-//! The sweep itself lives in [`campaign`] (`--bin campaign`): every
-//! (workload, protocol, chiplet-count) cell fanned out across the
-//! `chiplet_harness::fleet` worker pool with content-hash caching, writing
-//! `results/campaign.json`. [`report`] (`--bin report`) regenerates the
-//! paper-vs-measured tables in EXPERIMENTS.md from that document. Each
-//! paper artifact additionally keeps a dedicated narrow binary (`cargo run
-//! --release -p cpelide-bench --bin fig8`, etc.); `--bin all` regenerates
-//! everything. Every binary honours these environment variables:
+//! The evaluation sweep runs in one of two modes:
+//!
+//! * **Batch** ([`campaign`], `--bin campaign`): one process owns the
+//!   whole cell list, fans it out across the `chiplet_harness::fleet`
+//!   worker pool with content-hash caching, writes
+//!   `results/campaign.json`, and exits. [`report`] (`--bin report`)
+//!   regenerates the paper-vs-measured tables in EXPERIMENTS.md from
+//!   that document.
+//! * **Service** ([`serve`], `--bin serve`): a long-running multi-tenant
+//!   daemon that keeps the fleet warm and accepts sweep requests over a
+//!   hand-rolled HTTP/1.1 protocol (DESIGN.md §16), streaming each
+//!   cell's row — byte-identical to the batch row — as it completes.
+//!   Both modes share the `results/cache/` `DiskCache`, so cells run in
+//!   one mode are cache hits in the other.
+//!
+//! Each paper artifact additionally keeps a dedicated narrow binary
+//! (`cargo run --release -p cpelide-bench --bin fig8`, etc.); `--bin all`
+//! regenerates everything. Every binary honours these environment
+//! variables (the full table lives in README.md):
 //!
 //! - `CPELIDE_SMOKE=1` shrinks the run to a tiny configuration (two
 //!   workloads, fewer chiplet counts) so CI can smoke-run every artifact.
@@ -31,6 +42,7 @@
 pub mod campaign;
 pub mod perfgate;
 pub mod report;
+pub mod serve;
 pub mod telemetry;
 
 use chiplet_harness::json::{self, Json};

@@ -1,0 +1,191 @@
+//! Hand-rolled HTTP/1.1 on `std::net`: exactly the subset the campaign
+//! daemon speaks, with zero external dependencies.
+//!
+//! Request side: one request per connection (`Connection: close`
+//! semantics), request line + headers + an optional `Content-Length`
+//! body capped at [`MAX_BODY_BYTES`]. Response side: fixed-length
+//! responses for the small endpoints and a chunked NDJSON stream for
+//! sweeps — each event is one line, sent (and flushed) as one chunk the
+//! moment its cell completes, which is what makes the response
+//! incremental.
+
+use chiplet_harness::json::Json;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+
+/// Largest accepted request body; bigger requests get a 413.
+pub const MAX_BODY_BYTES: usize = 1 << 20;
+
+/// One parsed request.
+#[derive(Debug)]
+pub struct HttpRequest {
+    /// Request method, uppercased by the client (`GET`, `POST`, ...).
+    pub method: String,
+    /// Request path (query strings are not used by this protocol).
+    pub path: String,
+    /// Decoded body (empty when the request carried none).
+    pub body: String,
+}
+
+/// Why a request could not be read.
+#[derive(Debug)]
+pub enum ReadError {
+    /// Syntactically broken request (the 400 path).
+    Malformed(String),
+    /// Declared body exceeds [`MAX_BODY_BYTES`] (the 413 path).
+    TooLarge(usize),
+}
+
+/// Reads one HTTP/1.1 request from `reader`.
+///
+/// # Errors
+///
+/// `Err` for socket I/O failures; `Ok(Err(_))` for protocol violations
+/// the caller should answer with a 400/413.
+pub fn read_request(
+    reader: &mut BufReader<TcpStream>,
+) -> std::io::Result<Result<HttpRequest, ReadError>> {
+    let mut line = String::new();
+    reader.read_line(&mut line)?;
+    let mut parts = line.split_whitespace();
+    let (method, path) = match (parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(p), Some(v)) if v.starts_with("HTTP/1.") => (m.to_owned(), p.to_owned()),
+        _ => {
+            return Ok(Err(ReadError::Malformed(format!(
+                "bad request line {:?}",
+                line.trim_end()
+            ))))
+        }
+    };
+    let mut content_length = 0usize;
+    loop {
+        let mut header = String::new();
+        reader.read_line(&mut header)?;
+        let header = header.trim_end();
+        if header.is_empty() {
+            break;
+        }
+        let lower = header.to_ascii_lowercase();
+        if let Some(v) = lower.strip_prefix("content-length:") {
+            content_length = match v.trim().parse() {
+                Ok(n) => n,
+                Err(_) => {
+                    return Ok(Err(ReadError::Malformed(format!(
+                        "bad Content-Length {:?}",
+                        v.trim()
+                    ))))
+                }
+            };
+        }
+    }
+    if content_length > MAX_BODY_BYTES {
+        return Ok(Err(ReadError::TooLarge(content_length)));
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body)?;
+    match String::from_utf8(body) {
+        Ok(body) => Ok(Ok(HttpRequest { method, path, body })),
+        Err(_) => Ok(Err(ReadError::Malformed("non-UTF-8 body".to_owned()))),
+    }
+}
+
+/// Reason phrase for the status codes this daemon emits.
+pub fn status_text(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        429 => "Too Many Requests",
+        503 => "Service Unavailable",
+        _ => "Internal Server Error",
+    }
+}
+
+/// Writes a complete fixed-length response.
+pub fn write_response(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    body: &str,
+) -> std::io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n",
+        status_text(status),
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+/// Writes a JSON error response: `{"error":{"code":...,"message":...}}`.
+/// `code` is a stable machine-readable slug (`"bad_request"`,
+/// `"backpressure"`, ...) documented in DESIGN.md §16.
+pub fn write_error(
+    stream: &mut TcpStream,
+    status: u16,
+    code: &str,
+    message: &str,
+) -> std::io::Result<()> {
+    let body = Json::object()
+        .with(
+            "error",
+            Json::object().with("code", code).with("message", message),
+        )
+        .render_compact();
+    write_response(stream, status, "application/json", &body)
+}
+
+/// An in-progress chunked NDJSON response: [`start`](ChunkedWriter::start)
+/// sends the headers, each [`line`](ChunkedWriter::line) sends one
+/// `\n`-terminated event as its own flushed chunk, and
+/// [`finish`](ChunkedWriter::finish) terminates the stream.
+pub struct ChunkedWriter<'a> {
+    stream: &'a mut TcpStream,
+}
+
+impl<'a> ChunkedWriter<'a> {
+    /// Sends the response head and returns the writer.
+    ///
+    /// # Errors
+    ///
+    /// Socket I/O failures (the client has usually disconnected).
+    pub fn start(stream: &'a mut TcpStream, status: u16) -> std::io::Result<Self> {
+        let head = format!(
+            "HTTP/1.1 {status} {}\r\nContent-Type: application/x-ndjson\r\n\
+             Transfer-Encoding: chunked\r\nConnection: close\r\n\r\n",
+            status_text(status)
+        );
+        stream.write_all(head.as_bytes())?;
+        stream.flush()?;
+        Ok(ChunkedWriter { stream })
+    }
+
+    /// Sends `event` (compact-rendered) plus its newline as one chunk and
+    /// flushes, so the client sees the line as soon as the cell is done.
+    ///
+    /// # Errors
+    ///
+    /// Socket I/O failures; the caller treats them as a disconnect and
+    /// cancels the request's remaining cells.
+    pub fn line(&mut self, event: &Json) -> std::io::Result<()> {
+        let mut payload = event.render_compact();
+        payload.push('\n');
+        let chunk = format!("{:x}\r\n{payload}\r\n", payload.len());
+        self.stream.write_all(chunk.as_bytes())?;
+        self.stream.flush()
+    }
+
+    /// Sends the terminating zero-length chunk.
+    ///
+    /// # Errors
+    ///
+    /// Socket I/O failures.
+    pub fn finish(self) -> std::io::Result<()> {
+        self.stream.write_all(b"0\r\n\r\n")?;
+        self.stream.flush()
+    }
+}

@@ -1,0 +1,608 @@
+//! The daemon's cell scheduler: multi-tenant admission, per-client
+//! round-robin fairness, per-request ordered delivery, deadlines and
+//! cancellation.
+//!
+//! The batch campaign owns its whole cell list up front and fans it out
+//! with `fleet::parallel_map`; a service receives cells one request at a
+//! time from clients that must not starve each other. The scheduler keeps
+//! one FIFO queue per client and hands workers cells round-robin across
+//! clients, so a client that submits 500 cells delays a one-cell client
+//! by at most the in-flight window. Admission is bounded: a request whose
+//! cells would push the total queued count past the bound is rejected
+//! whole (never partially admitted), which is the daemon's 429.
+//!
+//! Delivery is per-request ordered commit: workers complete cells in any
+//! order into a slot buffer, and the connection thread drains slots in
+//! submission order — the same determinism contract as the batch fleet,
+//! so a streamed response always lists cells in request order.
+
+use crate::campaign::{execute_cell, CellSpec};
+use chiplet_harness::fleet::{self, DiskCache, JobSource, ServiceJob};
+use chiplet_harness::json::Json;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use super::metrics::ServeMetrics;
+
+/// How one scheduled cell ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CellStatus {
+    /// Simulated or served from the cache.
+    Ok,
+    /// The cell's job panicked (contained per job, like the batch fleet).
+    Failed,
+    /// Cancelled before it started (deadline passed or client vanished).
+    Cancelled,
+}
+
+impl CellStatus {
+    /// The status as it appears on the wire.
+    pub fn label(self) -> &'static str {
+        match self {
+            CellStatus::Ok => "ok",
+            CellStatus::Failed => "failed",
+            CellStatus::Cancelled => "cancelled",
+        }
+    }
+}
+
+/// One completed (or cancelled) cell, ready to stream.
+#[derive(Debug, Clone)]
+pub struct CellDone {
+    /// The `campaign.json` row for this cell (via [`CellSpec::row`], so
+    /// it is byte-identical to the batch artifact's row).
+    pub row: Json,
+    /// Served from the disk cache rather than simulated.
+    pub cached: bool,
+    /// Global completion stamp: the scheduler's monotone counter at the
+    /// instant this cell finished, across all clients. Tests use it to
+    /// assert fairness (a small request's cells finish before a large
+    /// earlier request's tail).
+    pub seq: u64,
+    /// How the cell ended.
+    pub status: CellStatus,
+}
+
+/// Per-cell lifecycle inside a request.
+#[derive(Debug)]
+enum Slot {
+    /// Waiting in its client's queue.
+    Queued,
+    /// A worker picked it up; it will complete even if the request is
+    /// cancelled meanwhile.
+    Running,
+    /// Finished (ok, failed, or cancelled) and ready to stream.
+    Done(CellDone),
+}
+
+#[derive(Debug)]
+struct RequestInner {
+    slots: Vec<Slot>,
+    done: usize,
+    cancelled: bool,
+}
+
+/// One admitted sweep request: a slot per cell, drained in submission
+/// order by the connection thread while workers fill slots in completion
+/// order.
+#[derive(Debug)]
+pub struct Request {
+    client: String,
+    specs: Vec<CellSpec>,
+    deadline: Option<Instant>,
+    inner: Mutex<RequestInner>,
+    cv: Condvar,
+}
+
+impl Request {
+    /// The validated client name this request belongs to.
+    pub fn client(&self) -> &str {
+        &self.client
+    }
+
+    /// Number of cells in the request.
+    pub fn total(&self) -> usize {
+        self.specs.len()
+    }
+
+    /// The cell specs, in request order.
+    pub fn specs(&self) -> &[CellSpec] {
+        &self.specs
+    }
+}
+
+/// Why a sweep request was refused admission.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AdmitError {
+    /// Admitting the request's cells would overflow the bounded queue;
+    /// the whole request is rejected (the HTTP layer's 429). Carries
+    /// (requested, queued, bound).
+    Backpressure(usize, usize, usize),
+    /// The scheduler is shutting down.
+    ShuttingDown,
+}
+
+impl std::fmt::Display for AdmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AdmitError::Backpressure(n, queued, bound) => write!(
+                f,
+                "queue full: request of {n} cells would exceed the admission \
+                 bound ({queued} queued, bound {bound}); retry later"
+            ),
+            AdmitError::ShuttingDown => write!(f, "daemon is shutting down"),
+        }
+    }
+}
+
+/// A cell waiting in a client queue.
+struct QueuedCell {
+    spec: CellSpec,
+    index: usize,
+    req: Arc<Request>,
+}
+
+struct SchedState {
+    /// One FIFO per client, in first-seen order. A client's entry is
+    /// dropped once its queue drains, so idle clients leave the rotation.
+    queues: Vec<(String, VecDeque<QueuedCell>)>,
+    /// Round-robin position into `queues`.
+    cursor: usize,
+    /// Total queued (not yet running) cells, the admission quantity.
+    queued: usize,
+    shutdown: bool,
+}
+
+/// The multi-tenant cell scheduler. Shared between the HTTP connection
+/// threads (producers) and the persistent worker pool (consumer, via the
+/// [`JobSource`] impl).
+pub struct Scheduler {
+    state: Mutex<SchedState>,
+    /// Workers park here waiting for queued cells.
+    work_cv: Condvar,
+    queue_bound: usize,
+    seq: AtomicU64,
+    cache: Option<DiskCache>,
+    metrics: Arc<ServeMetrics>,
+}
+
+impl Scheduler {
+    /// A scheduler admitting at most `queue_bound` queued cells, running
+    /// cells against `cache` (shared with the batch campaign when both
+    /// point at the same results dir).
+    pub fn new(queue_bound: usize, cache: Option<DiskCache>, metrics: Arc<ServeMetrics>) -> Self {
+        Scheduler {
+            state: Mutex::new(SchedState {
+                queues: Vec::new(),
+                cursor: 0,
+                queued: 0,
+                shutdown: false,
+            }),
+            work_cv: Condvar::new(),
+            queue_bound: queue_bound.max(1),
+            seq: AtomicU64::new(0),
+            cache,
+            metrics,
+        }
+    }
+
+    /// The admission bound (maximum queued cells).
+    pub fn queue_bound(&self) -> usize {
+        self.queue_bound
+    }
+
+    /// Cells currently queued (not yet picked up by a worker).
+    pub fn queue_depth(&self) -> usize {
+        lock(&self.state).queued
+    }
+
+    /// Queued-cell count per client, in first-seen order (the `/metrics`
+    /// per-client gauge).
+    pub fn per_client_depth(&self) -> Vec<(String, usize)> {
+        lock(&self.state)
+            .queues
+            .iter()
+            .map(|(c, q)| (c.clone(), q.len()))
+            .collect()
+    }
+
+    /// Admits a sweep: all of `specs` for `client`, or nothing.
+    ///
+    /// # Errors
+    ///
+    /// [`AdmitError::Backpressure`] when the request would overflow the
+    /// queue bound (no cells are admitted), [`AdmitError::ShuttingDown`]
+    /// after [`Scheduler::shutdown`].
+    pub fn submit(
+        self: &Arc<Self>,
+        client: &str,
+        specs: Vec<CellSpec>,
+        timeout: Option<Duration>,
+    ) -> Result<Arc<Request>, AdmitError> {
+        let n = specs.len();
+        let mut st = lock(&self.state);
+        if st.shutdown {
+            return Err(AdmitError::ShuttingDown);
+        }
+        if st.queued + n > self.queue_bound {
+            return Err(AdmitError::Backpressure(n, st.queued, self.queue_bound));
+        }
+        let req = Arc::new(Request {
+            client: client.to_owned(),
+            deadline: timeout.map(|t| Instant::now() + t),
+            inner: Mutex::new(RequestInner {
+                slots: specs.iter().map(|_| Slot::Queued).collect(),
+                done: 0,
+                cancelled: false,
+            }),
+            cv: Condvar::new(),
+            specs,
+        });
+        let queue = match st.queues.iter_mut().find(|(c, _)| c == client) {
+            Some((_, q)) => q,
+            None => {
+                st.queues.push((client.to_owned(), VecDeque::new()));
+                let last = st.queues.len() - 1;
+                &mut st.queues[last].1
+            }
+        };
+        for (index, spec) in req.specs.iter().enumerate() {
+            queue.push_back(QueuedCell {
+                spec: spec.clone(),
+                index,
+                req: Arc::clone(&req),
+            });
+        }
+        st.queued += n;
+        drop(st);
+        self.work_cv.notify_all();
+        Ok(req)
+    }
+
+    /// Pops the next runnable cell, round-robin across client queues.
+    /// Returns `None` with the state lock released when there is nothing
+    /// queued (caller decides whether to wait).
+    fn pop_round_robin(st: &mut SchedState) -> Option<QueuedCell> {
+        if st.queues.is_empty() {
+            return None;
+        }
+        let n = st.queues.len();
+        for step in 0..n {
+            let i = (st.cursor + step) % n;
+            if let Some(cell) = st.queues[i].1.pop_front() {
+                st.queued -= 1;
+                // Advance past the client we just served; drained clients
+                // are swept out so they stop occupying rotation slots.
+                st.cursor = (i + 1) % n;
+                let before_cursor = st
+                    .queues
+                    .iter()
+                    .take(st.cursor)
+                    .filter(|(_, q)| q.is_empty())
+                    .count();
+                st.queues.retain(|(_, q)| !q.is_empty());
+                st.cursor = if st.queues.is_empty() {
+                    0
+                } else {
+                    (st.cursor - before_cursor) % st.queues.len()
+                };
+                return Some(cell);
+            }
+        }
+        None
+    }
+
+    /// Runs one popped cell to completion and resolves its slot. The
+    /// heavy work happens with no scheduler lock held.
+    fn run_cell(&self, cell: QueuedCell) {
+        let QueuedCell { spec, index, req } = cell;
+        let outcome = fleet::run_caught(|| execute_cell(&spec, self.cache.as_ref()));
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed) + 1;
+        let done = match outcome {
+            Ok(out) => {
+                let cached = out.cached();
+                self.metrics.note_cell(cached, false);
+                CellDone {
+                    row: spec.row(Ok(&out.metrics)),
+                    cached,
+                    seq,
+                    status: CellStatus::Ok,
+                }
+            }
+            Err(message) => {
+                self.metrics.note_cell(false, true);
+                // Rendering the failure row re-derives the fingerprint,
+                // which can itself panic for a pathologically invalid
+                // spec; the slot must resolve regardless, or the reader
+                // wedges, so fall back to a minimal row.
+                let row = fleet::run_caught(|| spec.row(Err(&message))).unwrap_or_else(|_| {
+                    Json::object()
+                        .with("failed", true)
+                        .with("error", message.as_str())
+                });
+                CellDone {
+                    row,
+                    cached: false,
+                    seq,
+                    status: CellStatus::Failed,
+                }
+            }
+        };
+        let mut inner = lock(&req.inner);
+        inner.slots[index] = Slot::Done(done);
+        inner.done += 1;
+        drop(inner);
+        req.cv.notify_all();
+    }
+
+    /// Cancels a request: its still-queued cells are removed from the
+    /// client queue and resolved as [`CellStatus::Cancelled`]; cells a
+    /// worker already started run to completion and still stream. Safe to
+    /// call more than once.
+    pub fn cancel(&self, req: &Arc<Request>) {
+        let mut st = lock(&self.state);
+        let mut removed = 0usize;
+        for (_, queue) in &mut st.queues {
+            let before = queue.len();
+            queue.retain(|c| !Arc::ptr_eq(&c.req, req));
+            removed += before - queue.len();
+        }
+        st.queued -= removed;
+        // Keep the cursor in range after sweeping drained queues.
+        let n_before = st.queues.len();
+        st.queues.retain(|(_, q)| !q.is_empty());
+        if st.queues.len() != n_before {
+            st.cursor = if st.queues.is_empty() {
+                0
+            } else {
+                st.cursor % st.queues.len()
+            };
+        }
+        drop(st);
+        let mut inner = lock(&req.inner);
+        if !inner.cancelled {
+            inner.cancelled = true;
+            let mut newly_done = 0usize;
+            for slot in &mut inner.slots {
+                if matches!(slot, Slot::Queued) {
+                    let seq = self.seq.fetch_add(1, Ordering::Relaxed) + 1;
+                    self.metrics.note_cancelled();
+                    *slot = Slot::Done(CellDone {
+                        row: Json::Null,
+                        cached: false,
+                        seq,
+                        status: CellStatus::Cancelled,
+                    });
+                    newly_done += 1;
+                }
+            }
+            inner.done += newly_done;
+        }
+        drop(inner);
+        req.cv.notify_all();
+    }
+
+    /// Blocks until slot `index` of `req` is done and returns it,
+    /// enforcing the request deadline: when the deadline passes first,
+    /// the request is cancelled (queued cells resolve as cancelled;
+    /// running cells complete) and the wait continues — it always
+    /// terminates, because every slot is then either done or running.
+    pub fn wait_cell(self: &Arc<Self>, req: &Arc<Request>, index: usize) -> CellDone {
+        loop {
+            let inner = lock(&req.inner);
+            if let Slot::Done(done) = &inner.slots[index] {
+                return done.clone();
+            }
+            let timeout = req
+                .deadline
+                .map(|d| d.saturating_duration_since(Instant::now()));
+            match timeout {
+                Some(left) if left.is_zero() => {
+                    drop(inner);
+                    self.cancel(req);
+                }
+                Some(left) => {
+                    let _unused = req
+                        .cv
+                        .wait_timeout(inner, left)
+                        .unwrap_or_else(|p| p.into_inner());
+                }
+                None => {
+                    let _unused = req.cv.wait(inner).unwrap_or_else(|p| p.into_inner());
+                }
+            }
+        }
+    }
+
+    /// Stops admission and tells the worker pool to exit: queued cells of
+    /// every request are cancelled (their readers see cancelled slots),
+    /// running cells finish first.
+    pub fn shutdown(&self) {
+        let reqs: Vec<Arc<Request>> = {
+            let mut st = lock(&self.state);
+            st.shutdown = true;
+            st.queues
+                .iter()
+                .flat_map(|(_, q)| q.iter().map(|c| Arc::clone(&c.req)))
+                .collect()
+        };
+        for req in reqs {
+            self.cancel(&req);
+        }
+        self.work_cv.notify_all();
+    }
+}
+
+/// The worker pool pulls cells from the scheduler through this adapter:
+/// blocking round-robin pop, `None` once shut down.
+pub struct SchedulerSource(pub Arc<Scheduler>);
+
+impl JobSource for SchedulerSource {
+    fn next_job(&self) -> Option<ServiceJob> {
+        let sched = Arc::clone(&self.0);
+        let mut st = lock(&sched.state);
+        loop {
+            if let Some(cell) = Scheduler::pop_round_robin(&mut st) {
+                // Mark the slot running before releasing the state lock,
+                // so a concurrent cancel leaves it to complete normally.
+                {
+                    let mut inner = lock(&cell.req.inner);
+                    inner.slots[cell.index] = Slot::Running;
+                }
+                drop(st);
+                let sched = Arc::clone(&self.0);
+                return Some(Box::new(move || sched.run_cell(cell)));
+            }
+            if st.shutdown {
+                return None;
+            }
+            st = sched.work_cv.wait(st).unwrap_or_else(|p| p.into_inner());
+        }
+    }
+}
+
+/// Poison-tolerant lock (same rationale as the fleet's: state is only
+/// ever a committed value between panics contained elsewhere).
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campaign::SuiteTag;
+    use chiplet_coherence::ProtocolKind;
+    use chiplet_harness::fleet::ServicePool;
+    use chiplet_sim::Cell;
+
+    fn spec(workload: &str, chiplets: usize) -> CellSpec {
+        CellSpec {
+            cell: Cell::new(
+                chiplet_workloads::lookup(workload).unwrap_or_else(|e| panic!("{e}")),
+                ProtocolKind::Baseline,
+                chiplets,
+            ),
+            suite: SuiteTag::Main,
+        }
+    }
+
+    fn sched(bound: usize) -> Arc<Scheduler> {
+        Arc::new(Scheduler::new(bound, None, Arc::new(ServeMetrics::new())))
+    }
+
+    #[test]
+    fn admission_rejects_whole_requests_atomically() {
+        let s = sched(2);
+        let admitted = s
+            .submit("a", vec![spec("square", 1), spec("square", 2)], None)
+            .expect("fits exactly");
+        let err = s
+            .submit("b", vec![spec("square", 1)], None)
+            .expect_err("queue is full");
+        assert!(matches!(err, AdmitError::Backpressure(1, 2, 2)), "{err}");
+        assert_eq!(s.queue_depth(), 2, "rejected request admitted nothing");
+        // Drain via cancel so the test leaves no queued work behind.
+        s.cancel(&admitted);
+        assert_eq!(s.queue_depth(), 0);
+        s.submit("b", vec![spec("square", 1)], None)
+            .expect("space freed");
+    }
+
+    #[test]
+    fn round_robin_interleaves_clients_before_queue_order() {
+        // Client "big" enqueues 4 cells, then "small" enqueues 1; with a
+        // single worker started *after* both are queued, fairness demands
+        // small's cell completes before big's tail.
+        let s = sched(64);
+        let big = s
+            .submit(
+                "big",
+                vec![
+                    spec("square", 1),
+                    spec("square", 2),
+                    spec("square", 3),
+                    spec("square", 4),
+                ],
+                None,
+            )
+            .expect("admit big");
+        let small = s
+            .submit("small", vec![spec("square", 1)], None)
+            .expect("admit small");
+        let pool = ServicePool::start(1, Arc::new(SchedulerSource(Arc::clone(&s))));
+        let small_done = s.wait_cell(&small, 0);
+        let big_last = s.wait_cell(&big, 3);
+        assert!(
+            small_done.seq < big_last.seq,
+            "small client's only cell (seq {}) must not wait behind the \
+             large client's tail (seq {})",
+            small_done.seq,
+            big_last.seq
+        );
+        s.shutdown();
+        pool.join();
+    }
+
+    #[test]
+    fn deadline_cancels_queued_cells_but_ordered_drain_still_finishes() {
+        let s = sched(64);
+        // No workers at all: every cell stays queued, so an elapsed
+        // deadline must resolve all slots as cancelled.
+        let req = s
+            .submit(
+                "t",
+                vec![spec("square", 1), spec("square", 2)],
+                Some(Duration::from_millis(1)),
+            )
+            .expect("admitted");
+        let first = s.wait_cell(&req, 0);
+        let second = s.wait_cell(&req, 1);
+        assert_eq!(first.status, CellStatus::Cancelled);
+        assert_eq!(second.status, CellStatus::Cancelled);
+        assert_eq!(s.queue_depth(), 0, "cancel removed queued cells");
+    }
+
+    #[test]
+    fn shutdown_drains_workers_and_refuses_new_requests() {
+        let s = sched(16);
+        let pool = ServicePool::start(2, Arc::new(SchedulerSource(Arc::clone(&s))));
+        let req = s
+            .submit("x", vec![spec("square", 1)], None)
+            .expect("admitted");
+        assert_eq!(s.wait_cell(&req, 0).status, CellStatus::Ok);
+        s.shutdown();
+        pool.join();
+        assert!(matches!(
+            s.submit("x", vec![spec("square", 1)], None),
+            Err(AdmitError::ShuttingDown)
+        ));
+    }
+
+    #[test]
+    fn failed_cells_resolve_like_the_batch_fleet() {
+        // A panicking cell must produce a failed row, not kill the worker:
+        // chiplets=0 makes SimConfig::table1 assert inside execute_cell.
+        let s = sched(16);
+        let pool = ServicePool::start(1, Arc::new(SchedulerSource(Arc::clone(&s))));
+        let bad = CellSpec {
+            cell: Cell::new(
+                chiplet_workloads::lookup("square").unwrap_or_else(|e| panic!("{e}")),
+                ProtocolKind::Baseline,
+                0,
+            ),
+            suite: SuiteTag::Main,
+        };
+        let req = s
+            .submit("x", vec![bad, spec("square", 1)], None)
+            .expect("admitted");
+        let first = s.wait_cell(&req, 0);
+        let second = s.wait_cell(&req, 1);
+        assert_eq!(first.status, CellStatus::Failed);
+        assert_eq!(first.row.get("failed").and_then(Json::as_bool), Some(true));
+        assert_eq!(second.status, CellStatus::Ok, "worker survived the panic");
+        s.shutdown();
+        pool.join();
+    }
+}

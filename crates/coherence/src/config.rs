@@ -39,6 +39,17 @@ impl ProtocolKind {
         }
     }
 
+    /// The inverse of [`Self::label`], case-insensitively: parses a
+    /// report label (`"CPElide"`, `"baseline"`, ...) back into the kind.
+    /// This is the validation seam for externally-supplied protocol names
+    /// (the campaign daemon's sweep requests); `None` means the label
+    /// matches no registered protocol.
+    pub fn from_label(label: &str) -> Option<ProtocolKind> {
+        Self::ALL
+            .into_iter()
+            .find(|k| k.label().eq_ignore_ascii_case(label))
+    }
+
     /// True if this configuration performs conservative whole-GPU L2
     /// flush+invalidate at every kernel boundary.
     pub fn bulk_sync_at_boundaries(self) -> bool {

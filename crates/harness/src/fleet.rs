@@ -220,7 +220,10 @@ fn payload_message(payload: Box<dyn std::any::Any + Send>) -> String {
     }
 }
 
-fn run_caught<T>(f: impl FnOnce() -> T) -> Result<T, String> {
+/// Runs `f` under `catch_unwind`, mapping a panic to its payload message
+/// — the same containment the fleet applies per job, exposed for callers
+/// (the campaign daemon) that schedule work outside [`parallel_map`].
+pub fn run_caught<T>(f: impl FnOnce() -> T) -> Result<T, String> {
     std::panic::catch_unwind(std::panic::AssertUnwindSafe(f)).map_err(payload_message)
 }
 
@@ -420,6 +423,76 @@ where
 /// jobs, where the protected state is still a plain committed value.
 fn lock_clean<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
     m.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+// ------------------------------------------------------------ service pool
+
+/// A unit of work for a [`ServicePool`] worker.
+pub type ServiceJob = Box<dyn FnOnce() + Send>;
+
+/// Where a [`ServicePool`]'s workers pull their work from.
+///
+/// [`parallel_map`] owns a fixed job list and disbands when it drains;
+/// a long-running service instead keeps one warm pool alive and feeds it
+/// jobs as requests arrive. The source — not the pool — decides *which*
+/// job runs next, so scheduling policy (the campaign daemon's per-client
+/// round-robin fairness, admission bounds, cancellation) lives entirely
+/// in the implementor; the pool contributes only threads and per-job
+/// panic containment.
+pub trait JobSource: Send + Sync {
+    /// Hands the calling worker its next job, blocking until one is
+    /// available. Returning `None` tells the worker to exit; once a
+    /// source starts returning `None` it must keep doing so, or workers
+    /// racing through shutdown could hang.
+    fn next_job(&self) -> Option<ServiceJob>;
+}
+
+/// A persistent worker pool over a [`JobSource`]: the long-running
+/// counterpart of [`parallel_map`], built for the campaign daemon.
+///
+/// Workers loop pulling jobs from the shared source and run each under
+/// `catch_unwind`, so a panicking job (a poisoned simulation cell) can
+/// never take a worker thread down — the same containment contract as
+/// the batch fleet. Result delivery is the job's own business: a service
+/// job carries its completion channel inside the closure, because unlike
+/// the batch map there is no result vector to commit into.
+#[derive(Debug)]
+pub struct ServicePool {
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl ServicePool {
+    /// Starts `workers` (at least 1) threads pulling from `source`.
+    pub fn start(workers: usize, source: std::sync::Arc<dyn JobSource>) -> Self {
+        let handles = (0..workers.max(1))
+            .map(|_| {
+                let source = std::sync::Arc::clone(&source);
+                std::thread::spawn(move || {
+                    while let Some(job) = source.next_job() {
+                        // Containment only: the job reports its own
+                        // failure (it owns the completion channel); the
+                        // pool just guarantees the worker survives.
+                        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job));
+                    }
+                })
+            })
+            .collect();
+        ServicePool { handles }
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.handles.len()
+    }
+
+    /// Waits for every worker to exit. Workers exit when the source
+    /// returns `None`, so the owner must shut the source down first or
+    /// this blocks forever.
+    pub fn join(self) {
+        for h in self.handles {
+            let _ = h.join();
+        }
+    }
 }
 
 // ------------------------------------------------------------ fingerprint

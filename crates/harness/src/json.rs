@@ -60,6 +60,17 @@ impl Json {
         out
     }
 
+    /// Serializes on one line with no whitespace: the NDJSON form used by
+    /// the campaign daemon's streaming responses, where each event must be
+    /// exactly one `\n`-terminated line. Values and key order are identical
+    /// to [`Json::render`] — only the layout differs — so
+    /// `parse(render_compact(x)) == parse(render(x))`.
+    pub fn render_compact(&self) -> String {
+        let mut out = String::new();
+        self.write_compact(&mut out);
+        out
+    }
+
     /// The value of `key` on an object (`None` for other variants or a
     /// missing key).
     pub fn get(&self, key: &str) -> Option<&Json> {
@@ -98,6 +109,34 @@ impl Json {
         match self {
             Json::Bool(b) => Some(*b),
             _ => None,
+        }
+    }
+
+    fn write_compact(&self, out: &mut String) {
+        match self {
+            Json::Null | Json::Bool(_) | Json::Num(_) | Json::Str(_) => self.write(out, 0),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write_compact(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(out, k);
+                    out.push(':');
+                    v.write_compact(out);
+                }
+                out.push('}');
+            }
         }
     }
 
@@ -546,6 +585,28 @@ mod tests {
         validate(&text).expect("writer must emit valid JSON");
         assert!(text.contains("\"median_ns\": 12.5"));
         assert!(text.contains("\\\"x\\\""));
+    }
+
+    #[test]
+    fn compact_render_is_one_line_and_parse_equivalent() {
+        let j = Json::object()
+            .with("name", "bench \"x\"\n")
+            .with("iters", 100u64)
+            .with("median_ns", 12.5)
+            .with("empty", Json::object())
+            .with(
+                "values",
+                Json::Arr(vec![Json::Num(1.0), Json::Null, Json::Str("s".into())]),
+            );
+        let compact = j.render_compact();
+        assert!(!compact.contains('\n'), "one line, no trailing newline");
+        assert!(compact.contains("\"iters\":100"));
+        assert_eq!(parse(&compact).expect("compact parses"), j);
+        assert_eq!(
+            parse(&compact).expect("compact"),
+            parse(&j.render()).expect("pretty"),
+            "layouts parse to the same tree"
+        );
     }
 
     #[test]

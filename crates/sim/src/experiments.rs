@@ -6,6 +6,12 @@
 //! thread-free (the `sim-thread` lint enforces it). Each [`Cell`] is an
 //! independent simulator run; the fleet commits results in submission
 //! order, so every figure below is byte-identical across worker counts.
+//!
+//! Cell *definition* (what a cell is, and the validation seam for
+//! externally-supplied cells) lives in [`crate::cell`]; this module is
+//! the batch *scheduling* layer on top of it. The campaign daemon
+//! (`cpelide-bench --bin serve`) is the dynamic scheduling layer over the
+//! same definitions.
 
 use crate::config::SimConfig;
 use crate::engine::Simulator;
@@ -14,48 +20,7 @@ use chiplet_coherence::ProtocolKind;
 use chiplet_harness::fleet;
 use chiplet_workloads::{ReuseClass, Workload};
 
-/// Runs one (workload, protocol, chiplets) cell.
-pub fn run_one(workload: &Workload, protocol: ProtocolKind, chiplets: usize) -> RunMetrics {
-    Simulator::new(SimConfig::table1(chiplets, protocol)).run(workload)
-}
-
-/// One independent unit of the evaluation sweep: a (workload, protocol,
-/// chiplet-count) triple under the paper's Table 1 configuration. Cells
-/// are `Send + Sync`, so the fleet can execute them on any worker; each
-/// run builds its own simulator, so no simulated state crosses threads.
-#[derive(Debug, Clone)]
-pub struct Cell {
-    /// The workload to run.
-    pub workload: Workload,
-    /// The coherence protocol under test.
-    pub protocol: ProtocolKind,
-    /// Number of chiplets.
-    pub chiplets: usize,
-}
-
-impl Cell {
-    /// A cell under the Table 1 configuration.
-    pub fn new(workload: Workload, protocol: ProtocolKind, chiplets: usize) -> Self {
-        Cell {
-            workload,
-            protocol,
-            chiplets,
-        }
-    }
-
-    /// Runs the cell to completion (the fleet's `Send`-safe entry point).
-    pub fn run(&self) -> RunMetrics {
-        run_one(&self.workload, self.protocol, self.chiplets)
-    }
-}
-
-// Cells travel to fleet workers and their metrics travel back; lock that
-// in at compile time so a future !Send field fails here, not in a bin.
-const _: () = {
-    const fn assert_send_sync<T: Send + Sync>() {}
-    assert_send_sync::<Cell>();
-    assert_send_sync::<RunMetrics>();
-};
+pub use crate::cell::{run_one, Cell};
 
 /// Runs every cell on the fleet; results come back in submission order.
 pub fn run_cells(cells: &[Cell]) -> Vec<RunMetrics> {

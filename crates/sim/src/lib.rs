@@ -16,6 +16,7 @@
 //! assert!(cpe.cycles <= base.cycles);
 //! ```
 
+pub mod cell;
 pub mod config;
 pub mod engine;
 pub mod experiments;
@@ -23,6 +24,7 @@ pub mod metrics;
 pub mod oracle;
 pub mod phase;
 
+pub use cell::Cell;
 pub use config::{LatencyModel, SimConfig, SyncCostModel};
 pub use engine::Simulator;
 pub use metrics::RunMetrics;

@@ -84,6 +84,12 @@ echo "== CCT model check (BFS N ≤ 4 + DPOR racy flagship, census drift gate) =
 cargo run --release -p chiplet-check -- --model-check --check
 [ "$(grep -c '"violations": 0' results/CHECK_model.json)" -eq 7 ]
 
+echo "== Daemon smoke (serve --smoke hermetic self-test) =="
+# Boots the campaign daemon on an ephemeral port, streams a two-cell
+# sweep, validates /metrics with the in-repo prom parser, and shuts down
+# cleanly over the wire. See DESIGN.md §16.
+cargo run --release -p cpelide-bench --bin serve -- --smoke
+
 echo "== Bench runner (fixed iterations, JSON report) =="
 CHIPLET_BENCH_ITERS=3 CHIPLET_BENCH_WARMUP=1 cargo bench --workspace
 

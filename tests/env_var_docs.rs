@@ -1,0 +1,149 @@
+//! Doc-consistency gate for `CPELIDE_*` environment variables: every
+//! such variable the code reads must appear in README.md's consolidated
+//! table, and every variable the README documents must actually exist in
+//! the code — so the table can never silently drift in either direction.
+//!
+//! The scanner walks the workspace's code files (`.rs`, `.sh`, `.yml`,
+//! `.toml`) and collects `CPELIDE_`-prefixed uppercase tokens. A small
+//! exemption list covers tokens that match the pattern but are not
+//! environment variables (a named constant, a lint fixture); each
+//! exemption is itself checked against the scan, so a stale exemption
+//! fails too.
+
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
+
+/// The scanned prefix. Kept as a bare prefix (no following name chars)
+/// so the scanner never matches its own definition: a token requires at
+/// least one `[A-Z0-9_]` character *after* the prefix.
+const PREFIX: &str = "CPELIDE_";
+
+/// Tokens that match the scanner but are not environment variables.
+const EXEMPT: &[(&str, &str)] = &[
+    (
+        "CPELIDE_PROCESS_LATENCY_US",
+        "a latency constant in crates/core (the CP's CPElide processing \
+         overhead), not an environment variable",
+    ),
+    (
+        "CPELIDE_CHIPLETS",
+        "a chiplet-check lint fixture exercising the sim-env rule \
+         (crates/check/tests/lint_fixtures)",
+    ),
+];
+
+fn workspace_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+}
+
+/// Collects every `CPELIDE_<UPPER>` token in `text` into `out`.
+fn scan_tokens(text: &str, out: &mut BTreeSet<String>) {
+    let bytes = text.as_bytes();
+    let mut i = 0;
+    while let Some(pos) = text[i..].find(PREFIX) {
+        let start = i + pos;
+        let mut end = start + PREFIX.len();
+        while end < bytes.len()
+            && (bytes[end].is_ascii_uppercase()
+                || bytes[end].is_ascii_digit()
+                || bytes[end] == b'_')
+        {
+            end += 1;
+        }
+        // At least one character beyond the prefix, or it is not a
+        // variable name (e.g. the prefix literal in this very file).
+        if end > start + PREFIX.len() {
+            out.insert(text[start..end].to_owned());
+        }
+        i = end;
+    }
+}
+
+/// Recursively scans code files under `dir` (skipping build output and
+/// VCS internals) for `CPELIDE_*` tokens.
+fn scan_dir(dir: &Path, out: &mut BTreeSet<String>) {
+    let entries =
+        std::fs::read_dir(dir).unwrap_or_else(|e| panic!("read_dir {} failed: {e}", dir.display()));
+    for entry in entries {
+        let path = entry.expect("dir entry").path();
+        let name = path
+            .file_name()
+            .and_then(|n| n.to_str())
+            .unwrap_or_default()
+            .to_owned();
+        if path.is_dir() {
+            if matches!(name.as_str(), "target" | ".git" | "results") {
+                continue;
+            }
+            scan_dir(&path, out);
+        } else if matches!(
+            path.extension().and_then(|e| e.to_str()),
+            Some("rs" | "sh" | "yml" | "yaml" | "toml")
+        ) {
+            let text = std::fs::read_to_string(&path)
+                .unwrap_or_else(|e| panic!("read {} failed: {e}", path.display()));
+            scan_tokens(&text, out);
+        }
+    }
+}
+
+#[test]
+fn every_cpelide_env_var_is_documented_in_the_readme_table() {
+    let root = workspace_root();
+    let mut used = BTreeSet::new();
+    scan_dir(&root, &mut used);
+    // The scan must have seen the well-known core variables, or the
+    // walker itself is broken and the gate proves nothing.
+    for known in ["CPELIDE_SMOKE", "CPELIDE_JOBS", "CPELIDE_SERVE_ADDR"] {
+        assert!(used.contains(known), "scanner failed to find {known}");
+    }
+
+    // Every exemption must still exist in the code; a stale exemption
+    // would quietly shrink the gate's coverage.
+    for (token, why) in EXEMPT {
+        assert!(
+            used.contains(*token),
+            "stale exemption {token} ({why}): the token no longer appears \
+             in the workspace — remove it from EXEMPT"
+        );
+    }
+    let exempt: BTreeSet<String> = EXEMPT.iter().map(|(t, _)| (*t).to_owned()).collect();
+
+    let readme = std::fs::read_to_string(root.join("README.md")).expect("read README.md");
+    let mut documented = BTreeSet::new();
+    scan_tokens(&readme, &mut documented);
+
+    let undocumented: Vec<&String> = used
+        .difference(&documented)
+        .filter(|t| !exempt.contains(*t))
+        .collect();
+    assert!(
+        undocumented.is_empty(),
+        "environment variables used in code but missing from README.md's \
+         table: {undocumented:?} — add a row to the Environment variables \
+         section (or, if the token is not an env var, to EXEMPT here)"
+    );
+
+    let phantom: Vec<&String> = documented
+        .difference(&used)
+        .filter(|t| !exempt.contains(*t))
+        .collect();
+    assert!(
+        phantom.is_empty(),
+        "README.md documents environment variables that no code reads: \
+         {phantom:?} — drop the row or restore the variable"
+    );
+}
+
+#[test]
+fn scanner_requires_a_name_after_the_prefix() {
+    let mut out = BTreeSet::new();
+    // The bare prefix and a lowercase continuation are not tokens.
+    scan_tokens("CPELIDE_ CPELIDE_x CPELIDE_[A-Z_]+", &mut out);
+    assert!(out.is_empty(), "{out:?}");
+    scan_tokens("export CPELIDE_JOBS=4; echo $CPELIDE_SERVE_QUEUE", &mut out);
+    assert_eq!(
+        out.into_iter().collect::<Vec<_>>(),
+        ["CPELIDE_JOBS", "CPELIDE_SERVE_QUEUE"]
+    );
+}
